@@ -1,0 +1,139 @@
+// Fig. 10 reproduction: event detection with local similarity
+// (Algorithm 2) on the 6-minute record of Fig. 1b.
+//
+// The paper's figure shows the local-similarity map revealing two
+// moving vehicles, the M4.4 earthquake, and a persistent vibration.
+// This bench regenerates the map from the synthetic Fig. 1b scene and
+// *checks* each signature quantitatively: similarity inside each
+// event's known (channel, time) footprint must exceed the noise floor
+// by a clear margin, and the vehicle tracks must show moveout (the
+// active channel advances with time).
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "dassa/das/local_similarity.hpp"
+
+using namespace dassa;
+using bench::BenchDir;
+using bench::Table;
+
+namespace {
+
+/// Mean similarity over a (channel, time) box of the map.
+double box_mean(const core::Array2D& map, std::size_t ch_lo,
+                std::size_t ch_hi, std::size_t t_lo, std::size_t t_hi) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t ch = ch_lo; ch < ch_hi; ++ch) {
+    for (std::size_t t = t_lo; t < t_hi; ++t) {
+      sum += map.at(ch, t);
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  BenchDir dir("fig10");
+  const std::size_t channels = 96;
+  const double rate = 25.0;
+  const double total_seconds = 360.0;  // the 6-minute record
+  const auto span = static_cast<double>(channels);
+
+  const auto paths = bench::make_acquisition(
+      dir, "acq", channels, 6,
+      static_cast<std::size_t>(total_seconds / 6.0 * rate), rate);
+  io::Vca vca = io::Vca::build(paths);
+
+  das::LocalSimilarityParams params;
+  params.window_half = 12;
+  params.lag_half = 10;
+  params.channel_offset = 1;
+
+  core::EngineConfig config;
+  config.nodes = 4;
+  config.cores_per_node = 2;
+  WallTimer timer;
+  const core::EngineReport report =
+      das::local_similarity_distributed(config, vca, params);
+  const core::Array2D& map = report.output;
+  std::cout << "similarity map " << map.shape << " computed in "
+            << timer.seconds() << " s (" << report.stages << ")\n";
+
+  auto t_idx = [&](double seconds) {
+    return static_cast<std::size_t>(seconds * rate);
+  };
+  auto ch_idx = [&](double frac) {
+    return static_cast<std::size_t>(frac * span);
+  };
+
+  // Noise floor: a quiet region before any event.
+  const double noise = box_mean(map, ch_idx(0.3), ch_idx(0.5), t_idx(2.0),
+                                t_idx(16.0));
+
+  // Event footprints from the fig1b scene definition (synth.cpp):
+  //   vehicle 1: starts 20 s at 5% span, speed span/200 ch/s;
+  //   vehicle 2: starts 120 s at 90% span, speed -span/150 ch/s;
+  //   quake: origin 210 s (+~3.4 s travel), all channels;
+  //   persistent hum: channels 78-82% of span, all times.
+  const double v1_t = 60.0;  // 40 s into vehicle 1's drive
+  const double v1_ch = (0.05 * span + span / 200.0 * (v1_t - 20.0)) / span;
+  const double v2_t = 150.0;
+  const double v2_ch = (0.9 * span - span / 150.0 * (v2_t - 120.0)) / span;
+
+  struct EventCheck {
+    const char* name;
+    double mean;
+  };
+  const EventCheck checks[] = {
+      {"vehicle 1", box_mean(map, ch_idx(v1_ch) - 2, ch_idx(v1_ch) + 3,
+                             t_idx(v1_t - 4), t_idx(v1_t + 4))},
+      {"vehicle 2", box_mean(map, ch_idx(v2_ch) - 2, ch_idx(v2_ch) + 3,
+                             t_idx(v2_t - 4), t_idx(v2_t + 4))},
+      {"earthquake", box_mean(map, ch_idx(0.2), ch_idx(0.8),
+                              t_idx(214.0), t_idx(218.0))},
+      {"persistent", box_mean(map, ch_idx(0.79), ch_idx(0.81),
+                              t_idx(60.0), t_idx(180.0))},
+  };
+
+  bench::section("Fig 10: event signatures vs noise floor");
+  std::cout << "noise floor similarity: " << noise << "\n\n";
+  Table t({"event", "similarity", "vs_noise", "detected"});
+  bool all = true;
+  for (const auto& c : checks) {
+    const bool detected = c.mean > 1.5 * noise;
+    all = all && detected;
+    t.row(c.name, c.mean, c.mean / noise, detected ? "YES" : "no");
+  }
+
+  // Vehicle moveout: the most-similar channel must advance with time.
+  bench::section("Vehicle 1 moveout (peak channel vs time)");
+  Table mv({"t_seconds", "peak_channel", "expected"});
+  bool moveout_ok = true;
+  for (double secs = 40.0; secs <= 100.0; secs += 20.0) {
+    std::size_t peak_ch = 0;
+    double best = -1.0;
+    for (std::size_t ch = 1; ch + 1 < channels; ++ch) {
+      const double v = box_mean(map, ch, ch + 1, t_idx(secs - 2),
+                                t_idx(secs + 2));
+      if (v > best) {
+        best = v;
+        peak_ch = ch;
+      }
+    }
+    const double expected = 0.05 * span + span / 200.0 * (secs - 20.0);
+    mv.row(secs, peak_ch, expected);
+    if (std::abs(static_cast<double>(peak_ch) - expected) > 8.0) {
+      moveout_ok = false;
+    }
+  }
+
+  std::cout << "\nall signatures detected: " << (all ? "YES" : "NO")
+            << ", vehicle moveout tracks position: "
+            << (moveout_ok ? "YES" : "NO")
+            << "\n(paper Fig. 10: two vehicles, one M4.4 earthquake and a "
+               "persistent vibration distinguishable in the map)\n";
+  return all && moveout_ok ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+// Fig. 11 reproduction: strong- and weak-scaling parallel efficiency of
+// DASSA, sweeping the simulated node count with 8 threads per node on
+// the Algorithm 3 workload.
+//
+// Paper setup: 91 -> 1456 nodes, 8 cores/node; strong scaling fixes
+// 1.9 TB total, weak scaling fixes 171 MB/core. Findings: compute
+// efficiency stays ~100%; I/O efficiency decays as node count grows
+// because more concurrent requests contend at the fixed number of
+// Lustre storage targets; 364 nodes is the sweet spot.
+//
+// One host core cannot exhibit wall-clock parallel speedup, so each
+// series reports (see EXPERIMENTS.md):
+//   * compute efficiency from the exact work balance (cells per rank --
+//     the quantity that is ~100% in the paper as long as partitions
+//     stay even);
+//   * I/O efficiency from the alpha-beta + storage model (per-call
+//     latency x request amplification -- the mechanism the paper
+//     blames for the decay);
+//   * measured wall seconds for reference.
+#include "bench_util.hpp"
+#include "dassa/das/interferometry.hpp"
+
+using namespace dassa;
+using bench::BenchDir;
+using bench::Table;
+
+namespace {
+
+struct ScalePoint {
+  int nodes = 0;
+  double compute_eff = 0.0;
+  double io_model_s = 0.0;
+  double wall_s = 0.0;
+};
+
+das::InterferometryParams params_for(double rate, std::size_t channels) {
+  das::InterferometryParams p;
+  p.sampling_hz = rate;
+  p.butter_order = 3;
+  p.band_lo_hz = 2.0;
+  p.band_hi_hz = 30.0;
+  p.resample_down = 2;
+  p.master_channel = channels / 2;
+  return p;
+}
+
+ScalePoint run_point(const io::Vca& vca, int nodes, std::size_t channels) {
+  core::EngineConfig config;
+  config.nodes = nodes;
+  config.cores_per_node = 8;  // the paper's 8 threads per node
+  config.mode = core::EngineMode::kHybrid;
+  config.gather_output = true;
+
+  WallTimer timer;
+  const core::EngineReport report = das::interferometry_distributed(
+      config, vca, params_for(100.0, channels));
+
+  ScalePoint point;
+  point.nodes = nodes;
+  point.wall_s = timer.seconds();
+  point.io_model_s = report.comm.modeled_seconds;  // max over ranks:
+                                                   // storage + network
+  // Work balance: channels are the unit of Algorithm 3 work.
+  std::size_t max_rows = 0;
+  for (int r = 0; r < nodes; ++r) {
+    max_rows = std::max(
+        max_rows, even_chunk(channels, static_cast<std::size_t>(nodes),
+                             static_cast<std::size_t>(r))
+                      .size());
+  }
+  point.compute_eff = static_cast<double>(channels) /
+                      (static_cast<double>(nodes) *
+                       static_cast<double>(max_rows));
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  BenchDir dir("fig11");
+  const int node_counts[] = {1, 2, 4, 8, 16};
+
+  // --- strong scaling: fixed total data ------------------------------------
+  {
+    const std::size_t channels = 96;
+    const auto paths =
+        bench::make_acquisition(dir, "strong", channels, 8, 500);
+    io::Vca vca = io::Vca::build(paths);
+
+    bench::section("Fig 11a: strong scaling (fixed " +
+                    vca.shape().str() + " total)");
+    Table t({"nodes", "compute_eff%", "io_model_s", "io_eff%", "wall_s"});
+    double io_base = 0.0;
+    for (const int nodes : node_counts) {
+      const ScalePoint p = run_point(vca, nodes, channels);
+      if (nodes == 1) io_base = p.io_model_s;
+      // Strong-scaling efficiency: t1 / (N * tN).
+      const double io_eff =
+          100.0 * io_base / (static_cast<double>(nodes) * p.io_model_s);
+      t.row(nodes, 100.0 * p.compute_eff, p.io_model_s, io_eff, p.wall_s);
+    }
+  }
+
+  // --- weak scaling: fixed data per node -----------------------------------
+  // Every node brings its own 4 acquisition files (the per-minute files
+  // accumulate with recording duration, as on the real system); each
+  // rank's channel-block share stays constant, so any growth in
+  // per-rank time is pure I/O/communication overhead.
+  {
+    const std::size_t channels = 48;
+    bench::section("Fig 11b: weak scaling (4 files and a fixed channel "
+                   "share per node)");
+    Table t({"nodes", "shape", "compute_eff%", "io_model_s", "io_eff%",
+             "wall_s"});
+    double io_base = 0.0;
+    for (const int nodes : node_counts) {
+      const auto paths = bench::make_acquisition(
+          dir, "weak" + std::to_string(nodes), channels,
+          4 * static_cast<std::size_t>(nodes), 500);
+      io::Vca vca = io::Vca::build(paths);
+      const ScalePoint p = run_point(vca, nodes, channels);
+      if (nodes == 1) io_base = p.io_model_s;
+      // Weak-scaling efficiency: t1 / tN.
+      const double io_eff = 100.0 * io_base / p.io_model_s;
+      t.row(nodes, vca.shape().str(), 100.0 * p.compute_eff, p.io_model_s,
+            io_eff, p.wall_s);
+    }
+  }
+
+  std::cout << "\npaper: compute efficiency ~100% throughout; I/O "
+               "efficiency trends down with node count (request "
+               "contention at fixed storage targets); best overall at "
+               "364 of 1456 nodes\n";
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Fig. 7 reproduction: reading DAS data from a VCA with the
+// "collective-per-file" and "communication-avoiding" methods, with RCA
+// access as a reference, across file counts.
+//
+// Paper setup: 90 MPI processes evenly partitioning 2880 x ~700 MB
+// files; result: communication-avoiding is on average 37x faster than
+// collective-per-file; collective-per-file is even slower than reading
+// the RCA; communication-avoiding also beats the RCA.
+//
+// Mechanism being checked: collective-per-file pushes EVERY file's
+// full contents through EVERY rank (one broadcast per file, O(n)
+// broadcasts), while communication-avoiding moves each byte once
+// (round-robin whole-file reads + a single all-to-all). The RCA read
+// is one slab per rank, but p ranks striding into one shared file pay
+// seek/OST contention.
+//
+// On this single-node substrate wall times compress (all ranks share
+// one disk cache and one core), so next to wall seconds each row
+// reports the exact communication counts and the alpha-beta + storage
+// model time, where the paper's ordering
+//     comm-avoiding < RCA < collective-per-file
+// must appear. A closed-form projection of the same cost model at the
+// paper's scale (90 ranks, 2880 x 700 MB files) is printed last.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "dassa/io/par_read.hpp"
+#include "dassa/mpi/runtime.hpp"
+
+using namespace dassa;
+using bench::BenchDir;
+using bench::Table;
+
+namespace {
+
+struct CaseResult {
+  double wall = 0.0;
+  double modeled = 0.0;
+  std::uint64_t bcasts = 0;
+  std::uint64_t read_calls = 0;
+  std::uint64_t p2p = 0;
+};
+
+template <typename Fn>
+CaseResult run_case(int ranks, Fn&& body) {
+  global_counters().reset();
+  WallTimer timer;
+  const mpi::RunReport report = mpi::Runtime::run(ranks, body);
+  CaseResult r;
+  r.wall = timer.seconds();
+  r.modeled = report.aggregate().modeled_seconds;
+  r.bcasts = global_counters().get(counters::kMpiBcasts);
+  r.read_calls = global_counters().get(counters::kIoReadCalls);
+  r.p2p = report.aggregate().p2p_sends;
+  return r;
+}
+
+/// Closed-form per-rank cost of the three methods under the same
+/// alpha-beta + storage model, for arbitrary scale.
+struct Projection {
+  double collective = 0.0;
+  double avoiding = 0.0;
+  double rca = 0.0;
+};
+
+Projection project(double n_files, double p, double file_bytes,
+                   const io::IoCostParams& io, const mpi::CostParams& net) {
+  const double reads_per_rank = n_files / p;
+  const double io_s = reads_per_rank * io.call_cost(
+                          static_cast<std::size_t>(file_bytes));
+  const double msg = net.message_cost(static_cast<std::size_t>(file_bytes));
+  const double fanout = std::ceil(std::log2(std::max(2.0, p)));
+
+  Projection proj;
+  // Collective: every rank receives every file once and forwards up to
+  // log2(p) times at the tree root; charge recv + average forward.
+  proj.collective = io_s + n_files * msg * 2.0;
+  // Avoiding: each rank's files leave once (p-1 slices) and its block
+  // arrives once.
+  proj.avoiding = io_s + 2.0 * reads_per_rank * msg;
+  // RCA: one slab of the total per rank + shared-file contention.
+  const double slab = n_files * file_bytes / p;
+  proj.rca = io.shared_call_cost(static_cast<std::size_t>(slab),
+                                 static_cast<int>(p));
+  (void)fanout;
+  return proj;
+}
+
+}  // namespace
+
+int main() {
+  BenchDir dir("fig7");
+  const int ranks = 24;  // scaled from the paper's 90 processes
+  const std::size_t channels = 48;
+  const std::size_t samples = 4000;  // ~1.5 MB of doubles per file
+
+  bench::section("Fig 7: reading a VCA, " + std::to_string(ranks) +
+                 " ranks (scaled from 90)");
+  Table t({"files", "method", "wall_s", "modeled_s", "bcasts",
+           "read_calls", "p2p_msgs"});
+
+  double sum_ratio = 0.0;
+  int cases = 0;
+  int shape_ok = 0;
+  for (const std::size_t files_n : {24u, 48u, 96u}) {
+    const std::string sub = "acq" + std::to_string(files_n);
+    const auto paths =
+        bench::make_acquisition(dir, sub, channels, files_n, samples);
+    io::Vca vca = io::Vca::build(paths);
+    const std::string rca_path = dir.file(sub + ".dh5");
+    (void)io::rca_create(paths, rca_path);
+
+    const CaseResult coll = run_case(ranks, [&](mpi::Comm& comm) {
+      (void)io::read_vca_collective_per_file(comm, vca);
+    });
+    const CaseResult avoid = run_case(ranks, [&](mpi::Comm& comm) {
+      (void)io::read_vca_comm_avoiding(comm, vca);
+    });
+    const CaseResult rca = run_case(ranks, [&](mpi::Comm& comm) {
+      (void)io::read_rca_direct(comm, rca_path);
+    });
+
+    t.row(files_n, "collective", coll.wall, coll.modeled, coll.bcasts,
+          coll.read_calls, coll.p2p);
+    t.row(files_n, "comm-avoid", avoid.wall, avoid.modeled, avoid.bcasts,
+          avoid.read_calls, avoid.p2p);
+    t.row(files_n, "rca-direct", rca.wall, rca.modeled, rca.bcasts,
+          rca.read_calls, rca.p2p);
+
+    sum_ratio += coll.modeled / avoid.modeled;
+    ++cases;
+    // The paper's claims: comm-avoiding beats both alternatives; and
+    // once files accumulate, collective-per-file falls behind even the
+    // RCA (its cost grows with n, the RCA's does not).
+    if (avoid.modeled < rca.modeled && avoid.modeled < coll.modeled) {
+      ++shape_ok;
+    }
+    if (files_n == 96u && coll.modeled > rca.modeled) ++shape_ok;
+  }
+  std::cout << "\nmodeled shape checks passed: " << shape_ok << "/"
+            << cases + 1 << " (comm-avoid fastest at every size; "
+            << "collective slower than RCA at the largest size)\n"
+            << "mean modeled speedup comm-avoiding over collective: "
+            << sum_ratio / cases << "x at " << ranks
+            << " ranks (grows ~linearly with rank count)\n";
+
+  // Paper-scale projection under the identical cost model.
+  bench::section("Cost-model projection at paper scale");
+  Table proj_t({"scale", "collective_s", "comm_avoid_s", "rca_s",
+                "speedup"});
+  const io::IoCostParams io_params{};
+  const mpi::CostParams net_params{};
+  for (const auto& [label, n, p, fbytes] :
+       {std::tuple{"bench (24r)", 96.0, 24.0, 1.5e6},
+        std::tuple{"paper (90r)", 2880.0, 90.0, 700.0e6}}) {
+    const Projection proj = project(n, p, fbytes, io_params, net_params);
+    proj_t.row(label, proj.collective, proj.avoiding, proj.rca,
+               proj.collective / proj.avoiding);
+  }
+  std::cout << "\npaper: comm-avoiding on average 37x faster than "
+               "collective-per-file; collective even slower than RCA; "
+               "comm-avoiding faster than RCA\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Shared helpers for the per-figure benchmark harnesses: a fixture
+// that generates scaled-down synthetic acquisitions, and fixed-width
+// table printing so every bench emits the same row/series layout as
+// the paper's tables and figures.
+#pragma once
+
+#include <filesystem>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dassa/common/counters.hpp"
+#include "dassa/common/timer.hpp"
+#include "dassa/das/synth.hpp"
+#include "dassa/io/vca.hpp"
+
+namespace dassa::bench {
+
+/// Temporary working directory for a bench, cleaned up on destruction.
+class BenchDir {
+ public:
+  explicit BenchDir(const std::string& tag)
+      : path_(std::filesystem::temp_directory_path() /
+              ("dassa_bench_" + tag)) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~BenchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// Generate a scaled-down acquisition: `files` files of
+/// `channels x samples_per_file`, written under `dir/sub`.
+inline std::vector<std::string> make_acquisition(
+    const BenchDir& dir, const std::string& sub, std::size_t channels,
+    std::size_t files, std::size_t samples_per_file,
+    double sampling_hz = 100.0, io::DType dtype = io::DType::kF32) {
+  const das::SynthDas synth =
+      das::SynthDas::fig1b_scene(channels, sampling_hz);
+  das::AcquisitionSpec spec;
+  spec.dir = dir.file(sub);
+  spec.start = das::Timestamp::parse("170728224510");
+  spec.file_count = files;
+  spec.seconds_per_file =
+      static_cast<double>(samples_per_file) / sampling_hz;
+  spec.dtype = dtype;
+  spec.per_channel_metadata = false;
+  return das::write_acquisition(synth, spec);
+}
+
+/// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 14)
+      : headers_(std::move(headers)), width_(width) {
+    std::ostringstream os;
+    for (const auto& h : headers_) os << std::setw(width_) << h;
+    std::cout << os.str() << "\n"
+              << std::string(headers_.size() * static_cast<std::size_t>(width_),
+                             '-')
+              << "\n";
+  }
+
+  template <typename... Cells>
+  void row(Cells&&... cells) {
+    std::ostringstream os;
+    (append(os, std::forward<Cells>(cells)), ...);
+    std::cout << os.str() << "\n";
+  }
+
+ private:
+  template <typename T>
+  void append(std::ostringstream& os, T&& v) {
+    if constexpr (std::is_floating_point_v<std::decay_t<T>>) {
+      os << std::setw(width_) << std::setprecision(4) << v;
+    } else {
+      os << std::setw(width_) << v;
+    }
+  }
+
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline void section(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace dassa::bench

@@ -1,0 +1,85 @@
+// Auto-tuning demo (the paper's future work: "how to automatically
+// select system settings, such as the number of nodes, to run the
+// analysis code").
+//
+// Calibrates the per-channel cost of the interferometry UDF on a few
+// sample channels of a local acquisition, projects the workload to the
+// paper's full scale (11648 channels, 2880 x 700 MB files) on a
+// Cori-like cluster, sweeps node counts under the same cost models the
+// benches use, and prints the fastest and the recommended (knee) node
+// counts -- the quantity the paper eyeballed as "364 nodes gives the
+// best efficiency".
+#include <filesystem>
+#include <iomanip>
+#include <iostream>
+
+#include "dassa/core/autotune.hpp"
+#include "dassa/das/interferometry.hpp"
+#include "dassa/das/synth.hpp"
+
+int main() {
+  using namespace dassa;
+  const std::string dir = "autotune_data";
+  std::filesystem::create_directories(dir);
+
+  // A small local acquisition used only for calibration.
+  const std::size_t channels = 32;
+  const das::SynthDas synth = das::SynthDas::fig1b_scene(channels, 100.0);
+  das::AcquisitionSpec spec;
+  spec.dir = dir;
+  spec.start = das::Timestamp::parse("170728224510");
+  spec.file_count = 2;
+  spec.seconds_per_file = 4.0;
+  io::Vca vca = io::Vca::build(das::write_acquisition(synth, spec));
+
+  das::InterferometryParams params;
+  params.sampling_hz = 100.0;
+  params.band_lo_hz = 2.0;
+  params.band_hi_hz = 30.0;
+  params.resample_down = 2;
+
+  // Calibrate seconds-per-channel for this exact UDF chain.
+  const std::vector<double> master =
+      vca.read_slab(Slab2D{0, 0, 1, vca.shape().cols});
+  const core::RowUdf udf = das::make_interferometry_udf(
+      params, das::interferometry_spectrum(master, params));
+  const double sec_per_channel = core::calibrate_row_udf(vca, udf);
+  std::cout << "calibrated cost: " << sec_per_channel
+            << " s/channel at " << vca.shape().cols << " samples\n";
+
+  // Project to the paper's workload. Compute cost scales ~linearly in
+  // samples per channel (FFT log factor ignored -- conservative).
+  const double paper_samples = 2880.0 * 30000.0;
+  const double scale = paper_samples / static_cast<double>(vca.shape().cols);
+
+  core::ClusterSpec cluster;  // Cori-like defaults
+  cluster.max_nodes = 1456;
+  cluster.cores_per_node = 8;
+
+  core::WorkloadSpec workload;
+  workload.data_shape = {11648, static_cast<std::size_t>(paper_samples)};
+  workload.file_count = 2880;
+  workload.file_bytes = 700ULL * 1000 * 1000;
+  workload.work_units = 11648;
+  workload.seconds_per_unit = sec_per_channel * scale;
+
+  const core::TuneResult result = core::autotune_nodes(cluster, workload);
+
+  std::cout << "\nnode sweep (paper-scale workload, Cori-like cluster):\n";
+  std::cout << std::setw(8) << "nodes" << std::setw(14) << "compute_s"
+            << std::setw(12) << "io_s" << std::setw(12) << "total_s"
+            << "\n";
+  for (const core::TunePoint& p : result.sweep) {
+    std::cout << std::setw(8) << p.nodes << std::setw(14)
+              << std::setprecision(4) << p.compute_seconds << std::setw(12)
+              << p.io_seconds << std::setw(12) << p.total() << "\n";
+  }
+  std::cout << "\nfastest: " << result.best_nodes << " nodes ("
+            << result.best_seconds << " s)\n"
+            << "recommended (knee): " << result.recommended_nodes
+            << " nodes (" << result.recommended_seconds
+            << " s) -- past this, doubling nodes buys <"
+            << core::TuneResult::kKneeSpeedup << "x\n"
+            << "(paper: best efficiency observed at 364 of 1456 nodes)\n";
+  return 0;
+}

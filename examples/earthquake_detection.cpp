@@ -1,0 +1,114 @@
+// Earthquake detection via local similarity (paper Algorithm 2 and
+// Fig. 10).
+//
+// Generates a 6-minute-style record containing two vehicles, one
+// M4.4-like earthquake and a persistent vibration source (paper
+// Fig. 1b), runs the local-similarity UDF distributed over a simulated
+// cluster, and renders the detection map as ASCII art plus a CSV for
+// plotting. The three event signatures are clearly visible: slanted
+// vehicle tracks, the near-simultaneous earthquake stripe, and the
+// persistent column.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "dassa/das/events.hpp"
+#include "dassa/das/local_similarity.hpp"
+#include "dassa/das/search.hpp"
+#include "dassa/das/synth.hpp"
+
+int main() {
+  using namespace dassa;
+  const std::string dir = "earthquake_data";
+  std::filesystem::create_directories(dir);
+
+  // A compressed version of the paper's 6-minute record: 96 channels
+  // at 25 Hz. The fig1b scene places vehicles at ~20 s and ~120 s and
+  // the quake at ~210 s.
+  const std::size_t channels = 96;
+  const double rate = 25.0;
+  const double total_seconds = 360.0;
+  const das::SynthDas synth = das::SynthDas::fig1b_scene(channels, rate);
+
+  das::AcquisitionSpec spec;
+  spec.dir = dir;
+  spec.start = das::Timestamp::parse("170728224510");
+  spec.file_count = 6;
+  spec.seconds_per_file = total_seconds / 6.0;  // six "1-minute" files
+  const auto paths = das::write_acquisition(synth, spec);
+  io::Vca vca = io::Vca::build(paths);
+  std::cout << "input: " << vca.shape() << " (" << paths.size()
+            << " files)\n";
+
+  // Algorithm 2 parameters: 1-second windows, +-0.4 s lag search,
+  // neighbours one channel away.
+  das::LocalSimilarityParams params;
+  params.window_half = 12;   // M: ~1 s at 25 Hz
+  params.lag_half = 10;      // L
+  params.channel_offset = 1; // K
+
+  core::EngineConfig config;
+  config.nodes = 4;
+  config.cores_per_node = 2;
+  const core::EngineReport report =
+      das::local_similarity_distributed(config, vca, params);
+  std::cout << "similarity map: " << report.output.shape << ", stages: "
+            << report.stages << "\n";
+
+  // Reduce to a coarse (channel x time-bin) detection map.
+  const std::size_t ch_bins = 32;
+  const std::size_t t_bins = 72;  // 5 s per bin
+  const Shape2D out = report.output.shape;
+  std::vector<double> map(ch_bins * t_bins, 0.0);
+  std::vector<int> hits(ch_bins * t_bins, 0);
+  for (std::size_t ch = 0; ch < out.rows; ++ch) {
+    for (std::size_t t = 0; t < out.cols; ++t) {
+      const std::size_t cb = ch * ch_bins / out.rows;
+      const std::size_t tb = t * t_bins / out.cols;
+      map[cb * t_bins + tb] += report.output.at(ch, t);
+      hits[cb * t_bins + tb] += 1;
+    }
+  }
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    if (hits[i] > 0) map[i] /= hits[i];
+  }
+
+  // CSV for plotting (channel bin, time bin, mean similarity).
+  std::ofstream csv("earthquake_detection_map.csv");
+  csv << "channel_bin,time_bin,seconds,mean_similarity\n";
+  for (std::size_t cb = 0; cb < ch_bins; ++cb) {
+    for (std::size_t tb = 0; tb < t_bins; ++tb) {
+      csv << cb << "," << tb << ","
+          << tb * total_seconds / static_cast<double>(t_bins) << ","
+          << map[cb * t_bins + tb] << "\n";
+    }
+  }
+  std::cout << "wrote earthquake_detection_map.csv\n\n";
+
+  // ASCII rendering (time left-to-right, channels top-to-bottom),
+  // thresholded against the noise floor -- compare with paper Fig. 10.
+  double floor = 0.0;
+  for (double v : map) floor += v;
+  floor /= static_cast<double>(map.size());
+  std::cout << "detection map (.:low  *:event  #:strong), "
+            << "x: time 0-" << total_seconds << " s, y: channel\n";
+  for (std::size_t cb = 0; cb < ch_bins; ++cb) {
+    for (std::size_t tb = 0; tb < t_bins; ++tb) {
+      const double v = map[cb * t_bins + tb];
+      std::cout << (v > floor * 1.8 ? '#' : (v > floor * 1.3 ? '*' : '.'));
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nexpected signatures: two slanted vehicle tracks "
+               "(~20 s and ~120 s), an earthquake stripe across all "
+               "channels (~215 s), a persistent row near channel bins "
+            << (ch_bins * 78) / 100 << "-" << (ch_bins * 82) / 100 << "\n";
+
+  // Automatic event extraction: what the geophysicist reads off the
+  // map, as a catalog.
+  std::cout << "\nevent catalog (largest first):\n";
+  for (const das::DetectedEvent& e : das::detect_events(report.output)) {
+    std::cout << "  " << das::describe(e, rate) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Beyond DAS: per-domain simulation files analysed as one array (the
+// paper's second future-work direction: "apply the DASSA in other
+// applications, such as plasma simulation, which may store the data of
+// each simulated domain as an individual file and lots of domains may
+// be grouped as the input of analysis operations").
+//
+// A toy plasma-turbulence field is written as one DASH5 file per
+// spatial domain (the per-timestep dump layout such codes use). The
+// domain files are grouped with a VCA exactly like DAS minute files,
+// and two UDFs run through the same HAEE engine:
+//   * a cell UDF: local gradient-energy |grad phi|^2, a standard
+//     turbulence diagnostic with Stencil structural locality;
+//   * a row UDF: per-field-line fluctuation RMS.
+// Nothing in DASSA's engine is DAS-specific -- the point of this
+// example.
+#include <cmath>
+#include <filesystem>
+#include <iostream>
+#include <numbers>
+
+#include "dassa/core/haee.hpp"
+#include "dassa/io/dash5.hpp"
+
+namespace {
+
+using namespace dassa;
+
+/// A deterministic "plasma potential" phi over field lines x cells:
+/// drifting waves + an island structure, per domain.
+double phi(std::size_t line, std::size_t global_cell) {
+  const double y = static_cast<double>(line);
+  const double x = static_cast<double>(global_cell);
+  return std::sin(0.07 * x + 0.3 * y) + 0.5 * std::sin(0.023 * x) +
+         0.3 * std::cos(0.11 * x - 0.05 * y * y / 40.0);
+}
+
+}  // namespace
+
+int main() {
+  const std::string dir = "plasma_data";
+  std::filesystem::create_directories(dir);
+
+  // 8 domains, each 48 field lines x 256 cells, one file per domain.
+  const std::size_t lines = 48;
+  const std::size_t cells_per_domain = 256;
+  const std::size_t domains = 8;
+
+  std::vector<std::string> files;
+  for (std::size_t d = 0; d < domains; ++d) {
+    io::Dash5Header header;
+    header.shape = {lines, cells_per_domain};
+    header.global.set("Simulation", "toy-drift-turbulence");
+    header.global.set_i64("DomainIndex", static_cast<std::int64_t>(d));
+    std::vector<double> data(header.shape.size());
+    for (std::size_t l = 0; l < lines; ++l) {
+      for (std::size_t c = 0; c < cells_per_domain; ++c) {
+        data[header.shape.at(l, c)] = phi(l, d * cells_per_domain + c);
+      }
+    }
+    const std::string path = dir + "/domain_" + std::to_string(d) + ".dh5";
+    io::dash5_write(path, header, data);
+    files.push_back(path);
+  }
+
+  // Group the domain files -- the paper's proposed usage, verbatim.
+  io::Vca vca = io::Vca::build(files);
+  std::cout << "grouped " << domains << " domain files into "
+            << vca.shape().str() << "\n";
+
+  // Cell UDF: gradient energy with a ghost line of 1. Domain
+  // boundaries are seamless because the VCA presents one logical array.
+  const core::ScalarUdf grad_energy = [](const core::Stencil& s) {
+    if (!s.in_bounds(-1, 0) || !s.in_bounds(1, 0) || !s.in_bounds(0, -1) ||
+        !s.in_bounds(0, 1)) {
+      return 0.0;
+    }
+    const double dx = 0.5 * (s(1, 0) - s(-1, 0));
+    const double dy = 0.5 * (s(0, 1) - s(0, -1));
+    return dx * dx + dy * dy;
+  };
+
+  core::EngineConfig config;
+  config.nodes = 4;
+  config.cores_per_node = 2;
+  config.halo_channels = 1;
+  const core::EngineReport energy = core::run_cells(
+      config, vca, [&](const core::RankContext&) { return grad_energy; });
+
+  double total_energy = 0.0;
+  for (double v : energy.output.data) total_energy += v;
+  std::cout << "gradient-energy field " << energy.output.shape
+            << ", total energy " << total_energy << "\n";
+
+  // Row UDF: per-field-line RMS fluctuation (mean removed).
+  const core::RowUdf line_rms = [](const core::Stencil& s) {
+    const std::span<const double> row = s.row_span(0);
+    double mean = 0.0;
+    for (double v : row) mean += v;
+    mean /= static_cast<double>(row.size());
+    double acc = 0.0;
+    for (double v : row) acc += (v - mean) * (v - mean);
+    return std::vector<double>{
+        std::sqrt(acc / static_cast<double>(row.size()))};
+  };
+  const core::EngineReport rms = core::run_rows(
+      config, vca, [&](const core::RankContext&) { return line_rms; });
+
+  std::cout << "per-field-line RMS (every 8th line):";
+  for (std::size_t l = 0; l < lines; l += 8) {
+    std::cout << " " << rms.output.at(l, 0);
+  }
+  std::cout << "\nsame engine, same storage path, zero DAS-specific code\n";
+
+  // Sanity: the seam between domains 0 and 1 must be invisible in the
+  // energy field (the analytic field is continuous across files).
+  const std::size_t seam = cells_per_domain;
+  const double at_seam = energy.output.at(lines / 2, seam);
+  const double near_seam = energy.output.at(lines / 2, seam + 4);
+  std::cout << "seam check: energy at domain boundary " << at_seam
+            << " vs nearby " << near_seam << " (no discontinuity)\n";
+  return std::abs(at_seam - near_seam) < 1.0 ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Traffic-noise interferometry (paper Algorithm 3).
+//
+// Runs the ambient-noise interferometry pipeline -- detrend, zero-phase
+// Butterworth bandpass, resample, FFT, correlation against a master
+// channel -- over a synthetic acquisition, in both engine
+// configurations the paper compares:
+//   * HAEE (hybrid): 1 rank per node, threads inside;
+//   * original ArrayUDF (MPI-per-core): 1 rank per core.
+// Prints the per-channel similarity profile and the master-channel
+// duplication + I/O call counts that distinguish the two modes
+// (paper Section V-B / Fig. 8).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "dassa/common/counters.hpp"
+#include "dassa/das/interferometry.hpp"
+#include "dassa/das/synth.hpp"
+
+int main() {
+  using namespace dassa;
+  const std::string dir = "interferometry_data";
+  std::filesystem::create_directories(dir);
+
+  const std::size_t channels = 48;
+  const double rate = 100.0;
+  const das::SynthDas synth = das::SynthDas::fig1b_scene(channels, rate);
+  das::AcquisitionSpec spec;
+  spec.dir = dir;
+  spec.start = das::Timestamp::parse("170728224510");
+  spec.file_count = 4;
+  spec.seconds_per_file = 8.0;
+  io::Vca vca = io::Vca::build(das::write_acquisition(synth, spec));
+  std::cout << "input: " << vca.shape() << "\n";
+
+  das::InterferometryParams params;
+  params.sampling_hz = rate;
+  params.butter_order = 3;
+  params.band_lo_hz = 2.0;
+  params.band_hi_hz = 30.0;
+  params.resample_down = 2;
+  params.master_channel = channels / 2;
+
+  struct ModeSpec {
+    const char* name;
+    core::EngineMode mode;
+    core::ReadMethod read;
+  };
+  for (const ModeSpec m :
+       {ModeSpec{"HAEE (1 rank/node x 4 threads)", core::EngineMode::kHybrid,
+                 core::ReadMethod::kCommunicationAvoiding},
+        ModeSpec{"ArrayUDF (1 rank/core)", core::EngineMode::kMpiPerCore,
+                 core::ReadMethod::kDirectPerRank}}) {
+    core::EngineConfig config;
+    config.nodes = 2;
+    config.cores_per_node = 4;
+    config.mode = m.mode;
+    config.read_method = m.read;
+
+    global_counters().reset();
+    const core::EngineReport report =
+        das::interferometry_distributed(config, vca, params);
+    std::cout << "\n== " << m.name << " ==\n"
+              << "  world: " << report.world_size << " ranks x "
+              << report.threads_per_rank << " threads\n"
+              << "  stages: " << report.stages << "\n"
+              << "  master-channel copies: "
+              << global_counters().get(counters::kMemMasterChannelCopies)
+              << "\n"
+              << "  I/O read calls: "
+              << global_counters().get(counters::kIoReadCalls) << "\n"
+              << "  modeled peak bytes/node: "
+              << report.modeled_peak_bytes_per_node << "\n";
+
+    if (m.mode == core::EngineMode::kHybrid) {
+      std::ofstream csv("interferometry_profile.csv");
+      csv << "channel,abscorr_vs_master\n";
+      for (std::size_t ch = 0; ch < channels; ++ch) {
+        csv << ch << "," << report.output.at(ch, 0) << "\n";
+      }
+      std::cout << "  wrote interferometry_profile.csv\n";
+      std::cout << "  similarity vs master (channel " << params.master_channel
+                << "): ";
+      for (std::size_t ch = 0; ch < channels; ch += 6) {
+        std::cout << report.output.at(ch, 0) << " ";
+      }
+      std::cout << "\n  (master channel itself scores "
+                << report.output.at(params.master_channel, 0) << ")\n";
+    }
+  }
+  return 0;
+}

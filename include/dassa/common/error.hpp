@@ -1,0 +1,71 @@
+// DASSA common: error types and checking macros.
+//
+// DASSA uses exceptions for error reporting (construction failures,
+// malformed files, out-of-range access). Hot inner loops (UDF execution,
+// DSP kernels) validate at entry and run unchecked inside, so the
+// exception machinery never sits on the per-cell path.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dassa {
+
+/// Base class for all DASSA errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An argument failed validation (bad shape, empty range, bad parameter).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : Error("invalid argument: " + what) {}
+};
+
+/// A file could not be opened, parsed, or written.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+/// A DASH5 container is structurally malformed (bad magic, CRC, bounds).
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what)
+      : Error("format error: " + what) {}
+};
+
+/// A MiniMPI operation was used incorrectly (rank out of range,
+/// mismatched collective participation, send to self without buffering).
+class MpiError : public Error {
+ public:
+  explicit MpiError(const std::string& what) : Error("mpi error: " + what) {}
+};
+
+/// An operation that is valid in general is not available in the
+/// current state (e.g. reading a dataset from a closed file).
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what)
+      : Error("state error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace dassa
+
+/// Validate a precondition; throws dassa::InvalidArgument on failure.
+/// Usage: DASSA_CHECK(n > 0, "window length must be positive");
+#define DASSA_CHECK(expr, msg)                                         \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::dassa::detail::throw_check_failure(#expr, __FILE__, __LINE__, \
+                                           (msg));                     \
+    }                                                                  \
+  } while (false)

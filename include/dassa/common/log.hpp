@@ -1,0 +1,49 @@
+// DASSA common: minimal leveled logger.
+//
+// Logging is intentionally tiny: severity filter + single-line
+// timestamped output to stderr. Framework code logs sparingly (file
+// opens, partition decisions, engine configuration); hot paths never
+// log.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dassa {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global severity threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (thread-safe). Prefer the DASSA_LOG macro.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dassa
+
+/// Stream-style logging: DASSA_LOG(kInfo) << "read " << n << " files";
+#define DASSA_LOG(severity)                                   \
+  if (::dassa::LogLevel::severity < ::dassa::log_level()) {   \
+  } else                                                      \
+    ::dassa::detail::LogLine(::dassa::LogLevel::severity)

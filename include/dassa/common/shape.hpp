@@ -1,0 +1,105 @@
+// DASSA common: 2D array shapes and hyperslab selections.
+//
+// DAS data is modelled throughout the framework as a dense row-major 2D
+// array [channel, time] (see paper Section IV, "DASS Array Data Model").
+// Shape2D describes extents; Slab2D describes a rectangular selection
+// (the Logical Array View / HDF5-hyperslab analogue).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa {
+
+/// Extents of a dense row-major 2D array: rows × cols.
+/// For DAS data rows = channels, cols = time samples.
+struct Shape2D {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  [[nodiscard]] std::size_t size() const { return rows * cols; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Flat index of element (r, c); unchecked, for inner loops.
+  [[nodiscard]] std::size_t at(std::size_t r, std::size_t c) const {
+    return r * cols + c;
+  }
+
+  friend bool operator==(const Shape2D&, const Shape2D&) = default;
+
+  [[nodiscard]] std::string str() const {
+    return "[" + std::to_string(rows) + " x " + std::to_string(cols) + "]";
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Shape2D& s) {
+  return os << s.str();
+}
+
+/// A rectangular selection within a 2D array: offset + count per
+/// dimension. This is DASSA's Logical Array View primitive (paper
+/// Fig. 3): LAV selects a subset of channels/time of a larger array.
+struct Slab2D {
+  std::size_t row_off = 0;
+  std::size_t col_off = 0;
+  std::size_t row_cnt = 0;
+  std::size_t col_cnt = 0;
+
+  [[nodiscard]] std::size_t size() const { return row_cnt * col_cnt; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] Shape2D shape() const { return {row_cnt, col_cnt}; }
+
+  /// Whole-array slab covering `s`.
+  static Slab2D whole(const Shape2D& s) { return {0, 0, s.rows, s.cols}; }
+
+  /// True iff the slab fits inside an array of shape `s`.
+  [[nodiscard]] bool fits(const Shape2D& s) const {
+    return row_off + row_cnt <= s.rows && col_off + col_cnt <= s.cols;
+  }
+
+  /// Throws InvalidArgument unless the slab fits inside `s`.
+  void validate_against(const Shape2D& s) const {
+    DASSA_CHECK(fits(s), "hyperslab " + str() + " exceeds array " + s.str());
+  }
+
+  friend bool operator==(const Slab2D&, const Slab2D&) = default;
+
+  [[nodiscard]] std::string str() const {
+    return "{off=(" + std::to_string(row_off) + "," + std::to_string(col_off) +
+           "), cnt=(" + std::to_string(row_cnt) + "," +
+           std::to_string(col_cnt) + ")}";
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Slab2D& s) {
+  return os << s.str();
+}
+
+/// Split `total` items into `parts` contiguous chunks as evenly as
+/// possible; returns the [begin, end) range of chunk `index`.
+/// The first (total % parts) chunks receive one extra item. Used by the
+/// ArrayUDF partitioner and the parallel readers.
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+inline Range even_chunk(std::size_t total, std::size_t parts,
+                        std::size_t index) {
+  DASSA_CHECK(parts > 0, "cannot split into zero parts");
+  DASSA_CHECK(index < parts, "chunk index out of range");
+  const std::size_t base = total / parts;
+  const std::size_t extra = total % parts;
+  const std::size_t begin =
+      index * base + (index < extra ? index : extra);
+  const std::size_t len = base + (index < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace dassa

@@ -1,0 +1,65 @@
+// DASSA common: fixed-size thread pool with parallel_for.
+//
+// HAEE's ApplyMT (paper Algorithm 1) uses OpenMP. In this reproduction
+// MiniMPI ranks are themselves threads, and nested `omp parallel`
+// regions launched from sibling rank-threads would contend for one
+// process-wide OpenMP runtime. ApplyMT therefore runs on this explicit
+// pool when executing inside a MiniMPI rank, and plain OpenMP remains
+// available for single-rank (node-local) execution. The pool reproduces
+// the same fork-join structure as `#pragma omp parallel for
+// schedule(static)`.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa {
+
+/// A fixed pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (must be >= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Static-schedule parallel for over [0, n): the range is split into
+  /// size() contiguous chunks and `body(thread_index, begin, end)` runs
+  /// once per chunk, mirroring `omp for schedule(static)`. Blocks until
+  /// all chunks complete. Exceptions thrown by `body` are rethrown on
+  /// the calling thread (first one wins).
+  void parallel_for(
+      std::size_t n,
+      const std::function<void(std::size_t thread_index, std::size_t begin,
+                               std::size_t end)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace dassa

@@ -1,0 +1,92 @@
+// DASSA common: wall-clock timing and stage breakdowns.
+//
+// The paper's figures report per-stage times (read / compute / write),
+// so timing is a first-class output of every pipeline. StageTimes is
+// the exchange currency between pipelines and the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace dassa {
+
+/// Simple monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the timer.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named stage durations (e.g. "read", "compute", "write").
+/// Stages may be charged multiple times; durations add up.
+class StageTimes {
+ public:
+  void add(const std::string& stage, double seconds) {
+    stages_[stage] += seconds;
+  }
+
+  [[nodiscard]] double get(const std::string& stage) const {
+    auto it = stages_.find(stage);
+    return it == stages_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] double total() const {
+    double t = 0.0;
+    for (const auto& [_, v] : stages_) t += v;
+    return t;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& stages() const {
+    return stages_;
+  }
+
+  /// Merge another breakdown into this one (stage-wise sum).
+  void merge(const StageTimes& other) {
+    for (const auto& [k, v] : other.stages_) stages_[k] += v;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const StageTimes& t) {
+    bool first = true;
+    for (const auto& [k, v] : t.stages_) {
+      if (!first) os << ", ";
+      os << k << "=" << v << "s";
+      first = false;
+    }
+    return os;
+  }
+
+ private:
+  std::map<std::string, double> stages_;
+};
+
+/// RAII helper: charges the elapsed time to `stage` of `times` at scope
+/// exit. Usage: { StageScope s(times, "read"); ...do reads...; }
+class StageScope {
+ public:
+  StageScope(StageTimes& times, std::string stage)
+      : times_(times), stage_(std::move(stage)) {}
+  ~StageScope() { times_.add(stage_, timer_.seconds()); }
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  StageTimes& times_;
+  std::string stage_;
+  WallTimer timer_;
+};
+
+}  // namespace dassa

@@ -1,0 +1,88 @@
+// ArrayUDF core: the Apply operator, B = Apply(A, f).
+//
+// Three execution backends of the same operator:
+//  * apply_cells_serial  -- reference sequential execution;
+//  * apply_cells_mt      -- ApplyMT, paper Algorithm 1, on DASSA's
+//                           explicit thread pool (per-thread result
+//                           vectors + prefix merge);
+//  * apply_cells_omp     -- ApplyMT verbatim with OpenMP pragmas, for
+//                           single-rank (node-local) execution where no
+//                           MiniMPI rank threads compete for the OpenMP
+//                           runtime.
+// Row-granularity variants run a UDF once per channel instead of once
+// per cell (Algorithm 3 operates per channel).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dassa/common/shape.hpp"
+#include "dassa/common/thread_pool.hpp"
+#include "dassa/core/array.hpp"
+#include "dassa/core/stencil.hpp"
+
+namespace dassa::core {
+
+/// UDF evaluated on each cell; must be thread-safe (it is invoked
+/// concurrently from ApplyMT threads).
+using ScalarUdf = std::function<double(const Stencil&)>;
+
+/// UDF evaluated once per channel; returns that channel's output time
+/// series. All rows must return the same length.
+using RowUdf = std::function<std::vector<double>(const Stencil&)>;
+
+/// One rank's local view of the distributed array: the owned channel
+/// rows plus ghost rows (halo channels) above and below.
+struct LocalBlock {
+  std::vector<double> data;  ///< (halo_lo + owned + halo_hi) x cols
+  Shape2D block_shape;       ///< shape of `data`
+  std::size_t global_row0 = 0;  ///< global channel index of local row 0
+  Range owned_local;         ///< local row range holding owned channels
+  Shape2D global_shape;      ///< shape of the full distributed array
+
+  /// Build a block with no halo from a full in-memory array (single
+  /// rank / single node case).
+  static LocalBlock whole(const Array2D& a) {
+    return LocalBlock{a.data, a.shape, 0, Range{0, a.shape.rows}, a.shape};
+  }
+
+  [[nodiscard]] std::size_t owned_rows() const { return owned_local.size(); }
+};
+
+/// Sequential Apply: one output value per owned cell.
+[[nodiscard]] Array2D apply_cells_serial(const LocalBlock& block,
+                                         const ScalarUdf& udf);
+
+/// ApplyMT (Algorithm 1) on an explicit thread pool: the linearised
+/// owned cells are split statically across pool threads; each thread
+/// appends into its private result vector; results are merged into the
+/// output at prefix offsets.
+[[nodiscard]] Array2D apply_cells_mt(const LocalBlock& block,
+                                     const ScalarUdf& udf, ThreadPool& pool);
+
+/// ApplyMT via OpenMP, for single-rank execution. `threads` <= 0 uses
+/// the OpenMP default.
+[[nodiscard]] Array2D apply_cells_omp(const LocalBlock& block,
+                                      const ScalarUdf& udf, int threads);
+
+/// Ablation variant of apply_cells_mt: threads write straight into the
+/// pre-sized output instead of staging per-thread vectors (benched in
+/// bench_fig8 as a design-choice ablation).
+[[nodiscard]] Array2D apply_cells_mt_direct(const LocalBlock& block,
+                                            const ScalarUdf& udf,
+                                            ThreadPool& pool);
+
+/// Sequential per-channel Apply. Output: owned_rows x L where L is the
+/// UDF's output length.
+[[nodiscard]] Array2D apply_rows_serial(const LocalBlock& block,
+                                        const RowUdf& udf);
+
+/// ApplyMT per channel on an explicit thread pool.
+[[nodiscard]] Array2D apply_rows_mt(const LocalBlock& block, const RowUdf& udf,
+                                    ThreadPool& pool);
+
+/// ApplyMT per channel via OpenMP (single-rank execution).
+[[nodiscard]] Array2D apply_rows_omp(const LocalBlock& block,
+                                     const RowUdf& udf, int threads);
+
+}  // namespace dassa::core

@@ -1,0 +1,42 @@
+// ArrayUDF core: dense in-memory 2D array value type.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dassa/common/shape.hpp"
+
+namespace dassa::core {
+
+/// A dense row-major 2D array of doubles. Rows are channels and
+/// columns are time samples everywhere in DASSA.
+struct Array2D {
+  Shape2D shape;
+  std::vector<double> data;
+
+  Array2D() = default;
+  Array2D(Shape2D s, double fill = 0.0) : shape(s), data(s.size(), fill) {}
+  Array2D(Shape2D s, std::vector<double> d) : shape(s), data(std::move(d)) {
+    DASSA_CHECK(data.size() == shape.size(),
+                "array data does not match shape");
+  }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data[shape.at(r, c)];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data[shape.at(r, c)];
+  }
+
+  /// Contiguous view of one row (one channel's time series).
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data.data() + shape.at(r, 0), shape.cols};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data.data() + shape.at(r, 0), shape.cols};
+  }
+
+  friend bool operator==(const Array2D&, const Array2D&) = default;
+};
+
+}  // namespace dassa::core

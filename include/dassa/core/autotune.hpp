@@ -1,0 +1,88 @@
+// Auto-tuner: automatic selection of the number of computing nodes.
+//
+// The paper's conclusion names this as future work ("how to
+// automatically select system settings, such as the number of nodes, to
+// run the analysis code"), and its Fig. 11 observation motivates it:
+// compute scales ~perfectly while I/O efficiency decays, so there is a
+// sweet spot (364 of 1456 nodes on Cori). This module closes that loop:
+// it combines a calibrated per-unit compute cost with the same
+// alpha-beta network and storage models the benches use, sweeps the
+// node count, and returns the predicted optimum.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dassa/core/haee.hpp"
+#include "dassa/io/par_read.hpp"
+#include "dassa/io/vca.hpp"
+#include "dassa/mpi/cost_model.hpp"
+
+namespace dassa::core {
+
+/// The machine being tuned for.
+struct ClusterSpec {
+  int max_nodes = 1456;      ///< the paper's Cori allocation
+  int cores_per_node = 8;
+  io::IoCostParams io{};
+  mpi::CostParams net{};
+};
+
+/// The job being tuned: a VCA-shaped input plus a calibrated per-unit
+/// compute cost (one unit = one channel for row UDFs, one cell for
+/// cell UDFs).
+struct WorkloadSpec {
+  Shape2D data_shape;           ///< channels x samples
+  std::size_t file_count = 1;
+  std::size_t file_bytes = 0;   ///< in-memory bytes of one file
+  std::size_t work_units = 0;   ///< channels (row UDF) or cells (cell UDF)
+  double seconds_per_unit = 0;  ///< single-core compute cost per unit
+  EngineMode mode = EngineMode::kHybrid;
+  ReadMethod read = ReadMethod::kCommunicationAvoiding;
+};
+
+/// Predicted cost at one node count.
+struct TunePoint {
+  int nodes = 0;
+  double compute_seconds = 0.0;
+  double io_seconds = 0.0;
+  [[nodiscard]] double total() const { return compute_seconds + io_seconds; }
+};
+
+struct TuneResult {
+  std::vector<TunePoint> sweep;  ///< ordered by node count
+  int best_nodes = 1;            ///< argmin of total() (fastest)
+  double best_seconds = 0.0;
+  /// The knee point: the smallest node count beyond which doubling the
+  /// nodes no longer buys at least `kKneeSpeedup` speedup. This is the
+  /// "best efficiency" notion under which the paper calls 364 of 1456
+  /// nodes its sweet spot -- past the knee you pay nodes for little
+  /// time.
+  int recommended_nodes = 1;
+  double recommended_seconds = 0.0;
+
+  static constexpr double kKneeSpeedup = 1.4;
+};
+
+/// Predicted per-job cost at `nodes` nodes under the workload's engine
+/// mode and read method (the closed-form companion of the benches'
+/// measured counters).
+[[nodiscard]] TunePoint predict(const ClusterSpec& cluster,
+                                const WorkloadSpec& workload, int nodes);
+
+/// Sweep node counts 1..cluster.max_nodes (geometrically, then refine
+/// around the minimum) and return the predicted optimum.
+[[nodiscard]] TuneResult autotune_nodes(const ClusterSpec& cluster,
+                                        const WorkloadSpec& workload);
+
+/// Calibrate `seconds_per_unit` for a row UDF by timing it on
+/// `sample_rows` representative channels of the input.
+[[nodiscard]] double calibrate_row_udf(io::ArraySource& source,
+                                       const RowUdf& udf,
+                                       std::size_t sample_rows = 4);
+
+/// Build a WorkloadSpec for a row-UDF job over a VCA.
+[[nodiscard]] WorkloadSpec workload_for_rows(const io::Vca& vca,
+                                             double seconds_per_unit);
+
+}  // namespace dassa::core

@@ -1,0 +1,112 @@
+// ArrayUDF core: the Stencil abstraction (paper Section II-B).
+//
+// A Stencil is a cursor on one cell of a 2D DAS array plus relative
+// access to its neighbourhood. Following the paper's notation, offsets
+// are written S(dt, dch): the FIRST index moves along time (columns)
+// and the SECOND across channels (rows) -- Algorithm 2 writes the
+// current window as S(-M:M, 0) and the neighbouring channel's windows
+// as S(l-M : l+M, +K).
+//
+// The stencil addresses a local block that may carry ghost rows
+// (halo channels) above and below the owned region, so neighbourhood
+// access near partition boundaries needs no communication at UDF time
+// (the ArrayUDF ghost-zone design).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dassa/common/error.hpp"
+#include "dassa/common/shape.hpp"
+
+namespace dassa::core {
+
+class Stencil {
+ public:
+  /// `block` is a local array of `block_shape` whose row 0 corresponds
+  /// to global channel `global_row0`. The cursor sits at local row
+  /// `local_row`, column `col`.
+  Stencil(const double* block, Shape2D block_shape, std::size_t global_row0,
+          std::size_t local_row, std::size_t col, Shape2D global_shape)
+      : block_(block),
+        block_shape_(block_shape),
+        global_row0_(global_row0),
+        local_row_(local_row),
+        col_(col),
+        global_shape_(global_shape) {}
+
+  /// Value at time offset `dt` and channel offset `dch` from the
+  /// cursor: S(dt, dch). Throws InvalidArgument if the access leaves
+  /// the local block (i.e. exceeds the configured ghost zone).
+  [[nodiscard]] double operator()(std::ptrdiff_t dt,
+                                  std::ptrdiff_t dch = 0) const {
+    const auto [r, c] = locate(dt, dch);
+    return block_[r * block_shape_.cols + c];
+  }
+
+  /// True iff S(dt, dch) is inside the local block AND inside the
+  /// global array (UDFs use this to handle array edges explicitly).
+  [[nodiscard]] bool in_bounds(std::ptrdiff_t dt,
+                               std::ptrdiff_t dch = 0) const {
+    const std::ptrdiff_t r = static_cast<std::ptrdiff_t>(local_row_) + dch;
+    const std::ptrdiff_t c = static_cast<std::ptrdiff_t>(col_) + dt;
+    if (r < 0 || c < 0 || r >= static_cast<std::ptrdiff_t>(block_shape_.rows) ||
+        c >= static_cast<std::ptrdiff_t>(block_shape_.cols)) {
+      return false;
+    }
+    const std::ptrdiff_t gr = static_cast<std::ptrdiff_t>(global_row0_) + r;
+    return gr < static_cast<std::ptrdiff_t>(global_shape_.rows);
+  }
+
+  /// Extract the window S(t_lo : t_hi, dch) as a vector (inclusive
+  /// bounds, matching the paper's S(-M:M, K) notation).
+  [[nodiscard]] std::vector<double> window(std::ptrdiff_t t_lo,
+                                           std::ptrdiff_t t_hi,
+                                           std::ptrdiff_t dch = 0) const {
+    DASSA_CHECK(t_lo <= t_hi, "stencil window bounds inverted");
+    const auto [r, c_begin] = locate(t_lo, dch);
+    (void)locate(t_hi, dch);  // bounds-check the far end too
+    const double* base = block_ + r * block_shape_.cols + c_begin;
+    return {base, base + (t_hi - t_lo + 1)};
+  }
+
+  /// Contiguous view of the full time series of the channel at offset
+  /// `dch` (Algorithm 3 takes S(0 : W-1, 0) = the whole channel).
+  [[nodiscard]] std::span<const double> row_span(
+      std::ptrdiff_t dch = 0) const {
+    const std::ptrdiff_t r = static_cast<std::ptrdiff_t>(local_row_) + dch;
+    DASSA_CHECK(r >= 0 && r < static_cast<std::ptrdiff_t>(block_shape_.rows),
+                "stencil row access outside ghost zone");
+    return {block_ + static_cast<std::size_t>(r) * block_shape_.cols,
+            block_shape_.cols};
+  }
+
+  /// Global coordinates of the cursor.
+  [[nodiscard]] std::size_t channel() const { return global_row0_ + local_row_; }
+  [[nodiscard]] std::size_t time() const { return col_; }
+
+  /// Shape of the full (global) array the UDF logically runs over.
+  [[nodiscard]] Shape2D global_shape() const { return global_shape_; }
+
+ private:
+  [[nodiscard]] std::pair<std::size_t, std::size_t> locate(
+      std::ptrdiff_t dt, std::ptrdiff_t dch) const {
+    const std::ptrdiff_t r = static_cast<std::ptrdiff_t>(local_row_) + dch;
+    const std::ptrdiff_t c = static_cast<std::ptrdiff_t>(col_) + dt;
+    DASSA_CHECK(
+        r >= 0 && r < static_cast<std::ptrdiff_t>(block_shape_.rows),
+        "stencil channel access outside ghost zone");
+    DASSA_CHECK(c >= 0 && c < static_cast<std::ptrdiff_t>(block_shape_.cols),
+                "stencil time access outside block");
+    return {static_cast<std::size_t>(r), static_cast<std::size_t>(c)};
+  }
+
+  const double* block_;
+  Shape2D block_shape_;
+  std::size_t global_row0_;
+  std::size_t local_row_;
+  std::size_t col_;
+  Shape2D global_shape_;
+};
+
+}  // namespace dassa::core

@@ -1,0 +1,69 @@
+// DAS domain: channel quality control.
+//
+// Real DAS arrays (the paper's 11,648-channel Sacramento cable
+// included) contain channels that record nothing (bad splices, cable
+// sections out of the ground) or mostly instrument noise; production
+// pipelines flag them before analysis so dead traces do not poison
+// correlations. This module computes per-channel statistics with a row
+// UDF through the HAEE engine and classifies channels against the
+// array-wide distribution.
+#pragma once
+
+#include "dassa/core/haee.hpp"
+#include "dassa/io/vca.hpp"
+
+namespace dassa::das {
+
+enum class ChannelStatus { kGood, kDead, kNoisy };
+
+[[nodiscard]] const char* channel_status_name(ChannelStatus s);
+
+/// Per-channel statistics (one row of the QC report).
+struct ChannelStats {
+  double rms = 0.0;
+  double peak = 0.0;
+  double kurtosis = 0.0;  ///< excess kurtosis (0 for Gaussian noise)
+  ChannelStatus status = ChannelStatus::kGood;
+};
+
+struct ChannelQcParams {
+  /// A channel whose RMS falls below this fraction of the array median
+  /// RMS is dead.
+  double dead_rms_fraction = 0.1;
+  /// A channel whose RMS exceeds this multiple of the median is noisy.
+  double noisy_rms_multiple = 5.0;
+};
+
+struct ChannelQcReport {
+  std::vector<ChannelStats> channels;
+  double median_rms = 0.0;
+
+  [[nodiscard]] std::size_t count(ChannelStatus s) const {
+    std::size_t n = 0;
+    for (const auto& c : channels) n += c.status == s ? 1 : 0;
+    return n;
+  }
+  /// Indices of channels safe to analyse.
+  [[nodiscard]] std::vector<std::size_t> good_channels() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+      if (channels[i].status == ChannelStatus::kGood) out.push_back(i);
+    }
+    return out;
+  }
+};
+
+/// Compute per-channel stats (RMS, peak, excess kurtosis) for one
+/// channel's samples; exposed for tests.
+[[nodiscard]] ChannelStats channel_stats(std::span<const double> x);
+
+/// Run QC over a VCA through the engine and classify every channel.
+[[nodiscard]] ChannelQcReport channel_qc(const core::EngineConfig& config,
+                                         const io::Vca& vca,
+                                         const ChannelQcParams& params = {});
+
+/// Classify in-memory data (single node path).
+[[nodiscard]] ChannelQcReport channel_qc(const core::Array2D& data,
+                                         const ChannelQcParams& params = {});
+
+}  // namespace dassa::das

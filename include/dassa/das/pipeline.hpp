@@ -1,0 +1,85 @@
+// ChannelPipeline: a fluent builder for per-channel processing chains.
+//
+// The paper's future work asks for "an API in Python or even in MATLAB
+// to enable interactive DAS data analysis". This builder is the C++
+// composition layer such a binding would wrap: DasLib stages are
+// chained by name, parameters are validated when a stage is added, and
+// the built pipeline is an ordinary RowUdf, so it runs through HAEE
+// like the hand-written case studies. The paper's Algorithm 3 becomes:
+//
+//   auto udf = ChannelPipeline(500.0)
+//                  .detrend()
+//                  .bandpass(3, 1.0, 45.0)
+//                  .resample(1, 2)
+//                  .correlate_with_master(master_spectrum);
+//
+// Pipelines are immutable once built and thread-safe (all stage state
+// is computed at build time and only read afterwards).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dassa/core/apply.hpp"
+#include "dassa/dsp/fft.hpp"
+
+namespace dassa::das {
+
+class ChannelPipeline {
+ public:
+  /// A stage maps one channel's samples to processed samples.
+  using Stage = std::function<std::vector<double>(std::vector<double>)>;
+
+  /// `sampling_hz` anchors all frequency parameters (band edges are
+  /// given in Hz, not Nyquist fractions).
+  explicit ChannelPipeline(double sampling_hz);
+
+  // ---- stages (each returns *this for chaining) -----------------------
+  ChannelPipeline& detrend();                       ///< Das_detrend
+  ChannelPipeline& demean();
+  ChannelPipeline& despike(std::size_t half, double k_mad);
+  ChannelPipeline& taper(double alpha);             ///< Tukey window
+  ChannelPipeline& bandpass(int order, double lo_hz, double hi_hz);
+  ChannelPipeline& lowpass(int order, double cut_hz);
+  ChannelPipeline& highpass(int order, double cut_hz);
+  ChannelPipeline& resample(std::size_t up, std::size_t down);
+  ChannelPipeline& whiten(std::size_t smooth_bins);
+  ChannelPipeline& one_bit();
+  ChannelPipeline& envelope();
+  ChannelPipeline& custom(std::string name, Stage stage);
+
+  // ---- execution -------------------------------------------------------
+  /// Apply the chain to one channel.
+  [[nodiscard]] std::vector<double> run(std::vector<double> x) const;
+
+  /// The chain as a RowUdf producing the processed time series.
+  [[nodiscard]] core::RowUdf build() const;
+
+  /// The chain followed by Das_abscorr against a master spectrum
+  /// (Algorithm 3's terminal step). The master must have been produced
+  /// by the SAME chain + FFT for the lengths to match.
+  [[nodiscard]] core::RowUdf correlate_with_master(
+      std::vector<dsp::cplx> master_spectrum) const;
+
+  /// The chain's output after FFT, for preparing master spectra.
+  [[nodiscard]] std::vector<dsp::cplx> spectrum(
+      std::vector<double> x) const;
+
+  /// The effective sampling rate after all resample stages so far.
+  [[nodiscard]] double current_sampling_hz() const { return sampling_hz_; }
+
+  /// Stage names in order, for logging/introspection.
+  [[nodiscard]] std::vector<std::string> stage_names() const;
+
+ private:
+  void add(std::string name, Stage stage);
+  void check_band_edge(double hz) const;
+
+  double sampling_hz_;
+  // Shared so built RowUdfs stay valid after the builder goes away.
+  std::shared_ptr<std::vector<std::pair<std::string, Stage>>> stages_;
+};
+
+}  // namespace dassa::das

@@ -1,0 +1,50 @@
+// DAS domain: windowed noise-correlation stacking.
+//
+// Paper Section IV notes that "during the stacking operation of the DAS
+// data analysis pipeline [Dou et al. 2017], a 3D data array with a
+// striping size as the third dimension may be produced": ambient-noise
+// interferometry splits the record into short windows, computes one
+// noise-correlation function (NCF) per (channel, window) -- the 3D
+// intermediate -- and averages over windows so incoherent noise cancels
+// while the coherent Green's function accumulates (SNR grows ~sqrt(W)).
+//
+// StackedInterferometry implements that operation as a row UDF: per
+// channel, the time series is cut into `window_samples` segments, each
+// is pre-processed and correlated against the master channel's matching
+// segment, and the per-window NCFs are linearly stacked.
+#pragma once
+
+#include "dassa/core/haee.hpp"
+#include "dassa/das/interferometry.hpp"
+
+namespace dassa::das {
+
+struct StackingParams {
+  InterferometryParams base;      ///< per-window processing chain
+  std::size_t window_samples = 0; ///< segment length (input samples)
+  std::size_t window_hop = 0;     ///< advance; 0 = non-overlapping
+};
+
+/// Per-channel windowed stack against the master channel's windows.
+/// `master` is the master channel's full raw time series. The result
+/// is the stacked time-domain NCF (length = resampled window).
+[[nodiscard]] std::vector<double> stacked_ncf(
+    std::span<const double> channel, std::span<const double> master,
+    const StackingParams& params);
+
+/// Number of windows the stack will average.
+[[nodiscard]] std::size_t stack_window_count(std::size_t samples,
+                                             const StackingParams& params);
+
+/// Row-UDF factory for distributed execution: every rank obtains the
+/// raw master row (one copy per rank, counted like the plain
+/// interferometry factory) and stacks each of its channels.
+[[nodiscard]] core::RowUdfFactory make_stacking_factory(
+    const StackingParams& params);
+
+/// Distributed windowed stacking over a VCA.
+[[nodiscard]] core::EngineReport stacking_distributed(
+    const core::EngineConfig& config, const io::Vca& vca,
+    const StackingParams& params);
+
+}  // namespace dassa::das

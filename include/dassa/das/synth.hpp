@@ -1,0 +1,121 @@
+// DAS domain: synthetic DAS data generation.
+//
+// Substitute for the paper's SacramentoDAS recordings (DESIGN.md,
+// substitution table). The generator reproduces the signal structure of
+// paper Fig. 1b -- ambient noise everywhere, moving vehicles (linear
+// moveout across channels), one earthquake (hyperbolic moveout,
+// coherent broadband wavelet), and a persistent vibration source -- so
+// the local-similarity detector (Fig. 10) has the same three event
+// classes to find.
+//
+// Rendering is deterministic and random-access: sample (channel, t) has
+// the same value regardless of which file/block it is rendered into,
+// because noise comes from a counter-based hash of (seed, channel,
+// sample index). That lets tests check VCA/RCA equivalence across
+// arbitrary file splits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dassa/core/array.hpp"
+#include "dassa/das/time.hpp"
+#include "dassa/io/dash5.hpp"
+
+namespace dassa::das {
+
+/// A vehicle driving along the cable: a Gaussian-enveloped carrier
+/// centred on the moving position, producing a slanted line in the
+/// time-channel plane.
+struct VehicleEvent {
+  double start_s = 0.0;            ///< time the vehicle enters
+  double start_channel = 0.0;      ///< channel position at start_s
+  double speed_ch_per_s = 20.0;    ///< channels travelled per second
+  double width_channels = 8.0;     ///< Gaussian footprint on the array
+  double freq_hz = 12.0;           ///< dominant vibration frequency
+  double amplitude = 4.0;
+  double duration_s = 1e9;         ///< how long the vehicle keeps driving
+};
+
+/// An earthquake: a damped broadband wavelet arriving with hyperbolic
+/// moveout from an epicentre channel.
+struct EarthquakeEvent {
+  double origin_s = 0.0;           ///< origin time
+  double epicenter_channel = 0.0;  ///< closest channel
+  double depth_m = 12000.0;        ///< hypocentral depth
+  double velocity_m_s = 3500.0;    ///< apparent propagation speed
+  double freq_hz = 6.0;            ///< dominant frequency
+  double decay_s = 3.0;            ///< envelope decay constant
+  double amplitude = 10.0;
+};
+
+/// A stationary persistent source (e.g. pumping station) vibrating a
+/// fixed channel range for the whole record.
+struct PersistentSource {
+  double channel_lo = 0.0;
+  double channel_hi = 0.0;
+  double freq_hz = 30.0;
+  double amplitude = 2.0;
+};
+
+struct SynthConfig {
+  std::size_t channels = 256;
+  double sampling_hz = 500.0;
+  double spatial_resolution_m = 2.0;
+  double noise_rms = 1.0;
+  std::uint64_t seed = 42;
+};
+
+/// Deterministic synthetic DAS wavefield.
+class SynthDas {
+ public:
+  explicit SynthDas(SynthConfig config) : config_(std::move(config)) {}
+
+  void add(const VehicleEvent& v) { vehicles_.push_back(v); }
+  void add(const EarthquakeEvent& e) { quakes_.push_back(e); }
+  void add(const PersistentSource& s) { persistent_.push_back(s); }
+
+  [[nodiscard]] const SynthConfig& config() const { return config_; }
+
+  /// Amplitude of channel `ch` at absolute sample index `idx`.
+  [[nodiscard]] double sample(std::size_t ch, std::uint64_t idx) const;
+
+  /// Render channels x samples starting at absolute sample `first`.
+  [[nodiscard]] core::Array2D render(std::uint64_t first_sample,
+                                     std::size_t samples) const;
+
+  /// A ready-made scene mirroring paper Fig. 1b: ambient noise, two
+  /// vehicles, one M4.4-like earthquake, one persistent vibration.
+  [[nodiscard]] static SynthDas fig1b_scene(std::size_t channels,
+                                            double sampling_hz,
+                                            std::uint64_t seed = 42);
+
+ private:
+  SynthConfig config_;
+  std::vector<VehicleEvent> vehicles_;
+  std::vector<EarthquakeEvent> quakes_;
+  std::vector<PersistentSource> persistent_;
+};
+
+/// Emission of the paper's acquisition layout: one DASH5 file per
+/// fixed-length segment ("1-minute files"), named
+/// <dir>/<prefix>_<yymmddhhmmss>.dh5, each carrying the Fig. 4 metadata
+/// (global KV + one KV list per channel object).
+struct AcquisitionSpec {
+  std::string dir;
+  std::string prefix = "das";
+  Timestamp start{};
+  std::size_t file_count = 4;
+  double seconds_per_file = 60.0;
+  io::DType dtype = io::DType::kF32;
+  /// Chunked tiles per file (0 x 0 = contiguous layout).
+  io::ChunkShape chunk{0, 0};
+  bool per_channel_metadata = true;
+};
+
+/// Render and write the files; returns their paths in time order.
+std::vector<std::string> write_acquisition(const SynthDas& synth,
+                                           const AcquisitionSpec& spec);
+
+}  // namespace dassa::das

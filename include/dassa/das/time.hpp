@@ -1,0 +1,42 @@
+// DAS domain: acquisition timestamps.
+//
+// DAS acquisition files are named/tagged with a yymmddhhmmss timestamp
+// (paper Fig. 4: "TimeStamp(yymmddhhmmss): 170620100545", and the
+// das_search examples query values like 170728224510). Timestamp
+// parses, formats, orders and offsets these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dassa::das {
+
+/// A second-resolution acquisition timestamp in the two-digit-year
+/// format DAS interrogators emit. Years map to 2000-2099.
+struct Timestamp {
+  int year = 2000;  ///< full year, 2000..2099
+  int month = 1;    ///< 1..12
+  int day = 1;      ///< 1..31
+  int hour = 0;     ///< 0..23
+  int minute = 0;   ///< 0..59
+  int second = 0;   ///< 0..59
+
+  /// Parse "yymmddhhmmss" (exactly 12 digits); throws InvalidArgument.
+  [[nodiscard]] static Timestamp parse(const std::string& s);
+
+  /// Format back to "yymmddhhmmss".
+  [[nodiscard]] std::string str() const;
+
+  /// Seconds since 2000-01-01 00:00:00 (proleptic Gregorian).
+  [[nodiscard]] std::int64_t epoch_seconds() const;
+
+  /// Timestamp `seconds` after this one.
+  [[nodiscard]] Timestamp plus_seconds(std::int64_t seconds) const;
+
+  friend bool operator==(const Timestamp&, const Timestamp&) = default;
+  friend auto operator<=>(const Timestamp& a, const Timestamp& b) {
+    return a.epoch_seconds() <=> b.epoch_seconds();
+  }
+};
+
+}  // namespace dassa::das

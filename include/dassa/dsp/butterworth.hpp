@@ -1,0 +1,26 @@
+// DasLib: Butterworth IIR filter design (Das_butter in paper Table II).
+//
+// Digital Butterworth filters via the classical analog-prototype path:
+// s-plane prototype poles -> frequency transformation (lp2lp / lp2hp /
+// lp2bp) -> bilinear transform -> transfer-function coefficients.
+// Cutoffs follow the MATLAB convention: normalised to the Nyquist
+// frequency, i.e. in (0, 1).
+#pragma once
+
+#include "dassa/dsp/filter.hpp"
+
+namespace dassa::dsp {
+
+/// Lowpass Butterworth of given order; wn in (0, 1) (Nyquist-relative).
+[[nodiscard]] FilterCoeffs butter_lowpass(int order, double wn);
+
+/// Highpass Butterworth of given order; wn in (0, 1).
+[[nodiscard]] FilterCoeffs butter_highpass(int order, double wn);
+
+/// Bandpass Butterworth; 0 < w_lo < w_hi < 1. The resulting filter has
+/// order 2*`order` (order poles from each band edge), as in MATLAB
+/// butter(n, [lo hi]).
+[[nodiscard]] FilterCoeffs butter_bandpass(int order, double w_lo,
+                                           double w_hi);
+
+}  // namespace dassa::dsp

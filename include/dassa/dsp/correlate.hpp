@@ -1,0 +1,42 @@
+// DasLib: correlation kernels.
+//
+// Das_abscorr (paper Table II) is the inner kernel of both case
+// studies: local-similarity earthquake detection (Algorithm 2) compares
+// windows of neighbouring channels, and traffic-noise interferometry
+// (Algorithm 3) correlates each channel spectrum against the master
+// channel.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "dassa/dsp/fft.hpp"
+
+namespace dassa::dsp {
+
+/// Absolute correlation |cos(theta(a, b))| = |<a,b>| / (|a||b|).
+/// Returns 0 when either vector has zero norm. Sizes must match.
+[[nodiscard]] double abscorr(std::span<const double> a,
+                             std::span<const double> b);
+
+/// Complex-spectrum variant used by the interferometry UDF: magnitude
+/// of the normalised inner product of two spectra.
+[[nodiscard]] double abscorr(std::span<const cplx> a, std::span<const cplx> b);
+
+/// Full linear cross-correlation r[k] = sum_j a[j] b[j + k - (nb-1)],
+/// k = 0 .. na+nb-2 (lags -(nb-1) .. na-1), computed via FFT. This is
+/// the noise-correlation step of ambient-noise interferometry.
+[[nodiscard]] std::vector<double> xcorr_full(std::span<const double> a,
+                                             std::span<const double> b);
+
+/// Frequency-domain cross-correlation of two already-transformed
+/// spectra of equal length: ifft(A * conj(B)), real part.
+[[nodiscard]] std::vector<double> xcorr_spectra(std::span<const cplx> a,
+                                                std::span<const cplx> b);
+
+/// Pearson correlation coefficient (mean-removed, normalised).
+[[nodiscard]] double pearson(std::span<const double> a,
+                             std::span<const double> b);
+
+}  // namespace dassa::dsp

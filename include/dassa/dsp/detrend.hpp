@@ -1,0 +1,21 @@
+// DasLib: Das_detrend (paper Table II) -- remove the best straight-line
+// fit from a signal, following MATLAB detrend semantics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dassa::dsp {
+
+/// Subtract the least-squares straight line from x (MATLAB
+/// detrend(x, 'linear')). Returns the detrended copy.
+[[nodiscard]] std::vector<double> detrend_linear(std::span<const double> x);
+
+/// Subtract the mean (MATLAB detrend(x, 'constant')).
+[[nodiscard]] std::vector<double> detrend_constant(std::span<const double> x);
+
+/// In-place variants for hot paths.
+void detrend_linear_inplace(std::span<double> x);
+void detrend_constant_inplace(std::span<double> x);
+
+}  // namespace dassa::dsp

@@ -1,0 +1,45 @@
+// DasLib: fast Fourier transform (Das_fft / Das_ifft in paper Table II).
+//
+// From-scratch FFT since no FFTW is available on the target system:
+// iterative radix-2 Cooley-Tukey for power-of-two lengths, with
+// Bluestein's chirp-z algorithm for arbitrary lengths (resampling and
+// correlation of 1-minute DAS records produce non-power-of-two sizes).
+// All entry points are thread-safe: twiddle tables are shared through
+// an internal mutex-protected cache, as DasLib functions run
+// concurrently inside ApplyMT threads.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dassa::dsp {
+
+using cplx = std::complex<double>;
+
+/// Smallest power of two >= n (n >= 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n);
+
+/// True iff n is a power of two (n >= 1).
+[[nodiscard]] bool is_pow2(std::size_t n);
+
+/// In-place forward DFT of arbitrary length (unnormalised):
+/// X[k] = sum_j x[j] e^{-2 pi i jk / n}.
+void fft_inplace(std::vector<cplx>& x);
+
+/// In-place inverse DFT of arbitrary length, normalised by 1/n.
+void ifft_inplace(std::vector<cplx>& x);
+
+/// Forward DFT of a real signal; returns all n complex bins.
+[[nodiscard]] std::vector<cplx> rfft(std::span<const double> x);
+
+/// Inverse DFT returning the real part only (for spectra known to be
+/// conjugate-symmetric up to rounding).
+[[nodiscard]] std::vector<double> irfft_real(std::span<const cplx> spectrum);
+
+/// Convenience copies of the in-place transforms.
+[[nodiscard]] std::vector<cplx> fft(std::vector<cplx> x);
+[[nodiscard]] std::vector<cplx> ifft(std::vector<cplx> x);
+
+}  // namespace dassa::dsp

@@ -1,0 +1,42 @@
+// DasLib: IIR filtering (Das_filtfilt in paper Table II).
+//
+// lfilter is a direct-form II transposed IIR filter; filtfilt applies
+// it forward and backward for zero-phase response, with odd-reflection
+// edge padding and steady-state initial conditions, matching the
+// MATLAB/scipy filtfilt convention the paper's pipeline relies on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dassa::dsp {
+
+/// Transfer-function coefficients: H(z) = B(z) / A(z), a[0] != 0.
+struct FilterCoeffs {
+  std::vector<double> b;
+  std::vector<double> a;
+};
+
+/// Single-pass IIR filter (direct form II transposed), zero initial
+/// state. Matches MATLAB filter(b, a, x).
+[[nodiscard]] std::vector<double> lfilter(const FilterCoeffs& f,
+                                          std::span<const double> x);
+
+/// Single-pass IIR filter with explicit initial state `zi` (length
+/// max(|a|,|b|) - 1). The state is updated in place so callers can
+/// stream blocks.
+[[nodiscard]] std::vector<double> lfilter(const FilterCoeffs& f,
+                                          std::span<const double> x,
+                                          std::vector<double>& zi);
+
+/// Steady-state initial conditions for a unit-amplitude input: scaled
+/// by the first sample, they suppress the filter's startup transient
+/// (MATLAB/scipy lfilter_zi).
+[[nodiscard]] std::vector<double> lfilter_zi(const FilterCoeffs& f);
+
+/// Zero-phase forward-backward filtering with odd-reflection padding of
+/// length 3*(max(|a|,|b|)-1). Requires x.size() > padding length.
+[[nodiscard]] std::vector<double> filtfilt(const FilterCoeffs& f,
+                                           std::span<const double> x);
+
+}  // namespace dassa::dsp

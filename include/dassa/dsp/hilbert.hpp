@@ -1,0 +1,24 @@
+// DasLib: analytic signal, envelope and instantaneous phase via the
+// Hilbert transform (FFT method). Envelopes are standard DAS
+// post-processing for arrival picking on detection maps.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dassa/dsp/fft.hpp"
+
+namespace dassa::dsp {
+
+/// Analytic signal z = x + i*H(x) computed with the FFT method
+/// (double the positive frequencies, zero the negative ones).
+[[nodiscard]] std::vector<cplx> analytic_signal(std::span<const double> x);
+
+/// |analytic_signal(x)| -- the instantaneous amplitude envelope.
+[[nodiscard]] std::vector<double> envelope(std::span<const double> x);
+
+/// Instantaneous phase arg(z) in radians, unwrapped along time.
+[[nodiscard]] std::vector<double> instantaneous_phase(
+    std::span<const double> x);
+
+}  // namespace dassa::dsp

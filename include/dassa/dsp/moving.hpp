@@ -1,0 +1,25 @@
+// DasLib: moving-window statistics (moving mean / RMS / max).
+// The quickstart example's three-point moving average (paper Section
+// II-B Stencil example) and the detection post-processing use these.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dassa::dsp {
+
+/// Centered moving average with window 2*half+1, clamped at the edges.
+[[nodiscard]] std::vector<double> moving_mean(std::span<const double> x,
+                                              std::size_t half);
+
+/// Centered moving RMS with window 2*half+1, clamped at the edges.
+[[nodiscard]] std::vector<double> moving_rms(std::span<const double> x,
+                                             std::size_t half);
+
+/// Centered moving maximum of |x| with window 2*half+1 (O(n) via the
+/// monotonic-deque algorithm), clamped at the edges.
+[[nodiscard]] std::vector<double> moving_absmax(std::span<const double> x,
+                                                std::size_t half);
+
+}  // namespace dassa::dsp

@@ -1,0 +1,33 @@
+// DasLib: Das_resample (paper Table II) -- rational-rate polyphase
+// resampling following MATLAB resample(x, p, q) semantics.
+//
+// The interferometry pipeline (paper Algorithm 3) downsamples raw
+// 500 Hz DAS channels before the FFT. Resampling is implemented as
+// upfirdn: zero-stuff by `up`, filter with a Kaiser-windowed sinc
+// anti-alias lowpass, downsample by `down`, with group-delay
+// compensation so output sample m corresponds to input time
+// m * down / up.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dassa::dsp {
+
+/// Resample x by the rational factor up/down. Output length is
+/// ceil(n * up / down). up and down must be positive.
+[[nodiscard]] std::vector<double> resample(std::span<const double> x,
+                                           std::size_t up, std::size_t down);
+
+/// The anti-alias FIR used by resample(), exposed for testing: a
+/// Kaiser-windowed sinc lowpass with cutoff min(1/up, 1/down) relative
+/// to the upsampled Nyquist, of odd length 2*10*max(up,down)+1.
+[[nodiscard]] std::vector<double> resample_filter(std::size_t up,
+                                                  std::size_t down);
+
+/// Decimate by an integer factor (resample(x, 1, factor)).
+[[nodiscard]] std::vector<double> decimate(std::span<const double> x,
+                                           std::size_t factor);
+
+}  // namespace dassa::dsp

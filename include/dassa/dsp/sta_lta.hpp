@@ -1,0 +1,38 @@
+// DasLib: STA/LTA (short-term average over long-term average) event
+// detection -- the classical single-channel seismic trigger, included
+// as the conventional baseline against which local similarity (paper
+// Algorithm 2) is an array-aware improvement.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dassa::dsp {
+
+struct StaLtaParams {
+  std::size_t sta = 50;   ///< short window, samples
+  std::size_t lta = 500;  ///< long window, samples (> sta)
+};
+
+/// Classic recursive STA/LTA characteristic function on |x|^2:
+/// ratio[i] = STA(i) / LTA(i), with LTA frozen below `lta` warm-up
+/// samples (set to 0 there).
+[[nodiscard]] std::vector<double> sta_lta(std::span<const double> x,
+                                          const StaLtaParams& params);
+
+/// A contiguous [on, off) region where the ratio exceeds on/off levels
+/// (standard trigger hysteresis).
+struct Trigger {
+  std::size_t on = 0;
+  std::size_t off = 0;
+  double peak_ratio = 0.0;
+  friend bool operator==(const Trigger&, const Trigger&) = default;
+};
+
+/// Extract triggers: start where ratio > on_level, end where it drops
+/// below off_level.
+[[nodiscard]] std::vector<Trigger> pick_triggers(
+    std::span<const double> ratio, double on_level, double off_level);
+
+}  // namespace dassa::dsp

@@ -1,0 +1,45 @@
+// DasLib: short-time Fourier transform / spectrogram.
+//
+// The frequency-domain inspection tool geophysicists use to pick the
+// interferometry band (e.g. the paper's traffic-noise band selection
+// follows the spectral content of vehicle signals).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dassa/common/shape.hpp"
+#include "dassa/dsp/fft.hpp"
+
+namespace dassa::dsp {
+
+struct StftParams {
+  std::size_t window = 256;  ///< samples per frame (any length >= 2)
+  std::size_t hop = 128;     ///< frame advance (>= 1)
+  bool hann = true;          ///< apply a Hann window per frame
+};
+
+/// Complex STFT: result[frame][bin], frames x window bins. The last
+/// partial frame is dropped (MATLAB spectrogram convention).
+[[nodiscard]] std::vector<std::vector<cplx>> stft(std::span<const double> x,
+                                                  const StftParams& params);
+
+/// Power spectrogram: frames x (window/2 + 1) one-sided magnitudes
+/// squared, row-major in a flat vector with the shape alongside.
+struct Spectrogram {
+  Shape2D shape;  ///< frames x bins
+  std::vector<double> power;
+
+  [[nodiscard]] double at(std::size_t frame, std::size_t bin) const {
+    return power[shape.at(frame, bin)];
+  }
+};
+
+[[nodiscard]] Spectrogram spectrogram(std::span<const double> x,
+                                      const StftParams& params);
+
+/// Frequency (Hz) of one-sided bin `bin` given the sampling rate.
+[[nodiscard]] double bin_frequency_hz(std::size_t bin, std::size_t window,
+                                      double sampling_hz);
+
+}  // namespace dassa::dsp

@@ -1,0 +1,41 @@
+// DasLib: Welch power spectral density and magnitude-squared coherence.
+//
+// The QC companions of ambient-noise interferometry: the PSD identifies
+// the traffic-noise band worth correlating (which the paper's pipeline
+// takes as a given), and the coherence between a channel pair measures
+// how much of that band is actually shared -- the quantity stacking is
+// supposed to accumulate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dassa/dsp/fft.hpp"
+
+namespace dassa::dsp {
+
+struct WelchParams {
+  std::size_t segment = 256;  ///< samples per segment
+  std::size_t overlap = 128;  ///< overlapping samples (< segment)
+  bool hann = true;           ///< Hann-window each segment
+};
+
+/// One-sided Welch PSD estimate: segment/2 + 1 bins, averaged
+/// periodograms of detrended, windowed segments. Normalised so that
+/// sum(psd) * (fs / segment) ~ signal variance (density convention).
+[[nodiscard]] std::vector<double> welch_psd(std::span<const double> x,
+                                            double sampling_hz,
+                                            const WelchParams& params);
+
+/// Magnitude-squared coherence C_xy(f) = |S_xy|^2 / (S_xx * S_yy),
+/// one-sided, in [0, 1] per bin. Requires >= 2 segments (with a single
+/// segment the estimate is identically 1).
+[[nodiscard]] std::vector<double> coherence(std::span<const double> x,
+                                            std::span<const double> y,
+                                            const WelchParams& params);
+
+/// Frequency (Hz) of Welch bin `bin`.
+[[nodiscard]] double welch_bin_hz(std::size_t bin, double sampling_hz,
+                                  const WelchParams& params);
+
+}  // namespace dassa::dsp

@@ -1,0 +1,31 @@
+// DasLib: spectral whitening and one-bit normalisation.
+//
+// Ambient-noise interferometry pre-processing flattens the amplitude
+// spectrum inside the analysis band so that persistent narrowband
+// sources (traffic harmonics) do not dominate the noise correlation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dassa/dsp/fft.hpp"
+
+namespace dassa::dsp {
+
+/// Whiten a real signal: divide each FFT bin by its amplitude spectrum
+/// smoothed with a moving average of `smooth_bins` (>= 1) bins, then
+/// inverse transform. Bins with near-zero smoothed amplitude are left
+/// untouched to avoid noise blow-up.
+[[nodiscard]] std::vector<double> spectral_whiten(std::span<const double> x,
+                                                  std::size_t smooth_bins);
+
+/// One-bit normalisation: sign(x) per sample. A classical amplitude
+/// normalisation in ambient-noise processing.
+[[nodiscard]] std::vector<double> one_bit(std::span<const double> x);
+
+/// Running-absolute-mean normalisation with window half-width `half`:
+/// x[i] / mean(|x[i-half .. i+half]|), edges clamped.
+[[nodiscard]] std::vector<double> ram_normalize(std::span<const double> x,
+                                                std::size_t half);
+
+}  // namespace dassa::dsp

@@ -1,0 +1,137 @@
+// DASS storage engine: the DASH5 container format.
+//
+// DASH5 is this reproduction's stand-in for HDF5 (see DESIGN.md): a
+// self-describing single-file container holding
+//   * a global key-value metadata list,
+//   * a key-value metadata list per channel object,
+//   * one dense row-major 2D dataset [channel, time],
+// mirroring the hierarchical structure the paper stores in HDF5
+// (Fig. 4). Headers are CRC-checked; datasets may be stored as float64
+// or float32 and are always read back as double. All reads and writes
+// flow through the counted file layer, so benches can report exact I/O
+// call counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dassa/common/shape.hpp"
+#include "dassa/io/file_io.hpp"
+#include "dassa/io/kv.hpp"
+
+namespace dassa::io {
+
+/// On-disk element type of a DASH5 dataset.
+enum class DType : std::uint8_t { kF64 = 0, kF32 = 1 };
+
+[[nodiscard]] std::size_t dtype_size(DType t);
+
+/// On-disk arrangement of the dataset (mirrors HDF5's contiguous vs
+/// chunked layouts).
+enum class Layout : std::uint8_t {
+  kContiguous = 0,  ///< one dense row-major blob
+  kChunked = 1,     ///< dense tiles of chunk_rows x chunk_cols, stored
+                    ///< in chunk-grid row-major order; edge tiles are
+                    ///< zero-padded to full size
+};
+
+/// Chunk tile extents (meaningful only under Layout::kChunked).
+struct ChunkShape {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  friend bool operator==(const ChunkShape&, const ChunkShape&) = default;
+};
+
+/// Metadata of one channel object (paper Fig. 4: "/Measurement/<i>").
+struct ObjectMeta {
+  std::string path;
+  KvList kv;
+  friend bool operator==(const ObjectMeta&, const ObjectMeta&) = default;
+};
+
+/// Everything in a DASH5 file except the data blob.
+struct Dash5Header {
+  KvList global;
+  std::vector<ObjectMeta> objects;
+  DType dtype = DType::kF64;
+  Shape2D shape;
+  Layout layout = Layout::kContiguous;
+  ChunkShape chunk;  ///< used when layout == kChunked
+};
+
+/// Write a complete DASH5 file in one shot.
+/// `data` is row-major [shape.rows x shape.cols] and is converted to
+/// `dtype` on disk.
+void dash5_write(const std::string& path, const Dash5Header& header,
+                 std::span<const double> data);
+
+/// Incremental DASH5 writer: the header (with the final shape) is
+/// written up front, then dataset elements are appended in row-major
+/// order across any number of calls. Lets large merges (streaming RCA
+/// creation) run in bounded memory instead of staging the whole merged
+/// array.
+class Dash5StreamWriter {
+ public:
+  Dash5StreamWriter(const std::string& path, const Dash5Header& header);
+
+  /// Append the next `data.size()` row-major elements; converted to the
+  /// header's dtype on the fly.
+  void append(std::span<const double> data);
+
+  /// Number of elements appended so far.
+  [[nodiscard]] std::size_t written() const { return written_; }
+
+  /// Flush and close; throws StateError unless exactly shape.size()
+  /// elements were appended.
+  void close();
+
+ private:
+  OutputFile out_;
+  DType dtype_;
+  std::size_t expected_;
+  std::size_t written_ = 0;
+  bool closed_ = false;
+};
+
+/// Read-only handle on a DASH5 file. Opening parses and CRC-verifies
+/// the header only; dataset bytes are read on demand.
+class Dash5File {
+ public:
+  explicit Dash5File(const std::string& path);
+
+  [[nodiscard]] const std::string& path() const { return file_.path(); }
+  [[nodiscard]] const KvList& global_meta() const { return header_.global; }
+  [[nodiscard]] const std::vector<ObjectMeta>& objects() const {
+    return header_.objects;
+  }
+  [[nodiscard]] DType dtype() const { return header_.dtype; }
+  [[nodiscard]] Shape2D shape() const { return header_.shape; }
+  [[nodiscard]] Layout layout() const { return header_.layout; }
+  [[nodiscard]] ChunkShape chunk() const { return header_.chunk; }
+
+  /// Read the whole dataset with a single I/O call.
+  [[nodiscard]] std::vector<double> read_all();
+
+  /// Read a rectangular selection. Full-width row blocks are served
+  /// with one contiguous read; partial-width selections fall back to
+  /// one read per row (each counted, which is exactly the small-I/O
+  /// amplification the paper's VCA discussion is about).
+  [[nodiscard]] std::vector<double> read_slab(const Slab2D& slab);
+
+  /// Parse only the header of `path` (used by VCA construction, which
+  /// must never touch data bytes).
+  [[nodiscard]] static Dash5Header read_header(const std::string& path);
+
+ private:
+  InputFile file_;
+  Dash5Header header_;
+  std::uint64_t data_offset_ = 0;
+
+  void decode_elems(const std::vector<std::byte>& raw, std::size_t count,
+                    double* out) const;
+};
+
+}  // namespace dassa::io

@@ -1,0 +1,29 @@
+// DASS: ArraySource adapter over a single DASH5 file.
+#pragma once
+
+#include <string>
+
+#include "dassa/io/array_source.hpp"
+#include "dassa/io/dash5.hpp"
+
+namespace dassa::io {
+
+/// Exposes one DASH5 file as an ArraySource, so single files, VCAs and
+/// LAVs are interchangeable analysis inputs.
+class Dash5Source final : public ArraySource {
+ public:
+  explicit Dash5Source(const std::string& path) : file_(path) {}
+
+  [[nodiscard]] Shape2D shape() const override { return file_.shape(); }
+
+  [[nodiscard]] std::vector<double> read_slab(const Slab2D& slab) override {
+    return file_.read_slab(slab);
+  }
+
+  [[nodiscard]] Dash5File& file() { return file_; }
+
+ private:
+  Dash5File file_;
+};
+
+}  // namespace dassa::io

@@ -1,0 +1,72 @@
+// DASS low-level file layer with instrumentation.
+//
+// Every byte DASSA reads or writes flows through this layer, which
+// charges the global counter registry (io.read_calls, io.read_bytes,
+// io.opens, io.seeks, ...). The paper's IOPS-pressure arguments
+// (Sections IV-B, V-B, VI-C) are reproduced from these counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dassa::io {
+
+/// Counted read-only binary file.
+class InputFile {
+ public:
+  explicit InputFile(const std::string& path);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+  /// Read exactly `n` bytes at absolute offset `off` into `dst`.
+  /// Counts one read call (plus a seek when `off` differs from the
+  /// current position); throws IoError on short reads.
+  void read_at(std::uint64_t off, void* dst, std::size_t n);
+
+  /// Read `n` bytes at `off` into a fresh buffer.
+  [[nodiscard]] std::vector<std::byte> read_vec(std::uint64_t off,
+                                                std::size_t n);
+
+ private:
+  std::string path_;
+  std::ifstream stream_;
+  std::uint64_t size_ = 0;
+  std::uint64_t pos_ = 0;
+};
+
+/// Counted write-only binary file (truncates on open).
+class OutputFile {
+ public:
+  enum class Mode {
+    kTruncate,  ///< create/replace (default)
+    kUpdate,    ///< open existing file for in-place writes (parallel
+                ///< writers each patching their own disjoint region)
+  };
+
+  explicit OutputFile(const std::string& path,
+                      Mode mode = Mode::kTruncate);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t position() const { return pos_; }
+
+  /// Append `n` bytes; counts one write call.
+  void write(const void* src, std::size_t n);
+
+  /// Overwrite `n` bytes at absolute offset `off` (used to back-patch
+  /// headers); counts one write call and one seek.
+  void write_at(std::uint64_t off, const void* src, std::size_t n);
+
+  /// Flush and close; subsequent writes are invalid.
+  void close();
+
+ private:
+  std::string path_;
+  std::ofstream stream_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace dassa::io

@@ -1,0 +1,58 @@
+// DASS metadata model: ordered key-value lists.
+//
+// The paper's metadata structure (Fig. 4) is a two-level KV hierarchy:
+// a global KV list (sampling frequency, spatial resolution, timestamp,
+// number of channels, ...) plus one KV list per channel object. KvList
+// is that building block; DASH5 serialises one global list and one list
+// per object.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::io {
+
+/// Ordered list of string key-value pairs with typed accessors.
+/// Insertion order is preserved (metadata round-trips byte-identically);
+/// lookup is linear, which is fine for the tens of keys DAS files carry.
+class KvList {
+ public:
+  void set(std::string key, std::string value);
+  void set_i64(const std::string& key, std::int64_t value);
+  void set_f64(const std::string& key, double value);
+
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+  [[nodiscard]] std::string get_or_throw(std::string_view key) const;
+  [[nodiscard]] std::int64_t get_i64(std::string_view key) const;
+  [[nodiscard]] double get_f64(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  items() const {
+    return items_;
+  }
+
+  friend bool operator==(const KvList&, const KvList&) = default;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> items_;
+};
+
+/// Canonical global-metadata keys written by the DAS data generator and
+/// consumed by das_search (paper Fig. 4 shows the same fields).
+namespace meta {
+inline constexpr const char* kSamplingFrequencyHz = "SamplingFrequency(HZ)";
+inline constexpr const char* kSpatialResolutionM = "SpatialResolution(m)";
+inline constexpr const char* kTimeStamp = "TimeStamp(yymmddhhmmss)";
+inline constexpr const char* kNumObjects = "Number of objects";
+}  // namespace meta
+
+}  // namespace dassa::io

@@ -1,0 +1,31 @@
+// DASS: distributed parallel write of one DASH5 output array.
+//
+// The paper's pipelines "write the output as a single and big array"
+// (Section VI-C), with identical cost under both engines because every
+// rank writes only its own channel block. Implementation: rank 0 lays
+// down the header and pre-extends the file to its final size; after
+// that is broadcast, every rank patches its row block into the data
+// region with one contiguous positioned write.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "dassa/common/shape.hpp"
+#include "dassa/io/dash5.hpp"
+#include "dassa/io/par_read.hpp"
+#include "dassa/mpi/comm.hpp"
+
+namespace dassa::io {
+
+/// Collectively write a distributed 2D array. `header.shape` is the
+/// global shape; `rows` is this rank's owned global row range and
+/// `block` its rows.size() x shape.cols row-major data. Ranks may own
+/// empty ranges. All ranks must call this (it contains collective
+/// operations).
+void write_dash5_distributed(mpi::Comm& comm, const std::string& path,
+                             const Dash5Header& header, const Range& rows,
+                             std::span<const double> block,
+                             const IoCostParams& io = {});
+
+}  // namespace dassa::io

@@ -1,0 +1,276 @@
+// MiniMPI: communicator with typed point-to-point and collective
+// operations.
+//
+// MiniMPI is this reproduction's stand-in for MPI on a cluster (see
+// DESIGN.md, substitution table). Ranks are threads; each rank owns a
+// mailbox of typed, tagged messages, and every transfer copies its
+// payload through the mailbox, so ranks share nothing implicitly --
+// exactly the discipline MPI imposes. Collectives are implemented on
+// top of point-to-point with the textbook algorithms (binomial-tree
+// broadcast/reduce, dissemination barrier, pairwise all-to-all), so the
+// *message counts* the paper reasons about fall out of the
+// implementation rather than being asserted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "dassa/common/error.hpp"
+#include "dassa/mpi/cost_model.hpp"
+
+namespace dassa::mpi {
+
+namespace detail {
+class World;
+}  // namespace detail
+
+/// A communicator bound to one rank of a MiniMPI world. Obtained from
+/// Runtime::run(); never constructed directly. All methods are called
+/// from the owning rank's thread only.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  // ---- point to point ------------------------------------------------
+
+  /// Blocking buffered send of a typed buffer to `dest` with `tag`
+  /// (user tags must be >= 0). Completes locally once the payload is
+  /// copied into the destination mailbox (MPI_Bsend semantics).
+  template <typename T>
+  void send(std::span<const T> data, int dest, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DASSA_CHECK(tag >= 0, "user message tags must be non-negative");
+    send_bytes(reinterpret_cast<const std::byte*>(data.data()),
+               data.size_bytes(), dest, tag);
+  }
+
+  /// Blocking receive of a typed buffer from `src` with `tag`. The
+  /// message length determines the result size.
+  template <typename T>
+  [[nodiscard]] std::vector<T> recv(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DASSA_CHECK(tag >= 0, "user message tags must be non-negative");
+    const std::vector<std::byte> raw = recv_bytes(src, tag);
+    return bytes_to_vector<T>(raw);
+  }
+
+  // ---- collectives ----------------------------------------------------
+
+  /// Dissemination barrier: ceil(log2 p) rounds of pairwise messages.
+  void barrier();
+
+  /// Binomial-tree broadcast of `data` from `root` to all ranks.
+  /// On non-root ranks `data` is resized and overwritten.
+  template <typename T>
+  void bcast(std::vector<T>& data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> raw;
+    if (rank_ == root) raw = vector_to_bytes(std::span<const T>(data));
+    bcast_bytes(raw, root);
+    if (rank_ != root) data = bytes_to_vector<T>(raw);
+  }
+
+  /// Gather variable-length contributions to `root`. Returns the
+  /// per-rank contributions (indexed by rank) on root, empty elsewhere.
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> gatherv(std::span<const T> mine,
+                                                    int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::vector<std::byte>> raw =
+        gatherv_bytes(vector_to_bytes(mine), root);
+    std::vector<std::vector<T>> out;
+    out.reserve(raw.size());
+    for (auto& r : raw) out.push_back(bytes_to_vector<T>(r));
+    return out;
+  }
+
+  /// Allgather: every rank receives every rank's contribution.
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> allgatherv(
+      std::span<const T> mine) {
+    auto gathered = gatherv(mine, 0);
+    // Broadcast the concatenation + lengths from root.
+    std::vector<std::uint64_t> lens(static_cast<std::size_t>(size()), 0);
+    std::vector<T> flat;
+    if (rank_ == 0) {
+      for (int r = 0; r < size(); ++r) {
+        lens[static_cast<std::size_t>(r)] =
+            gathered[static_cast<std::size_t>(r)].size();
+        flat.insert(flat.end(), gathered[static_cast<std::size_t>(r)].begin(),
+                    gathered[static_cast<std::size_t>(r)].end());
+      }
+    }
+    bcast(lens, 0);
+    bcast(flat, 0);
+    std::vector<std::vector<T>> out(static_cast<std::size_t>(size()));
+    std::size_t off = 0;
+    for (int r = 0; r < size(); ++r) {
+      auto& dst = out[static_cast<std::size_t>(r)];
+      dst.assign(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                 flat.begin() + static_cast<std::ptrdiff_t>(
+                                    off + lens[static_cast<std::size_t>(r)]));
+      off += lens[static_cast<std::size_t>(r)];
+    }
+    return out;
+  }
+
+  /// Scatter equal-size chunks from root: rank r receives
+  /// all[r*per : (r+1)*per]. `all` is only read on root.
+  template <typename T>
+  [[nodiscard]] std::vector<T> scatter(std::span<const T> all,
+                                       std::size_t per, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> raw_all;
+    if (rank_ == root) {
+      DASSA_CHECK(all.size() >= per * static_cast<std::size_t>(size()),
+                  "scatter source too small");
+      raw_all = vector_to_bytes(all);
+    }
+    std::vector<std::byte> mine =
+        scatter_bytes(raw_all, per * sizeof(T), root);
+    return bytes_to_vector<T>(mine);
+  }
+
+  /// Pairwise-exchange all-to-all with per-destination variable-length
+  /// payloads: `per_dest[r]` is sent to rank r; returns the payloads
+  /// received, indexed by source rank. This is the data-exchange step of
+  /// the communication-avoiding read (paper Fig. 5b).
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& per_dest) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DASSA_CHECK(per_dest.size() == static_cast<std::size_t>(size()),
+                "alltoallv needs one payload per rank");
+    std::vector<std::vector<std::byte>> raw(per_dest.size());
+    for (std::size_t r = 0; r < per_dest.size(); ++r) {
+      raw[r] = vector_to_bytes(std::span<const T>(per_dest[r]));
+    }
+    std::vector<std::vector<std::byte>> got = alltoallv_bytes(raw);
+    std::vector<std::vector<T>> out(got.size());
+    for (std::size_t r = 0; r < got.size(); ++r) {
+      out[r] = bytes_to_vector<T>(got[r]);
+    }
+    return out;
+  }
+
+  /// Binomial-tree reduction of one value per rank to root, then (for
+  /// allreduce) broadcast of the result. `op` must be associative.
+  template <typename T>
+  [[nodiscard]] T reduce(T value, const std::function<T(T, T)>& op,
+                         int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    // Reduce to rank 0 via binomial tree on relative ranks, then move
+    // to root if different.
+    const int p = size();
+    const int rel = (rank_ - root + p) % p;
+    T acc = value;
+    for (int mask = 1; mask < p; mask <<= 1) {
+      if ((rel & mask) != 0) {
+        const int dst = ((rel - mask) + root) % p;
+        send_bytes(reinterpret_cast<const std::byte*>(&acc), sizeof(T), dst,
+                   kReduceTag);
+        break;
+      }
+      const int src_rel = rel + mask;
+      if (src_rel < p) {
+        const int src = (src_rel + root) % p;
+        const std::vector<T> got = bytes_to_vector<T>(recv_bytes(src, kReduceTag));
+        acc = op(acc, got.front());
+      }
+    }
+    return acc;  // meaningful on root only
+  }
+
+  template <typename T>
+  [[nodiscard]] T allreduce(T value, const std::function<T(T, T)>& op) {
+    T result = reduce<T>(value, op, 0);
+    std::vector<T> box(1, result);
+    bcast(box, 0);
+    return box.front();
+  }
+
+  /// Split the communicator MPI_Comm_split-style: ranks with equal
+  /// `color` form a sub-communicator, ordered by `key` (ties broken by
+  /// parent rank). Collective: all ranks must call with their values.
+  /// The returned Comm addresses only the ranks of the same color; its
+  /// operations run over the parent world, so it remains valid while
+  /// the parent world lives.
+  [[nodiscard]] Comm split(int color, int key);
+
+  // ---- instrumentation ------------------------------------------------
+
+  /// Communication statistics accumulated by this rank so far.
+  [[nodiscard]] const CommStats& stats() const { return stats_; }
+
+  /// Charge additional modeled seconds to this rank (used by the I/O
+  /// layer to account for storage latency under the same model).
+  void charge_modeled_seconds(double seconds) {
+    stats_.modeled_seconds += seconds;
+  }
+
+  /// The world's cost-model parameters.
+  [[nodiscard]] const CostParams& cost_params() const;
+
+ private:
+  friend class Runtime;
+  friend class detail::World;
+  Comm(detail::World* world, int rank)
+      : world_(world), world_rank_(rank), rank_(rank) {}
+
+  /// World rank of communicator-local rank `local`.
+  [[nodiscard]] int to_world(int local) const {
+    return group_.empty() ? local : group_[static_cast<std::size_t>(local)];
+  }
+
+  // Internal tags for collectives live in a reserved range so they can
+  // never collide with user tags (which must be >= 0).
+  static constexpr int kBarrierTag = -1;
+  static constexpr int kBcastTag = -2;
+  static constexpr int kGatherTag = -3;
+  static constexpr int kScatterTag = -4;
+  static constexpr int kAlltoallTag = -5;
+  static constexpr int kReduceTag = -6;
+
+  void send_bytes(const std::byte* data, std::size_t size, int dest,
+                  int tag);
+  [[nodiscard]] std::vector<std::byte> recv_bytes(int src, int tag);
+  void bcast_bytes(std::vector<std::byte>& data, int root);
+  [[nodiscard]] std::vector<std::vector<std::byte>> gatherv_bytes(
+      std::vector<std::byte> mine, int root);
+  [[nodiscard]] std::vector<std::byte> scatter_bytes(
+      const std::vector<std::byte>& all, std::size_t per_bytes, int root);
+  [[nodiscard]] std::vector<std::vector<std::byte>> alltoallv_bytes(
+      const std::vector<std::vector<std::byte>>& per_dest);
+
+  template <typename T>
+  static std::vector<std::byte> vector_to_bytes(std::span<const T> v) {
+    std::vector<std::byte> raw(v.size_bytes());
+    if (!raw.empty()) std::memcpy(raw.data(), v.data(), raw.size());
+    return raw;
+  }
+
+  template <typename T>
+  static std::vector<T> bytes_to_vector(const std::vector<std::byte>& raw) {
+    DASSA_CHECK(raw.size() % sizeof(T) == 0,
+                "received payload size is not a multiple of element size");
+    std::vector<T> v(raw.size() / sizeof(T));
+    if (!v.empty()) std::memcpy(v.data(), raw.data(), raw.size());
+    return v;
+  }
+
+  detail::World* world_;
+  int world_rank_;          ///< this rank's id in the world
+  int rank_;                ///< this rank's id in THIS communicator
+  std::vector<int> group_;  ///< member world ranks (empty = world comm)
+  std::int64_t context_ = 0;
+  int split_epoch_ = 0;  ///< per-communicator split() call counter
+  CommStats stats_;
+};
+
+}  // namespace dassa::mpi

@@ -1,0 +1,54 @@
+// MiniMPI: alpha-beta communication cost model.
+//
+// The paper's communication-avoiding argument (Section IV-B) is a
+// counting argument about collectives on a large machine. On this
+// reproduction's single-node substrate, real wall time cannot expose a
+// cluster-scale broadcast bottleneck, so every MiniMPI message also
+// charges a modeled cost under the standard alpha-beta model:
+//
+//     t(message) = alpha + bytes / beta
+//
+// where alpha is the per-message latency and beta the link bandwidth.
+// Each rank accumulates the modeled cost of the messages it sends and
+// receives; benches report the maximum over ranks (the communication
+// critical path under a node-congestion model).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dassa::mpi {
+
+/// Parameters of the alpha-beta model. Defaults approximate a
+/// Cray-Aries-class interconnect (~1.3 us latency, ~10 GB/s per link),
+/// matching the Cori system used in the paper's evaluation.
+struct CostParams {
+  double alpha_seconds = 1.3e-6;
+  double beta_bytes_per_second = 10.0e9;
+
+  [[nodiscard]] double message_cost(std::size_t bytes) const {
+    return alpha_seconds +
+           static_cast<double>(bytes) / beta_bytes_per_second;
+  }
+};
+
+/// Per-rank communication statistics, accumulated by Comm.
+struct CommStats {
+  std::uint64_t p2p_sends = 0;
+  std::uint64_t p2p_recvs = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  double modeled_seconds = 0.0;
+
+  void merge(const CommStats& other) {
+    p2p_sends += other.p2p_sends;
+    p2p_recvs += other.p2p_recvs;
+    bytes_sent += other.bytes_sent;
+    bytes_received += other.bytes_received;
+    if (other.modeled_seconds > modeled_seconds) {
+      modeled_seconds = other.modeled_seconds;  // critical path: max
+    }
+  }
+};
+
+}  // namespace dassa::mpi

@@ -1,0 +1,43 @@
+// MiniMPI: runtime that launches a world of thread-backed ranks.
+//
+// Runtime::run(p, fn) is this reproduction's `mpirun -np p`: it spawns
+// p rank threads, hands each a Comm bound to its rank, runs `fn` on
+// every rank, joins, and returns the per-rank communication statistics.
+// Exceptions thrown by any rank abort the world and are rethrown on the
+// caller (first one wins), so test failures inside ranks surface
+// normally.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dassa/mpi/comm.hpp"
+#include "dassa/mpi/cost_model.hpp"
+
+namespace dassa::mpi {
+
+/// Result of one world execution.
+struct RunReport {
+  /// Statistics per rank, indexed by rank.
+  std::vector<CommStats> per_rank;
+
+  /// Aggregate view: total messages/bytes, max modeled seconds.
+  [[nodiscard]] CommStats aggregate() const {
+    CommStats total;
+    for (const auto& s : per_rank) total.merge(s);
+    return total;
+  }
+};
+
+class Runtime {
+ public:
+  /// Run `fn` on `world_size` ranks with default cost parameters.
+  static RunReport run(int world_size,
+                       const std::function<void(Comm&)>& fn);
+
+  /// Run with explicit alpha-beta cost parameters.
+  static RunReport run(int world_size, const CostParams& params,
+                       const std::function<void(Comm&)>& fn);
+};
+
+}  // namespace dassa::mpi

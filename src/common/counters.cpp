@@ -1,0 +1,10 @@
+#include "dassa/common/counters.hpp"
+
+namespace dassa {
+
+CounterRegistry& global_counters() {
+  static CounterRegistry registry;
+  return registry;
+}
+
+}  // namespace dassa

@@ -1,0 +1,15 @@
+#include "dassa/common/error.hpp"
+
+#include <sstream>
+
+namespace dassa::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " (check `" << expr << "` failed at " << file << ":" << line
+     << ")";
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace dassa::detail

@@ -1,0 +1,168 @@
+#include "dassa/core/apply.hpp"
+
+#include <omp.h>
+
+#include <cstring>
+
+namespace dassa::core {
+
+namespace {
+
+/// Make the stencil for linearised owned-cell index `i`.
+Stencil stencil_at(const LocalBlock& block, std::size_t i) {
+  const std::size_t cols = block.block_shape.cols;
+  const std::size_t local_row = block.owned_local.begin + i / cols;
+  const std::size_t col = i % cols;
+  return Stencil(block.data.data(), block.block_shape, block.global_row0,
+                 local_row, col, block.global_shape);
+}
+
+std::size_t owned_cell_count(const LocalBlock& block) {
+  return block.owned_rows() * block.block_shape.cols;
+}
+
+void validate(const LocalBlock& block) {
+  DASSA_CHECK(block.data.size() == block.block_shape.size(),
+              "local block data does not match its shape");
+  DASSA_CHECK(block.owned_local.end <= block.block_shape.rows,
+              "owned range exceeds local block");
+}
+
+Array2D rows_from_results(const LocalBlock& block,
+                          std::vector<std::vector<double>>& results) {
+  const std::size_t rows = results.size();
+  const std::size_t out_cols = rows == 0 ? 0 : results.front().size();
+  Array2D out(Shape2D{rows, out_cols});
+  for (std::size_t r = 0; r < rows; ++r) {
+    DASSA_CHECK(results[r].size() == out_cols,
+                "row UDF returned inconsistent lengths");
+    std::copy(results[r].begin(), results[r].end(),
+              out.data.begin() + static_cast<std::ptrdiff_t>(r * out_cols));
+  }
+  (void)block;
+  return out;
+}
+
+Stencil row_stencil(const LocalBlock& block, std::size_t owned_row) {
+  return Stencil(block.data.data(), block.block_shape, block.global_row0,
+                 block.owned_local.begin + owned_row, 0, block.global_shape);
+}
+
+}  // namespace
+
+Array2D apply_cells_serial(const LocalBlock& block, const ScalarUdf& udf) {
+  validate(block);
+  const std::size_t n = owned_cell_count(block);
+  Array2D out(Shape2D{block.owned_rows(), block.block_shape.cols});
+  for (std::size_t i = 0; i < n; ++i) {
+    out.data[i] = udf(stencil_at(block, i));
+  }
+  return out;
+}
+
+Array2D apply_cells_mt(const LocalBlock& block, const ScalarUdf& udf,
+                       ThreadPool& pool) {
+  validate(block);
+  const std::size_t n = owned_cell_count(block);
+  Array2D out(Shape2D{block.owned_rows(), block.block_shape.cols});
+
+  // Algorithm 1: split the linearised cells statically, run the UDF
+  // into a per-thread result vector Rp, then insert each Rp into R at
+  // its prefix offset. With a static schedule each thread's chunk is
+  // contiguous, so the prefix offset is the chunk start.
+  pool.parallel_for(n, [&](std::size_t /*thread*/, std::size_t begin,
+                           std::size_t end) {
+    std::vector<double> rp;  // result vector per thread
+    rp.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      rp.push_back(udf(stencil_at(block, i)));
+    }
+    std::memcpy(out.data.data() + begin, rp.data(),
+                rp.size() * sizeof(double));  // R[p[h-1] : p[h]] = Rp
+  });
+  return out;
+}
+
+Array2D apply_cells_mt_direct(const LocalBlock& block, const ScalarUdf& udf,
+                              ThreadPool& pool) {
+  validate(block);
+  const std::size_t n = owned_cell_count(block);
+  Array2D out(Shape2D{block.owned_rows(), block.block_shape.cols});
+  pool.parallel_for(n, [&](std::size_t /*thread*/, std::size_t begin,
+                           std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out.data[i] = udf(stencil_at(block, i));
+    }
+  });
+  return out;
+}
+
+Array2D apply_cells_omp(const LocalBlock& block, const ScalarUdf& udf,
+                        int threads) {
+  validate(block);
+  const std::size_t n = owned_cell_count(block);
+  Array2D out(Shape2D{block.owned_rows(), block.block_shape.cols});
+
+  // Algorithm 1 verbatim, with OpenMP primitives: per-thread result
+  // vectors, a barrier, a single-thread prefix pass, then the merge.
+  const int team = threads > 0 ? threads : omp_get_max_threads();
+  std::vector<std::vector<double>> rp(static_cast<std::size_t>(team));
+  std::vector<std::size_t> prefix(static_cast<std::size_t>(team) + 1, 0);
+
+#pragma omp parallel num_threads(team)
+  {
+    const std::size_t h = static_cast<std::size_t>(omp_get_thread_num());
+    auto& mine = rp[h];
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+      mine.push_back(udf(stencil_at(block, static_cast<std::size_t>(i))));
+    }
+    prefix[h + 1] = mine.size();
+#pragma omp barrier
+#pragma omp single
+    for (std::size_t t = 1; t <= static_cast<std::size_t>(team); ++t) {
+      prefix[t] += prefix[t - 1];
+    }
+    std::memcpy(out.data.data() + prefix[h], mine.data(),
+                mine.size() * sizeof(double));
+  }
+  return out;
+}
+
+Array2D apply_rows_serial(const LocalBlock& block, const RowUdf& udf) {
+  validate(block);
+  std::vector<std::vector<double>> results(block.owned_rows());
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    results[r] = udf(row_stencil(block, r));
+  }
+  return rows_from_results(block, results);
+}
+
+Array2D apply_rows_mt(const LocalBlock& block, const RowUdf& udf,
+                      ThreadPool& pool) {
+  validate(block);
+  std::vector<std::vector<double>> results(block.owned_rows());
+  pool.parallel_for(results.size(), [&](std::size_t /*thread*/,
+                                        std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      results[r] = udf(row_stencil(block, r));
+    }
+  });
+  return rows_from_results(block, results);
+}
+
+Array2D apply_rows_omp(const LocalBlock& block, const RowUdf& udf,
+                       int threads) {
+  validate(block);
+  const int team = threads > 0 ? threads : omp_get_max_threads();
+  std::vector<std::vector<double>> results(block.owned_rows());
+#pragma omp parallel for schedule(static) num_threads(team)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(results.size());
+       ++r) {
+    results[static_cast<std::size_t>(r)] =
+        udf(row_stencil(block, static_cast<std::size_t>(r)));
+  }
+  return rows_from_results(block, results);
+}
+
+}  // namespace dassa::core

@@ -1,0 +1,276 @@
+#include "dassa/core/haee.hpp"
+
+#include <memory>
+
+namespace dassa::core {
+
+namespace {
+
+constexpr int kHaloUpTag = 9001;    // my top rows -> previous rank
+constexpr int kHaloDownTag = 9002;  // my bottom rows -> next rank
+
+io::ParallelReadResult read_block(mpi::Comm& comm, const io::Vca& vca,
+                                  const EngineConfig& config) {
+  switch (config.read_method) {
+    case ReadMethod::kCollectivePerFile:
+      return io::read_vca_collective_per_file(comm, vca, config.io_cost);
+    case ReadMethod::kCommunicationAvoiding:
+      return io::read_vca_comm_avoiding(comm, vca, config.io_cost);
+    case ReadMethod::kDirectPerRank:
+      return io::read_vca_direct_per_rank(comm, vca, config.io_cost);
+  }
+  throw InvalidArgument("unknown read method");
+}
+
+/// Gather per-rank output rows onto rank 0 in rank order.
+Array2D gather_output(mpi::Comm& comm, const Array2D& mine,
+                      std::size_t global_rows) {
+  const auto parts = comm.gatherv(std::span<const double>(mine.data), 0);
+  if (comm.rank() != 0) return {};
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  DASSA_CHECK(global_rows > 0 && total % global_rows == 0,
+              "gathered output does not tile the global row count");
+  Array2D out(Shape2D{global_rows, total / global_rows});
+  std::size_t off = 0;
+  for (const auto& p : parts) {
+    std::copy(p.begin(), p.end(),
+              out.data.begin() + static_cast<std::ptrdiff_t>(off));
+    off += p.size();
+  }
+  return out;
+}
+
+/// Shared driver: read + halo, then hand the block to `compute`, then
+/// gather. `compute` returns the rank-local output rows.
+EngineReport run_engine(
+    const EngineConfig& config, const io::Vca& vca,
+    const std::function<Array2D(RankContext&)>& compute,
+    std::size_t extra_bytes_per_rank) {
+  const int world = config.world_size();
+  const Shape2D global = vca.shape();
+
+  std::vector<StageTimes> rank_stages(static_cast<std::size_t>(world));
+  std::vector<std::uint64_t> rank_peak(static_cast<std::size_t>(world), 0);
+  Array2D gathered;
+
+  const mpi::RunReport run_report = mpi::Runtime::run(
+      world, config.net_cost, [&](mpi::Comm& comm) {
+        StageTimes& stages =
+            rank_stages[static_cast<std::size_t>(comm.rank())];
+
+        LocalBlock block;
+        {
+          StageScope scope(stages, "read");
+          const io::ParallelReadResult read = read_block(comm, vca, config);
+          block = config.halo_mode == HaloMode::kExchange
+                      ? build_local_block(comm, read, global,
+                                          config.halo_channels)
+                      : build_local_block_overlap(comm, vca, read, global,
+                                                  config.halo_channels,
+                                                  config.io_cost);
+        }
+
+        Array2D mine;
+        {
+          StageScope scope(stages, "compute");
+          RankContext ctx{comm, block, config.threads_per_rank()};
+          mine = compute(ctx);
+        }
+
+        rank_peak[static_cast<std::size_t>(comm.rank())] =
+            (block.data.size() + mine.data.size()) * sizeof(double) +
+            extra_bytes_per_rank;
+
+        if (!config.output_path.empty()) {
+          StageScope scope(stages, "write");
+          // Output column count can differ from the input's (row UDFs
+          // choose their own length); agree on the maximum, which all
+          // non-empty ranks share.
+          const auto out_cols = static_cast<std::size_t>(
+              comm.allreduce<std::uint64_t>(
+                  mine.shape.cols,
+                  [](std::uint64_t a, std::uint64_t b) {
+                    return std::max(a, b);
+                  }));
+          io::Dash5Header out_header;
+          out_header.shape = {global.rows, out_cols};
+          out_header.global = vca.global_meta();
+          const Range owned{block.global_row0 + block.owned_local.begin,
+                            block.global_row0 + block.owned_local.end};
+          io::write_dash5_distributed(comm, config.output_path, out_header,
+                                      owned, mine.data, config.io_cost);
+        }
+
+        if (config.gather_output) {
+          StageScope scope(stages, "write");
+          Array2D out = gather_output(comm, mine, global.rows);
+          if (comm.rank() == 0) gathered = std::move(out);
+        }
+      });
+
+  EngineReport report;
+  report.output = std::move(gathered);
+  report.world_size = world;
+  report.threads_per_rank = config.threads_per_rank();
+  report.comm = run_report.aggregate();
+  // Stage walls: max over ranks (the paper's figures report the slowest
+  // rank's stage times).
+  for (const auto& stages : rank_stages) {
+    for (const auto& [name, secs] : stages.stages()) {
+      if (secs > report.stages.get(name)) {
+        StageTimes tmp;
+        tmp.add(name, secs - report.stages.get(name));
+        report.stages.merge(tmp);
+      }
+    }
+  }
+  // Memory model: a node hosts 1 rank under kHybrid and cores_per_node
+  // ranks under kMpiPerCore.
+  std::uint64_t max_rank_peak = 0;
+  for (std::uint64_t b : rank_peak) max_rank_peak = std::max(max_rank_peak, b);
+  const std::uint64_t ranks_per_node =
+      config.mode == EngineMode::kHybrid
+          ? 1
+          : static_cast<std::uint64_t>(config.cores_per_node);
+  report.modeled_peak_bytes_per_node = max_rank_peak * ranks_per_node;
+  return report;
+}
+
+}  // namespace
+
+LocalBlock build_local_block(mpi::Comm& comm,
+                             const io::ParallelReadResult& read,
+                             Shape2D global, std::size_t halo) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t cols = read.shape.cols;
+
+  std::size_t halo_lo = 0;
+  std::size_t halo_hi = 0;
+  if (halo > 0 && p > 1) {
+    DASSA_CHECK(halo <= global.rows / static_cast<std::size_t>(p),
+                "ghost zone wider than the smallest channel partition");
+    halo_lo = (rank > 0) ? halo : 0;
+    halo_hi = (rank < p - 1) ? halo : 0;
+
+    // Buffered sends first, then receives: deadlock-free point-to-point
+    // ghost-zone exchange with both neighbours.
+    if (rank > 0) {
+      comm.send(std::span<const double>(read.data.data(), halo * cols),
+                rank - 1, kHaloUpTag);
+    }
+    if (rank < p - 1) {
+      comm.send(std::span<const double>(
+                    read.data.data() + (read.rows.size() - halo) * cols,
+                    halo * cols),
+                rank + 1, kHaloDownTag);
+    }
+  }
+
+  LocalBlock block;
+  block.block_shape = {halo_lo + read.rows.size() + halo_hi, cols};
+  block.global_row0 = read.rows.begin - halo_lo;
+  block.owned_local = Range{halo_lo, halo_lo + read.rows.size()};
+  block.global_shape = global;
+  block.data.resize(block.block_shape.size());
+
+  if (halo_lo > 0) {
+    const std::vector<double> top = comm.recv<double>(rank - 1, kHaloDownTag);
+    DASSA_CHECK(top.size() == halo_lo * cols, "halo size mismatch (top)");
+    std::copy(top.begin(), top.end(), block.data.begin());
+  }
+  std::copy(read.data.begin(), read.data.end(),
+            block.data.begin() + static_cast<std::ptrdiff_t>(halo_lo * cols));
+  if (halo_hi > 0) {
+    const std::vector<double> bottom =
+        comm.recv<double>(rank + 1, kHaloUpTag);
+    DASSA_CHECK(bottom.size() == halo_hi * cols,
+                "halo size mismatch (bottom)");
+    std::copy(bottom.begin(), bottom.end(),
+              block.data.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      (halo_lo + read.rows.size()) * cols));
+  }
+  return block;
+}
+
+LocalBlock build_local_block_overlap(mpi::Comm& comm, const io::Vca& vca,
+                                     const io::ParallelReadResult& read,
+                                     Shape2D global, std::size_t halo,
+                                     const io::IoCostParams& io) {
+  const std::size_t cols = read.shape.cols;
+  const std::size_t halo_lo = std::min(halo, read.rows.begin);
+  const std::size_t halo_hi =
+      std::min(halo, global.rows - read.rows.end);
+
+  LocalBlock block;
+  block.block_shape = {halo_lo + read.rows.size() + halo_hi, cols};
+  block.global_row0 = read.rows.begin - halo_lo;
+  block.owned_local = Range{halo_lo, halo_lo + read.rows.size()};
+  block.global_shape = global;
+  block.data.resize(block.block_shape.size());
+
+  // A const view is enough for reading, but ArraySource::read_slab is
+  // non-const (it moves file cursors); VCA resolution itself is pure.
+  auto& source = const_cast<io::Vca&>(vca);
+  // Model charge: one storage request per (halo read x member piece),
+  // all ranks hitting the files concurrently.
+  const auto charge = [&](const Slab2D& slab) {
+    for (const io::VcaPiece& piece : vca.resolve(slab)) {
+      comm.charge_modeled_seconds(io.shared_call_cost(
+          piece.slab.size() * sizeof(double), comm.size()));
+    }
+  };
+  if (halo_lo > 0) {
+    const Slab2D slab{block.global_row0, 0, halo_lo, cols};
+    charge(slab);
+    const std::vector<double> top = source.read_slab(slab);
+    std::copy(top.begin(), top.end(), block.data.begin());
+  }
+  std::copy(read.data.begin(), read.data.end(),
+            block.data.begin() + static_cast<std::ptrdiff_t>(halo_lo * cols));
+  if (halo_hi > 0) {
+    const Slab2D slab{read.rows.end, 0, halo_hi, cols};
+    charge(slab);
+    const std::vector<double> bottom = source.read_slab(slab);
+    std::copy(bottom.begin(), bottom.end(),
+              block.data.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      (halo_lo + read.rows.size()) * cols));
+  }
+  return block;
+}
+
+EngineReport run_cells(const EngineConfig& config, const io::Vca& vca,
+                       const ScalarUdfFactory& factory) {
+  return run_engine(
+      config, vca,
+      [&](RankContext& ctx) -> Array2D {
+        const ScalarUdf udf = factory(ctx);
+        if (ctx.threads > 1) {
+          ThreadPool pool(static_cast<std::size_t>(ctx.threads));
+          return apply_cells_mt(ctx.block, udf, pool);
+        }
+        return apply_cells_serial(ctx.block, udf);
+      },
+      0);
+}
+
+EngineReport run_rows(const EngineConfig& config, const io::Vca& vca,
+                      const RowUdfFactory& factory,
+                      std::size_t extra_bytes_per_rank) {
+  return run_engine(
+      config, vca,
+      [&](RankContext& ctx) -> Array2D {
+        const RowUdf udf = factory(ctx);
+        if (ctx.threads > 1) {
+          ThreadPool pool(static_cast<std::size_t>(ctx.threads));
+          return apply_rows_mt(ctx.block, udf, pool);
+        }
+        return apply_rows_serial(ctx.block, udf);
+      },
+      extra_bytes_per_rank);
+}
+
+}  // namespace dassa::core

@@ -1,0 +1,280 @@
+#include "dassa/das/events.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "dassa/common/error.hpp"
+#include "dassa/dsp/median.hpp"
+
+namespace dassa::das {
+
+const char* event_class_name(EventClass c) {
+  switch (c) {
+    case EventClass::kEarthquake:
+      return "earthquake";
+    case EventClass::kVehicle:
+      return "vehicle";
+    case EventClass::kPersistent:
+      return "persistent";
+    case EventClass::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Events in a Fig. 10-style map CROSS each other: a quake stripe
+/// intersects every persistent band, and a long vehicle track can touch
+/// the quake's time window, so naive connected components weld them
+/// into one blob. The detector therefore peels event classes off in
+/// projection order:
+///   pass 1 -- persistent sources: channels whose above-threshold
+///             occupancy covers most of the record (row projection);
+///   pass 2 -- earthquakes: time columns where most of the remaining
+///             channels fire at once (column projection);
+///   pass 3 -- vehicles: connected components of what is left, with the
+///             track slope from a least-squares fit.
+
+constexpr std::size_t kGroupGap = 4;  ///< bridge small projection gaps
+
+struct Accumulator {
+  DetectedEvent e;
+  double sum = 0.0;
+  double sum_t = 0.0;
+  double sum_ch = 0.0;
+  double sum_tt = 0.0;
+  double sum_tch = 0.0;
+  bool first = true;
+
+  void add(std::size_t r, std::size_t c, double v) {
+    if (first) {
+      e.channel_lo = e.channel_hi = r;
+      e.time_lo = e.time_hi = c;
+      first = false;
+    }
+    e.channel_lo = std::min(e.channel_lo, r);
+    e.channel_hi = std::max(e.channel_hi, r);
+    e.time_lo = std::min(e.time_lo, c);
+    e.time_hi = std::max(e.time_hi, c);
+    e.cells += 1;
+    e.peak_similarity = std::max(e.peak_similarity, v);
+    sum += v;
+    const double t = static_cast<double>(c);
+    const double ch = static_cast<double>(r);
+    sum_t += t;
+    sum_ch += ch;
+    sum_tt += t * t;
+    sum_tch += t * ch;
+  }
+
+  DetectedEvent finish(EventClass type) {
+    e.type = type;
+    const double n = static_cast<double>(e.cells);
+    e.mean_similarity = n > 0 ? sum / n : 0.0;
+    const double var_t = sum_tt - sum_t * sum_t / std::max(1.0, n);
+    if (var_t > 1e-9) {
+      e.slope_channels_per_sample =
+          (sum_tch - sum_t * sum_ch / n) / var_t;
+    }
+    return e;
+  }
+};
+
+/// Group indices where `active[i]` is true into [lo, hi] runs, bridging
+/// gaps of up to kGroupGap.
+std::vector<std::pair<std::size_t, std::size_t>> group_runs(
+    const std::vector<bool>& active) {
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  std::size_t i = 0;
+  while (i < active.size()) {
+    if (!active[i]) {
+      ++i;
+      continue;
+    }
+    std::size_t hi = i;
+    std::size_t j = i + 1;
+    std::size_t gap = 0;
+    while (j < active.size() && gap <= kGroupGap) {
+      if (active[j]) {
+        hi = j;
+        gap = 0;
+      } else {
+        ++gap;
+      }
+      ++j;
+    }
+    runs.emplace_back(i, hi);
+    i = hi + 1;
+  }
+  return runs;
+}
+
+std::vector<std::size_t> flood(const std::vector<bool>& above,
+                               std::vector<bool>& visited, Shape2D shape,
+                               std::size_t seed) {
+  std::vector<std::size_t> cells;
+  std::vector<std::size_t> stack{seed};
+  visited[seed] = true;
+  while (!stack.empty()) {
+    const std::size_t i = stack.back();
+    stack.pop_back();
+    cells.push_back(i);
+    const std::size_t r = i / shape.cols;
+    const std::size_t c = i % shape.cols;
+    for (int dr = -1; dr <= 1; ++dr) {
+      for (int dc = -1; dc <= 1; ++dc) {
+        if (dr == 0 && dc == 0) continue;
+        const std::ptrdiff_t nr = static_cast<std::ptrdiff_t>(r) + dr;
+        const std::ptrdiff_t nc = static_cast<std::ptrdiff_t>(c) + dc;
+        if (nr < 0 || nc < 0 ||
+            nr >= static_cast<std::ptrdiff_t>(shape.rows) ||
+            nc >= static_cast<std::ptrdiff_t>(shape.cols)) {
+          continue;
+        }
+        const std::size_t ni = static_cast<std::size_t>(nr) * shape.cols +
+                               static_cast<std::size_t>(nc);
+        if (above[ni] && !visited[ni]) {
+          visited[ni] = true;
+          stack.push_back(ni);
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+std::vector<DetectedEvent> detect_events(const core::Array2D& similarity,
+                                         const DetectorParams& params) {
+  const Shape2D shape = similarity.shape;
+  DASSA_CHECK(!shape.empty(), "cannot detect events in an empty map");
+  DASSA_CHECK(params.noise_floor_multiplier > 1.0,
+              "threshold multiplier must exceed 1");
+
+  // The map is mostly noise, so its median IS the noise floor.
+  const double floor = dsp::median(similarity.data);
+  const double threshold =
+      std::max(1e-12, params.noise_floor_multiplier * floor);
+
+  std::vector<bool> above(shape.size());
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    above[i] = similarity.data[i] > threshold;
+  }
+
+  std::vector<DetectedEvent> events;
+
+  // ---- pass 1: persistent sources (row projection) ---------------------
+  std::vector<bool> persistent_row(shape.rows, false);
+  for (std::size_t r = 0; r < shape.rows; ++r) {
+    std::size_t hits = 0;
+    for (std::size_t c = 0; c < shape.cols; ++c) {
+      hits += above[r * shape.cols + c] ? 1 : 0;
+    }
+    persistent_row[r] = static_cast<double>(hits) >=
+                        params.persistent_time_fraction *
+                            static_cast<double>(shape.cols);
+  }
+  for (const auto& [lo, hi] : group_runs(persistent_row)) {
+    if (static_cast<double>(hi - lo + 1) >
+        params.persistent_channel_fraction *
+            static_cast<double>(shape.rows)) {
+      continue;  // too wide to be a stationary source
+    }
+    Accumulator acc;
+    for (std::size_t r = lo; r <= hi; ++r) {
+      for (std::size_t c = 0; c < shape.cols; ++c) {
+        if (above[r * shape.cols + c]) acc.add(r, c, similarity.at(r, c));
+      }
+    }
+    if (acc.e.cells >= params.min_cells) {
+      events.push_back(acc.finish(EventClass::kPersistent));
+    }
+    // Remove the band from further passes either way.
+    for (std::size_t r = lo; r <= hi; ++r) {
+      for (std::size_t c = 0; c < shape.cols; ++c) {
+        above[r * shape.cols + c] = false;
+      }
+    }
+  }
+
+  // ---- pass 2: earthquakes (column projection) --------------------------
+  std::size_t live_rows = 0;
+  for (std::size_t r = 0; r < shape.rows; ++r) {
+    live_rows += persistent_row[r] ? 0 : 1;
+  }
+  std::vector<bool> quake_col(shape.cols, false);
+  if (live_rows > 0) {
+    for (std::size_t c = 0; c < shape.cols; ++c) {
+      std::size_t hits = 0;
+      for (std::size_t r = 0; r < shape.rows; ++r) {
+        hits += above[r * shape.cols + c] ? 1 : 0;
+      }
+      quake_col[c] = static_cast<double>(hits) >=
+                     params.quake_channel_fraction *
+                         static_cast<double>(live_rows);
+    }
+  }
+  for (const auto& [lo, hi] : group_runs(quake_col)) {
+    if (static_cast<double>(hi - lo + 1) >
+        params.quake_time_fraction * static_cast<double>(shape.cols)) {
+      continue;  // too long-lived for a seismic arrival
+    }
+    Accumulator acc;
+    for (std::size_t c = lo; c <= hi; ++c) {
+      for (std::size_t r = 0; r < shape.rows; ++r) {
+        if (above[r * shape.cols + c]) acc.add(r, c, similarity.at(r, c));
+      }
+    }
+    if (acc.e.cells >= params.min_cells) {
+      events.push_back(acc.finish(EventClass::kEarthquake));
+    }
+    for (std::size_t c = lo; c <= hi; ++c) {
+      for (std::size_t r = 0; r < shape.rows; ++r) {
+        above[r * shape.cols + c] = false;
+      }
+    }
+  }
+
+  // ---- pass 3: vehicles / unknown (connected components) ---------------
+  std::vector<bool> visited(shape.size(), false);
+  for (std::size_t seed = 0; seed < shape.size(); ++seed) {
+    if (!above[seed] || visited[seed]) continue;
+    const std::vector<std::size_t> cells = flood(above, visited, shape, seed);
+    if (cells.size() < params.min_cells) continue;
+    Accumulator acc;
+    for (const std::size_t i : cells) {
+      acc.add(i / shape.cols, i % shape.cols, similarity.data[i]);
+    }
+    DetectedEvent e = acc.finish(EventClass::kUnknown);
+    if (std::abs(e.slope_channels_per_sample) >= params.vehicle_min_slope) {
+      e.type = EventClass::kVehicle;
+    }
+    events.push_back(e);
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const DetectedEvent& a, const DetectedEvent& b) {
+              return a.cells > b.cells;
+            });
+  return events;
+}
+
+std::string describe(const DetectedEvent& e, double sampling_hz) {
+  std::ostringstream os;
+  os << event_class_name(e.type) << " ch[" << e.channel_lo << ","
+     << e.channel_hi << "] t["
+     << static_cast<double>(e.time_lo) / sampling_hz << "s,"
+     << static_cast<double>(e.time_hi) / sampling_hz << "s] peak="
+     << e.peak_similarity;
+  if (e.type == EventClass::kVehicle) {
+    os << " speed=" << e.slope_channels_per_sample * sampling_hz
+       << " ch/s";
+  }
+  return os.str();
+}
+
+}  // namespace dassa::das

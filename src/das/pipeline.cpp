@@ -1,0 +1,177 @@
+#include "dassa/das/pipeline.hpp"
+
+#include "dassa/dsp/daslib.hpp"
+
+namespace dassa::das {
+
+ChannelPipeline::ChannelPipeline(double sampling_hz)
+    : sampling_hz_(sampling_hz),
+      stages_(std::make_shared<
+              std::vector<std::pair<std::string, Stage>>>()) {
+  DASSA_CHECK(sampling_hz > 0.0, "sampling rate must be positive");
+}
+
+void ChannelPipeline::add(std::string name, Stage stage) {
+  stages_->emplace_back(std::move(name), std::move(stage));
+}
+
+void ChannelPipeline::check_band_edge(double hz) const {
+  DASSA_CHECK(hz > 0.0 && hz < sampling_hz_ / 2.0,
+              "frequency must lie strictly between 0 and Nyquist (" +
+                  std::to_string(sampling_hz_ / 2.0) + " Hz)");
+}
+
+ChannelPipeline& ChannelPipeline::detrend() {
+  add("detrend", [](std::vector<double> x) {
+    dsp::detrend_linear_inplace(x);
+    return x;
+  });
+  return *this;
+}
+
+ChannelPipeline& ChannelPipeline::demean() {
+  add("demean", [](std::vector<double> x) {
+    dsp::detrend_constant_inplace(x);
+    return x;
+  });
+  return *this;
+}
+
+ChannelPipeline& ChannelPipeline::despike(std::size_t half, double k_mad) {
+  DASSA_CHECK(k_mad > 0.0, "MAD multiplier must be positive");
+  add("despike", [half, k_mad](std::vector<double> x) {
+    return dsp::despike_mad(x, half, k_mad);
+  });
+  return *this;
+}
+
+ChannelPipeline& ChannelPipeline::taper(double alpha) {
+  DASSA_CHECK(alpha >= 0.0 && alpha <= 1.0, "taper alpha must be in [0,1]");
+  add("taper", [alpha](std::vector<double> x) {
+    const std::vector<double> w = dsp::tukey_window(x.size(), alpha);
+    dsp::apply_window(x, w);
+    return x;
+  });
+  return *this;
+}
+
+ChannelPipeline& ChannelPipeline::bandpass(int order, double lo_hz,
+                                           double hi_hz) {
+  check_band_edge(lo_hz);
+  check_band_edge(hi_hz);
+  DASSA_CHECK(lo_hz < hi_hz, "bandpass requires lo < hi");
+  const double nyquist = sampling_hz_ / 2.0;
+  const dsp::FilterCoeffs coeffs =
+      dsp::butter_bandpass(order, lo_hz / nyquist, hi_hz / nyquist);
+  add("bandpass", [coeffs](std::vector<double> x) {
+    return dsp::filtfilt(coeffs, x);
+  });
+  return *this;
+}
+
+ChannelPipeline& ChannelPipeline::lowpass(int order, double cut_hz) {
+  check_band_edge(cut_hz);
+  const dsp::FilterCoeffs coeffs =
+      dsp::butter_lowpass(order, cut_hz / (sampling_hz_ / 2.0));
+  add("lowpass", [coeffs](std::vector<double> x) {
+    return dsp::filtfilt(coeffs, x);
+  });
+  return *this;
+}
+
+ChannelPipeline& ChannelPipeline::highpass(int order, double cut_hz) {
+  check_band_edge(cut_hz);
+  const dsp::FilterCoeffs coeffs =
+      dsp::butter_highpass(order, cut_hz / (sampling_hz_ / 2.0));
+  add("highpass", [coeffs](std::vector<double> x) {
+    return dsp::filtfilt(coeffs, x);
+  });
+  return *this;
+}
+
+ChannelPipeline& ChannelPipeline::resample(std::size_t up,
+                                           std::size_t down) {
+  DASSA_CHECK(up >= 1 && down >= 1, "resample factors must be positive");
+  add("resample", [up, down](std::vector<double> x) {
+    return dsp::resample(x, up, down);
+  });
+  sampling_hz_ *= static_cast<double>(up) / static_cast<double>(down);
+  return *this;
+}
+
+ChannelPipeline& ChannelPipeline::whiten(std::size_t smooth_bins) {
+  DASSA_CHECK(smooth_bins >= 1, "whitening needs >= 1 smoothing bin");
+  add("whiten", [smooth_bins](std::vector<double> x) {
+    return dsp::spectral_whiten(x, smooth_bins);
+  });
+  return *this;
+}
+
+ChannelPipeline& ChannelPipeline::one_bit() {
+  add("one_bit",
+      [](std::vector<double> x) { return dsp::one_bit(x); });
+  return *this;
+}
+
+ChannelPipeline& ChannelPipeline::envelope() {
+  add("envelope",
+      [](std::vector<double> x) { return dsp::envelope(x); });
+  return *this;
+}
+
+ChannelPipeline& ChannelPipeline::custom(std::string name, Stage stage) {
+  DASSA_CHECK(stage != nullptr, "custom stage must be callable");
+  add(std::move(name), std::move(stage));
+  return *this;
+}
+
+std::vector<double> ChannelPipeline::run(std::vector<double> x) const {
+  for (const auto& [name, stage] : *stages_) {
+    x = stage(std::move(x));
+  }
+  return x;
+}
+
+core::RowUdf ChannelPipeline::build() const {
+  // Snapshot the stage list: stages added to the builder afterwards do
+  // not affect already-built pipelines.
+  auto snapshot = std::make_shared<
+      const std::vector<std::pair<std::string, Stage>>>(*stages_);
+  return [snapshot](const core::Stencil& s) {
+    const std::span<const double> row = s.row_span(0);
+    std::vector<double> x(row.begin(), row.end());
+    for (const auto& [name, stage] : *snapshot) {
+      x = stage(std::move(x));
+    }
+    return x;
+  };
+}
+
+core::RowUdf ChannelPipeline::correlate_with_master(
+    std::vector<dsp::cplx> master_spectrum) const {
+  const core::RowUdf chain = build();
+  return [chain, master = std::move(master_spectrum)](
+             const core::Stencil& s) -> std::vector<double> {
+    const std::vector<double> processed = chain(s);
+    const std::vector<dsp::cplx> spec = dsp::rfft(processed);
+    DASSA_CHECK(spec.size() == master.size(),
+                "channel spectrum length differs from the master's; "
+                "prepare the master with the same pipeline");
+    return {dsp::abscorr(std::span<const dsp::cplx>(spec),
+                         std::span<const dsp::cplx>(master))};
+  };
+}
+
+std::vector<dsp::cplx> ChannelPipeline::spectrum(
+    std::vector<double> x) const {
+  return dsp::rfft(run(std::move(x)));
+}
+
+std::vector<std::string> ChannelPipeline::stage_names() const {
+  std::vector<std::string> names;
+  names.reserve(stages_->size());
+  for (const auto& [name, _] : *stages_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dassa::das

@@ -1,0 +1,100 @@
+#include "dassa/das/search.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <regex>
+
+#include "dassa/io/dash5.hpp"
+
+namespace dassa::das {
+
+namespace {
+
+/// Extract "yymmddhhmmss" from a path ending in "_<12 digits>.dh5";
+/// returns empty if the pattern does not match.
+std::string timestamp_from_name(const std::filesystem::path& p) {
+  const std::string stem = p.stem().string();
+  if (stem.size() < 13) return {};
+  const std::string tail = stem.substr(stem.size() - 12);
+  if (stem[stem.size() - 13] != '_') return {};
+  for (char c : tail) {
+    if (c < '0' || c > '9') return {};
+  }
+  return tail;
+}
+
+}  // namespace
+
+Catalog Catalog::scan(const std::string& dir, bool read_headers) {
+  std::vector<DasFileInfo> entries;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".dh5") {
+      continue;
+    }
+    DasFileInfo info;
+    info.path = entry.path().string();
+    if (read_headers) {
+      const io::Dash5Header h = io::Dash5File::read_header(info.path);
+      info.timestamp =
+          Timestamp::parse(h.global.get_or_throw(io::meta::kTimeStamp));
+      info.shape = h.shape;
+    } else {
+      const std::string ts = timestamp_from_name(entry.path());
+      if (ts.empty()) continue;  // not an acquisition file
+      info.timestamp = Timestamp::parse(ts);
+    }
+    entries.push_back(std::move(info));
+  }
+  return from_entries(std::move(entries));
+}
+
+Catalog Catalog::from_entries(std::vector<DasFileInfo> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const DasFileInfo& a, const DasFileInfo& b) {
+              return a.timestamp < b.timestamp ||
+                     (a.timestamp == b.timestamp && a.path < b.path);
+            });
+  Catalog c;
+  c.entries_ = std::move(entries);
+  return c;
+}
+
+std::vector<DasFileInfo> Catalog::query_range(const Timestamp& start,
+                                              std::size_t count) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), start,
+      [](const DasFileInfo& a, const Timestamp& t) { return a.timestamp < t; });
+  const std::size_t first = static_cast<std::size_t>(it - entries_.begin());
+  const std::size_t last = std::min(entries_.size(), first + count);
+  return {entries_.begin() + static_cast<std::ptrdiff_t>(first),
+          entries_.begin() + static_cast<std::ptrdiff_t>(last)};
+}
+
+std::vector<DasFileInfo> Catalog::query_interval(const Timestamp& begin,
+                                                 const Timestamp& end) const {
+  std::vector<DasFileInfo> out;
+  for (const auto& e : entries_) {
+    if (begin <= e.timestamp && e.timestamp < end) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<DasFileInfo> Catalog::query_regex(
+    const std::string& pattern) const {
+  const std::regex re(pattern);
+  std::vector<DasFileInfo> out;
+  for (const auto& e : entries_) {
+    if (std::regex_match(e.timestamp.str(), re)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::string> Catalog::paths(
+    const std::vector<DasFileInfo>& infos) {
+  std::vector<std::string> out;
+  out.reserve(infos.size());
+  for (const auto& i : infos) out.push_back(i.path);
+  return out;
+}
+
+}  // namespace dassa::das

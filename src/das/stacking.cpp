@@ -1,0 +1,110 @@
+#include "dassa/das/stacking.hpp"
+
+#include "dassa/common/counters.hpp"
+#include "dassa/dsp/correlate.hpp"
+
+namespace dassa::das {
+
+namespace {
+
+std::size_t effective_hop(const StackingParams& p) {
+  return p.window_hop == 0 ? p.window_samples : p.window_hop;
+}
+
+void validate(const StackingParams& p) {
+  DASSA_CHECK(p.window_samples >= 8,
+              "stacking windows must hold at least 8 samples");
+}
+
+}  // namespace
+
+std::size_t stack_window_count(std::size_t samples,
+                               const StackingParams& params) {
+  validate(params);
+  if (samples < params.window_samples) return 0;
+  return (samples - params.window_samples) / effective_hop(params) + 1;
+}
+
+std::vector<double> stacked_ncf(std::span<const double> channel,
+                                std::span<const double> master,
+                                const StackingParams& params) {
+  validate(params);
+  DASSA_CHECK(channel.size() == master.size(),
+              "channel and master must cover the same time range");
+  const std::size_t windows =
+      stack_window_count(channel.size(), params);
+  DASSA_CHECK(windows >= 1, "record shorter than one stacking window");
+  const std::size_t hop = effective_hop(params);
+
+  std::vector<double> stack;
+  for (std::size_t w = 0; w < windows; ++w) {
+    const std::size_t off = w * hop;
+    // Per-window processing + frequency-domain correlation: one NCF per
+    // (channel, window) -- the slice of the paper's 3D intermediate.
+    const std::vector<dsp::cplx> ch_spec = interferometry_spectrum(
+        channel.subspan(off, params.window_samples), params.base);
+    const std::vector<dsp::cplx> ms_spec = interferometry_spectrum(
+        master.subspan(off, params.window_samples), params.base);
+    const std::vector<double> ncf = dsp::xcorr_spectra(ch_spec, ms_spec);
+    if (stack.empty()) {
+      stack = ncf;
+    } else {
+      DASSA_CHECK(ncf.size() == stack.size(),
+                  "window NCFs differ in length");
+      for (std::size_t i = 0; i < ncf.size(); ++i) stack[i] += ncf[i];
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(windows);
+  for (double& v : stack) v *= scale;
+  return stack;
+}
+
+core::RowUdfFactory make_stacking_factory(const StackingParams& params) {
+  return [params](const core::RankContext& ctx) -> core::RowUdf {
+    const Shape2D global = ctx.block.global_shape;
+    DASSA_CHECK(params.base.master_channel < global.rows,
+                "master channel outside the array");
+    const int size = ctx.comm.size();
+    int owner = 0;
+    for (int r = 0; r < size; ++r) {
+      const Range range =
+          even_chunk(global.rows, static_cast<std::size_t>(size),
+                     static_cast<std::size_t>(r));
+      if (params.base.master_channel >= range.begin &&
+          params.base.master_channel < range.end) {
+        owner = r;
+        break;
+      }
+    }
+    std::vector<double> master_row;
+    if (ctx.comm.rank() == owner) {
+      const Range mine =
+          even_chunk(global.rows, static_cast<std::size_t>(size),
+                     static_cast<std::size_t>(owner));
+      const std::size_t local_row =
+          ctx.block.owned_local.begin +
+          (params.base.master_channel - mine.begin);
+      const double* row =
+          ctx.block.data.data() + local_row * ctx.block.block_shape.cols;
+      master_row.assign(row, row + ctx.block.block_shape.cols);
+    }
+    ctx.comm.bcast(master_row, owner);
+    global_counters().add(counters::kMemMasterChannelCopies);
+
+    return [params, master = std::move(master_row)](
+               const core::Stencil& s) -> std::vector<double> {
+      return stacked_ncf(s.row_span(0), master, params);
+    };
+  };
+}
+
+core::EngineReport stacking_distributed(const core::EngineConfig& config,
+                                        const io::Vca& vca,
+                                        const StackingParams& params) {
+  const std::size_t cols = vca.shape().cols;
+  const std::size_t extra_bytes = cols * sizeof(double);
+  return core::run_rows(config, vca, make_stacking_factory(params),
+                        extra_bytes);
+}
+
+}  // namespace dassa::das

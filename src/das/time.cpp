@@ -1,0 +1,103 @@
+#include "dassa/das/time.hpp"
+
+#include <cctype>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::das {
+
+namespace {
+
+// days_from_civil(2000,1,1): 719468 (1970-01-01) + 10957 days.
+constexpr std::int64_t kEpochDays2000 = 730425;
+
+/// Days since 0000-03-01 (Howard Hinnant's days_from_civil).
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe);
+}
+
+/// Inverse of days_from_civil.
+void civil_from_days(std::int64_t z, int& y, int& m, int& d) {
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp < 10 ? mp + 3 : mp - 9);
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+int two_digits(const std::string& s, std::size_t pos) {
+  return (s[pos] - '0') * 10 + (s[pos + 1] - '0');
+}
+
+void append_two(std::string& out, int v) {
+  out.push_back(static_cast<char>('0' + v / 10));
+  out.push_back(static_cast<char>('0' + v % 10));
+}
+
+}  // namespace
+
+Timestamp Timestamp::parse(const std::string& s) {
+  DASSA_CHECK(s.size() == 12, "timestamp must be 12 digits (yymmddhhmmss)");
+  for (char c : s) {
+    DASSA_CHECK(std::isdigit(static_cast<unsigned char>(c)) != 0,
+                "timestamp must be numeric: " + s);
+  }
+  Timestamp t;
+  t.year = 2000 + two_digits(s, 0);
+  t.month = two_digits(s, 2);
+  t.day = two_digits(s, 4);
+  t.hour = two_digits(s, 6);
+  t.minute = two_digits(s, 8);
+  t.second = two_digits(s, 10);
+  DASSA_CHECK(t.month >= 1 && t.month <= 12, "bad month in " + s);
+  DASSA_CHECK(t.day >= 1 && t.day <= 31, "bad day in " + s);
+  DASSA_CHECK(t.hour <= 23 && t.minute <= 59 && t.second <= 59,
+              "bad time of day in " + s);
+  return t;
+}
+
+std::string Timestamp::str() const {
+  std::string out;
+  out.reserve(12);
+  append_two(out, year - 2000);
+  append_two(out, month);
+  append_two(out, day);
+  append_two(out, hour);
+  append_two(out, minute);
+  append_two(out, second);
+  return out;
+}
+
+std::int64_t Timestamp::epoch_seconds() const {
+  const std::int64_t days =
+      days_from_civil(year, month, day) - kEpochDays2000;
+  return ((days * 24 + hour) * 60 + minute) * 60 + second;
+}
+
+Timestamp Timestamp::plus_seconds(std::int64_t seconds) const {
+  std::int64_t total = epoch_seconds() + seconds;
+  DASSA_CHECK(total >= 0, "timestamp underflows year 2000");
+  Timestamp t;
+  t.second = static_cast<int>(total % 60);
+  total /= 60;
+  t.minute = static_cast<int>(total % 60);
+  total /= 60;
+  t.hour = static_cast<int>(total % 24);
+  total /= 24;
+  civil_from_days(total + kEpochDays2000, t.year, t.month, t.day);
+  DASSA_CHECK(t.year < 2100, "timestamp overflows two-digit year");
+  return t;
+}
+
+}  // namespace dassa::das

@@ -1,0 +1,95 @@
+#include "dassa/dsp/correlate.hpp"
+
+#include <cmath>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::dsp {
+
+double abscorr(std::span<const double> a, std::span<const double> b) {
+  DASSA_CHECK(a.size() == b.size(), "abscorr requires equal lengths");
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return std::abs(dot) / std::sqrt(na * nb);
+}
+
+double abscorr(std::span<const cplx> a, std::span<const cplx> b) {
+  DASSA_CHECK(a.size() == b.size(), "abscorr requires equal lengths");
+  cplx dot(0.0, 0.0);
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * std::conj(b[i]);
+    na += std::norm(a[i]);
+    nb += std::norm(b[i]);
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return std::abs(dot) / std::sqrt(na * nb);
+}
+
+std::vector<double> xcorr_full(std::span<const double> a,
+                               std::span<const double> b) {
+  DASSA_CHECK(!a.empty() && !b.empty(), "xcorr of empty signal");
+  const std::size_t n = a.size() + b.size() - 1;
+  const std::size_t m = next_pow2(n);
+  std::vector<cplx> fa(m, cplx(0, 0));
+  std::vector<cplx> fb(m, cplx(0, 0));
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = cplx(a[i], 0.0);
+  // Time-reverse b so that convolution computes correlation.
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    fb[i] = cplx(b[b.size() - 1 - i], 0.0);
+  }
+  fft_inplace(fa);
+  fft_inplace(fb);
+  for (std::size_t i = 0; i < m; ++i) fa[i] *= fb[i];
+  ifft_inplace(fa);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+std::vector<double> xcorr_spectra(std::span<const cplx> a,
+                                  std::span<const cplx> b) {
+  DASSA_CHECK(a.size() == b.size(), "spectra must have equal length");
+  std::vector<cplx> prod(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) prod[i] = a[i] * std::conj(b[i]);
+  ifft_inplace(prod);
+  std::vector<double> out(prod.size());
+  for (std::size_t i = 0; i < prod.size(); ++i) out[i] = prod[i].real();
+  return out;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  DASSA_CHECK(a.size() == b.size() && !a.empty(),
+              "pearson requires equal non-empty lengths");
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0;
+  double mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace dassa::dsp

@@ -1,0 +1,52 @@
+#include "dassa/dsp/detrend.hpp"
+
+namespace dassa::dsp {
+
+void detrend_linear_inplace(std::span<double> x) {
+  const std::size_t n = x.size();
+  if (n < 2) {
+    detrend_constant_inplace(x);
+    return;
+  }
+  // Least-squares fit of y = a + b*t with t = 0..n-1, in closed form.
+  // Using centered time c = t - (n-1)/2 keeps the normal equations
+  // diagonal: a = mean(y), b = sum(c*y) / sum(c^2).
+  const double mid = static_cast<double>(n - 1) / 2.0;
+  double mean = 0.0;
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = static_cast<double>(i) - mid;
+    mean += x[i];
+    num += c * x[i];
+    den += c * c;
+  }
+  mean /= static_cast<double>(n);
+  const double slope = den > 0.0 ? num / den : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = static_cast<double>(i) - mid;
+    x[i] -= mean + slope * c;
+  }
+}
+
+void detrend_constant_inplace(std::span<double> x) {
+  if (x.empty()) return;
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  for (double& v : x) v -= mean;
+}
+
+std::vector<double> detrend_linear(std::span<const double> x) {
+  std::vector<double> y(x.begin(), x.end());
+  detrend_linear_inplace(y);
+  return y;
+}
+
+std::vector<double> detrend_constant(std::span<const double> x) {
+  std::vector<double> y(x.begin(), x.end());
+  detrend_constant_inplace(y);
+  return y;
+}
+
+}  // namespace dassa::dsp

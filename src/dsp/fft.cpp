@@ -1,0 +1,156 @@
+#include "dassa/dsp/fft.hpp"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <numbers>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::dsp {
+
+namespace {
+
+/// Precomputed twiddle factors e^{-pi i k / half} for one radix-2 size.
+struct Twiddles {
+  explicit Twiddles(std::size_t n) : factors(n / 2) {
+    for (std::size_t k = 0; k < factors.size(); ++k) {
+      const double angle =
+          -2.0 * std::numbers::pi * static_cast<double>(k) /
+          static_cast<double>(n);
+      factors[k] = cplx(std::cos(angle), std::sin(angle));
+    }
+  }
+  std::vector<cplx> factors;
+};
+
+/// Shared twiddle cache; DasLib kernels run from many threads at once.
+std::shared_ptr<const Twiddles> twiddles_for(std::size_t n) {
+  static std::mutex mu;
+  static std::map<std::size_t, std::shared_ptr<const Twiddles>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& entry = cache[n];
+  if (!entry) entry = std::make_shared<const Twiddles>(n);
+  return entry;
+}
+
+/// Iterative radix-2 Cooley-Tukey; n must be a power of two.
+/// `invert` runs the conjugate transform without the 1/n scale.
+void fft_radix2(std::vector<cplx>& x, bool invert) {
+  const std::size_t n = x.size();
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  const auto tw = twiddles_for(n);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t stride = n / len;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        cplx w = tw->factors[k * stride];
+        if (invert) w = std::conj(w);
+        const cplx u = x[i + k];
+        const cplx v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+      }
+    }
+  }
+}
+
+/// Bluestein's chirp-z transform for arbitrary n, via a radix-2
+/// convolution of length >= 2n-1.
+void fft_bluestein(std::vector<cplx>& x, bool invert) {
+  const std::size_t n = x.size();
+  const std::size_t m = next_pow2(2 * n - 1);
+
+  // Chirp: w[k] = e^{-pi i k^2 / n} (conjugated for the inverse).
+  std::vector<cplx> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n avoids precision loss for large k.
+    const std::size_t k2 = (k * k) % (2 * n);
+    double angle = std::numbers::pi * static_cast<double>(k2) /
+                   static_cast<double>(n);
+    if (!invert) angle = -angle;
+    chirp[k] = cplx(std::cos(angle), std::sin(angle));
+  }
+
+  std::vector<cplx> a(m, cplx(0, 0));
+  std::vector<cplx> b(m, cplx(0, 0));
+  for (std::size_t k = 0; k < n; ++k) {
+    a[k] = x[k] * chirp[k];
+    b[k] = std::conj(chirp[k]);
+  }
+  for (std::size_t k = 1; k < n; ++k) b[m - k] = std::conj(chirp[k]);
+
+  fft_radix2(a, false);
+  fft_radix2(b, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_radix2(a, true);
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    x[k] = a[k] * scale * chirp[k];
+  }
+}
+
+void dft_dispatch(std::vector<cplx>& x, bool invert) {
+  if (x.empty()) return;
+  if (is_pow2(x.size())) {
+    fft_radix2(x, invert);
+  } else {
+    fft_bluestein(x, invert);
+  }
+}
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) {
+  DASSA_CHECK(n >= 1, "next_pow2 requires n >= 1");
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fft_inplace(std::vector<cplx>& x) { dft_dispatch(x, false); }
+
+void ifft_inplace(std::vector<cplx>& x) {
+  dft_dispatch(x, true);
+  const double scale = x.empty() ? 1.0 : 1.0 / static_cast<double>(x.size());
+  for (auto& v : x) v *= scale;
+}
+
+std::vector<cplx> rfft(std::span<const double> x) {
+  std::vector<cplx> c(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) c[i] = cplx(x[i], 0.0);
+  fft_inplace(c);
+  return c;
+}
+
+std::vector<double> irfft_real(std::span<const cplx> spectrum) {
+  std::vector<cplx> c(spectrum.begin(), spectrum.end());
+  ifft_inplace(c);
+  std::vector<double> out(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) out[i] = c[i].real();
+  return out;
+}
+
+std::vector<cplx> fft(std::vector<cplx> x) {
+  fft_inplace(x);
+  return x;
+}
+
+std::vector<cplx> ifft(std::vector<cplx> x) {
+  ifft_inplace(x);
+  return x;
+}
+
+}  // namespace dassa::dsp

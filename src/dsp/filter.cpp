@@ -1,0 +1,120 @@
+#include "dassa/dsp/filter.hpp"
+
+#include <algorithm>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::dsp {
+
+namespace {
+
+/// Normalise coefficients to a[0] == 1 and equal lengths n.
+struct Normalised {
+  std::vector<double> b;
+  std::vector<double> a;
+  std::size_t n;  // max(|a|, |b|)
+};
+
+Normalised normalise(const FilterCoeffs& f) {
+  DASSA_CHECK(!f.a.empty() && !f.b.empty(), "filter coefficients empty");
+  DASSA_CHECK(f.a[0] != 0.0, "a[0] must be non-zero");
+  Normalised out;
+  out.n = std::max(f.a.size(), f.b.size());
+  out.b.assign(out.n, 0.0);
+  out.a.assign(out.n, 0.0);
+  for (std::size_t i = 0; i < f.b.size(); ++i) out.b[i] = f.b[i] / f.a[0];
+  for (std::size_t i = 0; i < f.a.size(); ++i) out.a[i] = f.a[i] / f.a[0];
+  return out;
+}
+
+std::vector<double> run_df2t(const Normalised& f, std::span<const double> x,
+                             std::vector<double>& z) {
+  const std::size_t ns = f.n - 1;
+  DASSA_CHECK(z.size() == ns, "initial state has wrong length");
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double xi = x[i];
+    const double yi = f.b[0] * xi + (ns > 0 ? z[0] : 0.0);
+    for (std::size_t s = 0; s + 1 < ns; ++s) {
+      z[s] = f.b[s + 1] * xi + z[s + 1] - f.a[s + 1] * yi;
+    }
+    if (ns > 0) {
+      z[ns - 1] = f.b[ns] * xi - f.a[ns] * yi;
+    }
+    y[i] = yi;
+  }
+  return y;
+}
+
+}  // namespace
+
+std::vector<double> lfilter(const FilterCoeffs& f, std::span<const double> x) {
+  const Normalised nf = normalise(f);
+  std::vector<double> z(nf.n - 1, 0.0);
+  return run_df2t(nf, x, z);
+}
+
+std::vector<double> lfilter(const FilterCoeffs& f, std::span<const double> x,
+                            std::vector<double>& zi) {
+  const Normalised nf = normalise(f);
+  return run_df2t(nf, x, zi);
+}
+
+std::vector<double> lfilter_zi(const FilterCoeffs& f) {
+  // Direct-form II transposed steady state for unit input. With
+  // y_ss = sum(b)/sum(a), the state recurrence at steady state is
+  //   z[i] = b[i+1] - a[i+1]*y_ss + z[i+1],
+  // solved by back-substitution. (For filters with sum(a) == 0 --
+  // not produced by the Butterworth designer -- y_ss is taken as 0.)
+  const Normalised nf = normalise(f);
+  const std::size_t ns = nf.n - 1;
+  std::vector<double> zi(ns, 0.0);
+  if (ns == 0) return zi;
+  double sum_b = 0.0;
+  double sum_a = 0.0;
+  for (double v : nf.b) sum_b += v;
+  for (double v : nf.a) sum_a += v;
+  const double y_ss = (sum_a != 0.0) ? sum_b / sum_a : 0.0;
+  zi[ns - 1] = nf.b[ns] - nf.a[ns] * y_ss;
+  for (std::size_t i = ns - 1; i-- > 0;) {
+    zi[i] = nf.b[i + 1] - nf.a[i + 1] * y_ss + zi[i + 1];
+  }
+  return zi;
+}
+
+std::vector<double> filtfilt(const FilterCoeffs& f,
+                             std::span<const double> x) {
+  const Normalised nf = normalise(f);
+  const std::size_t pad = 3 * (nf.n - 1);
+  DASSA_CHECK(x.size() > pad,
+              "filtfilt input must be longer than 3*(filter order)");
+
+  // Odd reflection about the end points removes edge transients.
+  std::vector<double> ext;
+  ext.reserve(x.size() + 2 * pad);
+  for (std::size_t i = 0; i < pad; ++i) {
+    ext.push_back(2.0 * x[0] - x[pad - i]);
+  }
+  ext.insert(ext.end(), x.begin(), x.end());
+  for (std::size_t i = 0; i < pad; ++i) {
+    ext.push_back(2.0 * x[x.size() - 1] - x[x.size() - 2 - i]);
+  }
+
+  const std::vector<double> zi = lfilter_zi(f);
+
+  // Forward pass.
+  std::vector<double> state(zi.size());
+  for (std::size_t i = 0; i < zi.size(); ++i) state[i] = zi[i] * ext.front();
+  std::vector<double> fwd = run_df2t(nf, ext, state);
+
+  // Backward pass.
+  std::reverse(fwd.begin(), fwd.end());
+  for (std::size_t i = 0; i < zi.size(); ++i) state[i] = zi[i] * fwd.front();
+  std::vector<double> bwd = run_df2t(nf, fwd, state);
+  std::reverse(bwd.begin(), bwd.end());
+
+  return {bwd.begin() + static_cast<std::ptrdiff_t>(pad),
+          bwd.begin() + static_cast<std::ptrdiff_t>(pad + x.size())};
+}
+
+}  // namespace dassa::dsp

@@ -1,0 +1,53 @@
+#include "dassa/dsp/hilbert.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dassa::dsp {
+
+std::vector<cplx> analytic_signal(std::span<const double> x) {
+  const std::size_t n = x.size();
+  if (n == 0) return {};
+  std::vector<cplx> spec = rfft(x);
+  // Zero negative frequencies, double positive ones; DC (and Nyquist
+  // for even n) stay untouched.
+  const std::size_t half = n / 2;
+  for (std::size_t k = 1; k < (n + 1) / 2; ++k) spec[k] *= 2.0;
+  for (std::size_t k = half + 1; k < n; ++k) spec[k] = cplx(0.0, 0.0);
+  ifft_inplace(spec);
+  return spec;
+}
+
+std::vector<double> envelope(std::span<const double> x) {
+  const std::vector<cplx> z = analytic_signal(x);
+  std::vector<double> env(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) env[i] = std::abs(z[i]);
+  return env;
+}
+
+std::vector<double> instantaneous_phase(std::span<const double> x) {
+  const std::vector<cplx> z = analytic_signal(x);
+  std::vector<double> phase(z.size());
+  double offset = 0.0;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    const double raw = std::arg(z[i]);
+    if (i > 0) {
+      // Unwrap: keep successive samples within pi of each other.
+      double delta = raw - prev;
+      while (delta > std::numbers::pi) {
+        offset -= 2.0 * std::numbers::pi;
+        delta -= 2.0 * std::numbers::pi;
+      }
+      while (delta < -std::numbers::pi) {
+        offset += 2.0 * std::numbers::pi;
+        delta += 2.0 * std::numbers::pi;
+      }
+    }
+    prev = raw;
+    phase[i] = raw + offset;
+  }
+  return phase;
+}
+
+}  // namespace dassa::dsp

@@ -1,0 +1,59 @@
+#include "dassa/dsp/moving.hpp"
+
+#include <cmath>
+#include <deque>
+
+namespace dassa::dsp {
+
+namespace {
+template <typename Transform>
+std::vector<double> windowed_mean(std::span<const double> x, std::size_t half,
+                                  Transform&& tx) {
+  const std::size_t n = x.size();
+  std::vector<double> y(n);
+  if (n == 0) return y;
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + tx(x[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = (i >= half) ? i - half : 0;
+    const std::size_t hi = std::min(n, i + half + 1);
+    y[i] = (prefix[hi] - prefix[lo]) / static_cast<double>(hi - lo);
+  }
+  return y;
+}
+}  // namespace
+
+std::vector<double> moving_mean(std::span<const double> x, std::size_t half) {
+  return windowed_mean(x, half, [](double v) { return v; });
+}
+
+std::vector<double> moving_rms(std::span<const double> x, std::size_t half) {
+  auto y = windowed_mean(x, half, [](double v) { return v * v; });
+  for (double& v : y) v = std::sqrt(v);
+  return y;
+}
+
+std::vector<double> moving_absmax(std::span<const double> x,
+                                  std::size_t half) {
+  const std::size_t n = x.size();
+  std::vector<double> y(n);
+  if (n == 0) return y;
+  // Monotonic deque over a sliding window [i-half, i+half].
+  std::deque<std::size_t> dq;
+  std::size_t right = 0;  // next index to admit
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = (i >= half) ? i - half : 0;
+    const std::size_t hi = std::min(n - 1, i + half);
+    while (right <= hi) {
+      const double v = std::abs(x[right]);
+      while (!dq.empty() && std::abs(x[dq.back()]) <= v) dq.pop_back();
+      dq.push_back(right);
+      ++right;
+    }
+    while (!dq.empty() && dq.front() < lo) dq.pop_front();
+    y[i] = std::abs(x[dq.front()]);
+  }
+  return y;
+}
+
+}  // namespace dassa::dsp

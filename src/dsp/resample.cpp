@@ -1,0 +1,77 @@
+#include "dassa/dsp/resample.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "dassa/common/error.hpp"
+#include "dassa/dsp/window.hpp"
+
+namespace dassa::dsp {
+
+std::vector<double> resample_filter(std::size_t up, std::size_t down) {
+  DASSA_CHECK(up >= 1 && down >= 1, "resample factors must be positive");
+  // Cutoff at the tighter of the two Nyquist limits, on the upsampled
+  // grid where Nyquist corresponds to normalised frequency 1.
+  const double cutoff =
+      1.0 / static_cast<double>(std::max(up, down));  // (0, 1]
+  const std::size_t half = 10 * std::max(up, down);
+  const std::size_t n = 2 * half + 1;
+  const std::vector<double> w = kaiser_window(n, 5.0);
+  std::vector<double> h(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t =
+        static_cast<double>(i) - static_cast<double>(half);  // centred
+    const double arg = std::numbers::pi * cutoff * t;
+    const double sinc =
+        (t == 0.0) ? 1.0 : std::sin(arg) / (std::numbers::pi * t);
+    h[i] = ((t == 0.0) ? cutoff : sinc) * w[i];
+  }
+  // Normalise DC gain to `up` so zero-stuffed upsampling preserves
+  // amplitude.
+  double dc = 0.0;
+  for (double v : h) dc += v;
+  const double gain = static_cast<double>(up) / dc;
+  for (double& v : h) v *= gain;
+  return h;
+}
+
+std::vector<double> resample(std::span<const double> x, std::size_t up,
+                             std::size_t down) {
+  DASSA_CHECK(up >= 1 && down >= 1, "resample factors must be positive");
+  if (x.empty()) return {};
+  if (up == down) return {x.begin(), x.end()};
+
+  const std::vector<double> h = resample_filter(up, down);
+  const std::size_t half = (h.size() - 1) / 2;  // group delay on the
+                                                // upsampled grid
+  const std::size_t n = x.size();
+  const std::size_t out_len =
+      (n * up + down - 1) / down;  // ceil(n * up / down)
+
+  std::vector<double> y(out_len, 0.0);
+  for (std::size_t m = 0; m < out_len; ++m) {
+    // Output sample m sits at position m*down on the upsampled grid;
+    // the filter is centred there (delay-compensated).
+    const std::size_t pos = m * down + half;
+    // y[m] = sum_k h[k] * xup[pos - k]; xup[j] = x[j/up] when j % up == 0.
+    // Iterate only over taps hitting non-zero stuffed samples.
+    const std::size_t k_min = (pos >= h.size() - 1) ? pos - (h.size() - 1) : 0;
+    // First j >= k_min with j % up == 0:
+    std::size_t j = ((k_min + up - 1) / up) * up;
+    double acc = 0.0;
+    for (; j <= pos; j += up) {
+      const std::size_t src = j / up;
+      if (src >= n) break;
+      acc += h[pos - j] * x[src];
+    }
+    y[m] = acc;
+  }
+  return y;
+}
+
+std::vector<double> decimate(std::span<const double> x, std::size_t factor) {
+  DASSA_CHECK(factor >= 1, "decimation factor must be positive");
+  return resample(x, 1, factor);
+}
+
+}  // namespace dassa::dsp

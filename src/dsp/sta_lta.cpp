@@ -1,0 +1,60 @@
+#include "dassa/dsp/sta_lta.hpp"
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::dsp {
+
+std::vector<double> sta_lta(std::span<const double> x,
+                            const StaLtaParams& params) {
+  DASSA_CHECK(params.sta >= 1, "STA window must be >= 1");
+  DASSA_CHECK(params.lta > params.sta, "LTA window must exceed STA window");
+  const std::size_t n = x.size();
+  std::vector<double> ratio(n, 0.0);
+  if (n < params.lta) return ratio;
+
+  // Prefix sums of energy for O(1) window averages.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + x[i] * x[i];
+  }
+  const double eps = 1e-30;
+  for (std::size_t i = params.lta; i < n; ++i) {
+    const double sta =
+        (prefix[i + 1] - prefix[i + 1 - params.sta]) /
+        static_cast<double>(params.sta);
+    const double lta =
+        (prefix[i + 1] - prefix[i + 1 - params.lta]) /
+        static_cast<double>(params.lta);
+    ratio[i] = sta / (lta + eps);
+  }
+  return ratio;
+}
+
+std::vector<Trigger> pick_triggers(std::span<const double> ratio,
+                                   double on_level, double off_level) {
+  DASSA_CHECK(on_level > off_level,
+              "trigger on-level must exceed off-level (hysteresis)");
+  std::vector<Trigger> triggers;
+  bool active = false;
+  Trigger current;
+  for (std::size_t i = 0; i < ratio.size(); ++i) {
+    if (!active && ratio[i] > on_level) {
+      active = true;
+      current = Trigger{i, i, ratio[i]};
+    } else if (active) {
+      current.peak_ratio = std::max(current.peak_ratio, ratio[i]);
+      if (ratio[i] < off_level) {
+        current.off = i;
+        triggers.push_back(current);
+        active = false;
+      }
+    }
+  }
+  if (active) {
+    current.off = ratio.size();
+    triggers.push_back(current);
+  }
+  return triggers;
+}
+
+}  // namespace dassa::dsp

@@ -1,0 +1,51 @@
+#include "dassa/dsp/stft.hpp"
+
+#include "dassa/common/error.hpp"
+#include "dassa/dsp/window.hpp"
+
+namespace dassa::dsp {
+
+std::vector<std::vector<cplx>> stft(std::span<const double> x,
+                                    const StftParams& params) {
+  DASSA_CHECK(params.window >= 2, "STFT window must hold >= 2 samples");
+  DASSA_CHECK(params.hop >= 1, "STFT hop must be >= 1");
+  std::vector<std::vector<cplx>> frames;
+  if (x.size() < params.window) return frames;
+
+  const std::vector<double> win =
+      params.hann ? hann_window(params.window)
+                  : std::vector<double>(params.window, 1.0);
+  const std::size_t n_frames = (x.size() - params.window) / params.hop + 1;
+  frames.reserve(n_frames);
+
+  std::vector<double> buf(params.window);
+  for (std::size_t f = 0; f < n_frames; ++f) {
+    const double* src = x.data() + f * params.hop;
+    for (std::size_t i = 0; i < params.window; ++i) buf[i] = src[i] * win[i];
+    frames.push_back(rfft(buf));
+  }
+  return frames;
+}
+
+Spectrogram spectrogram(std::span<const double> x, const StftParams& params) {
+  const std::vector<std::vector<cplx>> frames = stft(x, params);
+  Spectrogram out;
+  const std::size_t bins = params.window / 2 + 1;
+  out.shape = {frames.size(), bins};
+  out.power.resize(out.shape.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    for (std::size_t b = 0; b < bins; ++b) {
+      out.power[out.shape.at(f, b)] = std::norm(frames[f][b]);
+    }
+  }
+  return out;
+}
+
+double bin_frequency_hz(std::size_t bin, std::size_t window,
+                        double sampling_hz) {
+  DASSA_CHECK(window >= 2, "window must hold >= 2 samples");
+  return static_cast<double>(bin) * sampling_hz /
+         static_cast<double>(window);
+}
+
+}  // namespace dassa::dsp

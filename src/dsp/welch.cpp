@@ -1,0 +1,110 @@
+#include "dassa/dsp/welch.hpp"
+
+#include <cmath>
+
+#include "dassa/common/error.hpp"
+#include "dassa/dsp/detrend.hpp"
+#include "dassa/dsp/window.hpp"
+
+namespace dassa::dsp {
+
+namespace {
+
+void validate(const WelchParams& p, std::size_t n) {
+  DASSA_CHECK(p.segment >= 8, "Welch segments must hold >= 8 samples");
+  DASSA_CHECK(p.overlap < p.segment, "overlap must be below segment size");
+  DASSA_CHECK(n >= p.segment, "signal shorter than one Welch segment");
+}
+
+/// Windowed, detrended FFT of each segment of x.
+std::vector<std::vector<cplx>> segment_spectra(std::span<const double> x,
+                                               const WelchParams& p) {
+  const std::size_t hop = p.segment - p.overlap;
+  const std::size_t segments = (x.size() - p.segment) / hop + 1;
+  const std::vector<double> win =
+      p.hann ? hann_window(p.segment)
+             : std::vector<double>(p.segment, 1.0);
+
+  std::vector<std::vector<cplx>> spectra;
+  spectra.reserve(segments);
+  std::vector<double> buf(p.segment);
+  for (std::size_t s = 0; s < segments; ++s) {
+    const double* src = x.data() + s * hop;
+    std::copy(src, src + p.segment, buf.begin());
+    detrend_constant_inplace(buf);
+    for (std::size_t i = 0; i < p.segment; ++i) buf[i] *= win[i];
+    spectra.push_back(rfft(buf));
+  }
+  return spectra;
+}
+
+double window_power(const WelchParams& p) {
+  const std::vector<double> win =
+      p.hann ? hann_window(p.segment)
+             : std::vector<double>(p.segment, 1.0);
+  double acc = 0.0;
+  for (double w : win) acc += w * w;
+  return acc;
+}
+
+}  // namespace
+
+std::vector<double> welch_psd(std::span<const double> x, double sampling_hz,
+                              const WelchParams& params) {
+  validate(params, x.size());
+  DASSA_CHECK(sampling_hz > 0.0, "sampling rate must be positive");
+  const auto spectra = segment_spectra(x, params);
+  const std::size_t bins = params.segment / 2 + 1;
+  const double norm =
+      1.0 / (sampling_hz * window_power(params) *
+             static_cast<double>(spectra.size()));
+
+  std::vector<double> psd(bins, 0.0);
+  for (const auto& spec : spectra) {
+    for (std::size_t b = 0; b < bins; ++b) {
+      psd[b] += std::norm(spec[b]) * norm;
+    }
+  }
+  // One-sided: double the interior bins (DC and Nyquist stay single).
+  for (std::size_t b = 1; b + 1 < bins; ++b) psd[b] *= 2.0;
+  return psd;
+}
+
+std::vector<double> coherence(std::span<const double> x,
+                              std::span<const double> y,
+                              const WelchParams& params) {
+  DASSA_CHECK(x.size() == y.size(), "coherence requires equal lengths");
+  validate(params, x.size());
+  const auto sx = segment_spectra(x, params);
+  const auto sy = segment_spectra(y, params);
+  DASSA_CHECK(sx.size() >= 2,
+              "coherence needs >= 2 Welch segments (it is trivially 1 "
+              "with one)");
+
+  const std::size_t bins = params.segment / 2 + 1;
+  std::vector<cplx> sxy(bins, cplx(0, 0));
+  std::vector<double> sxx(bins, 0.0);
+  std::vector<double> syy(bins, 0.0);
+  for (std::size_t s = 0; s < sx.size(); ++s) {
+    for (std::size_t b = 0; b < bins; ++b) {
+      sxy[b] += sx[s][b] * std::conj(sy[s][b]);
+      sxx[b] += std::norm(sx[s][b]);
+      syy[b] += std::norm(sy[s][b]);
+    }
+  }
+  std::vector<double> coh(bins, 0.0);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double denom = sxx[b] * syy[b];
+    if (denom > 1e-300) coh[b] = std::norm(sxy[b]) / denom;
+  }
+  return coh;
+}
+
+double welch_bin_hz(std::size_t bin, double sampling_hz,
+                    const WelchParams& params) {
+  DASSA_CHECK(params.segment >= 2, "segment must hold >= 2 samples");
+  return static_cast<double>(bin) * sampling_hz /
+         static_cast<double>(params.segment);
+}
+
+}  // namespace dassa::dsp

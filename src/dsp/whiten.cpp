@@ -1,0 +1,62 @@
+#include "dassa/dsp/whiten.hpp"
+
+#include <cmath>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::dsp {
+
+std::vector<double> spectral_whiten(std::span<const double> x,
+                                    std::size_t smooth_bins) {
+  DASSA_CHECK(smooth_bins >= 1, "smoothing window must be >= 1 bin");
+  if (x.empty()) return {};
+  std::vector<cplx> spec = rfft(x);
+  const std::size_t n = spec.size();
+
+  std::vector<double> amp(n);
+  for (std::size_t i = 0; i < n; ++i) amp[i] = std::abs(spec[i]);
+
+  // Moving average of the amplitude spectrum (clamped edges) via a
+  // prefix sum.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + amp[i];
+  const std::size_t half = smooth_bins / 2;
+  const double eps = 1e-12;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = (i >= half) ? i - half : 0;
+    const std::size_t hi = std::min(n, i + half + 1);
+    const double mean =
+        (prefix[hi] - prefix[lo]) / static_cast<double>(hi - lo);
+    if (mean > eps) spec[i] /= mean;
+  }
+  return irfft_real(spec);
+}
+
+std::vector<double> one_bit(std::span<const double> x) {
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = (x[i] > 0.0) ? 1.0 : ((x[i] < 0.0) ? -1.0 : 0.0);
+  }
+  return y;
+}
+
+std::vector<double> ram_normalize(std::span<const double> x,
+                                  std::size_t half) {
+  const std::size_t n = x.size();
+  std::vector<double> y(n);
+  if (n == 0) return y;
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + std::abs(x[i]);
+  const double eps = 1e-12;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = (i >= half) ? i - half : 0;
+    const std::size_t hi = std::min(n, i + half + 1);
+    const double mean =
+        (prefix[hi] - prefix[lo]) / static_cast<double>(hi - lo);
+    y[i] = (mean > eps) ? x[i] / mean : 0.0;
+  }
+  return y;
+}
+
+}  // namespace dassa::dsp

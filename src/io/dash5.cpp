@@ -1,0 +1,341 @@
+#include "dassa/io/dash5.hpp"
+
+#include <cstring>
+
+#include "serialize.hpp"
+
+namespace dassa::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'A', 'S', 'H', '5', '\0', '\0', '\2'};
+constexpr std::uint64_t kPreludeSize = 16;  // magic + header size
+
+void encode_kv(detail::Encoder& enc, const KvList& kv) {
+  enc.u32(static_cast<std::uint32_t>(kv.size()));
+  for (const auto& [k, v] : kv.items()) {
+    enc.str(k);
+    enc.str(v);
+  }
+}
+
+KvList decode_kv(detail::Decoder& dec) {
+  KvList kv;
+  const std::uint32_t n = dec.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string k = dec.str();
+    std::string v = dec.str();
+    kv.set(std::move(k), std::move(v));
+  }
+  return kv;
+}
+
+std::vector<std::byte> encode_header(const Dash5Header& h) {
+  detail::Encoder enc;
+  encode_kv(enc, h.global);
+  enc.u64(h.objects.size());
+  for (const auto& obj : h.objects) {
+    enc.str(obj.path);
+    encode_kv(enc, obj.kv);
+  }
+  enc.u8(static_cast<std::uint8_t>(h.dtype));
+  enc.u64(h.shape.rows);
+  enc.u64(h.shape.cols);
+  enc.u8(static_cast<std::uint8_t>(h.layout));
+  enc.u64(h.chunk.rows);
+  enc.u64(h.chunk.cols);
+  std::vector<std::byte> out = enc.bytes();
+  const std::uint32_t crc = detail::crc32(out.data(), out.size());
+  detail::Encoder tail;
+  tail.u32(crc);
+  out.insert(out.end(), tail.bytes().begin(), tail.bytes().end());
+  return out;
+}
+
+Dash5Header decode_header(const std::vector<std::byte>& raw,
+                          const std::string& path) {
+  if (raw.size() < 4) throw FormatError("header too small in " + path);
+  const std::size_t body = raw.size() - 4;
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, raw.data() + body, 4);
+  if (detail::crc32(raw.data(), body) != stored_crc) {
+    throw FormatError("header CRC mismatch in " + path);
+  }
+  detail::Decoder dec(raw);
+  Dash5Header h;
+  h.global = decode_kv(dec);
+  const std::uint64_t nobj = dec.u64();
+  h.objects.reserve(nobj);
+  for (std::uint64_t i = 0; i < nobj; ++i) {
+    ObjectMeta obj;
+    obj.path = dec.str();
+    obj.kv = decode_kv(dec);
+    h.objects.push_back(std::move(obj));
+  }
+  const std::uint8_t dtype = dec.u8();
+  if (dtype > static_cast<std::uint8_t>(DType::kF32)) {
+    throw FormatError("unknown dtype in " + path);
+  }
+  h.dtype = static_cast<DType>(dtype);
+  h.shape.rows = dec.u64();
+  h.shape.cols = dec.u64();
+  const std::uint8_t layout = dec.u8();
+  if (layout > static_cast<std::uint8_t>(Layout::kChunked)) {
+    throw FormatError("unknown layout in " + path);
+  }
+  h.layout = static_cast<Layout>(layout);
+  h.chunk.rows = dec.u64();
+  h.chunk.cols = dec.u64();
+  if (h.layout == Layout::kChunked &&
+      (h.chunk.rows == 0 || h.chunk.cols == 0)) {
+    throw FormatError("chunked layout without chunk extents in " + path);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::size_t dtype_size(DType t) {
+  return t == DType::kF64 ? sizeof(double) : sizeof(float);
+}
+
+namespace {
+
+/// Number of chunk tiles along each axis.
+std::pair<std::size_t, std::size_t> chunk_grid(const Dash5Header& h) {
+  return {(h.shape.rows + h.chunk.rows - 1) / h.chunk.rows,
+          (h.shape.cols + h.chunk.cols - 1) / h.chunk.cols};
+}
+
+void write_elements(OutputFile& out, const Dash5Header& header,
+                    std::span<const double> data) {
+  if (header.dtype == DType::kF64) {
+    out.write(data.data(), data.size_bytes());
+  } else {
+    std::vector<float> f(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      f[i] = static_cast<float>(data[i]);
+    }
+    out.write(f.data(), f.size() * sizeof(float));
+  }
+}
+
+}  // namespace
+
+void dash5_write(const std::string& path, const Dash5Header& header,
+                 std::span<const double> data) {
+  DASSA_CHECK(data.size() == header.shape.size(),
+              "data size does not match dataset shape");
+  if (header.layout == Layout::kChunked) {
+    DASSA_CHECK(header.chunk.rows >= 1 && header.chunk.cols >= 1,
+                "chunked layout needs positive chunk extents");
+  }
+  const std::vector<std::byte> head = encode_header(header);
+
+  OutputFile out(path);
+  out.write(kMagic, sizeof kMagic);
+  const std::uint64_t head_size = head.size();
+  out.write(&head_size, sizeof head_size);
+  out.write(head.data(), head.size());
+
+  if (header.layout == Layout::kContiguous) {
+    write_elements(out, header, data);
+  } else {
+    // Tile the array: chunks in grid row-major order, each a dense
+    // chunk_rows x chunk_cols block, zero-padded at the edges.
+    const auto [grid_rows, grid_cols] = chunk_grid(header);
+    std::vector<double> tile(header.chunk.rows * header.chunk.cols);
+    for (std::size_t gi = 0; gi < grid_rows; ++gi) {
+      for (std::size_t gj = 0; gj < grid_cols; ++gj) {
+        std::fill(tile.begin(), tile.end(), 0.0);
+        const std::size_t r0 = gi * header.chunk.rows;
+        const std::size_t c0 = gj * header.chunk.cols;
+        const std::size_t r_cnt =
+            std::min(header.chunk.rows, header.shape.rows - r0);
+        const std::size_t c_cnt =
+            std::min(header.chunk.cols, header.shape.cols - c0);
+        for (std::size_t r = 0; r < r_cnt; ++r) {
+          const double* src = data.data() + header.shape.at(r0 + r, c0);
+          std::copy(src, src + c_cnt,
+                    tile.data() + r * header.chunk.cols);
+        }
+        write_elements(out, header, tile);
+      }
+    }
+  }
+  out.close();
+}
+
+Dash5StreamWriter::Dash5StreamWriter(const std::string& path,
+                                     const Dash5Header& header)
+    : out_(path), dtype_(header.dtype), expected_(header.shape.size()) {
+  DASSA_CHECK(header.layout == Layout::kContiguous,
+              "stream writer supports the contiguous layout only");
+  const std::vector<std::byte> head = encode_header(header);
+  out_.write(kMagic, sizeof kMagic);
+  const std::uint64_t head_size = head.size();
+  out_.write(&head_size, sizeof head_size);
+  out_.write(head.data(), head.size());
+}
+
+void Dash5StreamWriter::append(std::span<const double> data) {
+  DASSA_CHECK(!closed_, "append on closed stream writer");
+  DASSA_CHECK(written_ + data.size() <= expected_,
+              "stream writer overflow: more elements than the header shape");
+  if (dtype_ == DType::kF64) {
+    out_.write(data.data(), data.size_bytes());
+  } else {
+    std::vector<float> f(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      f[i] = static_cast<float>(data[i]);
+    }
+    out_.write(f.data(), f.size() * sizeof(float));
+  }
+  written_ += data.size();
+}
+
+void Dash5StreamWriter::close() {
+  if (closed_) return;
+  if (written_ != expected_) {
+    throw StateError("stream writer closed after " +
+                     std::to_string(written_) + " of " +
+                     std::to_string(expected_) + " elements");
+  }
+  out_.close();
+  closed_ = true;
+}
+
+Dash5File::Dash5File(const std::string& path) : file_(path) {
+  char magic[8];
+  std::uint64_t head_size = 0;
+  if (file_.size() < kPreludeSize) {
+    throw FormatError("file too small to be DASH5: " + path);
+  }
+  // One read covers magic + header size + header block.
+  file_.read_at(0, magic, sizeof magic);
+  if (std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    throw FormatError("bad magic in " + path);
+  }
+  file_.read_at(8, &head_size, sizeof head_size);
+  if (kPreludeSize + head_size > file_.size()) {
+    throw FormatError("header exceeds file in " + path);
+  }
+  const std::vector<std::byte> raw =
+      file_.read_vec(kPreludeSize, static_cast<std::size_t>(head_size));
+  header_ = decode_header(raw, path);
+  data_offset_ = kPreludeSize + head_size;
+
+  std::uint64_t stored_elems = header_.shape.size();
+  if (header_.layout == Layout::kChunked) {
+    const std::size_t grid_rows =
+        (header_.shape.rows + header_.chunk.rows - 1) / header_.chunk.rows;
+    const std::size_t grid_cols =
+        (header_.shape.cols + header_.chunk.cols - 1) / header_.chunk.cols;
+    stored_elems = static_cast<std::uint64_t>(grid_rows) * grid_cols *
+                   header_.chunk.rows * header_.chunk.cols;
+  }
+  const std::uint64_t expected =
+      data_offset_ +
+      stored_elems * static_cast<std::uint64_t>(dtype_size(header_.dtype));
+  if (expected > file_.size()) {
+    throw FormatError("dataset truncated in " + path);
+  }
+}
+
+Dash5Header Dash5File::read_header(const std::string& path) {
+  Dash5File f(path);
+  return f.header_;
+}
+
+void Dash5File::decode_elems(const std::vector<std::byte>& raw,
+                             std::size_t count, double* out) const {
+  if (header_.dtype == DType::kF64) {
+    std::memcpy(out, raw.data(), count * sizeof(double));
+  } else {
+    std::vector<float> f(count);
+    std::memcpy(f.data(), raw.data(), count * sizeof(float));
+    for (std::size_t i = 0; i < count; ++i) out[i] = f[i];
+  }
+}
+
+std::vector<double> Dash5File::read_all() {
+  return read_slab(Slab2D::whole(header_.shape));
+}
+
+std::vector<double> Dash5File::read_slab(const Slab2D& slab) {
+  slab.validate_against(header_.shape);
+  const std::size_t esize = dtype_size(header_.dtype);
+  std::vector<double> out(slab.size());
+  if (slab.empty()) return out;
+
+  if (header_.layout == Layout::kChunked) {
+    // One contiguous read per intersecting chunk tile, then copy the
+    // intersection out -- the HDF5 chunked-access pattern. Partial-width
+    // selections touch O(selection/chunk) tiles instead of one request
+    // per row.
+    const ChunkShape chunk = header_.chunk;
+    const std::size_t grid_cols =
+        (header_.shape.cols + chunk.cols - 1) / chunk.cols;
+    const std::size_t chunk_elems = chunk.rows * chunk.cols;
+    std::vector<double> tile(chunk_elems);
+
+    const std::size_t gi_lo = slab.row_off / chunk.rows;
+    const std::size_t gi_hi = (slab.row_off + slab.row_cnt - 1) / chunk.rows;
+    const std::size_t gj_lo = slab.col_off / chunk.cols;
+    const std::size_t gj_hi = (slab.col_off + slab.col_cnt - 1) / chunk.cols;
+    for (std::size_t gi = gi_lo; gi <= gi_hi; ++gi) {
+      for (std::size_t gj = gj_lo; gj <= gj_hi; ++gj) {
+        const std::uint64_t off =
+            data_offset_ +
+            static_cast<std::uint64_t>(gi * grid_cols + gj) * chunk_elems *
+                esize;
+        const std::vector<std::byte> raw =
+            file_.read_vec(off, chunk_elems * esize);
+        decode_elems(raw, chunk_elems, tile.data());
+
+        // Intersection of this tile with the selection, in global
+        // coordinates.
+        const std::size_t r_lo = std::max(slab.row_off, gi * chunk.rows);
+        const std::size_t r_hi = std::min(slab.row_off + slab.row_cnt,
+                                          (gi + 1) * chunk.rows);
+        const std::size_t c_lo = std::max(slab.col_off, gj * chunk.cols);
+        const std::size_t c_hi = std::min(slab.col_off + slab.col_cnt,
+                                          (gj + 1) * chunk.cols);
+        for (std::size_t r = r_lo; r < r_hi; ++r) {
+          const double* src = tile.data() +
+                              (r - gi * chunk.rows) * chunk.cols +
+                              (c_lo - gj * chunk.cols);
+          std::copy(src, src + (c_hi - c_lo),
+                    out.data() + (r - slab.row_off) * slab.col_cnt +
+                        (c_lo - slab.col_off));
+        }
+      }
+    }
+    return out;
+  }
+
+  if (slab.col_cnt == header_.shape.cols) {
+    // Full-width row block: contiguous on disk, one read call.
+    const std::uint64_t off =
+        data_offset_ + static_cast<std::uint64_t>(
+                           header_.shape.at(slab.row_off, 0)) * esize;
+    const std::vector<std::byte> raw = file_.read_vec(off, slab.size() * esize);
+    decode_elems(raw, slab.size(), out.data());
+  } else {
+    // Partial width: one read per selected row. This is the small-I/O
+    // pattern whose amplification across many files motivates the
+    // communication-avoiding reader.
+    for (std::size_t r = 0; r < slab.row_cnt; ++r) {
+      const std::uint64_t off =
+          data_offset_ +
+          static_cast<std::uint64_t>(
+              header_.shape.at(slab.row_off + r, slab.col_off)) * esize;
+      const std::vector<std::byte> raw =
+          file_.read_vec(off, slab.col_cnt * esize);
+      decode_elems(raw, slab.col_cnt, out.data() + r * slab.col_cnt);
+    }
+  }
+  return out;
+}
+
+}  // namespace dassa::io

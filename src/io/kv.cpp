@@ -1,0 +1,66 @@
+#include "dassa/io/kv.hpp"
+
+#include <charconv>
+
+namespace dassa::io {
+
+void KvList::set(std::string key, std::string value) {
+  for (auto& [k, v] : items_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  items_.emplace_back(std::move(key), std::move(value));
+}
+
+void KvList::set_i64(const std::string& key, std::int64_t value) {
+  set(key, std::to_string(value));
+}
+
+void KvList::set_f64(const std::string& key, double value) {
+  set(key, std::to_string(value));
+}
+
+std::optional<std::string> KvList::get(std::string_view key) const {
+  for (const auto& [k, v] : items_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::string KvList::get_or_throw(std::string_view key) const {
+  auto v = get(key);
+  if (!v) throw InvalidArgument("metadata key not found: " + std::string(key));
+  return *v;
+}
+
+std::int64_t KvList::get_i64(std::string_view key) const {
+  const std::string v = get_or_throw(key);
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc() || ptr != v.data() + v.size()) {
+    throw InvalidArgument("metadata value for '" + std::string(key) +
+                          "' is not an integer: " + v);
+  }
+  return out;
+}
+
+double KvList::get_f64(std::string_view key) const {
+  const std::string v = get_or_throw(key);
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw InvalidArgument("metadata value for '" + std::string(key) +
+                          "' is not a number: " + v);
+  }
+}
+
+bool KvList::contains(std::string_view key) const {
+  return get(key).has_value();
+}
+
+}  // namespace dassa::io

@@ -1,0 +1,172 @@
+#include "dassa/io/par_read.hpp"
+
+#include <algorithm>
+
+#include "dassa/io/dash5.hpp"
+
+namespace dassa::io {
+
+namespace {
+
+/// Copy `src_rows x src_cols` row-major `src` rows into `dst` (whose
+/// row stride is `dst_stride`) starting at column `dst_col`.
+void place_block(const double* src, std::size_t src_rows,
+                 std::size_t src_cols, double* dst, std::size_t dst_stride,
+                 std::size_t dst_col) {
+  for (std::size_t r = 0; r < src_rows; ++r) {
+    std::copy(src + r * src_cols, src + (r + 1) * src_cols,
+              dst + r * dst_stride + dst_col);
+  }
+}
+
+}  // namespace
+
+ParallelReadResult read_vca_collective_per_file(mpi::Comm& comm,
+                                                const Vca& vca,
+                                                const IoCostParams& io) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const Shape2D total = vca.shape();
+  const Range rows =
+      even_chunk(total.rows, static_cast<std::size_t>(p),
+                 static_cast<std::size_t>(rank));
+
+  ParallelReadResult result;
+  result.rows = rows;
+  result.shape = {rows.size(), total.cols};
+  result.data.assign(result.shape.size(), 0.0);
+
+  const auto& members = vca.members();
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    // Aggregator for this file reads it whole (one contiguous I/O
+    // call), then broadcasts the full file to all ranks.
+    const int aggregator = static_cast<int>(m % static_cast<std::size_t>(p));
+    std::vector<double> file_data;
+    if (rank == aggregator) {
+      Dash5File file(members[m].path);
+      file_data = file.read_all();
+      comm.charge_modeled_seconds(io.call_cost(
+          file_data.size() * sizeof(double), comm.size()));
+    }
+    comm.bcast(file_data, aggregator);
+
+    // Every rank keeps only its own channel block of the file.
+    const std::size_t cols = members[m].shape.cols;
+    place_block(file_data.data() + rows.begin * cols, rows.size(), cols,
+                result.data.data(), total.cols, vca.member_col_start(m));
+  }
+  return result;
+}
+
+ParallelReadResult read_vca_comm_avoiding(mpi::Comm& comm, const Vca& vca,
+                                          const IoCostParams& io) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const Shape2D total = vca.shape();
+  const auto& members = vca.members();
+  const std::size_t n = members.size();
+
+  auto rank_rows = [&](int q) {
+    return even_chunk(total.rows, static_cast<std::size_t>(p),
+                      static_cast<std::size_t>(q));
+  };
+  const Range rows = rank_rows(rank);
+
+  // Phase 1: read my round-robin share of files, whole-file contiguous
+  // reads, and carve each file into per-destination channel blocks.
+  std::vector<std::vector<double>> per_dest(static_cast<std::size_t>(p));
+  for (std::size_t m = static_cast<std::size_t>(rank); m < n;
+       m += static_cast<std::size_t>(p)) {
+    Dash5File file(members[m].path);
+    const std::vector<double> data = file.read_all();
+    comm.charge_modeled_seconds(
+        io.call_cost(data.size() * sizeof(double), comm.size()));
+    const std::size_t cols = members[m].shape.cols;
+    for (int q = 0; q < p; ++q) {
+      const Range qr = rank_rows(q);
+      auto& payload = per_dest[static_cast<std::size_t>(q)];
+      payload.insert(payload.end(), data.begin() + static_cast<std::ptrdiff_t>(
+                                                       qr.begin * cols),
+                     data.begin() + static_cast<std::ptrdiff_t>(qr.end * cols));
+    }
+  }
+
+  // Phase 2: one all-to-all routes every block to its owner.
+  const std::vector<std::vector<double>> received = comm.alltoallv(per_dest);
+
+  // Phase 3: assemble. The round-robin assignment is deterministic, so
+  // rank r's payload is the concatenation of my channel block of files
+  // r, r+p, r+2p, ... in that order.
+  ParallelReadResult result;
+  result.rows = rows;
+  result.shape = {rows.size(), total.cols};
+  result.data.assign(result.shape.size(), 0.0);
+  for (int src = 0; src < p; ++src) {
+    const std::vector<double>& payload =
+        received[static_cast<std::size_t>(src)];
+    std::size_t off = 0;
+    for (std::size_t m = static_cast<std::size_t>(src); m < n;
+         m += static_cast<std::size_t>(p)) {
+      const std::size_t cols = members[m].shape.cols;
+      place_block(payload.data() + off, rows.size(), cols,
+                  result.data.data(), total.cols, vca.member_col_start(m));
+      off += rows.size() * cols;
+    }
+    DASSA_CHECK(off == payload.size(),
+                "communication-avoiding payload size mismatch");
+  }
+  return result;
+}
+
+ParallelReadResult read_vca_direct_per_rank(mpi::Comm& comm, const Vca& vca,
+                                            const IoCostParams& io) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const Shape2D total = vca.shape();
+  const Range rows =
+      even_chunk(total.rows, static_cast<std::size_t>(p),
+                 static_cast<std::size_t>(rank));
+
+  ParallelReadResult result;
+  result.rows = rows;
+  result.shape = {rows.size(), total.cols};
+  result.data.assign(result.shape.size(), 0.0);
+
+  const auto& members = vca.members();
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    Dash5File file(members[m].path);
+    const std::size_t cols = members[m].shape.cols;
+    const std::vector<double> part =
+        file.read_slab(Slab2D{rows.begin, 0, rows.size(), cols});
+    // Every rank strides into this same member file concurrently.
+    comm.charge_modeled_seconds(
+        io.shared_call_cost(part.size() * sizeof(double), p));
+    place_block(part.data(), rows.size(), cols, result.data.data(),
+                total.cols, vca.member_col_start(m));
+  }
+  return result;
+}
+
+ParallelReadResult read_rca_direct(mpi::Comm& comm,
+                                   const std::string& rca_path,
+                                   const IoCostParams& io) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  Dash5File file(rca_path);
+  const Shape2D total = file.shape();
+  const Range rows =
+      even_chunk(total.rows, static_cast<std::size_t>(p),
+                 static_cast<std::size_t>(rank));
+
+  ParallelReadResult result;
+  result.rows = rows;
+  result.shape = {rows.size(), total.cols};
+  result.data =
+      file.read_slab(Slab2D{rows.begin, 0, rows.size(), total.cols});
+  // All p ranks stride into the same merged file concurrently.
+  comm.charge_modeled_seconds(
+      io.shared_call_cost(result.data.size() * sizeof(double), p));
+  return result;
+}
+
+}  // namespace dassa::io

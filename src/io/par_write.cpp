@@ -1,0 +1,66 @@
+#include "dassa/io/par_write.hpp"
+
+#include <vector>
+
+namespace dassa::io {
+
+void write_dash5_distributed(mpi::Comm& comm, const std::string& path,
+                             const Dash5Header& header, const Range& rows,
+                             std::span<const double> block,
+                             const IoCostParams& io) {
+  const Shape2D global = header.shape;
+  DASSA_CHECK(block.size() == rows.size() * global.cols,
+              "rank block does not match its row range");
+  const std::size_t esize = dtype_size(header.dtype);
+
+  // Rank 0 lays down the header and pre-extends the data region so the
+  // other ranks' positioned writes land inside the file.
+  std::vector<std::uint64_t> offset_box(1, 0);
+  if (comm.rank() == 0) {
+    Dash5StreamWriter writer(path, header);
+    // The stream writer wrote the prelude + header; the data region
+    // starts at the current position. Extend with zeros in bounded
+    // chunks, then close via append-completion.
+    const std::size_t total = global.size();
+    const std::vector<double> zeros(std::min<std::size_t>(total, 1 << 16),
+                                    0.0);
+    std::size_t remaining = total;
+    while (remaining > 0) {
+      const std::size_t n = std::min(zeros.size(), remaining);
+      writer.append(std::span<const double>(zeros.data(), n));
+      remaining -= n;
+    }
+    writer.close();
+    // Recover the data offset by re-reading the header size.
+    InputFile probe(path);
+    std::uint64_t head_size = 0;
+    probe.read_at(8, &head_size, sizeof head_size);
+    offset_box[0] = 16 + head_size;
+  }
+  comm.bcast(offset_box, 0);
+  const std::uint64_t data_offset = offset_box[0];
+
+  if (rows.size() > 0) {
+    OutputFile out(path, OutputFile::Mode::kUpdate);
+    const std::uint64_t off =
+        data_offset +
+        static_cast<std::uint64_t>(global.at(rows.begin, 0)) * esize;
+    if (header.dtype == DType::kF64) {
+      out.write_at(off, block.data(), block.size_bytes());
+    } else {
+      std::vector<float> f(block.size());
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        f[i] = static_cast<float>(block[i]);
+      }
+      out.write_at(off, f.data(), f.size() * sizeof(float));
+    }
+    out.close();
+    // All ranks write their slab into the same file concurrently.
+    comm.charge_modeled_seconds(
+        io.shared_call_cost(block.size() * esize, comm.size()));
+  }
+  // Nobody reads the result before every writer is done.
+  comm.barrier();
+}
+
+}  // namespace dassa::io

@@ -1,0 +1,52 @@
+#include "dassa/mpi/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "dassa/common/error.hpp"
+#include "world.hpp"
+
+namespace dassa::mpi {
+
+RunReport Runtime::run(int world_size, const std::function<void(Comm&)>& fn) {
+  return run(world_size, CostParams{}, fn);
+}
+
+RunReport Runtime::run(int world_size, const CostParams& params,
+                       const std::function<void(Comm&)>& fn) {
+  DASSA_CHECK(world_size >= 1, "world size must be at least 1");
+  detail::World world(world_size, params);
+
+  RunReport report;
+  report.per_rank.resize(static_cast<std::size_t>(world_size));
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  std::vector<std::thread> ranks;
+  ranks.reserve(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    ranks.emplace_back([&, r] {
+      Comm comm(&world, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          // Keep the first *root-cause* error; ranks that die with the
+          // secondary "world aborted" error are collateral.
+          if (!first_error) first_error = std::current_exception();
+        }
+        world.abort();
+      }
+      report.per_rank[static_cast<std::size_t>(r)] = comm.stats();
+    });
+  }
+  for (auto& t : ranks) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return report;
+}
+
+}  // namespace dassa::mpi

@@ -1,0 +1,48 @@
+#include "world.hpp"
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::mpi::detail {
+
+void Mailbox::put(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::take(int src, int tag, std::int64_t context,
+                      const std::atomic<bool>& aborted) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->src == src && it->tag == tag && it->context == context) {
+        Message msg = std::move(*it);
+        queue_.erase(it);
+        return msg;
+      }
+    }
+    if (aborted.load(std::memory_order_acquire)) {
+      throw MpiError("world aborted while waiting for message");
+    }
+    cv_.wait(lock);
+  }
+}
+
+void Mailbox::interrupt() { cv_.notify_all(); }
+
+World::World(int size, const CostParams& params)
+    : size_(size), params_(params) {
+  boxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    boxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void World::abort() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& box : boxes_) box->interrupt();
+}
+
+}  // namespace dassa::mpi::detail

@@ -1,0 +1,141 @@
+// Tests for shapes, chunking, timers, counters and the KV-backed
+// checking macro.
+#include <gtest/gtest.h>
+
+#include "dassa/common/counters.hpp"
+#include "dassa/common/error.hpp"
+#include "dassa/common/shape.hpp"
+#include "dassa/common/timer.hpp"
+
+namespace dassa {
+namespace {
+
+TEST(ShapeTest, SizeAndIndexing) {
+  const Shape2D s{3, 5};
+  EXPECT_EQ(s.size(), 15u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.at(0, 0), 0u);
+  EXPECT_EQ(s.at(1, 0), 5u);
+  EXPECT_EQ(s.at(2, 4), 14u);
+  EXPECT_TRUE((Shape2D{0, 5}).empty());
+}
+
+TEST(SlabTest, WholeCoversArray) {
+  const Shape2D s{4, 6};
+  const Slab2D w = Slab2D::whole(s);
+  EXPECT_EQ(w.shape(), s);
+  EXPECT_TRUE(w.fits(s));
+}
+
+TEST(SlabTest, FitsDetectsOverflow) {
+  const Shape2D s{4, 6};
+  EXPECT_TRUE((Slab2D{3, 5, 1, 1}).fits(s));
+  EXPECT_FALSE((Slab2D{3, 5, 2, 1}).fits(s));
+  EXPECT_FALSE((Slab2D{0, 0, 5, 6}).fits(s));
+  EXPECT_THROW((Slab2D{0, 0, 5, 6}).validate_against(s), InvalidArgument);
+}
+
+TEST(EvenChunkTest, ExactDivision) {
+  EXPECT_EQ(even_chunk(12, 4, 0), (Range{0, 3}));
+  EXPECT_EQ(even_chunk(12, 4, 3), (Range{9, 12}));
+}
+
+TEST(EvenChunkTest, RemainderGoesToFirstChunks) {
+  // 10 items over 4 parts: sizes 3,3,2,2.
+  EXPECT_EQ(even_chunk(10, 4, 0), (Range{0, 3}));
+  EXPECT_EQ(even_chunk(10, 4, 1), (Range{3, 6}));
+  EXPECT_EQ(even_chunk(10, 4, 2), (Range{6, 8}));
+  EXPECT_EQ(even_chunk(10, 4, 3), (Range{8, 10}));
+}
+
+TEST(EvenChunkTest, ChunksPartitionTheRange) {
+  for (std::size_t total : {0u, 1u, 7u, 100u, 101u}) {
+    for (std::size_t parts : {1u, 2u, 3u, 7u, 16u}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (std::size_t i = 0; i < parts; ++i) {
+        const Range r = even_chunk(total, parts, i);
+        EXPECT_EQ(r.begin, prev_end);
+        covered += r.size();
+        prev_end = r.end;
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_EQ(prev_end, total);
+    }
+  }
+}
+
+TEST(EvenChunkTest, MorePartsThanItems) {
+  EXPECT_EQ(even_chunk(2, 5, 0).size(), 1u);
+  EXPECT_EQ(even_chunk(2, 5, 1).size(), 1u);
+  EXPECT_EQ(even_chunk(2, 5, 4).size(), 0u);
+  EXPECT_THROW((void)even_chunk(5, 0, 0), InvalidArgument);
+  EXPECT_THROW((void)even_chunk(5, 2, 2), InvalidArgument);
+}
+
+TEST(StageTimesTest, AccumulatesAndMerges) {
+  StageTimes t;
+  t.add("read", 1.0);
+  t.add("read", 0.5);
+  t.add("compute", 2.0);
+  EXPECT_DOUBLE_EQ(t.get("read"), 1.5);
+  EXPECT_DOUBLE_EQ(t.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(t.total(), 3.5);
+
+  StageTimes u;
+  u.add("write", 1.0);
+  t.merge(u);
+  EXPECT_DOUBLE_EQ(t.total(), 4.5);
+}
+
+TEST(StageScopeTest, ChargesOnExit) {
+  StageTimes t;
+  {
+    StageScope scope(t, "x");
+  }
+  EXPECT_GE(t.get("x"), 0.0);
+  EXPECT_LT(t.get("x"), 1.0);  // just proves it recorded something sane
+}
+
+TEST(CounterRegistryTest, AddGetResetSnapshot) {
+  CounterRegistry reg;
+  EXPECT_EQ(reg.get("a"), 0u);
+  reg.add("a");
+  reg.add("a", 5);
+  reg.add("b", 2);
+  EXPECT_EQ(reg.get("a"), 6u);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.at("b"), 2u);
+  reg.reset();
+  EXPECT_EQ(reg.get("a"), 0u);
+}
+
+TEST(CounterRegistryTest, HighWaterKeepsMax) {
+  CounterRegistry reg;
+  reg.high_water("peak", 10);
+  reg.high_water("peak", 3);
+  EXPECT_EQ(reg.get("peak"), 10u);
+  reg.high_water("peak", 42);
+  EXPECT_EQ(reg.get("peak"), 42u);
+}
+
+TEST(ErrorTest, CheckMacroThrowsWithContext) {
+  try {
+    DASSA_CHECK(1 == 2, "math is broken");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, HierarchyRootsAtError) {
+  EXPECT_THROW(throw IoError("x"), Error);
+  EXPECT_THROW(throw FormatError("x"), Error);
+  EXPECT_THROW(throw MpiError("x"), Error);
+  EXPECT_THROW(throw StateError("x"), Error);
+}
+
+}  // namespace
+}  // namespace dassa

@@ -1,0 +1,59 @@
+// Logger tests: level filtering, thread safety of concurrent emission.
+#include "dassa/common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dassa {
+namespace {
+
+/// Restores the global log level on scope exit so tests don't leak
+/// configuration into each other.
+struct LevelGuard {
+  LogLevel saved = log_level();
+  ~LevelGuard() { set_log_level(saved); }
+};
+
+TEST(LogTest, LevelRoundTrip) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(LogTest, MacroCompilesAndFiltersBelowThreshold) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kError);
+  // These must not crash and (by the macro's design) must not even
+  // evaluate the stream expression when filtered.
+  bool evaluated = false;
+  auto touch = [&evaluated]() {
+    evaluated = true;
+    return "body";
+  };
+  DASSA_LOG(kDebug) << touch();
+  EXPECT_FALSE(evaluated);  // filtered before evaluation
+  set_log_level(LogLevel::kDebug);
+  DASSA_LOG(kDebug) << touch();
+  EXPECT_TRUE(evaluated);
+}
+
+TEST(LogTest, ConcurrentLoggingDoesNotCrash) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kError);  // keep the test output quiet
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 200; ++i) {
+        DASSA_LOG(kInfo) << "thread " << t << " message " << i;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace
+}  // namespace dassa

@@ -1,0 +1,128 @@
+// Stencil tests: paper-notation offsets S(dt, dch), windows, row spans,
+// ghost-zone bounds.
+#include "dassa/core/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::core {
+namespace {
+
+/// 4x5 block, values = 10*row + col, no halo, covering a 4x5 global.
+struct PlainFixture {
+  Shape2D shape{4, 5};
+  std::vector<double> data;
+  PlainFixture() {
+    data.resize(shape.size());
+    for (std::size_t r = 0; r < 4; ++r) {
+      for (std::size_t c = 0; c < 5; ++c) data[shape.at(r, c)] = 10.0 * r + c;
+    }
+  }
+  [[nodiscard]] Stencil at(std::size_t r, std::size_t c) const {
+    return Stencil(data.data(), shape, 0, r, c, shape);
+  }
+};
+
+TEST(StencilTest, CurrentCellIsZeroOffsets) {
+  PlainFixture fx;
+  EXPECT_EQ(fx.at(2, 3)(0, 0), 23.0);
+  EXPECT_EQ(fx.at(0, 0)(0, 0), 0.0);
+}
+
+TEST(StencilTest, FirstIndexMovesAlongTime) {
+  // Paper notation: S(dt, dch); dt moves along the time (column) axis.
+  PlainFixture fx;
+  const Stencil s = fx.at(1, 2);
+  EXPECT_EQ(s(1, 0), 13.0);
+  EXPECT_EQ(s(-1, 0), 11.0);
+  EXPECT_EQ(s(0, 1), 22.0);
+  EXPECT_EQ(s(0, -1), 2.0);
+  EXPECT_EQ(s(2, -1), 4.0);
+}
+
+TEST(StencilTest, ThreePointMovingAverageExample) {
+  // The paper's Section II-B example: (S(-1) + S(0) + S(1)) / 3.
+  PlainFixture fx;
+  const Stencil s = fx.at(2, 2);
+  const double avg = (s(-1, 0) + s(0, 0) + s(1, 0)) / 3.0;
+  EXPECT_DOUBLE_EQ(avg, 22.0);
+}
+
+TEST(StencilTest, OutOfBlockAccessThrows) {
+  PlainFixture fx;
+  EXPECT_THROW((void)fx.at(0, 0)(-1, 0), InvalidArgument);
+  EXPECT_THROW((void)fx.at(0, 0)(0, -1), InvalidArgument);
+  EXPECT_THROW((void)fx.at(3, 4)(1, 0), InvalidArgument);
+  EXPECT_THROW((void)fx.at(3, 4)(0, 1), InvalidArgument);
+}
+
+TEST(StencilTest, InBoundsMatchesAccessibility) {
+  PlainFixture fx;
+  const Stencil s = fx.at(1, 1);
+  EXPECT_TRUE(s.in_bounds(-1, -1));
+  EXPECT_TRUE(s.in_bounds(3, 2));
+  EXPECT_FALSE(s.in_bounds(-2, 0));
+  EXPECT_FALSE(s.in_bounds(0, -2));
+  EXPECT_FALSE(s.in_bounds(4, 0));
+  EXPECT_FALSE(s.in_bounds(0, 3));
+}
+
+TEST(StencilTest, WindowExtractsInclusiveRange) {
+  PlainFixture fx;
+  const Stencil s = fx.at(2, 2);
+  EXPECT_EQ(s.window(-2, 2, 0),
+            (std::vector<double>{20, 21, 22, 23, 24}));
+  EXPECT_EQ(s.window(-1, 1, 1), (std::vector<double>{31, 32, 33}));
+  EXPECT_THROW((void)s.window(1, -1, 0), InvalidArgument);
+  EXPECT_THROW((void)s.window(-3, 0, 0), InvalidArgument);
+}
+
+TEST(StencilTest, RowSpanCoversWholeChannel) {
+  PlainFixture fx;
+  const Stencil s = fx.at(1, 3);
+  const std::span<const double> row = s.row_span(0);
+  ASSERT_EQ(row.size(), 5u);
+  EXPECT_EQ(row[0], 10.0);
+  EXPECT_EQ(row[4], 14.0);
+  EXPECT_EQ(s.row_span(2)[0], 30.0);
+  EXPECT_THROW((void)s.row_span(3), InvalidArgument);
+}
+
+TEST(StencilTest, GlobalCoordinatesAccountForBlockOffset) {
+  // Block holding global rows 10..13 (row0 = 10), cursor on local row 2.
+  PlainFixture fx;
+  const Shape2D global{40, 5};
+  const Stencil s(fx.data.data(), fx.shape, 10, 2, 4, global);
+  EXPECT_EQ(s.channel(), 12u);
+  EXPECT_EQ(s.time(), 4u);
+  EXPECT_EQ(s.global_shape(), global);
+}
+
+TEST(StencilTest, GhostRowsAreReachableButNotOwned) {
+  // Local block: 1 halo row above + 2 owned + 1 halo below.
+  const Shape2D block{4, 3};
+  std::vector<double> data(block.size());
+  std::iota(data.begin(), data.end(), 0.0);
+  // Owned local rows are 1..2; cursor on local row 1 = global row 5.
+  const Stencil s(data.data(), block, 4, 1, 1, Shape2D{100, 3});
+  EXPECT_EQ(s(0, -1), 1.0);   // halo above
+  EXPECT_EQ(s(0, 2), 10.0);   // halo below
+  EXPECT_THROW((void)s(0, -2), InvalidArgument);  // beyond halo
+  EXPECT_EQ(s.channel(), 5u);
+}
+
+TEST(StencilTest, InBoundsRespectsGlobalEdge) {
+  // Block rows map to global rows 98..99 of a 100-row array; the row
+  // below the block is outside the global array too.
+  const Shape2D block{2, 3};
+  std::vector<double> data(block.size(), 0.0);
+  const Stencil s(data.data(), block, 98, 1, 0, Shape2D{100, 3});
+  EXPECT_TRUE(s.in_bounds(0, -1));
+  EXPECT_FALSE(s.in_bounds(0, 1));
+}
+
+}  // namespace
+}  // namespace dassa::core

@@ -1,0 +1,130 @@
+// Channel QC tests: statistics, dead/noisy classification, distributed
+// equivalence, masked-analysis integration.
+#include "dassa/das/channel_qc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "dassa/das/synth.hpp"
+#include "testing/tmpdir.hpp"
+
+namespace dassa::das {
+namespace {
+
+using testing::TmpDir;
+
+TEST(ChannelStatsTest, GaussianNoiseStats) {
+  std::mt19937_64 rng(2);
+  std::normal_distribution<double> dist(0.0, 2.0);
+  std::vector<double> x(50000);
+  for (auto& v : x) v = dist(rng);
+  const ChannelStats s = channel_stats(x);
+  EXPECT_NEAR(s.rms, 2.0, 0.05);
+  EXPECT_NEAR(s.kurtosis, 0.0, 0.15);  // excess kurtosis of a Gaussian
+  EXPECT_GT(s.peak, 6.0);              // ~3+ sigma extremes exist
+}
+
+TEST(ChannelStatsTest, ConstantAndEmpty) {
+  const std::vector<double> flat(100, 3.0);
+  const ChannelStats s = channel_stats(flat);
+  EXPECT_NEAR(s.rms, 3.0, 1e-12);
+  EXPECT_EQ(s.kurtosis, 0.0);  // zero variance handled
+  EXPECT_EQ(channel_stats(std::vector<double>{}).rms, 0.0);
+}
+
+TEST(ChannelStatsTest, SpikyChannelHasHighKurtosis) {
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> dist;
+  std::vector<double> x(20000);
+  for (auto& v : x) v = dist(rng);
+  for (std::size_t i = 0; i < x.size(); i += 1000) x[i] += 40.0;  // spikes
+  EXPECT_GT(channel_stats(x).kurtosis, 5.0);
+}
+
+core::Array2D array_with_bad_channels() {
+  // 16 channels of unit noise; channel 4 dead, channel 11 screaming.
+  const Shape2D shape{16, 4000};
+  core::Array2D data(shape);
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> dist;
+  for (auto& v : data.data) v = dist(rng);
+  for (std::size_t t = 0; t < shape.cols; ++t) {
+    data.at(4, t) = 1e-6 * dist(rng);  // dead
+    data.at(11, t) *= 20.0;            // noisy
+  }
+  return data;
+}
+
+TEST(ChannelQcTest, FlagsDeadAndNoisyChannels) {
+  const ChannelQcReport report = channel_qc(array_with_bad_channels());
+  ASSERT_EQ(report.channels.size(), 16u);
+  EXPECT_EQ(report.channels[4].status, ChannelStatus::kDead);
+  EXPECT_EQ(report.channels[11].status, ChannelStatus::kNoisy);
+  EXPECT_EQ(report.count(ChannelStatus::kDead), 1u);
+  EXPECT_EQ(report.count(ChannelStatus::kNoisy), 1u);
+  EXPECT_EQ(report.count(ChannelStatus::kGood), 14u);
+  EXPECT_NEAR(report.median_rms, 1.0, 0.1);
+
+  const std::vector<std::size_t> good = report.good_channels();
+  EXPECT_EQ(good.size(), 14u);
+  EXPECT_TRUE(std::find(good.begin(), good.end(), 4u) == good.end());
+  EXPECT_TRUE(std::find(good.begin(), good.end(), 11u) == good.end());
+}
+
+TEST(ChannelQcTest, AllGoodArrayFlagsNothing) {
+  const Shape2D shape{8, 2000};
+  core::Array2D data(shape);
+  std::mt19937_64 rng(6);
+  std::normal_distribution<double> dist;
+  for (auto& v : data.data) v = dist(rng);
+  const ChannelQcReport report = channel_qc(data);
+  EXPECT_EQ(report.count(ChannelStatus::kGood), 8u);
+}
+
+TEST(ChannelQcTest, ThresholdsAreValidated) {
+  const core::Array2D data(Shape2D{4, 100}, 1.0);
+  ChannelQcParams p;
+  p.dead_rms_fraction = 0.0;
+  EXPECT_THROW((void)channel_qc(data, p), InvalidArgument);
+  p = ChannelQcParams{};
+  p.noisy_rms_multiple = 0.5;
+  EXPECT_THROW((void)channel_qc(data, p), InvalidArgument);
+}
+
+TEST(ChannelQcTest, DistributedMatchesSingleNode) {
+  TmpDir dir("qc");
+  const SynthDas synth = SynthDas::fig1b_scene(20, 50.0, 23);
+  AcquisitionSpec spec;
+  spec.dir = dir.str();
+  spec.start = Timestamp::parse("170728224510");
+  spec.file_count = 3;
+  spec.seconds_per_file = 2.0;
+  spec.dtype = io::DType::kF64;
+  spec.per_channel_metadata = false;
+  io::Vca vca = io::Vca::build(write_acquisition(synth, spec));
+
+  const ChannelQcReport serial =
+      channel_qc(core::Array2D(vca.shape(), vca.read_all()));
+  core::EngineConfig config;
+  config.nodes = 3;
+  config.cores_per_node = 2;
+  const ChannelQcReport distributed = channel_qc(config, vca);
+
+  ASSERT_EQ(distributed.channels.size(), serial.channels.size());
+  for (std::size_t ch = 0; ch < serial.channels.size(); ++ch) {
+    EXPECT_NEAR(distributed.channels[ch].rms, serial.channels[ch].rms,
+                1e-12);
+    EXPECT_EQ(distributed.channels[ch].status, serial.channels[ch].status);
+  }
+}
+
+TEST(ChannelQcTest, StatusNamesAreStable) {
+  EXPECT_STREQ(channel_status_name(ChannelStatus::kGood), "good");
+  EXPECT_STREQ(channel_status_name(ChannelStatus::kDead), "dead");
+  EXPECT_STREQ(channel_status_name(ChannelStatus::kNoisy), "noisy");
+}
+
+}  // namespace
+}  // namespace dassa::das

@@ -1,0 +1,191 @@
+// Timestamp + das_search catalog tests (paper Section IV-A).
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "dassa/common/error.hpp"
+#include "dassa/das/search.hpp"
+#include "dassa/das/synth.hpp"
+#include "dassa/das/time.hpp"
+#include "testing/tmpdir.hpp"
+
+namespace dassa::das {
+namespace {
+
+using testing::TmpDir;
+
+TEST(TimestampTest, ParseFormatRoundTrip) {
+  for (const std::string s :
+       {"170620100545", "170728224510", "000101000000", "991231235959"}) {
+    EXPECT_EQ(Timestamp::parse(s).str(), s);
+  }
+}
+
+TEST(TimestampTest, ParseRejectsMalformed) {
+  EXPECT_THROW((void)Timestamp::parse("17062010054"), InvalidArgument);
+  EXPECT_THROW((void)Timestamp::parse("1706201005456"), InvalidArgument);
+  EXPECT_THROW((void)Timestamp::parse("17062010054x"), InvalidArgument);
+  EXPECT_THROW((void)Timestamp::parse("171320100545"), InvalidArgument);  // month 13
+  EXPECT_THROW((void)Timestamp::parse("170620106045"), InvalidArgument);  // minute 60
+}
+
+TEST(TimestampTest, PlusSecondsWithinMinute) {
+  const Timestamp t = Timestamp::parse("170728224510");
+  EXPECT_EQ(t.plus_seconds(30).str(), "170728224540");
+}
+
+TEST(TimestampTest, PlusSecondsRollsMinutesHoursDays) {
+  const Timestamp t = Timestamp::parse("170728235950");
+  EXPECT_EQ(t.plus_seconds(10).str(), "170729000000");
+  EXPECT_EQ(t.plus_seconds(70).str(), "170729000100");
+  EXPECT_EQ(t.plus_seconds(86400).str(), "170729235950");
+}
+
+TEST(TimestampTest, MonthAndYearBoundaries) {
+  EXPECT_EQ(Timestamp::parse("171231235959").plus_seconds(1).str(),
+            "180101000000");
+  EXPECT_EQ(Timestamp::parse("170630235959").plus_seconds(1).str(),
+            "170701000000");
+  // 2020 is a leap year.
+  EXPECT_EQ(Timestamp::parse("200228235959").plus_seconds(1).str(),
+            "200229000000");
+  // 2017 is not.
+  EXPECT_EQ(Timestamp::parse("170228235959").plus_seconds(1).str(),
+            "170301000000");
+}
+
+TEST(TimestampTest, OrderingFollowsTime) {
+  EXPECT_LT(Timestamp::parse("170728224510"),
+            Timestamp::parse("170728224511"));
+  EXPECT_LT(Timestamp::parse("170728235959"),
+            Timestamp::parse("170729000000"));
+  EXPECT_EQ(Timestamp::parse("170728224510"),
+            Timestamp::parse("170728224510"));
+}
+
+TEST(TimestampTest, EpochSecondsDifferencesAreExact) {
+  const Timestamp a = Timestamp::parse("170728224510");
+  EXPECT_EQ(a.plus_seconds(3600).epoch_seconds() - a.epoch_seconds(), 3600);
+  EXPECT_EQ(a.plus_seconds(-60).epoch_seconds(), a.epoch_seconds() - 60);
+}
+
+/// Ten 1-"minute" files (scaled to 0.1 s) starting at the paper's
+/// example timestamp 170728224510, stepping 60 s... no: stepping
+/// seconds_per_file. Use 60 s steps explicitly via seconds_per_file=60
+/// but tiny sampling rate so files stay small.
+struct CatalogFixture {
+  TmpDir dir{"search"};
+  std::vector<std::string> paths;
+
+  CatalogFixture() {
+    SynthDas synth = SynthDas::fig1b_scene(4, 0.2, 1);  // 12 samples/min
+    AcquisitionSpec spec;
+    spec.dir = dir.str();
+    spec.start = Timestamp::parse("170728224510");
+    spec.file_count = 10;
+    spec.seconds_per_file = 60.0;
+    spec.per_channel_metadata = false;
+    paths = write_acquisition(synth, spec);
+  }
+};
+
+TEST(CatalogTest, ScanFindsAllFilesSorted) {
+  CatalogFixture fx;
+  const Catalog cat = Catalog::scan(fx.dir.str());
+  ASSERT_EQ(cat.size(), 10u);
+  for (std::size_t i = 1; i < cat.size(); ++i) {
+    EXPECT_LT(cat.entries()[i - 1].timestamp, cat.entries()[i].timestamp);
+  }
+  EXPECT_EQ(cat.entries()[0].timestamp.str(), "170728224510");
+  EXPECT_EQ(cat.entries()[9].timestamp.str(), "170728225410");
+}
+
+TEST(CatalogTest, FilenameScanMatchesHeaderScan) {
+  CatalogFixture fx;
+  const Catalog with_headers = Catalog::scan(fx.dir.str(), true);
+  const Catalog names_only = Catalog::scan(fx.dir.str(), false);
+  ASSERT_EQ(with_headers.size(), names_only.size());
+  for (std::size_t i = 0; i < with_headers.size(); ++i) {
+    EXPECT_EQ(with_headers.entries()[i].timestamp,
+              names_only.entries()[i].timestamp);
+    EXPECT_EQ(with_headers.entries()[i].path, names_only.entries()[i].path);
+  }
+}
+
+TEST(CatalogTest, RangeQueryPaperExample) {
+  // Paper: das_search -s 170728224510 -c 2 returns the file at the
+  // timestamp plus the next one.
+  CatalogFixture fx;
+  const Catalog cat = Catalog::scan(fx.dir.str());
+  const auto hits = cat.query_range(Timestamp::parse("170728224510"), 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].timestamp.str(), "170728224510");
+  EXPECT_EQ(hits[1].timestamp.str(), "170728224610");
+}
+
+TEST(CatalogTest, RangeQuerySnapsToNextFile) {
+  CatalogFixture fx;
+  const Catalog cat = Catalog::scan(fx.dir.str());
+  // A timestamp between files snaps forward.
+  const auto hits = cat.query_range(Timestamp::parse("170728224530"), 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].timestamp.str(), "170728224610");
+}
+
+TEST(CatalogTest, RangeQueryClampsAtEnd) {
+  CatalogFixture fx;
+  const Catalog cat = Catalog::scan(fx.dir.str());
+  const auto hits = cat.query_range(Timestamp::parse("170728225310"), 99);
+  EXPECT_EQ(hits.size(), 2u);  // only two files remain
+  const auto none = cat.query_range(Timestamp::parse("180101000000"), 5);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(CatalogTest, IntervalQuery) {
+  CatalogFixture fx;
+  const Catalog cat = Catalog::scan(fx.dir.str());
+  const auto hits = cat.query_interval(Timestamp::parse("170728224610"),
+                                       Timestamp::parse("170728224910"));
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].timestamp.str(), "170728224610");
+  EXPECT_EQ(hits[2].timestamp.str(), "170728224810");
+}
+
+TEST(CatalogTest, RegexQueryPaperExample) {
+  // Paper: das_search -e 170728224[567]10.
+  CatalogFixture fx;
+  const Catalog cat = Catalog::scan(fx.dir.str());
+  const auto hits = cat.query_regex("170728224[567]10");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].timestamp.str(), "170728224510");
+  EXPECT_EQ(hits[1].timestamp.str(), "170728224610");
+  EXPECT_EQ(hits[2].timestamp.str(), "170728224710");
+}
+
+TEST(CatalogTest, RegexMatchesWholeString) {
+  CatalogFixture fx;
+  const Catalog cat = Catalog::scan(fx.dir.str());
+  EXPECT_TRUE(cat.query_regex("2245").empty());      // substring: no match
+  EXPECT_EQ(cat.query_regex(".*2245.*").size(), 1u);  // explicit wildcard
+}
+
+TEST(CatalogTest, PathsHelper) {
+  CatalogFixture fx;
+  const Catalog cat = Catalog::scan(fx.dir.str());
+  const auto hits = cat.query_range(Timestamp::parse("170728224510"), 3);
+  const auto paths = Catalog::paths(hits);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0], hits[0].path);
+}
+
+TEST(CatalogTest, IgnoresForeignFiles) {
+  CatalogFixture fx;
+  {
+    std::ofstream((fx.dir.file("README.txt"))) << "not a das file";
+    std::ofstream((fx.dir.file("noise.dh5.bak"))) << "also not";
+  }
+  EXPECT_EQ(Catalog::scan(fx.dir.str(), false).size(), 10u);
+}
+
+}  // namespace
+}  // namespace dassa::das

@@ -1,0 +1,282 @@
+// Tests for the extended DasLib kernels: Hilbert/envelope, STFT,
+// STA/LTA triggering, median filtering / despiking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "dassa/common/error.hpp"
+#include "dassa/dsp/hilbert.hpp"
+#include "dassa/dsp/median.hpp"
+#include "dassa/dsp/sta_lta.hpp"
+#include "dassa/dsp/stft.hpp"
+
+namespace dassa::dsp {
+namespace {
+
+// ---------- Hilbert / envelope --------------------------------------------
+
+TEST(HilbertTest, AnalyticSignalRealPartIsInput) {
+  std::mt19937_64 rng(1);
+  std::normal_distribution<double> dist;
+  std::vector<double> x(128);
+  for (auto& v : x) v = dist(rng);
+  const std::vector<cplx> z = analytic_signal(x);
+  ASSERT_EQ(z.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(z[i].real(), x[i], 1e-9);
+  }
+}
+
+TEST(HilbertTest, EnvelopeOfToneIsItsAmplitude) {
+  const std::size_t n = 512;
+  const double amp = 3.0;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amp * std::cos(2.0 * std::numbers::pi * 16.0 *
+                          static_cast<double>(i) / static_cast<double>(n));
+  }
+  const std::vector<double> env = envelope(x);
+  for (std::size_t i = 20; i + 20 < n; ++i) {
+    EXPECT_NEAR(env[i], amp, 5e-3) << "i=" << i;
+  }
+}
+
+TEST(HilbertTest, EnvelopeTracksAmplitudeModulation) {
+  const std::size_t n = 1024;
+  std::vector<double> x(n);
+  std::vector<double> am(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    am[i] = 1.0 + 0.5 * std::sin(2.0 * std::numbers::pi * 3.0 * t);
+    x[i] = am[i] * std::cos(2.0 * std::numbers::pi * 100.0 * t);
+  }
+  const std::vector<double> env = envelope(x);
+  for (std::size_t i = 50; i + 50 < n; ++i) {
+    EXPECT_NEAR(env[i], am[i], 0.05) << "i=" << i;
+  }
+}
+
+TEST(HilbertTest, PhaseOfToneAdvancesLinearly) {
+  const std::size_t n = 256;
+  const double cycles = 8.0;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(2.0 * std::numbers::pi * cycles *
+                    static_cast<double>(i) / static_cast<double>(n));
+  }
+  const std::vector<double> phase = instantaneous_phase(x);
+  const double step = 2.0 * std::numbers::pi * cycles / static_cast<double>(n);
+  for (std::size_t i = 21; i + 20 < n; ++i) {
+    EXPECT_NEAR(phase[i] - phase[i - 1], step, 0.02) << "i=" << i;
+  }
+}
+
+TEST(HilbertTest, EmptyInput) {
+  EXPECT_TRUE(analytic_signal(std::vector<double>{}).empty());
+  EXPECT_TRUE(envelope(std::vector<double>{}).empty());
+}
+
+// ---------- STFT ------------------------------------------------------------
+
+TEST(StftTest, FrameCountFollowsHop) {
+  std::vector<double> x(1000, 1.0);
+  StftParams p;
+  p.window = 256;
+  p.hop = 128;
+  EXPECT_EQ(stft(x, p).size(), (1000 - 256) / 128 + 1u);
+  p.hop = 256;
+  EXPECT_EQ(stft(x, p).size(), 3u);  // non-overlapping
+  EXPECT_TRUE(stft(std::vector<double>(100, 0.0), p).empty());  // too short
+}
+
+TEST(StftTest, ToneConcentratesInItsBin) {
+  const double fs = 1000.0;
+  const double f0 = 125.0;
+  const std::size_t n = 4096;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * f0 * static_cast<double>(i) / fs);
+  }
+  StftParams p;
+  p.window = 256;
+  p.hop = 128;
+  const Spectrogram spec = spectrogram(x, p);
+  // f0 = 125 Hz at fs 1000, window 256 -> bin 32 exactly.
+  const std::size_t expect_bin = 32;
+  EXPECT_NEAR(bin_frequency_hz(expect_bin, p.window, fs), f0, 1e-9);
+  for (std::size_t f = 0; f < spec.shape.rows; ++f) {
+    std::size_t argmax = 0;
+    for (std::size_t b = 1; b < spec.shape.cols; ++b) {
+      if (spec.at(f, b) > spec.at(f, argmax)) argmax = b;
+    }
+    EXPECT_EQ(argmax, expect_bin) << "frame " << f;
+  }
+}
+
+TEST(StftTest, ChirpMovesAcrossBins) {
+  const std::size_t n = 8192;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    // Frequency sweeps from ~0.02 to ~0.2 cycles/sample.
+    x[i] = std::sin(2.0 * std::numbers::pi * (0.02 + 0.09 * t) *
+                    static_cast<double>(i));
+  }
+  StftParams p;
+  p.window = 256;
+  p.hop = 256;
+  const Spectrogram spec = spectrogram(x, p);
+  std::size_t first_peak = 0;
+  std::size_t last_peak = 0;
+  for (std::size_t b = 1; b < spec.shape.cols; ++b) {
+    if (spec.at(0, b) > spec.at(0, first_peak)) first_peak = b;
+    if (spec.at(spec.shape.rows - 1, b) >
+        spec.at(spec.shape.rows - 1, last_peak)) {
+      last_peak = b;
+    }
+  }
+  EXPECT_GT(last_peak, first_peak + 10);  // clear upward sweep
+}
+
+TEST(StftTest, RejectsBadParams) {
+  std::vector<double> x(10, 0.0);
+  StftParams p;
+  p.window = 1;
+  EXPECT_THROW((void)stft(x, p), InvalidArgument);
+  p.window = 4;
+  p.hop = 0;
+  EXPECT_THROW((void)stft(x, p), InvalidArgument);
+  EXPECT_THROW((void)bin_frequency_hz(0, 1, 100.0), InvalidArgument);
+}
+
+// ---------- STA/LTA ----------------------------------------------------------
+
+std::vector<double> noise_with_burst(std::size_t n, std::size_t burst_at,
+                                     std::size_t burst_len, double burst_amp,
+                                     std::uint64_t seed = 3) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist;
+  std::vector<double> x(n);
+  for (auto& v : x) v = dist(rng);
+  for (std::size_t i = burst_at; i < std::min(n, burst_at + burst_len); ++i) {
+    x[i] += burst_amp * std::sin(0.7 * static_cast<double>(i));
+  }
+  return x;
+}
+
+TEST(StaLtaTest, RatioPeaksAtBurst) {
+  const std::vector<double> x = noise_with_burst(5000, 3000, 200, 10.0);
+  StaLtaParams p;
+  p.sta = 50;
+  p.lta = 1000;
+  const std::vector<double> ratio = sta_lta(x, p);
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < ratio.size(); ++i) {
+    if (ratio[i] > ratio[argmax]) argmax = i;
+  }
+  EXPECT_GE(argmax, 3000u);
+  EXPECT_LE(argmax, 3300u);
+  EXPECT_GT(ratio[argmax], 5.0);
+}
+
+TEST(StaLtaTest, QuietNoiseStaysNearOne) {
+  const std::vector<double> x = noise_with_burst(5000, 0, 0, 0.0);
+  StaLtaParams p;
+  p.sta = 50;
+  p.lta = 1000;
+  const std::vector<double> ratio = sta_lta(x, p);
+  for (std::size_t i = p.lta; i < ratio.size(); ++i) {
+    EXPECT_LT(ratio[i], 2.5) << "i=" << i;
+  }
+}
+
+TEST(StaLtaTest, WarmupIsZeroAndShortInputsSafe) {
+  const std::vector<double> x(100, 1.0);
+  StaLtaParams p;
+  p.sta = 10;
+  p.lta = 50;
+  const std::vector<double> ratio = sta_lta(x, p);
+  for (std::size_t i = 0; i < p.lta; ++i) EXPECT_EQ(ratio[i], 0.0);
+  const std::vector<double> tiny(10, 1.0);
+  for (double v : sta_lta(tiny, p)) EXPECT_EQ(v, 0.0);
+}
+
+TEST(StaLtaTest, RejectsBadWindows) {
+  const std::vector<double> x(10, 0.0);
+  EXPECT_THROW((void)sta_lta(x, StaLtaParams{0, 5}), InvalidArgument);
+  EXPECT_THROW((void)sta_lta(x, StaLtaParams{5, 5}), InvalidArgument);
+}
+
+TEST(TriggerTest, HysteresisPicksOneRegionPerBurst) {
+  const std::vector<double> x = noise_with_burst(6000, 2000, 300, 12.0, 4);
+  StaLtaParams p;
+  p.sta = 40;
+  p.lta = 800;
+  const std::vector<double> ratio = sta_lta(x, p);
+  const std::vector<Trigger> trig = pick_triggers(ratio, 4.0, 1.5);
+  ASSERT_EQ(trig.size(), 1u);
+  EXPECT_GE(trig[0].on, 2000u);
+  EXPECT_LE(trig[0].on, 2200u);
+  EXPECT_GT(trig[0].peak_ratio, 4.0);
+  EXPECT_GT(trig[0].off, trig[0].on);
+}
+
+TEST(TriggerTest, OpenTriggerClosesAtEnd) {
+  const std::vector<double> ratio{0.0, 5.0, 5.0, 5.0};
+  const std::vector<Trigger> trig = pick_triggers(ratio, 4.0, 1.0);
+  ASSERT_EQ(trig.size(), 1u);
+  EXPECT_EQ(trig[0].off, 4u);
+  EXPECT_THROW((void)pick_triggers(ratio, 1.0, 2.0), InvalidArgument);
+}
+
+// ---------- median / despike ---------------------------------------------------
+
+TEST(MedianTest, KnownValues) {
+  EXPECT_EQ(median({3.0}), 3.0);
+  EXPECT_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_THROW((void)median({}), InvalidArgument);
+}
+
+TEST(MedianFilterTest, RemovesImpulsePreservesStep) {
+  std::vector<double> x(50, 1.0);
+  for (std::size_t i = 25; i < 50; ++i) x[i] = 5.0;  // step
+  x[10] = 100.0;                                     // spike
+  const std::vector<double> y = median_filter(x, 2);
+  EXPECT_EQ(y[10], 1.0);              // spike gone
+  EXPECT_EQ(y[20], 1.0);              // plateau kept
+  EXPECT_EQ(y[30], 5.0);              // step level kept
+  EXPECT_EQ(y[24], 1.0);              // edge of step not smeared past
+  EXPECT_EQ(y[25], 5.0);
+}
+
+TEST(DespikeTest, ReplacesOnlyOutliers) {
+  std::mt19937_64 rng(9);
+  std::normal_distribution<double> dist;
+  std::vector<double> x(400);
+  for (auto& v : x) v = dist(rng);
+  std::vector<double> spiked = x;
+  spiked[100] = 50.0;
+  spiked[200] = -40.0;
+  const std::vector<double> y = despike_mad(spiked, 10, 6.0);
+  // The spikes are pulled back to local scale...
+  EXPECT_LT(std::abs(y[100]), 5.0);
+  EXPECT_LT(std::abs(y[200]), 5.0);
+  // ...and almost everything else is untouched.
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (y[i] != spiked[i]) ++changed;
+  }
+  EXPECT_LE(changed, 8u);
+}
+
+TEST(DespikeTest, ConstantSignalUntouched) {
+  const std::vector<double> x(64, 2.0);
+  EXPECT_EQ(despike_mad(x, 5, 4.0), x);
+  EXPECT_THROW((void)despike_mad(x, 5, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dassa::dsp

@@ -1,0 +1,126 @@
+// Butterworth design tests: frequency response checked against the
+// analytically expected magnitude |H| at DC, cutoff and Nyquist.
+#include "dassa/dsp/butterworth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::dsp {
+namespace {
+
+/// Evaluate |H(e^{jw})| of a digital filter at Nyquist-relative
+/// frequency wn in [0, 1].
+double magnitude(const FilterCoeffs& f, double wn) {
+  const double w = std::numbers::pi * wn;
+  const std::complex<double> z = std::polar(1.0, w);
+  std::complex<double> num(0, 0);
+  std::complex<double> den(0, 0);
+  std::complex<double> zk(1, 0);
+  for (double b : f.b) {
+    num += b * zk;
+    zk /= z;
+  }
+  zk = std::complex<double>(1, 0);
+  for (double a : f.a) {
+    den += a * zk;
+    zk /= z;
+  }
+  return std::abs(num / den);
+}
+
+constexpr double kHalfPower = 0.7071067811865476;  // 1/sqrt(2)
+
+class ButterLowpass
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ButterLowpass, ResponseShape) {
+  const auto [order, wn] = GetParam();
+  const FilterCoeffs f = butter_lowpass(order, wn);
+  EXPECT_EQ(f.a.size(), static_cast<std::size_t>(order) + 1);
+  EXPECT_EQ(f.b.size(), static_cast<std::size_t>(order) + 1);
+  EXPECT_NEAR(magnitude(f, 1e-9), 1.0, 1e-6);          // unity at DC
+  EXPECT_NEAR(magnitude(f, wn), kHalfPower, 1e-6);     // -3 dB at cutoff
+  EXPECT_LT(magnitude(f, 1.0 - 1e-9), 1e-4);           // dead at Nyquist
+  // Monotonic decrease (Butterworth is maximally flat / monotonic).
+  double prev = magnitude(f, 0.01);
+  for (double w = 0.05; w < 1.0; w += 0.05) {
+    const double mag = magnitude(f, w);
+    EXPECT_LE(mag, prev + 1e-9) << "w=" << w;
+    prev = mag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, ButterLowpass,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6, 8),
+                       ::testing::Values(0.1, 0.25, 0.5, 0.8)));
+
+class ButterHighpass
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ButterHighpass, ResponseShape) {
+  const auto [order, wn] = GetParam();
+  const FilterCoeffs f = butter_highpass(order, wn);
+  EXPECT_LT(magnitude(f, 1e-9), 1e-4);                  // dead at DC
+  EXPECT_NEAR(magnitude(f, wn), kHalfPower, 1e-6);      // -3 dB at cutoff
+  EXPECT_NEAR(magnitude(f, 1.0 - 1e-9), 1.0, 1e-5);     // unity at Nyquist
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, ButterHighpass,
+    ::testing::Combine(::testing::Values(1, 2, 4, 6),
+                       ::testing::Values(0.15, 0.4, 0.7)));
+
+class ButterBandpass
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(ButterBandpass, ResponseShape) {
+  const auto [order, lo, hi] = GetParam();
+  const FilterCoeffs f = butter_bandpass(order, lo, hi);
+  // butter(n, [lo hi]) doubles the order: 2n+1 coefficients.
+  EXPECT_EQ(f.a.size(), static_cast<std::size_t>(2 * order) + 1);
+  EXPECT_LT(magnitude(f, 1e-9), 1e-3);               // dead at DC
+  EXPECT_LT(magnitude(f, 1.0 - 1e-9), 1e-3);         // dead at Nyquist
+  EXPECT_NEAR(magnitude(f, lo), kHalfPower, 1e-5);   // -3 dB at both edges
+  EXPECT_NEAR(magnitude(f, hi), kHalfPower, 1e-5);
+  // Near unity at the (geometric) band centre.
+  const double centre = std::sqrt(lo * hi);
+  EXPECT_NEAR(magnitude(f, centre), 1.0, 2e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bands, ButterBandpass,
+    ::testing::Values(std::make_tuple(2, 0.1, 0.4),
+                      std::make_tuple(3, 0.2, 0.6),
+                      std::make_tuple(4, 0.05, 0.2),
+                      std::make_tuple(3, 0.004, 0.18)));
+
+TEST(ButterTest, RejectsBadParameters) {
+  EXPECT_THROW((void)butter_lowpass(0, 0.5), InvalidArgument);
+  EXPECT_THROW((void)butter_lowpass(2, 0.0), InvalidArgument);
+  EXPECT_THROW((void)butter_lowpass(2, 1.0), InvalidArgument);
+  EXPECT_THROW((void)butter_lowpass(2, -0.5), InvalidArgument);
+  EXPECT_THROW((void)butter_bandpass(2, 0.5, 0.2), InvalidArgument);
+  EXPECT_THROW((void)butter_bandpass(2, 0.2, 0.2), InvalidArgument);
+}
+
+TEST(ButterTest, MatchesKnownScipyCoefficients) {
+  // scipy.signal.butter(2, 0.5): b ~ [0.29289322, 0.58578644,
+  // 0.29289322], a ~ [1, 0, 0.17157288].
+  const FilterCoeffs f = butter_lowpass(2, 0.5);
+  ASSERT_EQ(f.b.size(), 3u);
+  const double a0 = f.a[0];
+  EXPECT_NEAR(f.b[0] / a0, 0.2928932188, 1e-9);
+  EXPECT_NEAR(f.b[1] / a0, 0.5857864376, 1e-9);
+  EXPECT_NEAR(f.b[2] / a0, 0.2928932188, 1e-9);
+  EXPECT_NEAR(f.a[1] / a0, 0.0, 1e-9);
+  EXPECT_NEAR(f.a[2] / a0, 0.1715728753, 1e-9);
+}
+
+}  // namespace
+}  // namespace dassa::dsp

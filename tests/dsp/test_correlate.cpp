@@ -1,0 +1,147 @@
+#include "dassa/dsp/correlate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::dsp {
+namespace {
+
+TEST(AbscorrTest, IdenticalVectorsGiveOne) {
+  const std::vector<double> a{1.0, -2.0, 3.0, 0.5};
+  EXPECT_NEAR(abscorr(a, a), 1.0, 1e-12);
+}
+
+TEST(AbscorrTest, NegatedVectorGivesOne) {
+  const std::vector<double> a{1.0, -2.0, 3.0};
+  std::vector<double> b(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) b[i] = -a[i];
+  EXPECT_NEAR(abscorr(a, b), 1.0, 1e-12);  // absolute correlation
+}
+
+TEST(AbscorrTest, OrthogonalVectorsGiveZero) {
+  const std::vector<double> a{1.0, 0.0, -1.0, 0.0};
+  const std::vector<double> b{0.0, 1.0, 0.0, -1.0};
+  EXPECT_NEAR(abscorr(a, b), 0.0, 1e-12);
+}
+
+TEST(AbscorrTest, ScaleInvariant) {
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> dist;
+  std::vector<double> a(50);
+  std::vector<double> b(50);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = dist(rng);
+    b[i] = dist(rng);
+  }
+  std::vector<double> a_scaled(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a_scaled[i] = 42.0 * a[i];
+  EXPECT_NEAR(abscorr(a, b), abscorr(a_scaled, b), 1e-12);
+}
+
+TEST(AbscorrTest, ZeroNormGivesZero) {
+  const std::vector<double> a{0.0, 0.0, 0.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_EQ(abscorr(a, b), 0.0);
+}
+
+TEST(AbscorrTest, BoundedByOne) {
+  std::mt19937_64 rng(9);
+  std::normal_distribution<double> dist;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> a(20);
+    std::vector<double> b(20);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = dist(rng);
+      b[i] = dist(rng);
+    }
+    const double c = abscorr(a, b);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0 + 1e-12);
+  }
+}
+
+TEST(AbscorrTest, RejectsLengthMismatch) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW((void)abscorr(a, b), InvalidArgument);
+}
+
+TEST(AbscorrComplexTest, MatchesSelfAndPhaseRotation) {
+  std::vector<cplx> a{{1, 2}, {3, -1}, {0, 4}};
+  EXPECT_NEAR(abscorr(std::span<const cplx>(a), std::span<const cplx>(a)),
+              1.0, 1e-12);
+  // A global phase rotation must not change |cos(theta)|.
+  const cplx phase = std::polar(1.0, 1.234);
+  std::vector<cplx> b(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) b[i] = a[i] * phase;
+  EXPECT_NEAR(abscorr(std::span<const cplx>(a), std::span<const cplx>(b)),
+              1.0, 1e-12);
+}
+
+TEST(XcorrTest, MatchesNaiveCorrelation) {
+  std::mt19937_64 rng(21);
+  std::normal_distribution<double> dist;
+  std::vector<double> a(17);
+  std::vector<double> b(11);
+  for (auto& v : a) v = dist(rng);
+  for (auto& v : b) v = dist(rng);
+
+  const std::vector<double> fast = xcorr_full(a, b);
+  ASSERT_EQ(fast.size(), a.size() + b.size() - 1);
+  // naive[k] = sum_j a[j] * b[j - (k - (nb-1))]
+  for (std::size_t k = 0; k < fast.size(); ++k) {
+    const std::ptrdiff_t lag =
+        static_cast<std::ptrdiff_t>(k) -
+        static_cast<std::ptrdiff_t>(b.size() - 1);
+    double expect = 0.0;
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      const std::ptrdiff_t bj = static_cast<std::ptrdiff_t>(j) - lag;
+      if (bj >= 0 && bj < static_cast<std::ptrdiff_t>(b.size())) {
+        expect += a[j] * b[static_cast<std::size_t>(bj)];
+      }
+    }
+    EXPECT_NEAR(fast[k], expect, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(XcorrTest, AutocorrelationPeaksAtZeroLag) {
+  std::mt19937_64 rng(2);
+  std::normal_distribution<double> dist;
+  std::vector<double> a(64);
+  for (auto& v : a) v = dist(rng);
+  const std::vector<double> r = xcorr_full(a, a);
+  const std::size_t zero_lag = a.size() - 1;
+  for (std::size_t k = 0; k < r.size(); ++k) {
+    EXPECT_LE(std::abs(r[k]), r[zero_lag] + 1e-9);
+  }
+}
+
+TEST(XcorrSpectraTest, CircularCorrelationIdentity) {
+  // xcorr_spectra(F(x), F(x)) at index 0 equals sum(x^2).
+  std::mt19937_64 rng(4);
+  std::normal_distribution<double> dist;
+  std::vector<double> x(32);
+  double energy = 0.0;
+  for (auto& v : x) {
+    v = dist(rng);
+    energy += v * v;
+  }
+  const std::vector<cplx> fx = rfft(x);
+  const std::vector<double> r = xcorr_spectra(fx, fx);
+  EXPECT_NEAR(r[0], energy, 1e-8);
+}
+
+TEST(PearsonTest, KnownValues) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  std::vector<double> c(a.rbegin(), a.rend());
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dassa::dsp

@@ -1,0 +1,82 @@
+#include "dassa/dsp/detrend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace dassa::dsp {
+namespace {
+
+TEST(DetrendTest, RemovesExactLine) {
+  std::vector<double> x(100);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 3.0 + 0.25 * static_cast<double>(i);
+  }
+  const std::vector<double> y = detrend_linear(x);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-10);
+}
+
+TEST(DetrendTest, PreservesResidualAroundLine) {
+  // x = line + wiggle: detrend must return exactly the wiggle when the
+  // wiggle is orthogonal to {1, t}.
+  const std::size_t n = 101;
+  std::vector<double> x(n);
+  std::vector<double> wiggle(n);
+  const double mid = static_cast<double>(n - 1) / 2.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = static_cast<double>(i) - mid;
+    wiggle[i] = c * c - (mid * (mid + 1)) / 3.0;  // orthogonal to 1 and t
+    x[i] = -2.0 + 0.1 * static_cast<double>(i) + wiggle[i];
+  }
+  const std::vector<double> y = detrend_linear(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i], wiggle[i], 1e-8);
+  }
+}
+
+TEST(DetrendTest, OutputIsZeroMeanAndTrendFree) {
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> dist;
+  std::vector<double> x(257);
+  for (auto& v : x) v = dist(rng) + 5.0;
+  const std::vector<double> y = detrend_linear(x);
+  double mean = 0.0;
+  double slope_num = 0.0;
+  const double mid = static_cast<double>(x.size() - 1) / 2.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    mean += y[i];
+    slope_num += (static_cast<double>(i) - mid) * y[i];
+  }
+  EXPECT_NEAR(mean / static_cast<double>(y.size()), 0.0, 1e-10);
+  EXPECT_NEAR(slope_num, 0.0, 1e-7);
+}
+
+TEST(DetrendTest, ConstantVariantRemovesMeanOnly) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = detrend_constant(x);
+  EXPECT_NEAR(y[0], -1.5, 1e-12);
+  EXPECT_NEAR(y[3], 1.5, 1e-12);
+}
+
+TEST(DetrendTest, DegenerateLengths) {
+  std::vector<double> one{5.0};
+  const std::vector<double> y1 = detrend_linear(one);
+  EXPECT_NEAR(y1[0], 0.0, 1e-12);
+  std::vector<double> empty;
+  EXPECT_TRUE(detrend_linear(empty).empty());
+}
+
+TEST(DetrendTest, Idempotent) {
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> dist;
+  std::vector<double> x(64);
+  for (auto& v : x) v = dist(rng);
+  const std::vector<double> once = detrend_linear(x);
+  const std::vector<double> twice = detrend_linear(once);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(twice[i], once[i], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace dassa::dsp

@@ -1,0 +1,190 @@
+// FFT unit + property tests: known transforms, round trips, Parseval,
+// linearity, power-of-two and Bluestein paths.
+#include "dassa/dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace dassa::dsp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(FftTest, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(FftTest, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(FftTest, EmptyInputIsNoop) {
+  std::vector<cplx> x;
+  fft_inplace(x);
+  EXPECT_TRUE(x.empty());
+  ifft_inplace(x);
+  EXPECT_TRUE(x.empty());
+}
+
+TEST(FftTest, SingleElement) {
+  std::vector<cplx> x{cplx(3.5, -1.25)};
+  fft_inplace(x);
+  EXPECT_NEAR(x[0].real(), 3.5, kTol);
+  EXPECT_NEAR(x[0].imag(), -1.25, kTol);
+}
+
+TEST(FftTest, ImpulseGivesFlatSpectrum) {
+  std::vector<cplx> x(8, cplx(0, 0));
+  x[0] = cplx(1, 0);
+  fft_inplace(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, kTol);
+    EXPECT_NEAR(v.imag(), 0.0, kTol);
+  }
+}
+
+TEST(FftTest, DcGivesImpulseAtZero) {
+  std::vector<cplx> x(16, cplx(2.0, 0));
+  fft_inplace(x);
+  EXPECT_NEAR(x[0].real(), 32.0, kTol);
+  for (std::size_t k = 1; k < x.size(); ++k) {
+    EXPECT_NEAR(std::abs(x[k]), 0.0, kTol);
+  }
+}
+
+TEST(FftTest, PureToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t bin = 5;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(2.0 * std::numbers::pi * static_cast<double>(bin * i) /
+                    static_cast<double>(n));
+  }
+  const std::vector<cplx> spec = rfft(x);
+  // A real cosine splits between bins +k and -k, each of magnitude n/2.
+  EXPECT_NEAR(std::abs(spec[bin]), static_cast<double>(n) / 2.0, 1e-8);
+  EXPECT_NEAR(std::abs(spec[n - bin]), static_cast<double>(n) / 2.0, 1e-8);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == bin || k == n - bin) continue;
+    EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-8) << "bin " << k;
+  }
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, IfftInvertsFft) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(n * 977 + 13);
+  std::normal_distribution<double> dist;
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = cplx(dist(rng), dist(rng));
+  std::vector<cplx> y = x;
+  fft_inplace(y);
+  ifft_inplace(y);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-8) << "n=" << n << " i=" << i;
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-8);
+  }
+}
+
+TEST_P(FftRoundTrip, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(n * 31 + 7);
+  std::normal_distribution<double> dist;
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = cplx(dist(rng), dist(rng));
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  fft_inplace(x);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-7 * (1.0 + time_energy));
+}
+
+// Cover radix-2 sizes, primes (pure Bluestein), and composites.
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17,
+                                           31, 32, 60, 97, 100, 128, 243, 256,
+                                           499, 512, 1000, 1024));
+
+TEST(FftTest, LinearityOnBluesteinPath) {
+  const std::size_t n = 30;  // non-power-of-two
+  std::mt19937_64 rng(99);
+  std::normal_distribution<double> dist;
+  std::vector<cplx> a(n);
+  std::vector<cplx> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = cplx(dist(rng), dist(rng));
+    b[i] = cplx(dist(rng), dist(rng));
+  }
+  std::vector<cplx> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  const std::vector<cplx> fa = fft(a);
+  const std::vector<cplx> fb = fft(b);
+  const std::vector<cplx> fsum = fft(sum);
+  for (std::size_t i = 0; i < n; ++i) {
+    const cplx expect = 2.0 * fa[i] + 3.0 * fb[i];
+    EXPECT_NEAR(std::abs(fsum[i] - expect), 0.0, 1e-7);
+  }
+}
+
+TEST(FftTest, BluesteinMatchesNaiveDft) {
+  const std::size_t n = 23;  // prime: must use Bluestein
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> dist;
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = cplx(dist(rng), dist(rng));
+
+  std::vector<cplx> naive(n, cplx(0, 0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      naive[k] += x[j] * cplx(std::cos(angle), std::sin(angle));
+    }
+  }
+  const std::vector<cplx> fast = fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(fast[k] - naive[k]), 0.0, 1e-7) << "bin " << k;
+  }
+}
+
+TEST(FftTest, RfftOfRealSignalIsConjugateSymmetric) {
+  std::mt19937_64 rng(17);
+  std::normal_distribution<double> dist;
+  std::vector<double> x(40);
+  for (auto& v : x) v = dist(rng);
+  const std::vector<cplx> spec = rfft(x);
+  for (std::size_t k = 1; k < x.size(); ++k) {
+    EXPECT_NEAR(std::abs(spec[k] - std::conj(spec[x.size() - k])), 0.0, 1e-8);
+  }
+}
+
+TEST(FftTest, IrfftRealRoundTrip) {
+  std::mt19937_64 rng(23);
+  std::normal_distribution<double> dist;
+  std::vector<double> x(50);
+  for (auto& v : x) v = dist(rng);
+  const std::vector<double> back = irfft_real(rfft(x));
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace dassa::dsp

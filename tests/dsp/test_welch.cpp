@@ -1,0 +1,158 @@
+// Welch PSD and coherence tests: tone localisation, variance (Parseval)
+// accounting, coherence of shared vs independent signals, validation.
+#include "dassa/dsp/welch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::dsp {
+namespace {
+
+std::vector<double> gaussian(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist;
+  std::vector<double> x(n);
+  for (auto& v : x) v = dist(rng);
+  return x;
+}
+
+TEST(WelchTest, TonePeaksAtItsBin) {
+  const double fs = 500.0;
+  const double f0 = 62.5;  // exactly bin 32 for segment 256
+  const std::size_t n = 8192;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * f0 * static_cast<double>(i) / fs);
+  }
+  WelchParams p;
+  const std::vector<double> psd = welch_psd(x, fs, p);
+  std::size_t argmax = 0;
+  for (std::size_t b = 1; b < psd.size(); ++b) {
+    if (psd[b] > psd[argmax]) argmax = b;
+  }
+  EXPECT_NEAR(welch_bin_hz(argmax, fs, p), f0, fs / 256.0);
+}
+
+TEST(WelchTest, PsdIntegralMatchesVariance) {
+  // For white noise, sum(psd) * df ~ variance (Parseval under the
+  // density normalisation).
+  const double fs = 100.0;
+  const std::vector<double> x = gaussian(65536, 3);
+  double var = 0.0;
+  for (double v : x) var += v * v;
+  var /= static_cast<double>(x.size());
+
+  WelchParams p;
+  p.segment = 512;
+  p.overlap = 256;
+  const std::vector<double> psd = welch_psd(x, fs, p);
+  double integral = 0.0;
+  for (double v : psd) integral += v;
+  integral *= fs / static_cast<double>(p.segment);
+  EXPECT_NEAR(integral, var, 0.1 * var);
+}
+
+TEST(WelchTest, WhiteNoisePsdIsFlat) {
+  const std::vector<double> x = gaussian(65536, 5);
+  WelchParams p;
+  p.segment = 256;
+  p.overlap = 128;
+  const std::vector<double> psd = welch_psd(x, 1.0, p);
+  double lo = 1e300;
+  double hi = 0.0;
+  for (std::size_t b = 4; b + 4 < psd.size(); ++b) {
+    lo = std::min(lo, psd[b]);
+    hi = std::max(hi, psd[b]);
+  }
+  EXPECT_LT(hi / lo, 3.0);  // flat within averaging noise
+}
+
+TEST(WelchTest, Validation) {
+  const std::vector<double> x(100, 0.0);
+  WelchParams p;
+  p.segment = 4;  // too small
+  EXPECT_THROW((void)welch_psd(x, 10.0, p), InvalidArgument);
+  p.segment = 64;
+  p.overlap = 64;  // overlap == segment
+  EXPECT_THROW((void)welch_psd(x, 10.0, p), InvalidArgument);
+  p.overlap = 32;
+  EXPECT_THROW((void)welch_psd(std::vector<double>(10, 0.0), 10.0, p),
+               InvalidArgument);
+  EXPECT_THROW((void)welch_psd(x, 0.0, p), InvalidArgument);
+}
+
+TEST(CoherenceTest, SharedSignalIsCoherentInItsBand) {
+  const double fs = 200.0;
+  const std::size_t n = 16384;
+  std::vector<double> x = gaussian(n, 7);
+  std::vector<double> y = gaussian(n, 8);
+  // Shared 25 Hz tone on both, strong against the noise.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double tone =
+        4.0 * std::sin(2.0 * std::numbers::pi * 25.0 *
+                       static_cast<double>(i) / fs);
+    x[i] += tone;
+    y[i] += tone;
+  }
+  WelchParams p;
+  p.segment = 256;
+  p.overlap = 128;
+  const std::vector<double> coh = coherence(x, y, p);
+  const auto tone_bin = static_cast<std::size_t>(25.0 / fs * 256.0);
+  EXPECT_GT(coh[tone_bin], 0.9);
+  // Away from the tone: independent noise, low coherence.
+  double off_band = 0.0;
+  for (std::size_t b = 80; b < 120; ++b) off_band += coh[b];
+  EXPECT_LT(off_band / 40.0, 0.3);
+}
+
+TEST(CoherenceTest, IndependentNoiseIsIncoherent) {
+  const std::vector<double> x = gaussian(16384, 11);
+  const std::vector<double> y = gaussian(16384, 12);
+  WelchParams p;
+  p.segment = 256;
+  p.overlap = 128;
+  const std::vector<double> coh = coherence(x, y, p);
+  double mean = 0.0;
+  for (double v : coh) mean += v;
+  mean /= static_cast<double>(coh.size());
+  EXPECT_LT(mean, 0.15);
+}
+
+TEST(CoherenceTest, IdenticalSignalsFullyCoherent) {
+  const std::vector<double> x = gaussian(4096, 13);
+  WelchParams p;
+  const std::vector<double> coh = coherence(x, x, p);
+  for (std::size_t b = 1; b + 1 < coh.size(); ++b) {
+    EXPECT_NEAR(coh[b], 1.0, 1e-9) << "bin " << b;
+  }
+}
+
+TEST(CoherenceTest, BoundedInUnitInterval) {
+  const std::vector<double> x = gaussian(4096, 14);
+  std::vector<double> y = gaussian(4096, 15);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += 0.5 * x[i];
+  WelchParams p;
+  for (double v : coherence(x, y, p)) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+TEST(CoherenceTest, RejectsSingleSegmentAndLengthMismatch) {
+  WelchParams p;
+  p.segment = 256;
+  p.overlap = 0;
+  const std::vector<double> x(256, 1.0);  // exactly one segment
+  EXPECT_THROW((void)coherence(x, x, p), InvalidArgument);
+  const std::vector<double> longer(512, 1.0);
+  EXPECT_THROW((void)coherence(x, longer, p), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dassa::dsp

@@ -1,0 +1,146 @@
+// Fault-injection tests: corruption and loss at every storage layer
+// must surface as typed errors through the full distributed stack --
+// never as wrong results, hangs, or crashes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "dassa/das/local_similarity.hpp"
+#include "dassa/das/synth.hpp"
+#include "dassa/io/par_read.hpp"
+#include "dassa/mpi/runtime.hpp"
+#include "testing/tmpdir.hpp"
+
+namespace dassa {
+namespace {
+
+using testing::TmpDir;
+
+std::vector<std::string> make_files(const TmpDir& dir) {
+  const das::SynthDas synth = das::SynthDas::fig1b_scene(12, 40.0, 9);
+  das::AcquisitionSpec spec;
+  spec.dir = dir.str();
+  spec.start = das::Timestamp::parse("170728224510");
+  spec.file_count = 4;
+  spec.seconds_per_file = 1.0;
+  spec.per_channel_metadata = false;
+  return das::write_acquisition(synth, spec);
+}
+
+void corrupt_byte(const std::string& path, std::uint64_t offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.get(c);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(static_cast<char>(c ^ 0x5A));
+}
+
+TEST(FaultInjectionTest, MemberDeletedAfterVcaBuild) {
+  // VCA holds only metadata; a member vanishing between build and read
+  // must fail the read cleanly, not crash.
+  TmpDir dir("fault");
+  const auto files = make_files(dir);
+  io::Vca vca = io::Vca::build(files);
+  std::filesystem::remove(files[2]);
+  EXPECT_THROW((void)vca.read_all(), IoError);
+  // Reads that avoid the missing member still succeed.
+  EXPECT_NO_THROW((void)vca.read_slab(Slab2D{0, 0, 12, 40}));
+}
+
+TEST(FaultInjectionTest, MemberHeaderCorruptionSurfacesAsFormatError) {
+  TmpDir dir("fault");
+  const auto files = make_files(dir);
+  io::Vca vca = io::Vca::build(files);
+  corrupt_byte(files[1], 40);  // inside the CRC-protected header
+  EXPECT_THROW((void)vca.read_all(), FormatError);
+}
+
+TEST(FaultInjectionTest, MemberTruncationSurfacesAsFormatError) {
+  TmpDir dir("fault");
+  const auto files = make_files(dir);
+  io::Vca vca = io::Vca::build(files);
+  std::filesystem::resize_file(
+      files[3], std::filesystem::file_size(files[3]) / 2);
+  EXPECT_THROW((void)vca.read_all(), FormatError);
+}
+
+TEST(FaultInjectionTest, ParallelReadersPropagateMemberFailure) {
+  // A rank hitting the broken file must abort the whole world with the
+  // root-cause error; the peers blocked in the all-to-all must be
+  // released (no deadlock).
+  TmpDir dir("fault");
+  const auto files = make_files(dir);
+  io::Vca vca = io::Vca::build(files);
+  corrupt_byte(files[0], 40);
+  EXPECT_THROW(mpi::Runtime::run(4,
+                                 [&](mpi::Comm& comm) {
+                                   (void)io::read_vca_comm_avoiding(comm,
+                                                                    vca);
+                                 }),
+               FormatError);
+}
+
+TEST(FaultInjectionTest, EngineSurfacesStorageFaults) {
+  // The full HAEE pipeline over a VCA with a missing member: the engine
+  // must rethrow the I/O error, and every rank/pool thread must be
+  // joined (verified implicitly: the test returns instead of hanging).
+  TmpDir dir("fault");
+  const auto files = make_files(dir);
+  io::Vca vca = io::Vca::build(files);
+  std::filesystem::remove(files[1]);
+
+  das::LocalSimilarityParams p;
+  p.window_half = 3;
+  p.lag_half = 2;
+  core::EngineConfig config;
+  config.nodes = 3;
+  config.cores_per_node = 2;
+  EXPECT_THROW((void)das::local_similarity_distributed(config, vca, p),
+               IoError);
+}
+
+TEST(FaultInjectionTest, VcaRejectsWrongFileKind) {
+  TmpDir dir("fault");
+  const auto files = make_files(dir);
+  // A .vca logical file is not a DASH5 member.
+  io::Vca::build(files).save(dir.file("logical.vca"));
+  std::vector<std::string> mixed = files;
+  mixed.push_back(dir.file("logical.vca"));
+  EXPECT_THROW((void)io::Vca::build(mixed), FormatError);
+}
+
+TEST(FaultInjectionTest, UdfExceptionAbortsEngineCleanly) {
+  // A user-defined function throwing on one rank must not deadlock the
+  // remaining ranks (they block in the gather).
+  TmpDir dir("fault");
+  io::Vca vca = io::Vca::build(make_files(dir));
+  core::EngineConfig config;
+  config.nodes = 3;
+  config.cores_per_node = 1;
+  EXPECT_THROW(
+      (void)core::run_cells(
+          config, vca,
+          [](const core::RankContext& ctx) {
+            return core::ScalarUdf([rank = ctx.comm.rank()](
+                                       const core::Stencil& s) -> double {
+              if (rank == 1 && s.time() == 5) {
+                throw IoError("injected UDF failure");
+              }
+              return s(0, 0);
+            });
+          }),
+      IoError);
+}
+
+TEST(FaultInjectionTest, ZeroByteFileRejectedEverywhere) {
+  TmpDir dir("fault");
+  std::ofstream(dir.file("empty.dh5")).close();
+  EXPECT_THROW(io::Dash5File f(dir.file("empty.dh5")), FormatError);
+  EXPECT_THROW((void)io::Vca::build({dir.file("empty.dh5")}), FormatError);
+  EXPECT_THROW((void)io::Vca::load(dir.file("empty.dh5")), Error);
+}
+
+}  // namespace
+}  // namespace dassa

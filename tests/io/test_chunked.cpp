@@ -1,0 +1,174 @@
+// Chunked DASH5 layout tests: content equivalence with the contiguous
+// layout under every slab shape, edge-chunk padding, I/O-call
+// accounting, format validation.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dassa/common/counters.hpp"
+#include "dassa/io/dash5.hpp"
+#include "testing/tmpdir.hpp"
+
+namespace dassa::io {
+namespace {
+
+using testing::TmpDir;
+
+std::vector<double> make_data(Shape2D shape, std::uint64_t seed = 4) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist;
+  std::vector<double> data(shape.size());
+  for (auto& v : data) v = dist(rng);
+  return data;
+}
+
+Dash5Header chunked_header(Shape2D shape, ChunkShape chunk,
+                           DType dtype = DType::kF64) {
+  Dash5Header h;
+  h.shape = shape;
+  h.dtype = dtype;
+  h.layout = Layout::kChunked;
+  h.chunk = chunk;
+  return h;
+}
+
+class ChunkedRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(ChunkedRoundTrip, ReadAllMatchesContiguous) {
+  const auto [cr, cc] = GetParam();
+  TmpDir dir("chunk");
+  const Shape2D shape{13, 29};  // deliberately not chunk-aligned
+  const std::vector<double> data = make_data(shape);
+
+  Dash5Header plain;
+  plain.shape = shape;
+  dash5_write(dir.file("plain.dh5"), plain, data);
+  dash5_write(dir.file("tiled.dh5"), chunked_header(shape, {cr, cc}), data);
+
+  Dash5File a(dir.file("plain.dh5"));
+  Dash5File b(dir.file("tiled.dh5"));
+  EXPECT_EQ(b.layout(), Layout::kChunked);
+  EXPECT_EQ(b.chunk(), (ChunkShape{cr, cc}));
+  EXPECT_EQ(a.read_all(), b.read_all());
+}
+
+TEST_P(ChunkedRoundTrip, RandomSlabsMatchContiguous) {
+  const auto [cr, cc] = GetParam();
+  TmpDir dir("chunk");
+  const Shape2D shape{16, 40};
+  const std::vector<double> data = make_data(shape, 8);
+  Dash5Header plain;
+  plain.shape = shape;
+  dash5_write(dir.file("plain.dh5"), plain, data);
+  dash5_write(dir.file("tiled.dh5"), chunked_header(shape, {cr, cc}), data);
+
+  Dash5File a(dir.file("plain.dh5"));
+  Dash5File b(dir.file("tiled.dh5"));
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 40; ++i) {
+    const std::size_t r0 = rng() % shape.rows;
+    const std::size_t c0 = rng() % shape.cols;
+    const Slab2D slab{r0, c0, 1 + rng() % (shape.rows - r0),
+                      1 + rng() % (shape.cols - c0)};
+    EXPECT_EQ(a.read_slab(slab), b.read_slab(slab)) << slab.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChunkShapes, ChunkedRoundTrip,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(4, 8),
+                      std::make_tuple(5, 7), std::make_tuple(16, 40),
+                      std::make_tuple(32, 64)));  // bigger than the array
+
+TEST(ChunkedTest, F32ChunkedRoundTrip) {
+  TmpDir dir("chunk");
+  const Shape2D shape{6, 10};
+  const std::vector<double> data = make_data(shape, 3);
+  dash5_write(dir.file("f.dh5"),
+              chunked_header(shape, {4, 4}, DType::kF32), data);
+  Dash5File f(dir.file("f.dh5"));
+  const std::vector<double> back = f.read_all();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(back[i], data[i], 1e-6 * (1.0 + std::abs(data[i])));
+  }
+}
+
+TEST(ChunkedTest, TimeWindowReadTouchesFewChunks) {
+  // The point of chunking: a narrow time window over all channels is
+  // O(selection / chunk) read calls instead of one per row.
+  TmpDir dir("chunk");
+  const Shape2D shape{64, 1024};
+  const std::vector<double> data = make_data(shape, 5);
+
+  Dash5Header plain;
+  plain.shape = shape;
+  dash5_write(dir.file("plain.dh5"), plain, data);
+  dash5_write(dir.file("tiled.dh5"), chunked_header(shape, {16, 128}), data);
+
+  const Slab2D window{0, 256, 64, 128};  // all channels, 128 samples
+
+  Dash5File a(dir.file("plain.dh5"));
+  global_counters().reset();
+  const std::vector<double> from_plain = a.read_slab(window);
+  const std::uint64_t plain_calls =
+      global_counters().get(counters::kIoReadCalls);
+
+  Dash5File b(dir.file("tiled.dh5"));
+  global_counters().reset();
+  const std::vector<double> from_tiled = b.read_slab(window);
+  const std::uint64_t tiled_calls =
+      global_counters().get(counters::kIoReadCalls);
+
+  EXPECT_EQ(from_plain, from_tiled);
+  EXPECT_EQ(plain_calls, 64u);  // one per row
+  EXPECT_EQ(tiled_calls, 4u);   // 4 row-tiles x 1 column-tile
+}
+
+TEST(ChunkedTest, PaddingInvisibleAtEdges) {
+  TmpDir dir("chunk");
+  const Shape2D shape{5, 9};  // 2x3 grid of 3x4 chunks, ragged edges
+  const std::vector<double> data = make_data(shape, 6);
+  dash5_write(dir.file("e.dh5"), chunked_header(shape, {3, 4}), data);
+  Dash5File f(dir.file("e.dh5"));
+  // The last row/column (pure edge-chunk territory) reads back exactly.
+  const std::vector<double> last_row = f.read_slab(Slab2D{4, 0, 1, 9});
+  for (std::size_t c = 0; c < 9; ++c) {
+    EXPECT_EQ(last_row[c], data[shape.at(4, c)]);
+  }
+  const std::vector<double> last_col = f.read_slab(Slab2D{0, 8, 5, 1});
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(last_col[r], data[shape.at(r, 8)]);
+  }
+}
+
+TEST(ChunkedTest, RejectsZeroChunkExtents) {
+  TmpDir dir("chunk");
+  const Shape2D shape{4, 4};
+  EXPECT_THROW(dash5_write(dir.file("z.dh5"),
+                           chunked_header(shape, {0, 4}),
+                           make_data(shape)),
+               InvalidArgument);
+}
+
+TEST(ChunkedTest, StreamWriterRefusesChunkedLayout) {
+  TmpDir dir("chunk");
+  EXPECT_THROW(Dash5StreamWriter w(dir.file("s.dh5"),
+                                   chunked_header({4, 4}, {2, 2})),
+               InvalidArgument);
+}
+
+TEST(ChunkedTest, TruncatedChunkedFileDetected) {
+  TmpDir dir("chunk");
+  const Shape2D shape{8, 8};
+  dash5_write(dir.file("t.dh5"), chunked_header(shape, {4, 4}),
+              make_data(shape));
+  std::filesystem::resize_file(
+      dir.file("t.dh5"),
+      std::filesystem::file_size(dir.file("t.dh5")) - 16);
+  EXPECT_THROW(Dash5File f(dir.file("t.dh5")), FormatError);
+}
+
+}  // namespace
+}  // namespace dassa::io

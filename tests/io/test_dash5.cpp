@@ -1,0 +1,198 @@
+// DASH5 container tests: round trips, metadata, hyperslabs, dtype
+// conversion, corruption detection, I/O instrumentation.
+#include "dassa/io/dash5.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <random>
+
+#include "dassa/common/counters.hpp"
+#include "testing/tmpdir.hpp"
+
+namespace dassa::io {
+namespace {
+
+using testing::TmpDir;
+
+Dash5Header make_header(Shape2D shape, DType dtype = DType::kF64) {
+  Dash5Header h;
+  h.shape = shape;
+  h.dtype = dtype;
+  h.global.set_f64(meta::kSamplingFrequencyHz, 500.0);
+  h.global.set(meta::kTimeStamp, "170620100545");
+  h.global.set_i64(meta::kNumObjects, static_cast<std::int64_t>(shape.rows));
+  for (std::size_t ch = 0; ch < shape.rows; ++ch) {
+    ObjectMeta obj;
+    obj.path = "/Measurement/" + std::to_string(ch + 1);
+    obj.kv.set_i64("Array dimension", 1);
+    h.objects.push_back(std::move(obj));
+  }
+  return h;
+}
+
+std::vector<double> make_data(Shape2D shape, std::uint64_t seed = 1) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist;
+  std::vector<double> data(shape.size());
+  for (auto& v : data) v = dist(rng);
+  return data;
+}
+
+TEST(Dash5Test, RoundTripF64) {
+  TmpDir dir("dash5");
+  const Shape2D shape{7, 13};
+  const std::vector<double> data = make_data(shape);
+  dash5_write(dir.file("a.dh5"), make_header(shape), data);
+
+  Dash5File f(dir.file("a.dh5"));
+  EXPECT_EQ(f.shape(), shape);
+  EXPECT_EQ(f.dtype(), DType::kF64);
+  EXPECT_EQ(f.read_all(), data);
+}
+
+TEST(Dash5Test, RoundTripF32LosesOnlyPrecision) {
+  TmpDir dir("dash5");
+  const Shape2D shape{3, 50};
+  const std::vector<double> data = make_data(shape, 2);
+  dash5_write(dir.file("b.dh5"), make_header(shape, DType::kF32), data);
+
+  Dash5File f(dir.file("b.dh5"));
+  EXPECT_EQ(f.dtype(), DType::kF32);
+  const std::vector<double> back = f.read_all();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(back[i], data[i], 1e-6 * (1.0 + std::abs(data[i])));
+  }
+}
+
+TEST(Dash5Test, MetadataRoundTrip) {
+  TmpDir dir("dash5");
+  const Shape2D shape{4, 5};
+  const Dash5Header h = make_header(shape);
+  dash5_write(dir.file("m.dh5"), h, make_data(shape));
+
+  Dash5File f(dir.file("m.dh5"));
+  EXPECT_EQ(f.global_meta().get_f64(meta::kSamplingFrequencyHz), 500.0);
+  EXPECT_EQ(f.global_meta().get_or_throw(meta::kTimeStamp), "170620100545");
+  ASSERT_EQ(f.objects().size(), 4u);
+  EXPECT_EQ(f.objects()[2].path, "/Measurement/3");
+  EXPECT_EQ(f.objects()[2].kv.get_i64("Array dimension"), 1);
+}
+
+TEST(Dash5Test, HeaderOnlyReadMatchesFullOpen) {
+  TmpDir dir("dash5");
+  const Shape2D shape{2, 9};
+  dash5_write(dir.file("h.dh5"), make_header(shape), make_data(shape));
+  const Dash5Header h = Dash5File::read_header(dir.file("h.dh5"));
+  EXPECT_EQ(h.shape, shape);
+  EXPECT_EQ(h.global.get_or_throw(meta::kTimeStamp), "170620100545");
+}
+
+TEST(Dash5Test, HyperslabReadsMatchFullRead) {
+  TmpDir dir("dash5");
+  const Shape2D shape{10, 20};
+  const std::vector<double> data = make_data(shape, 3);
+  dash5_write(dir.file("s.dh5"), make_header(shape), data);
+  Dash5File f(dir.file("s.dh5"));
+
+  for (const Slab2D slab :
+       {Slab2D{0, 0, 10, 20}, Slab2D{2, 0, 3, 20}, Slab2D{0, 5, 10, 7},
+        Slab2D{4, 3, 2, 6}, Slab2D{9, 19, 1, 1}}) {
+    const std::vector<double> got = f.read_slab(slab);
+    ASSERT_EQ(got.size(), slab.size());
+    for (std::size_t r = 0; r < slab.row_cnt; ++r) {
+      for (std::size_t c = 0; c < slab.col_cnt; ++c) {
+        EXPECT_EQ(got[r * slab.col_cnt + c],
+                  data[shape.at(slab.row_off + r, slab.col_off + c)])
+            << slab.str();
+      }
+    }
+  }
+}
+
+TEST(Dash5Test, SlabOutOfBoundsThrows) {
+  TmpDir dir("dash5");
+  const Shape2D shape{4, 4};
+  dash5_write(dir.file("o.dh5"), make_header(shape), make_data(shape));
+  Dash5File f(dir.file("o.dh5"));
+  EXPECT_THROW((void)f.read_slab(Slab2D{0, 0, 5, 4}), InvalidArgument);
+  EXPECT_THROW((void)f.read_slab(Slab2D{3, 3, 1, 2}), InvalidArgument);
+}
+
+TEST(Dash5Test, WriteRejectsMismatchedData) {
+  TmpDir dir("dash5");
+  EXPECT_THROW(
+      dash5_write(dir.file("x.dh5"), make_header(Shape2D{2, 3}),
+                  std::vector<double>(5, 0.0)),
+      InvalidArgument);
+}
+
+TEST(Dash5Test, DetectsBadMagic) {
+  TmpDir dir("dash5");
+  {
+    std::ofstream out(dir.file("bad.dh5"), std::ios::binary);
+    out << "not a dash5 file at all, padding padding padding";
+  }
+  EXPECT_THROW(Dash5File f(dir.file("bad.dh5")), FormatError);
+}
+
+TEST(Dash5Test, DetectsHeaderCorruption) {
+  TmpDir dir("dash5");
+  const Shape2D shape{2, 3};
+  dash5_write(dir.file("c.dh5"), make_header(shape), make_data(shape));
+  // Flip one byte inside the header region (after the 16-byte prelude).
+  {
+    std::fstream f(dir.file("c.dh5"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(30);
+    char c;
+    f.seekg(30);
+    f.get(c);
+    f.seekp(30);
+    f.put(static_cast<char>(c ^ 0x5A));
+  }
+  EXPECT_THROW(Dash5File f(dir.file("c.dh5")), FormatError);
+}
+
+TEST(Dash5Test, DetectsTruncatedData) {
+  TmpDir dir("dash5");
+  const Shape2D shape{4, 100};
+  dash5_write(dir.file("t.dh5"), make_header(shape), make_data(shape));
+  std::filesystem::resize_file(dir.file("t.dh5"),
+                               std::filesystem::file_size(dir.file("t.dh5")) -
+                                   64);
+  EXPECT_THROW(Dash5File f(dir.file("t.dh5")), FormatError);
+}
+
+TEST(Dash5Test, MissingFileThrowsIoError) {
+  EXPECT_THROW(Dash5File f("/nonexistent/path/x.dh5"), IoError);
+}
+
+TEST(Dash5Test, FullWidthRowBlockIsOneReadCall) {
+  TmpDir dir("dash5");
+  const Shape2D shape{16, 64};
+  dash5_write(dir.file("r.dh5"), make_header(shape), make_data(shape));
+  Dash5File f(dir.file("r.dh5"));
+
+  global_counters().reset();
+  (void)f.read_slab(Slab2D{4, 0, 8, 64});
+  EXPECT_EQ(global_counters().get(counters::kIoReadCalls), 1u);
+
+  // Partial-width selection: one read per row (small-I/O pattern).
+  global_counters().reset();
+  (void)f.read_slab(Slab2D{0, 10, 8, 5});
+  EXPECT_EQ(global_counters().get(counters::kIoReadCalls), 8u);
+}
+
+TEST(Dash5Test, EmptyObjectListIsFine) {
+  TmpDir dir("dash5");
+  Dash5Header h;
+  h.shape = {2, 2};
+  dash5_write(dir.file("e.dh5"), h, std::vector<double>{1, 2, 3, 4});
+  Dash5File f(dir.file("e.dh5"));
+  EXPECT_TRUE(f.objects().empty());
+  EXPECT_TRUE(f.global_meta().empty());
+}
+
+}  // namespace
+}  // namespace dassa::io

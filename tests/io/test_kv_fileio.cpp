@@ -1,0 +1,159 @@
+// KvList and counted file-layer tests: typed accessors, ordering,
+// error paths; InputFile/OutputFile read/write/seek/update semantics
+// and instrumentation.
+#include <gtest/gtest.h>
+
+#include "dassa/common/counters.hpp"
+#include "dassa/io/file_io.hpp"
+#include "dassa/io/kv.hpp"
+#include "testing/tmpdir.hpp"
+
+namespace dassa::io {
+namespace {
+
+using testing::TmpDir;
+
+TEST(KvListTest, SetGetAndOverwrite) {
+  KvList kv;
+  EXPECT_TRUE(kv.empty());
+  kv.set("a", "1");
+  kv.set("b", "two");
+  kv.set("a", "replaced");  // overwrite keeps position, changes value
+  EXPECT_EQ(kv.size(), 2u);
+  EXPECT_EQ(kv.get_or_throw("a"), "replaced");
+  EXPECT_EQ(kv.items()[0].first, "a");  // insertion order preserved
+  EXPECT_FALSE(kv.get("missing").has_value());
+  EXPECT_THROW((void)kv.get_or_throw("missing"), InvalidArgument);
+  EXPECT_TRUE(kv.contains("b"));
+}
+
+TEST(KvListTest, TypedAccessors) {
+  KvList kv;
+  kv.set_i64("count", -42);
+  kv.set_f64("rate", 500.5);
+  EXPECT_EQ(kv.get_i64("count"), -42);
+  EXPECT_DOUBLE_EQ(kv.get_f64("rate"), 500.5);
+  // Integers parse as floats too.
+  EXPECT_DOUBLE_EQ(kv.get_f64("count"), -42.0);
+
+  kv.set("text", "not a number");
+  EXPECT_THROW((void)kv.get_i64("text"), InvalidArgument);
+  EXPECT_THROW((void)kv.get_f64("text"), InvalidArgument);
+  kv.set("trailing", "12abc");
+  EXPECT_THROW((void)kv.get_i64("trailing"), InvalidArgument);
+  EXPECT_THROW((void)kv.get_f64("trailing"), InvalidArgument);
+}
+
+TEST(KvListTest, EqualityIsOrderSensitive) {
+  KvList a;
+  a.set("x", "1");
+  a.set("y", "2");
+  KvList b;
+  b.set("y", "2");
+  b.set("x", "1");
+  EXPECT_NE(a, b);  // the on-disk representation differs
+  KvList c;
+  c.set("x", "1");
+  c.set("y", "2");
+  EXPECT_EQ(a, c);
+}
+
+TEST(FileIoTest, WriteThenReadBack) {
+  TmpDir dir("fio");
+  const std::string path = dir.file("data.bin");
+  {
+    OutputFile out(path);
+    const std::uint32_t a = 0xDEADBEEF;
+    out.write(&a, sizeof a);
+    const double b = 3.5;
+    out.write(&b, sizeof b);
+    EXPECT_EQ(out.position(), sizeof a + sizeof b);
+    out.close();
+  }
+  InputFile in(path);
+  EXPECT_EQ(in.size(), 12u);
+  std::uint32_t a = 0;
+  in.read_at(0, &a, sizeof a);
+  EXPECT_EQ(a, 0xDEADBEEFu);
+  double b = 0;
+  in.read_at(4, &b, sizeof b);
+  EXPECT_EQ(b, 3.5);
+}
+
+TEST(FileIoTest, ReadPastEndThrows) {
+  TmpDir dir("fio");
+  {
+    OutputFile out(dir.file("small.bin"));
+    const char c = 'x';
+    out.write(&c, 1);
+    out.close();
+  }
+  InputFile in(dir.file("small.bin"));
+  char buf[8];
+  EXPECT_THROW(in.read_at(0, buf, 2), IoError);
+  EXPECT_THROW(in.read_at(5, buf, 1), IoError);
+  EXPECT_NO_THROW(in.read_at(0, buf, 1));
+}
+
+TEST(FileIoTest, MissingFileThrows) {
+  EXPECT_THROW(InputFile f("/no/such/file.bin"), IoError);
+}
+
+TEST(FileIoTest, SequentialReadsDoNotSeek) {
+  TmpDir dir("fio");
+  {
+    OutputFile out(dir.file("seq.bin"));
+    const std::vector<char> data(64, 'a');
+    out.write(data.data(), data.size());
+    out.close();
+  }
+  InputFile in(dir.file("seq.bin"));
+  char buf[16];
+  global_counters().reset();
+  in.read_at(0, buf, 16);
+  in.read_at(16, buf, 16);  // continues at the cursor: no seek
+  in.read_at(48, buf, 16);  // jumps: one seek
+  EXPECT_EQ(global_counters().get(counters::kIoSeeks), 1u);
+  EXPECT_EQ(global_counters().get(counters::kIoReadCalls), 3u);
+  EXPECT_EQ(global_counters().get(counters::kIoReadBytes), 48u);
+}
+
+TEST(FileIoTest, WriteAtPatchesInPlace) {
+  TmpDir dir("fio");
+  const std::string path = dir.file("patch.bin");
+  {
+    OutputFile out(path);
+    const std::vector<char> zeros(16, '\0');
+    out.write(zeros.data(), zeros.size());
+    out.close();
+  }
+  {
+    OutputFile out(path, OutputFile::Mode::kUpdate);
+    const char payload[4] = {'D', 'A', 'S', '!'};
+    out.write_at(8, payload, 4);
+    out.close();
+  }
+  InputFile in(path);
+  EXPECT_EQ(in.size(), 16u);  // update mode must not truncate
+  char buf[4];
+  in.read_at(8, buf, 4);
+  EXPECT_EQ(std::string(buf, 4), "DAS!");
+  in.read_at(0, buf, 4);
+  EXPECT_EQ(std::string(buf, 4), std::string(4, '\0'));
+}
+
+TEST(FileIoTest, CountersTrackWrites) {
+  TmpDir dir("fio");
+  global_counters().reset();
+  OutputFile out(dir.file("w.bin"));
+  const std::vector<char> data(100, 'z');
+  out.write(data.data(), 60);
+  out.write(data.data(), 40);
+  out.close();
+  EXPECT_EQ(global_counters().get(counters::kIoWriteCalls), 2u);
+  EXPECT_EQ(global_counters().get(counters::kIoWriteBytes), 100u);
+  EXPECT_EQ(global_counters().get(counters::kIoOpens), 1u);
+}
+
+}  // namespace
+}  // namespace dassa::io

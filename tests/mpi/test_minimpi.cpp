@@ -1,0 +1,302 @@
+// MiniMPI tests: point-to-point semantics, every collective checked
+// against a sequential reference, instrumentation counts, abort
+// propagation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dassa/common/counters.hpp"
+#include "dassa/common/error.hpp"
+#include "dassa/mpi/runtime.hpp"
+
+namespace dassa::mpi {
+namespace {
+
+TEST(RuntimeTest, SingleRankWorld) {
+  bool ran = false;
+  Runtime::run(1, [&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(RuntimeTest, RejectsZeroRanks) {
+  EXPECT_THROW(Runtime::run(0, [](Comm&) {}), InvalidArgument);
+}
+
+TEST(RuntimeTest, ExceptionInRankPropagates) {
+  EXPECT_THROW(Runtime::run(4,
+                            [](Comm& comm) {
+                              if (comm.rank() == 2) throw IoError("rank 2");
+                              // Other ranks block; the abort must wake
+                              // them rather than deadlock the test.
+                              if (comm.rank() != 2) {
+                                (void)comm.recv<int>((comm.rank() + 1) % 4,
+                                                     77);
+                              }
+                            }),
+               IoError);
+}
+
+TEST(P2pTest, SendRecvRoundTrip) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> payload{1, 2, 3, 4, 5};
+      comm.send(std::span<const int>(payload), 1, 7);
+    } else {
+      const std::vector<int> got = comm.recv<int>(0, 7);
+      EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4, 5}));
+    }
+  });
+}
+
+TEST(P2pTest, EmptyMessage) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(std::span<const double>{}, 1, 1);
+    } else {
+      EXPECT_TRUE(comm.recv<double>(0, 1).empty());
+    }
+  });
+}
+
+TEST(P2pTest, TagMatchingSelectsRightMessage) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> a{10};
+      const std::vector<int> b{20};
+      comm.send(std::span<const int>(a), 1, 100);
+      comm.send(std::span<const int>(b), 1, 200);
+    } else {
+      // Receive in the opposite order of sending: matching is by tag.
+      EXPECT_EQ(comm.recv<int>(0, 200).front(), 20);
+      EXPECT_EQ(comm.recv<int>(0, 100).front(), 10);
+    }
+  });
+}
+
+TEST(P2pTest, FifoPerTag) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        const std::vector<int> v{i};
+        comm.send(std::span<const int>(v), 1, 5);
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(comm.recv<int>(0, 5).front(), i);  // non-overtaking
+      }
+    }
+  });
+}
+
+TEST(P2pTest, RejectsNegativeUserTagAndBadRank) {
+  Runtime::run(2, [](Comm& comm) {
+    const std::vector<int> v{1};
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.send(std::span<const int>(v), 1, -3),
+                   InvalidArgument);
+      EXPECT_THROW(comm.send(std::span<const int>(v), 9, 3),
+                   InvalidArgument);
+      comm.send(std::span<const int>(v), 1, 3);  // unblock peer
+    } else {
+      (void)comm.recv<int>(0, 3);
+    }
+  });
+}
+
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveTest, Barrier) {
+  const int p = GetParam();
+  std::atomic<int> before{0};
+  std::atomic<bool> any_after_saw_partial{false};
+  Runtime::run(p, [&](Comm& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    if (before.load() != p) any_after_saw_partial.store(true);
+  });
+  EXPECT_FALSE(any_after_saw_partial.load());
+}
+
+TEST_P(CollectiveTest, BcastFromEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    Runtime::run(p, [&](Comm& comm) {
+      std::vector<double> data;
+      if (comm.rank() == root) {
+        data = {1.5, 2.5, static_cast<double>(root)};
+      }
+      comm.bcast(data, root);
+      ASSERT_EQ(data.size(), 3u);
+      EXPECT_EQ(data[2], static_cast<double>(root));
+    });
+  }
+}
+
+TEST_P(CollectiveTest, GathervCollectsInRankOrder) {
+  const int p = GetParam();
+  Runtime::run(p, [&](Comm& comm) {
+    // Rank r contributes r+1 values, all equal to r.
+    const std::vector<int> mine(static_cast<std::size_t>(comm.rank() + 1),
+                                comm.rank());
+    const auto all = comm.gatherv(std::span<const int>(mine), 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r)].size(),
+                  static_cast<std::size_t>(r + 1));
+        for (int v : all[static_cast<std::size_t>(r)]) EXPECT_EQ(v, r);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AllgathervGivesEveryoneEverything) {
+  const int p = GetParam();
+  Runtime::run(p, [&](Comm& comm) {
+    const std::vector<int> mine{comm.rank(), comm.rank() * 10};
+    const auto all = comm.allgatherv(std::span<const int>(mine));
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)],
+                (std::vector<int>{r, r * 10}));
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ScatterDistributesChunks) {
+  const int p = GetParam();
+  Runtime::run(p, [&](Comm& comm) {
+    std::vector<int> all;
+    if (comm.rank() == 0) {
+      all.resize(static_cast<std::size_t>(3 * p));
+      std::iota(all.begin(), all.end(), 0);
+    }
+    const std::vector<int> mine =
+        comm.scatter(std::span<const int>(all), 3, 0);
+    ASSERT_EQ(mine.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(mine[static_cast<std::size_t>(i)], comm.rank() * 3 + i);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AlltoallvRoutesEveryPair) {
+  const int p = GetParam();
+  Runtime::run(p, [&](Comm& comm) {
+    // Rank r sends {r*100 + q} repeated (q+1) times to rank q.
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(p));
+    for (int q = 0; q < p; ++q) {
+      out[static_cast<std::size_t>(q)]
+          .assign(static_cast<std::size_t>(q + 1), comm.rank() * 100 + q);
+    }
+    const auto in = comm.alltoallv(out);
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(p));
+    for (int src = 0; src < p; ++src) {
+      const auto& v = in[static_cast<std::size_t>(src)];
+      ASSERT_EQ(v.size(), static_cast<std::size_t>(comm.rank() + 1));
+      for (int x : v) EXPECT_EQ(x, src * 100 + comm.rank());
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ReduceAndAllreduce) {
+  const int p = GetParam();
+  Runtime::run(p, [&](Comm& comm) {
+    const auto plus = [](int a, int b) { return a + b; };
+    const int sum = comm.reduce<int>(comm.rank() + 1, plus, 0);
+    if (comm.rank() == 0) EXPECT_EQ(sum, p * (p + 1) / 2);
+
+    const int all_sum = comm.allreduce<int>(comm.rank() + 1, plus);
+    EXPECT_EQ(all_sum, p * (p + 1) / 2);
+
+    const auto max_op = [](double a, double b) { return std::max(a, b); };
+    const double mx =
+        comm.allreduce<double>(static_cast<double>(comm.rank()), max_op);
+    EXPECT_EQ(mx, static_cast<double>(p - 1));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13));
+
+TEST(InstrumentationTest, BcastUsesTreeNotStar) {
+  // Binomial broadcast: exactly p-1 point-to-point messages, and the
+  // root sends only ceil(log2(p)) of them.
+  const int p = 8;
+  const RunReport report = Runtime::run(p, [](Comm& comm) {
+    std::vector<double> v(100, 1.0);
+    comm.bcast(v, 0);
+  });
+  std::uint64_t total_sends = 0;
+  for (const auto& s : report.per_rank) total_sends += s.p2p_sends;
+  EXPECT_EQ(total_sends, static_cast<std::uint64_t>(p - 1));
+  EXPECT_EQ(report.per_rank[0].p2p_sends, 3u);  // log2(8)
+}
+
+TEST(InstrumentationTest, AlltoallvSendCountsArePairwise) {
+  const int p = 5;
+  const RunReport report = Runtime::run(p, [p](Comm& comm) {
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(p),
+                                      std::vector<int>{comm.rank()});
+    (void)comm.alltoallv(out);
+  });
+  for (const auto& s : report.per_rank) {
+    EXPECT_EQ(s.p2p_sends, static_cast<std::uint64_t>(p - 1));
+    EXPECT_EQ(s.p2p_recvs, static_cast<std::uint64_t>(p - 1));
+  }
+}
+
+TEST(InstrumentationTest, ModeledTimeGrowsWithBytes) {
+  CostParams params;
+  params.alpha_seconds = 1e-6;
+  params.beta_bytes_per_second = 1e9;
+  const RunReport small = Runtime::run(2, params, [](Comm& comm) {
+    std::vector<double> v(10, 1.0);
+    comm.bcast(v, 0);
+  });
+  const RunReport big = Runtime::run(2, params, [](Comm& comm) {
+    std::vector<double> v(100000, 1.0);
+    comm.bcast(v, 0);
+  });
+  EXPECT_GT(big.aggregate().modeled_seconds,
+            small.aggregate().modeled_seconds);
+}
+
+TEST(InstrumentationTest, GlobalCountersTrackCollectives) {
+  global_counters().reset();
+  Runtime::run(4, [](Comm& comm) {
+    std::vector<int> v{1};
+    comm.bcast(v, 0);
+    comm.bcast(v, 1);
+    comm.barrier();
+    std::vector<std::vector<int>> out(4, std::vector<int>{comm.rank()});
+    (void)comm.alltoallv(out);
+  });
+  EXPECT_EQ(global_counters().get(counters::kMpiBcasts), 2u);
+  EXPECT_EQ(global_counters().get(counters::kMpiBarriers), 1u);
+  EXPECT_EQ(global_counters().get(counters::kMpiAlltoalls), 1u);
+}
+
+TEST(InstrumentationTest, StatsAggregateMergesAndMaxes) {
+  CommStats a;
+  a.p2p_sends = 3;
+  a.bytes_sent = 100;
+  a.modeled_seconds = 1.0;
+  CommStats b;
+  b.p2p_sends = 2;
+  b.bytes_sent = 50;
+  b.modeled_seconds = 4.0;
+  a.merge(b);
+  EXPECT_EQ(a.p2p_sends, 5u);
+  EXPECT_EQ(a.bytes_sent, 150u);
+  EXPECT_DOUBLE_EQ(a.modeled_seconds, 4.0);  // critical path = max
+}
+
+}  // namespace
+}  // namespace dassa::mpi

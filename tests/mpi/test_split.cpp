@@ -1,0 +1,142 @@
+// Comm::split tests: group formation, key ordering, context isolation
+// between sibling and parent communicators, collectives over
+// sub-communicators, nested splits.
+#include <gtest/gtest.h>
+
+#include "dassa/mpi/runtime.hpp"
+
+namespace dassa::mpi {
+namespace {
+
+TEST(SplitTest, EvenOddGroups) {
+  Runtime::run(6, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);  // key order = world order
+  });
+}
+
+TEST(SplitTest, KeyControlsOrdering) {
+  Runtime::run(4, [](Comm& comm) {
+    // Reverse ordering: key = -world rank.
+    Comm sub = comm.split(0, -comm.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), 3 - comm.rank());
+  });
+}
+
+TEST(SplitTest, SingletonGroups) {
+  Runtime::run(3, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank(), 0);  // every rank its own color
+    EXPECT_EQ(sub.size(), 1);
+    EXPECT_EQ(sub.rank(), 0);
+    // Collectives on a singleton still work.
+    std::vector<int> v{comm.rank()};
+    sub.bcast(v, 0);
+    EXPECT_EQ(v.front(), comm.rank());
+  });
+}
+
+TEST(SplitTest, SubCommunicatorP2pUsesLocalRanks) {
+  Runtime::run(4, [](Comm& comm) {
+    // Groups {0,1} and {2,3}; local rank 0 sends to local rank 1.
+    Comm sub = comm.split(comm.rank() / 2, comm.rank());
+    if (sub.rank() == 0) {
+      const std::vector<int> v{comm.rank() * 10};
+      sub.send(std::span<const int>(v), 1, 5);
+    } else {
+      const std::vector<int> got = sub.recv<int>(0, 5);
+      // Received from the group peer, not any world rank 0.
+      EXPECT_EQ(got.front(), (comm.rank() - 1) * 10);
+    }
+  });
+}
+
+TEST(SplitTest, CollectivesStayInsideTheGroup) {
+  Runtime::run(6, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    // Per-group allreduce: even ranks sum 0+2+4, odd sum 1+3+5.
+    const int sum = sub.allreduce<int>(comm.rank(),
+                                       [](int a, int b) { return a + b; });
+    EXPECT_EQ(sum, comm.rank() % 2 == 0 ? 6 : 9);
+
+    // Per-group gather in key order.
+    const std::vector<int> mine{comm.rank()};
+    const auto all = sub.gatherv(std::span<const int>(mine), 0);
+    if (sub.rank() == 0) {
+      ASSERT_EQ(all.size(), 3u);
+      for (int r = 0; r < 3; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r)].front(),
+                  2 * r + comm.rank() % 2);
+      }
+    }
+  });
+}
+
+TEST(SplitTest, ParentStillUsableAfterSplit) {
+  Runtime::run(4, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank() / 2, comm.rank());
+    // Interleave: sub-collective, then parent-collective, then sub.
+    (void)sub.allreduce<int>(1, [](int a, int b) { return a + b; });
+    const int world_sum =
+        comm.allreduce<int>(1, [](int a, int b) { return a + b; });
+    EXPECT_EQ(world_sum, 4);
+    const int group_sum =
+        sub.allreduce<int>(1, [](int a, int b) { return a + b; });
+    EXPECT_EQ(group_sum, 2);
+  });
+}
+
+TEST(SplitTest, SiblingGroupsDoNotCrossTalk) {
+  // Both groups run the same tagged p2p pattern simultaneously; context
+  // separation must keep the messages apart even though world mailbox
+  // slots are shared.
+  Runtime::run(8, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank() / 4, comm.rank());
+    for (int iter = 0; iter < 50; ++iter) {
+      if (sub.rank() % 2 == 0) {
+        const std::vector<int> v{comm.rank() * 1000 + iter};
+        sub.send(std::span<const int>(v), sub.rank() + 1, 7);
+      } else {
+        const std::vector<int> got = sub.recv<int>(sub.rank() - 1, 7);
+        EXPECT_EQ(got.front(), (comm.rank() - 1) * 1000 + iter);
+      }
+    }
+  });
+}
+
+TEST(SplitTest, NestedSplits) {
+  Runtime::run(8, [](Comm& comm) {
+    Comm half = comm.split(comm.rank() / 4, comm.rank());   // 2 x 4
+    Comm quarter = half.split(half.rank() / 2, half.rank());  // 4 x 2
+    EXPECT_EQ(quarter.size(), 2);
+    const int sum = quarter.allreduce<int>(
+        comm.rank(), [](int a, int b) { return a + b; });
+    // Pairs are (0,1), (2,3), (4,5), (6,7) in world ranks.
+    EXPECT_EQ(sum, (comm.rank() / 2) * 4 + 1);
+  });
+}
+
+TEST(SplitTest, HaeeStyleNodeGroups) {
+  // The pattern a real HAEE would use: per-node sub-communicators with
+  // a node-leader cross-communicator.
+  const int nodes = 3;
+  const int cores = 2;
+  Runtime::run(nodes * cores, [&](Comm& comm) {
+    const int node = comm.rank() / cores;
+    Comm node_comm = comm.split(node, comm.rank());
+    EXPECT_EQ(node_comm.size(), cores);
+
+    Comm leader_comm =
+        comm.split(node_comm.rank() == 0 ? 0 : 1, comm.rank());
+    if (node_comm.rank() == 0) {
+      EXPECT_EQ(leader_comm.size(), nodes);
+      const int leaders_sum = leader_comm.allreduce<int>(
+          1, [](int a, int b) { return a + b; });
+      EXPECT_EQ(leaders_sum, nodes);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace dassa::mpi

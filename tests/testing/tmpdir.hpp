@@ -1,0 +1,35 @@
+// Test helper: unique temporary directory, removed on destruction.
+#pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+namespace dassa::testing {
+
+class TmpDir {
+ public:
+  explicit TmpDir(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    path_ = std::filesystem::temp_directory_path() /
+            ("dassa_test_" + tag + "_" + std::to_string(counter.fetch_add(1)) +
+             "_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TmpDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TmpDir(const TmpDir&) = delete;
+  TmpDir& operator=(const TmpDir&) = delete;
+
+  [[nodiscard]] std::string str() const { return path_.string(); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace dassa::testing

@@ -1,0 +1,127 @@
+// Smoke tests for the CLI tools: run each binary end-to-end against a
+// generated acquisition and check exit codes and observable outputs.
+// The tool binaries are located relative to this test executable
+// (build/tests/... -> build/tools/...).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "dassa/io/dash5.hpp"
+#include "dassa/io/vca.hpp"
+#include "testing/tmpdir.hpp"
+
+namespace dassa {
+namespace {
+
+using testing::TmpDir;
+
+std::string tools_dir() {
+  // CMake binary layout: <build>/tests/<test>, <build>/tools/<tool>.
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe");
+  return (self.parent_path().parent_path() / "tools").string();
+}
+
+int run(const std::string& cmd) {
+  const int status = std::system((cmd + " > /dev/null 2>&1").c_str());
+  return WEXITSTATUS(status);
+}
+
+class ToolsSmokeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new TmpDir("tools");
+    ASSERT_EQ(run(tools_dir() + "/das_generate --dir " + dir_->str() +
+                  " --channels 16 --rate 20 --files 4 "
+                  "--seconds-per-file 2 --start 170728224510"),
+              0);
+  }
+  static void TearDownTestSuite() {
+    delete dir_;
+    dir_ = nullptr;
+  }
+  static TmpDir* dir_;
+};
+
+TmpDir* ToolsSmokeTest::dir_ = nullptr;
+
+TEST_F(ToolsSmokeTest, GenerateProducedReadableFiles) {
+  std::size_t count = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_->str())) {
+    if (e.path().extension() != ".dh5") continue;
+    ++count;
+    io::Dash5File f(e.path().string());
+    EXPECT_EQ(f.shape(), (Shape2D{16, 40}));
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST_F(ToolsSmokeTest, SearchRangeAndRegexExitCodes) {
+  const std::string bin = tools_dir() + "/das_search --dir " + dir_->str();
+  EXPECT_EQ(run(bin + " -s 170728224510 -c 2"), 0);
+  EXPECT_EQ(run(bin + " -e '1707282245[01][02]'"), 0);
+  EXPECT_EQ(run(tools_dir() + "/das_search --dir " + dir_->str()), 2);  // no query
+}
+
+TEST_F(ToolsSmokeTest, SearchSavesLoadableVcaAndRca) {
+  const std::string vca_path = dir_->file("merged.vca");
+  const std::string rca_path = dir_->file("merged.dh5");
+  ASSERT_EQ(run(tools_dir() + "/das_search --dir " + dir_->str() +
+                " -s 170728224510 -c 4 --save-vca " + vca_path +
+                " --save-rca " + rca_path),
+            0);
+  io::Vca vca = io::Vca::load(vca_path);
+  EXPECT_EQ(vca.shape(), (Shape2D{16, 160}));
+  io::Dash5File rca(rca_path);
+  EXPECT_EQ(rca.shape(), (Shape2D{16, 160}));
+  EXPECT_EQ(vca.read_all(), rca.read_all());
+}
+
+TEST_F(ToolsSmokeTest, InfoRunsOnBothFormats) {
+  ASSERT_EQ(run(tools_dir() + "/das_search --dir " + dir_->str() +
+                " -s 170728224510 -c 4 --save-vca " + dir_->file("i.vca")),
+            0);
+  std::string first;
+  for (const auto& e : std::filesystem::directory_iterator(dir_->str())) {
+    if (e.path().extension() == ".dh5") {
+      first = e.path().string();
+      break;
+    }
+  }
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(run(tools_dir() + "/das_info " + first), 0);
+  EXPECT_EQ(run(tools_dir() + "/das_info " + dir_->file("i.vca")), 0);
+  EXPECT_EQ(run(tools_dir() + "/das_info /nonexistent.dh5"), 1);
+}
+
+TEST_F(ToolsSmokeTest, AnalyzeSimilarityWritesOutput) {
+  const std::string out = dir_->file("sim_out.dh5");
+  ASSERT_EQ(run(tools_dir() + "/das_analyze --dir " + dir_->str() +
+                " --pipeline similarity --window-half 4 --lag-half 2 "
+                "--nodes 2 --cores 2 --out " + out),
+            0);
+  io::Dash5File f(out);
+  EXPECT_EQ(f.shape(), (Shape2D{16, 160}));
+}
+
+TEST_F(ToolsSmokeTest, AnalyzeInterferometryWritesOutput) {
+  const std::string out = dir_->file("intf_out.dh5");
+  ASSERT_EQ(run(tools_dir() + "/das_analyze --dir " + dir_->str() +
+                " --pipeline interferometry --band-lo 1 --band-hi 8 "
+                "--resample-down 2 --out " + out),
+            0);
+  io::Dash5File f(out);
+  EXPECT_EQ(f.shape(), (Shape2D{16, 1}));
+}
+
+TEST_F(ToolsSmokeTest, AnalyzeRejectsUnknownPipeline) {
+  EXPECT_EQ(run(tools_dir() + "/das_analyze --dir " + dir_->str() +
+                " --pipeline nonsense"),
+            2);
+}
+
+}  // namespace
+}  // namespace dassa

@@ -1,0 +1,60 @@
+// Minimal command-line flag parser shared by the DASSA tools.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dassa::tools {
+
+/// Parses "--flag value", "-f value" and bare "--switch" arguments.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind('-', 0) == 0) {
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind('-', 0) != 0) {
+          values_[arg] = argv[++i];
+        } else {
+          values_[arg] = "";
+        }
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& flag) const {
+    return values_.count(flag) > 0;
+  }
+
+  [[nodiscard]] std::string get(const std::string& flag,
+                                const std::string& fallback = "") const {
+    auto it = values_.find(flag);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] long get_long(const std::string& flag, long fallback) const {
+    auto it = values_.find(flag);
+    return it == values_.end() ? fallback : std::stol(it->second);
+  }
+
+  [[nodiscard]] double get_double(const std::string& flag,
+                                  double fallback) const {
+    auto it = values_.find(flag);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dassa::tools

@@ -1,0 +1,131 @@
+// das_analyze: run a DASSA analysis pipeline over an acquisition
+// directory from the command line -- the end-to-end workflow a
+// geophysicist runs (search -> VCA -> HAEE -> output file).
+//
+// Usage:
+//   das_analyze --dir data --pipeline similarity
+//               [-s yymmddhhmmss -c N | -e regex]   (default: all files)
+//               [--nodes 4] [--cores 2] [--mpi-per-core]
+//               [--out result.dh5]
+//   pipeline "similarity":  paper Algorithm 2 (local similarity)
+//     [--window-half M] [--lag-half L] [--channel-offset K]
+//   pipeline "interferometry": paper Algorithm 3
+//     [--band-lo HZ] [--band-hi HZ] [--resample-down R]
+//     [--master CH] [--full-correlation]
+//   pipeline "qc": channel quality control
+//     [--dead-fraction F] [--noisy-multiple M]
+#include <iostream>
+
+#include "arg_parse.hpp"
+#include "dassa/das/channel_qc.hpp"
+#include "dassa/das/interferometry.hpp"
+#include "dassa/das/local_similarity.hpp"
+#include "dassa/das/search.hpp"
+
+namespace {
+
+using namespace dassa;
+
+std::vector<std::string> find_files(const tools::Args& args) {
+  const das::Catalog catalog = das::Catalog::scan(args.get("--dir"));
+  std::vector<das::DasFileInfo> hits;
+  if (args.has("-s")) {
+    hits = catalog.query_range(
+        das::Timestamp::parse(args.get("-s")),
+        static_cast<std::size_t>(args.get_long("-c", 1)));
+  } else if (args.has("-e")) {
+    hits = catalog.query_regex(args.get("-e"));
+  } else {
+    hits = catalog.entries();
+  }
+  return das::Catalog::paths(hits);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Args args(argc, argv);
+  if (!args.has("--dir") || !args.has("--pipeline")) {
+    std::cerr << "usage: das_analyze --dir <dir> --pipeline "
+                 "<similarity|interferometry> [options]\n"
+                 "run with the header comment of tools/das_analyze.cpp "
+                 "for the full option list\n";
+    return 2;
+  }
+  try {
+    const std::vector<std::string> files = find_files(args);
+    if (files.empty()) {
+      std::cerr << "das_analyze: no matching files\n";
+      return 1;
+    }
+    io::Vca vca = io::Vca::build(files);
+    std::cerr << "input: " << vca.shape() << " from " << files.size()
+              << " files\n";
+
+    core::EngineConfig config;
+    config.nodes = static_cast<int>(args.get_long("--nodes", 2));
+    config.cores_per_node = static_cast<int>(args.get_long("--cores", 2));
+    config.mode = args.has("--mpi-per-core")
+                      ? core::EngineMode::kMpiPerCore
+                      : core::EngineMode::kHybrid;
+
+    core::EngineReport report;
+    const std::string pipeline = args.get("--pipeline");
+    if (pipeline == "similarity") {
+      das::LocalSimilarityParams p;
+      p.window_half =
+          static_cast<std::size_t>(args.get_long("--window-half", 25));
+      p.lag_half = static_cast<std::size_t>(args.get_long("--lag-half", 10));
+      p.channel_offset =
+          static_cast<std::size_t>(args.get_long("--channel-offset", 1));
+      report = das::local_similarity_distributed(config, vca, p);
+    } else if (pipeline == "interferometry") {
+      das::InterferometryParams p;
+      p.sampling_hz =
+          vca.global_meta().get_f64(io::meta::kSamplingFrequencyHz);
+      p.band_lo_hz = args.get_double("--band-lo", 1.0);
+      p.band_hi_hz =
+          args.get_double("--band-hi", 0.45 * p.sampling_hz);
+      p.resample_down =
+          static_cast<std::size_t>(args.get_long("--resample-down", 2));
+      p.master_channel = static_cast<std::size_t>(
+          args.get_long("--master",
+                        static_cast<long>(vca.shape().rows / 2)));
+      p.full_correlation = args.has("--full-correlation");
+      report = das::interferometry_distributed(config, vca, p);
+    } else if (pipeline == "qc") {
+      das::ChannelQcParams p;
+      p.dead_rms_fraction = args.get_double("--dead-fraction", 0.1);
+      p.noisy_rms_multiple = args.get_double("--noisy-multiple", 5.0);
+      const das::ChannelQcReport qc = das::channel_qc(config, vca, p);
+      std::cout << "channel,rms,peak,kurtosis,status\n";
+      for (std::size_t ch = 0; ch < qc.channels.size(); ++ch) {
+        const das::ChannelStats& c = qc.channels[ch];
+        std::cout << ch << "," << c.rms << "," << c.peak << ","
+                  << c.kurtosis << ","
+                  << das::channel_status_name(c.status) << "\n";
+      }
+      std::cerr << "median rms " << qc.median_rms << "; "
+                << qc.count(das::ChannelStatus::kDead) << " dead, "
+                << qc.count(das::ChannelStatus::kNoisy) << " noisy of "
+                << qc.channels.size() << " channels\n";
+      return 0;
+    } else {
+      std::cerr << "das_analyze: unknown pipeline '" << pipeline << "'\n";
+      return 2;
+    }
+
+    std::cerr << "output: " << report.output.shape << ", stages: "
+              << report.stages << "\n";
+    const std::string out_path = args.get("--out", "das_analyze_out.dh5");
+    io::Dash5Header header;
+    header.shape = report.output.shape;
+    header.global = vca.global_meta();
+    io::dash5_write(out_path, header, report.output.data);
+    std::cerr << "wrote " << out_path << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "das_analyze: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,64 @@
+// das_info: print the metadata of a DASH5 file or a VCA logical file,
+// in the hierarchical key-value layout of paper Fig. 4.
+//
+// Usage: das_info <file.dh5 | file.vca> [--objects N]
+#include <iostream>
+
+#include "arg_parse.hpp"
+#include "dassa/io/dash5.hpp"
+#include "dassa/io/vca.hpp"
+
+namespace {
+
+void print_kv(const dassa::io::KvList& kv, const std::string& indent) {
+  for (const auto& [k, v] : kv.items()) {
+    std::cout << indent << k << " : " << v << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dassa;
+  const tools::Args args(argc, argv);
+  if (args.positional().size() != 1) {
+    std::cerr << "usage: das_info <file.dh5 | file.vca> [--objects N]\n";
+    return 2;
+  }
+  const std::string path = args.positional().front();
+  const auto max_objects =
+      static_cast<std::size_t>(args.get_long("--objects", 3));
+  try {
+    if (path.size() > 4 && path.substr(path.size() - 4) == ".vca") {
+      const io::Vca vca = io::Vca::load(path);
+      std::cout << "VCA logical file: " << path << "\n";
+      std::cout << "Merged shape : " << vca.shape() << "\n";
+      print_kv(vca.global_meta(), "  ");
+      std::cout << "Members (" << vca.members().size() << "):\n";
+      for (const auto& m : vca.members()) {
+        std::cout << "  " << m.path << "  " << m.shape << "\n";
+      }
+      return 0;
+    }
+
+    const io::Dash5Header h = io::Dash5File::read_header(path);
+    std::cout << "Root of DAS metadata in DASH5 file: " << path << "\n";
+    print_kv(h.global, "  ");
+    std::cout << "Dataset : " << h.shape << " "
+              << (h.dtype == io::DType::kF64 ? "float64" : "float32") << "\n";
+    std::cout << "Objects : " << h.objects.size() << "\n";
+    for (std::size_t i = 0; i < std::min(max_objects, h.objects.size());
+         ++i) {
+      std::cout << "  Object Path: " << h.objects[i].path << "\n";
+      print_kv(h.objects[i].kv, "    ");
+    }
+    if (h.objects.size() > max_objects) {
+      std::cout << "  ... " << h.objects.size() - max_objects
+                << " more objects ...\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "das_info: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,68 @@
+// das_search: find DAS files by time or pattern and optionally merge
+// them (paper Section IV-A).
+//
+// The paper's two query types:
+//   Type 1:  das_search --dir data -s 170728224510 -c 2
+//   Type 2:  das_search --dir data -e '170728224[567]10'
+// Merging the hits:
+//   --save-vca merged.vca    virtual concatenation (metadata only)
+//   --save-rca merged.dh5    physical concatenation (reads all data)
+#include <iostream>
+
+#include "arg_parse.hpp"
+#include "dassa/common/timer.hpp"
+#include "dassa/das/search.hpp"
+#include "dassa/io/vca.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dassa;
+  const tools::Args args(argc, argv);
+  if (!args.has("--dir") || (!args.has("-s") && !args.has("-e"))) {
+    std::cerr << "usage: das_search --dir <dir> (-s <yymmddhhmmss> -c <n> | "
+                 "-e <regex>) [--save-vca out.vca] [--save-rca out.dh5] "
+                 "[--names-only]\n";
+    return 2;
+  }
+  try {
+    WallTimer timer;
+    const das::Catalog catalog =
+        das::Catalog::scan(args.get("--dir"), !args.has("--names-only"));
+
+    std::vector<das::DasFileInfo> hits;
+    if (args.has("-s")) {
+      hits = catalog.query_range(
+          das::Timestamp::parse(args.get("-s")),
+          static_cast<std::size_t>(args.get_long("-c", 1)));
+    } else {
+      hits = catalog.query_regex(args.get("-e"));
+    }
+    const double search_seconds = timer.seconds();
+
+    for (const auto& h : hits) std::cout << h.path << "\n";
+    std::cerr << "found " << hits.size() << " of " << catalog.size()
+              << " files in " << search_seconds << " s\n";
+    if (hits.empty()) return (args.has("--save-vca") || args.has("--save-rca"))
+                                 ? 1
+                                 : 0;
+
+    const std::vector<std::string> paths = das::Catalog::paths(hits);
+    if (args.has("--save-vca")) {
+      timer.reset();
+      io::Vca::build(paths).save(args.get("--save-vca"));
+      std::cerr << "created VCA " << args.get("--save-vca") << " in "
+                << timer.seconds() << " s\n";
+    }
+    if (args.has("--save-rca")) {
+      timer.reset();
+      const io::RcaBuildStats stats =
+          io::rca_create(paths, args.get("--save-rca"));
+      std::cerr << "created RCA " << args.get("--save-rca") << " in "
+                << stats.seconds << " s (" << stats.bytes_read
+                << " bytes read)\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "das_search: " << e.what() << "\n";
+    return 1;
+  }
+}
