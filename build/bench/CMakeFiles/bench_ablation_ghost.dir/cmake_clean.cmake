@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ghost.dir/bench_ablation_ghost.cpp.o"
+  "CMakeFiles/bench_ablation_ghost.dir/bench_ablation_ghost.cpp.o.d"
+  "bench_ablation_ghost"
+  "bench_ablation_ghost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ghost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

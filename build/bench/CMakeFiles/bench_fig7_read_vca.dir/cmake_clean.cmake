@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_read_vca.dir/bench_fig7_read_vca.cpp.o"
+  "CMakeFiles/bench_fig7_read_vca.dir/bench_fig7_read_vca.cpp.o.d"
+  "bench_fig7_read_vca"
+  "bench_fig7_read_vca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_read_vca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_matlab_vs_dassa.dir/bench_fig9_matlab_vs_dassa.cpp.o"
+  "CMakeFiles/bench_fig9_matlab_vs_dassa.dir/bench_fig9_matlab_vs_dassa.cpp.o.d"
+  "bench_fig9_matlab_vs_dassa"
+  "bench_fig9_matlab_vs_dassa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_matlab_vs_dassa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

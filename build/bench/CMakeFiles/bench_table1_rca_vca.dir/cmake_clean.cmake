@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rca_vca.dir/bench_table1_rca_vca.cpp.o"
+  "CMakeFiles/bench_table1_rca_vca.dir/bench_table1_rca_vca.cpp.o.d"
+  "bench_table1_rca_vca"
+  "bench_table1_rca_vca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rca_vca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

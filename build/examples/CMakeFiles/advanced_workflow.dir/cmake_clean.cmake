@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_workflow.dir/advanced_workflow.cpp.o"
+  "CMakeFiles/advanced_workflow.dir/advanced_workflow.cpp.o.d"
+  "advanced_workflow"
+  "advanced_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plasma_domains.dir/plasma_domains.cpp.o"
+  "CMakeFiles/plasma_domains.dir/plasma_domains.cpp.o.d"
+  "plasma_domains"
+  "plasma_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plasma_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

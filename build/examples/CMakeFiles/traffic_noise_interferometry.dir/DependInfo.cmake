@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/traffic_noise_interferometry.cpp" "examples/CMakeFiles/traffic_noise_interferometry.dir/traffic_noise_interferometry.cpp.o" "gcc" "examples/CMakeFiles/traffic_noise_interferometry.dir/traffic_noise_interferometry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/das/CMakeFiles/dassa_das.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dassa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dassa_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/dassa_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/dassa_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dassa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

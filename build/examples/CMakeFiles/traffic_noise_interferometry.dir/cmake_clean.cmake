@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_noise_interferometry.dir/traffic_noise_interferometry.cpp.o"
+  "CMakeFiles/traffic_noise_interferometry.dir/traffic_noise_interferometry.cpp.o.d"
+  "traffic_noise_interferometry"
+  "traffic_noise_interferometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_noise_interferometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

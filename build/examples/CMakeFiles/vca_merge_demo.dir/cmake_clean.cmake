@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vca_merge_demo.dir/vca_merge_demo.cpp.o"
+  "CMakeFiles/vca_merge_demo.dir/vca_merge_demo.cpp.o.d"
+  "vca_merge_demo"
+  "vca_merge_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vca_merge_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "600" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_earthquake_detection "/root/repo/build/examples/earthquake_detection")
+set_tests_properties(example_earthquake_detection PROPERTIES  TIMEOUT "600" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_traffic_noise_interferometry "/root/repo/build/examples/traffic_noise_interferometry")
+set_tests_properties(example_traffic_noise_interferometry PROPERTIES  TIMEOUT "600" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vca_merge_demo "/root/repo/build/examples/vca_merge_demo")
+set_tests_properties(example_vca_merge_demo PROPERTIES  TIMEOUT "600" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_autotune_demo "/root/repo/build/examples/autotune_demo")
+set_tests_properties(example_autotune_demo PROPERTIES  TIMEOUT "600" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_plasma_domains "/root/repo/build/examples/plasma_domains")
+set_tests_properties(example_plasma_domains PROPERTIES  TIMEOUT "600" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_advanced_workflow "/root/repo/build/examples/advanced_workflow")
+set_tests_properties(example_advanced_workflow PROPERTIES  TIMEOUT "600" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dassa_common.dir/counters.cpp.o"
+  "CMakeFiles/dassa_common.dir/counters.cpp.o.d"
+  "CMakeFiles/dassa_common.dir/error.cpp.o"
+  "CMakeFiles/dassa_common.dir/error.cpp.o.d"
+  "CMakeFiles/dassa_common.dir/log.cpp.o"
+  "CMakeFiles/dassa_common.dir/log.cpp.o.d"
+  "CMakeFiles/dassa_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/dassa_common.dir/thread_pool.cpp.o.d"
+  "libdassa_common.a"
+  "libdassa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dassa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

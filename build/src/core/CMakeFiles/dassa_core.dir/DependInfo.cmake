@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/apply.cpp" "src/core/CMakeFiles/dassa_core.dir/apply.cpp.o" "gcc" "src/core/CMakeFiles/dassa_core.dir/apply.cpp.o.d"
+  "/root/repo/src/core/autotune.cpp" "src/core/CMakeFiles/dassa_core.dir/autotune.cpp.o" "gcc" "src/core/CMakeFiles/dassa_core.dir/autotune.cpp.o.d"
+  "/root/repo/src/core/haee.cpp" "src/core/CMakeFiles/dassa_core.dir/haee.cpp.o" "gcc" "src/core/CMakeFiles/dassa_core.dir/haee.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dassa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/dassa_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dassa_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dassa_core.dir/apply.cpp.o"
+  "CMakeFiles/dassa_core.dir/apply.cpp.o.d"
+  "CMakeFiles/dassa_core.dir/autotune.cpp.o"
+  "CMakeFiles/dassa_core.dir/autotune.cpp.o.d"
+  "CMakeFiles/dassa_core.dir/haee.cpp.o"
+  "CMakeFiles/dassa_core.dir/haee.cpp.o.d"
+  "libdassa_core.a"
+  "libdassa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dassa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/das/baseline.cpp" "src/das/CMakeFiles/dassa_das.dir/baseline.cpp.o" "gcc" "src/das/CMakeFiles/dassa_das.dir/baseline.cpp.o.d"
+  "/root/repo/src/das/channel_qc.cpp" "src/das/CMakeFiles/dassa_das.dir/channel_qc.cpp.o" "gcc" "src/das/CMakeFiles/dassa_das.dir/channel_qc.cpp.o.d"
+  "/root/repo/src/das/events.cpp" "src/das/CMakeFiles/dassa_das.dir/events.cpp.o" "gcc" "src/das/CMakeFiles/dassa_das.dir/events.cpp.o.d"
+  "/root/repo/src/das/interferometry.cpp" "src/das/CMakeFiles/dassa_das.dir/interferometry.cpp.o" "gcc" "src/das/CMakeFiles/dassa_das.dir/interferometry.cpp.o.d"
+  "/root/repo/src/das/local_similarity.cpp" "src/das/CMakeFiles/dassa_das.dir/local_similarity.cpp.o" "gcc" "src/das/CMakeFiles/dassa_das.dir/local_similarity.cpp.o.d"
+  "/root/repo/src/das/pipeline.cpp" "src/das/CMakeFiles/dassa_das.dir/pipeline.cpp.o" "gcc" "src/das/CMakeFiles/dassa_das.dir/pipeline.cpp.o.d"
+  "/root/repo/src/das/search.cpp" "src/das/CMakeFiles/dassa_das.dir/search.cpp.o" "gcc" "src/das/CMakeFiles/dassa_das.dir/search.cpp.o.d"
+  "/root/repo/src/das/stacking.cpp" "src/das/CMakeFiles/dassa_das.dir/stacking.cpp.o" "gcc" "src/das/CMakeFiles/dassa_das.dir/stacking.cpp.o.d"
+  "/root/repo/src/das/synth.cpp" "src/das/CMakeFiles/dassa_das.dir/synth.cpp.o" "gcc" "src/das/CMakeFiles/dassa_das.dir/synth.cpp.o.d"
+  "/root/repo/src/das/time.cpp" "src/das/CMakeFiles/dassa_das.dir/time.cpp.o" "gcc" "src/das/CMakeFiles/dassa_das.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dassa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/dassa_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dassa_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dassa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/dassa_mpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dassa_das.dir/baseline.cpp.o"
+  "CMakeFiles/dassa_das.dir/baseline.cpp.o.d"
+  "CMakeFiles/dassa_das.dir/channel_qc.cpp.o"
+  "CMakeFiles/dassa_das.dir/channel_qc.cpp.o.d"
+  "CMakeFiles/dassa_das.dir/events.cpp.o"
+  "CMakeFiles/dassa_das.dir/events.cpp.o.d"
+  "CMakeFiles/dassa_das.dir/interferometry.cpp.o"
+  "CMakeFiles/dassa_das.dir/interferometry.cpp.o.d"
+  "CMakeFiles/dassa_das.dir/local_similarity.cpp.o"
+  "CMakeFiles/dassa_das.dir/local_similarity.cpp.o.d"
+  "CMakeFiles/dassa_das.dir/pipeline.cpp.o"
+  "CMakeFiles/dassa_das.dir/pipeline.cpp.o.d"
+  "CMakeFiles/dassa_das.dir/search.cpp.o"
+  "CMakeFiles/dassa_das.dir/search.cpp.o.d"
+  "CMakeFiles/dassa_das.dir/stacking.cpp.o"
+  "CMakeFiles/dassa_das.dir/stacking.cpp.o.d"
+  "CMakeFiles/dassa_das.dir/synth.cpp.o"
+  "CMakeFiles/dassa_das.dir/synth.cpp.o.d"
+  "CMakeFiles/dassa_das.dir/time.cpp.o"
+  "CMakeFiles/dassa_das.dir/time.cpp.o.d"
+  "libdassa_das.a"
+  "libdassa_das.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dassa_das.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/butterworth.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/butterworth.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/butterworth.cpp.o.d"
+  "/root/repo/src/dsp/correlate.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/correlate.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/correlate.cpp.o.d"
+  "/root/repo/src/dsp/detrend.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/detrend.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/detrend.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/filter.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/filter.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/filter.cpp.o.d"
+  "/root/repo/src/dsp/hilbert.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/hilbert.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/hilbert.cpp.o.d"
+  "/root/repo/src/dsp/interp.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/interp.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/interp.cpp.o.d"
+  "/root/repo/src/dsp/median.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/median.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/median.cpp.o.d"
+  "/root/repo/src/dsp/moving.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/moving.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/moving.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/resample.cpp.o.d"
+  "/root/repo/src/dsp/sta_lta.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/sta_lta.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/sta_lta.cpp.o.d"
+  "/root/repo/src/dsp/stft.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/stft.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/stft.cpp.o.d"
+  "/root/repo/src/dsp/welch.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/welch.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/welch.cpp.o.d"
+  "/root/repo/src/dsp/whiten.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/whiten.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/whiten.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dassa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dassa_dsp.dir/butterworth.cpp.o"
+  "CMakeFiles/dassa_dsp.dir/butterworth.cpp.o.d"
+  "CMakeFiles/dassa_dsp.dir/correlate.cpp.o"
+  "CMakeFiles/dassa_dsp.dir/correlate.cpp.o.d"
+  "CMakeFiles/dassa_dsp.dir/detrend.cpp.o"
+  "CMakeFiles/dassa_dsp.dir/detrend.cpp.o.d"
+  "CMakeFiles/dassa_dsp.dir/fft.cpp.o"
+  "CMakeFiles/dassa_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/dassa_dsp.dir/filter.cpp.o"
+  "CMakeFiles/dassa_dsp.dir/filter.cpp.o.d"
+  "CMakeFiles/dassa_dsp.dir/hilbert.cpp.o"
+  "CMakeFiles/dassa_dsp.dir/hilbert.cpp.o.d"
+  "CMakeFiles/dassa_dsp.dir/interp.cpp.o"
+  "CMakeFiles/dassa_dsp.dir/interp.cpp.o.d"
+  "CMakeFiles/dassa_dsp.dir/median.cpp.o"
+  "CMakeFiles/dassa_dsp.dir/median.cpp.o.d"
+  "CMakeFiles/dassa_dsp.dir/moving.cpp.o"
+  "CMakeFiles/dassa_dsp.dir/moving.cpp.o.d"
+  "CMakeFiles/dassa_dsp.dir/resample.cpp.o"
+  "CMakeFiles/dassa_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/dassa_dsp.dir/sta_lta.cpp.o"
+  "CMakeFiles/dassa_dsp.dir/sta_lta.cpp.o.d"
+  "CMakeFiles/dassa_dsp.dir/stft.cpp.o"
+  "CMakeFiles/dassa_dsp.dir/stft.cpp.o.d"
+  "CMakeFiles/dassa_dsp.dir/welch.cpp.o"
+  "CMakeFiles/dassa_dsp.dir/welch.cpp.o.d"
+  "CMakeFiles/dassa_dsp.dir/whiten.cpp.o"
+  "CMakeFiles/dassa_dsp.dir/whiten.cpp.o.d"
+  "CMakeFiles/dassa_dsp.dir/window.cpp.o"
+  "CMakeFiles/dassa_dsp.dir/window.cpp.o.d"
+  "libdassa_dsp.a"
+  "libdassa_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dassa_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/dash5.cpp" "src/io/CMakeFiles/dassa_io.dir/dash5.cpp.o" "gcc" "src/io/CMakeFiles/dassa_io.dir/dash5.cpp.o.d"
+  "/root/repo/src/io/file_io.cpp" "src/io/CMakeFiles/dassa_io.dir/file_io.cpp.o" "gcc" "src/io/CMakeFiles/dassa_io.dir/file_io.cpp.o.d"
+  "/root/repo/src/io/kv.cpp" "src/io/CMakeFiles/dassa_io.dir/kv.cpp.o" "gcc" "src/io/CMakeFiles/dassa_io.dir/kv.cpp.o.d"
+  "/root/repo/src/io/par_read.cpp" "src/io/CMakeFiles/dassa_io.dir/par_read.cpp.o" "gcc" "src/io/CMakeFiles/dassa_io.dir/par_read.cpp.o.d"
+  "/root/repo/src/io/par_write.cpp" "src/io/CMakeFiles/dassa_io.dir/par_write.cpp.o" "gcc" "src/io/CMakeFiles/dassa_io.dir/par_write.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/io/CMakeFiles/dassa_io.dir/serialize.cpp.o" "gcc" "src/io/CMakeFiles/dassa_io.dir/serialize.cpp.o.d"
+  "/root/repo/src/io/vca.cpp" "src/io/CMakeFiles/dassa_io.dir/vca.cpp.o" "gcc" "src/io/CMakeFiles/dassa_io.dir/vca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dassa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/dassa_mpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

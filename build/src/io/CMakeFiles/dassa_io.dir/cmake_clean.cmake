@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dassa_io.dir/dash5.cpp.o"
+  "CMakeFiles/dassa_io.dir/dash5.cpp.o.d"
+  "CMakeFiles/dassa_io.dir/file_io.cpp.o"
+  "CMakeFiles/dassa_io.dir/file_io.cpp.o.d"
+  "CMakeFiles/dassa_io.dir/kv.cpp.o"
+  "CMakeFiles/dassa_io.dir/kv.cpp.o.d"
+  "CMakeFiles/dassa_io.dir/par_read.cpp.o"
+  "CMakeFiles/dassa_io.dir/par_read.cpp.o.d"
+  "CMakeFiles/dassa_io.dir/par_write.cpp.o"
+  "CMakeFiles/dassa_io.dir/par_write.cpp.o.d"
+  "CMakeFiles/dassa_io.dir/serialize.cpp.o"
+  "CMakeFiles/dassa_io.dir/serialize.cpp.o.d"
+  "CMakeFiles/dassa_io.dir/vca.cpp.o"
+  "CMakeFiles/dassa_io.dir/vca.cpp.o.d"
+  "libdassa_io.a"
+  "libdassa_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dassa_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

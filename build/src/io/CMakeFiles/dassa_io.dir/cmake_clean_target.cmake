@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdassa_io.a"
+)

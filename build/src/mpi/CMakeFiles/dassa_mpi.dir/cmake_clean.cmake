@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dassa_mpi.dir/comm.cpp.o"
+  "CMakeFiles/dassa_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/dassa_mpi.dir/runtime.cpp.o"
+  "CMakeFiles/dassa_mpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/dassa_mpi.dir/world.cpp.o"
+  "CMakeFiles/dassa_mpi.dir/world.cpp.o.d"
+  "libdassa_mpi.a"
+  "libdassa_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dassa_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdassa_mpi.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_common.dir/common/test_common.cpp.o"
+  "CMakeFiles/common_test_common.dir/common/test_common.cpp.o.d"
+  "common_test_common"
+  "common_test_common.pdb"
+  "common_test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

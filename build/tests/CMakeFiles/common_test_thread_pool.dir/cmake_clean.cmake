@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_thread_pool.dir/common/test_thread_pool.cpp.o"
+  "CMakeFiles/common_test_thread_pool.dir/common/test_thread_pool.cpp.o.d"
+  "common_test_thread_pool"
+  "common_test_thread_pool.pdb"
+  "common_test_thread_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_thread_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

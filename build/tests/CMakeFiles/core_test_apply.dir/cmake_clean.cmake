@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_apply.dir/core/test_apply.cpp.o"
+  "CMakeFiles/core_test_apply.dir/core/test_apply.cpp.o.d"
+  "core_test_apply"
+  "core_test_apply.pdb"
+  "core_test_apply[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_autotune.dir/core/test_autotune.cpp.o"
+  "CMakeFiles/core_test_autotune.dir/core/test_autotune.cpp.o.d"
+  "core_test_autotune"
+  "core_test_autotune.pdb"
+  "core_test_autotune[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

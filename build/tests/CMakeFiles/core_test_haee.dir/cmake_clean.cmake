@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_haee.dir/core/test_haee.cpp.o"
+  "CMakeFiles/core_test_haee.dir/core/test_haee.cpp.o.d"
+  "core_test_haee"
+  "core_test_haee.pdb"
+  "core_test_haee[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_haee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

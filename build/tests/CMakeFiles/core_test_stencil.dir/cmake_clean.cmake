@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_stencil.dir/core/test_stencil.cpp.o"
+  "CMakeFiles/core_test_stencil.dir/core/test_stencil.cpp.o.d"
+  "core_test_stencil"
+  "core_test_stencil.pdb"
+  "core_test_stencil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_test_channel_qc.dir/das/test_channel_qc.cpp.o"
+  "CMakeFiles/das_test_channel_qc.dir/das/test_channel_qc.cpp.o.d"
+  "das_test_channel_qc"
+  "das_test_channel_qc.pdb"
+  "das_test_channel_qc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_test_channel_qc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for das_test_channel_qc.
+# This may be replaced when dependencies are built.

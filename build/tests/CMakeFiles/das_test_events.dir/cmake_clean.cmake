@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_test_events.dir/das/test_events.cpp.o"
+  "CMakeFiles/das_test_events.dir/das/test_events.cpp.o.d"
+  "das_test_events"
+  "das_test_events.pdb"
+  "das_test_events[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_test_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

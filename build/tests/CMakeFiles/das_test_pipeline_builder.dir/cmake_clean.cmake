@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_test_pipeline_builder.dir/das/test_pipeline_builder.cpp.o"
+  "CMakeFiles/das_test_pipeline_builder.dir/das/test_pipeline_builder.cpp.o.d"
+  "das_test_pipeline_builder"
+  "das_test_pipeline_builder.pdb"
+  "das_test_pipeline_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_test_pipeline_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for das_test_pipeline_builder.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_test_pipelines.dir/das/test_pipelines.cpp.o"
+  "CMakeFiles/das_test_pipelines.dir/das/test_pipelines.cpp.o.d"
+  "das_test_pipelines"
+  "das_test_pipelines.pdb"
+  "das_test_pipelines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_test_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

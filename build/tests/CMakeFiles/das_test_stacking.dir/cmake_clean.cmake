@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_test_stacking.dir/das/test_stacking.cpp.o"
+  "CMakeFiles/das_test_stacking.dir/das/test_stacking.cpp.o.d"
+  "das_test_stacking"
+  "das_test_stacking.pdb"
+  "das_test_stacking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_test_stacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_test_synth.dir/das/test_synth.cpp.o"
+  "CMakeFiles/das_test_synth.dir/das/test_synth.cpp.o.d"
+  "das_test_synth"
+  "das_test_synth.pdb"
+  "das_test_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_test_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

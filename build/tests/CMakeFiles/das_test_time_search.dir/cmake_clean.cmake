@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_test_time_search.dir/das/test_time_search.cpp.o"
+  "CMakeFiles/das_test_time_search.dir/das/test_time_search.cpp.o.d"
+  "das_test_time_search"
+  "das_test_time_search.pdb"
+  "das_test_time_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_test_time_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_test_advanced_kernels.dir/dsp/test_advanced_kernels.cpp.o"
+  "CMakeFiles/dsp_test_advanced_kernels.dir/dsp/test_advanced_kernels.cpp.o.d"
+  "dsp_test_advanced_kernels"
+  "dsp_test_advanced_kernels.pdb"
+  "dsp_test_advanced_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_test_advanced_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

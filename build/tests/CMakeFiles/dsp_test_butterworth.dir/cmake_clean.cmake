@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_test_butterworth.dir/dsp/test_butterworth.cpp.o"
+  "CMakeFiles/dsp_test_butterworth.dir/dsp/test_butterworth.cpp.o.d"
+  "dsp_test_butterworth"
+  "dsp_test_butterworth.pdb"
+  "dsp_test_butterworth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_test_butterworth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_test_correlate.dir/dsp/test_correlate.cpp.o"
+  "CMakeFiles/dsp_test_correlate.dir/dsp/test_correlate.cpp.o.d"
+  "dsp_test_correlate"
+  "dsp_test_correlate.pdb"
+  "dsp_test_correlate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_test_correlate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_test_detrend.dir/dsp/test_detrend.cpp.o"
+  "CMakeFiles/dsp_test_detrend.dir/dsp/test_detrend.cpp.o.d"
+  "dsp_test_detrend"
+  "dsp_test_detrend.pdb"
+  "dsp_test_detrend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_test_detrend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_test_fft.dir/dsp/test_fft.cpp.o"
+  "CMakeFiles/dsp_test_fft.dir/dsp/test_fft.cpp.o.d"
+  "dsp_test_fft"
+  "dsp_test_fft.pdb"
+  "dsp_test_fft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_test_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_test_filter.dir/dsp/test_filter.cpp.o"
+  "CMakeFiles/dsp_test_filter.dir/dsp/test_filter.cpp.o.d"
+  "dsp_test_filter"
+  "dsp_test_filter.pdb"
+  "dsp_test_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_test_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

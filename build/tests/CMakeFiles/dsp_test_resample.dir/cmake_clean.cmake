@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_test_resample.dir/dsp/test_resample.cpp.o"
+  "CMakeFiles/dsp_test_resample.dir/dsp/test_resample.cpp.o.d"
+  "dsp_test_resample"
+  "dsp_test_resample.pdb"
+  "dsp_test_resample[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_test_resample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_test_welch.dir/dsp/test_welch.cpp.o"
+  "CMakeFiles/dsp_test_welch.dir/dsp/test_welch.cpp.o.d"
+  "dsp_test_welch"
+  "dsp_test_welch.pdb"
+  "dsp_test_welch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_test_welch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test_end_to_end.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/integration_test_end_to_end.dir/integration/test_end_to_end.cpp.o.d"
+  "integration_test_end_to_end"
+  "integration_test_end_to_end.pdb"
+  "integration_test_end_to_end[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test_fault_injection.dir/integration/test_fault_injection.cpp.o"
+  "CMakeFiles/integration_test_fault_injection.dir/integration/test_fault_injection.cpp.o.d"
+  "integration_test_fault_injection"
+  "integration_test_fault_injection.pdb"
+  "integration_test_fault_injection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

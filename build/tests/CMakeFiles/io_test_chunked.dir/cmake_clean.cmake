@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_test_chunked.dir/io/test_chunked.cpp.o"
+  "CMakeFiles/io_test_chunked.dir/io/test_chunked.cpp.o.d"
+  "io_test_chunked"
+  "io_test_chunked.pdb"
+  "io_test_chunked[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_test_chunked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_test_dash5.dir/io/test_dash5.cpp.o"
+  "CMakeFiles/io_test_dash5.dir/io/test_dash5.cpp.o.d"
+  "io_test_dash5"
+  "io_test_dash5.pdb"
+  "io_test_dash5[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_test_dash5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for io_test_dash5.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_test_kv_fileio.dir/io/test_kv_fileio.cpp.o"
+  "CMakeFiles/io_test_kv_fileio.dir/io/test_kv_fileio.cpp.o.d"
+  "io_test_kv_fileio"
+  "io_test_kv_fileio.pdb"
+  "io_test_kv_fileio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_test_kv_fileio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

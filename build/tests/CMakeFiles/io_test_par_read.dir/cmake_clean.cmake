@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_test_par_read.dir/io/test_par_read.cpp.o"
+  "CMakeFiles/io_test_par_read.dir/io/test_par_read.cpp.o.d"
+  "io_test_par_read"
+  "io_test_par_read.pdb"
+  "io_test_par_read[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_test_par_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_test_sources_misc.dir/io/test_sources_misc.cpp.o"
+  "CMakeFiles/io_test_sources_misc.dir/io/test_sources_misc.cpp.o.d"
+  "io_test_sources_misc"
+  "io_test_sources_misc.pdb"
+  "io_test_sources_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_test_sources_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

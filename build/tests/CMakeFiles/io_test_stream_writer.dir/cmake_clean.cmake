@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_test_stream_writer.dir/io/test_stream_writer.cpp.o"
+  "CMakeFiles/io_test_stream_writer.dir/io/test_stream_writer.cpp.o.d"
+  "io_test_stream_writer"
+  "io_test_stream_writer.pdb"
+  "io_test_stream_writer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_test_stream_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

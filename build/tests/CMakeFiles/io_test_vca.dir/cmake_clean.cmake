@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_test_vca.dir/io/test_vca.cpp.o"
+  "CMakeFiles/io_test_vca.dir/io/test_vca.cpp.o.d"
+  "io_test_vca"
+  "io_test_vca.pdb"
+  "io_test_vca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_test_vca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

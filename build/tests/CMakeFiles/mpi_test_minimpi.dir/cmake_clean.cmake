@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_test_minimpi.dir/mpi/test_minimpi.cpp.o"
+  "CMakeFiles/mpi_test_minimpi.dir/mpi/test_minimpi.cpp.o.d"
+  "mpi_test_minimpi"
+  "mpi_test_minimpi.pdb"
+  "mpi_test_minimpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_test_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_test_minimpi_stress.dir/mpi/test_minimpi_stress.cpp.o"
+  "CMakeFiles/mpi_test_minimpi_stress.dir/mpi/test_minimpi_stress.cpp.o.d"
+  "mpi_test_minimpi_stress"
+  "mpi_test_minimpi_stress.pdb"
+  "mpi_test_minimpi_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_test_minimpi_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_test_split.dir/mpi/test_split.cpp.o"
+  "CMakeFiles/mpi_test_split.dir/mpi/test_split.cpp.o.d"
+  "mpi_test_split"
+  "mpi_test_split.pdb"
+  "mpi_test_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_test_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_test_tools_smoke.dir/tools/test_tools_smoke.cpp.o"
+  "CMakeFiles/tools_test_tools_smoke.dir/tools/test_tools_smoke.cpp.o.d"
+  "tools_test_tools_smoke"
+  "tools_test_tools_smoke.pdb"
+  "tools_test_tools_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_test_tools_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

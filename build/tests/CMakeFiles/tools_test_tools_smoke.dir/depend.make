@@ -1,0 +1,2 @@
+# Empty dependencies file for tools_test_tools_smoke.
+# This may be replaced when dependencies are built.

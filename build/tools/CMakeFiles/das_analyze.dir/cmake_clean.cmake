@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_analyze.dir/das_analyze.cpp.o"
+  "CMakeFiles/das_analyze.dir/das_analyze.cpp.o.d"
+  "das_analyze"
+  "das_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

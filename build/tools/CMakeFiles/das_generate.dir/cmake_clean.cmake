@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_generate.dir/das_generate.cpp.o"
+  "CMakeFiles/das_generate.dir/das_generate.cpp.o.d"
+  "das_generate"
+  "das_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

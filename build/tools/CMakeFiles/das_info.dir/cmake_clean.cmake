@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_info.dir/das_info.cpp.o"
+  "CMakeFiles/das_info.dir/das_info.cpp.o.d"
+  "das_info"
+  "das_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

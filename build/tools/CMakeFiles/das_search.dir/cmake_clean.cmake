@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_search.dir/das_search.cpp.o"
+  "CMakeFiles/das_search.dir/das_search.cpp.o.d"
+  "das_search"
+  "das_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
