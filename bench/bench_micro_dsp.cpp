@@ -43,6 +43,33 @@ void BM_FftBluestein(benchmark::State& state) {
 }
 BENCHMARK(BM_FftBluestein)->Arg(250)->Arg(1000)->Arg(3750)->Arg(15000);
 
+void BM_RfftHalf(benchmark::State& state) {
+  // Half-spectrum real transform: the packed half-size path for even
+  // lengths, emitting only the n/2 + 1 non-redundant bins.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> x = random_signal(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::rfft_half(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RfftHalf)->Arg(1024)->Arg(4096)->Arg(1000)->Arg(3750);
+
+void BM_RfftHalfBatch(benchmark::State& state) {
+  // Row-batched transform sharing one plan and workspace, as the
+  // interferometry pipelines do across channels.
+  const std::size_t rows = 32;
+  const auto cols = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> data = random_signal(rows * cols);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::rfft_half_batch(data, rows, cols));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * cols));
+}
+BENCHMARK(BM_RfftHalfBatch)->Arg(1024)->Arg(3750);
+
 void BM_Detrend(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::vector<double> x = random_signal(n);

@@ -287,4 +287,5 @@ bench/CMakeFiles/bench_fig11_scaling.dir/bench_fig11_scaling.cpp.o: \
  /root/repo/include/dassa/mpi/cost_model.hpp \
  /root/repo/include/dassa/io/par_write.hpp \
  /root/repo/include/dassa/mpi/runtime.hpp \
- /root/repo/include/dassa/dsp/fft.hpp
+ /root/repo/include/dassa/dsp/fft.hpp \
+ /root/repo/include/dassa/dsp/filter.hpp

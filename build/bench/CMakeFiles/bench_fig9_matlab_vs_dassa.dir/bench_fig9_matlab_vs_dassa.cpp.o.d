@@ -289,4 +289,5 @@ bench/CMakeFiles/bench_fig9_matlab_vs_dassa.dir/bench_fig9_matlab_vs_dassa.cpp.o
  /root/repo/include/dassa/mpi/cost_model.hpp \
  /root/repo/include/dassa/io/par_write.hpp \
  /root/repo/include/dassa/mpi/runtime.hpp \
- /root/repo/include/dassa/dsp/fft.hpp
+ /root/repo/include/dassa/dsp/fft.hpp \
+ /root/repo/include/dassa/dsp/filter.hpp

@@ -288,11 +288,11 @@ examples/CMakeFiles/advanced_workflow.dir/advanced_workflow.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/include/dassa/das/stacking.hpp \
  /root/repo/include/dassa/das/interferometry.hpp \
+ /root/repo/include/dassa/dsp/filter.hpp \
  /root/repo/include/dassa/das/synth.hpp \
  /root/repo/include/dassa/das/time.hpp \
  /root/repo/include/dassa/dsp/daslib.hpp \
  /root/repo/include/dassa/dsp/butterworth.hpp \
- /root/repo/include/dassa/dsp/filter.hpp \
  /root/repo/include/dassa/dsp/correlate.hpp \
  /root/repo/include/dassa/dsp/detrend.hpp \
  /root/repo/include/dassa/dsp/hilbert.hpp \

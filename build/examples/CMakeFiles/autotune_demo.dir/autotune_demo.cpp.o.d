@@ -285,5 +285,6 @@ examples/CMakeFiles/autotune_demo.dir/autotune_demo.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/include/dassa/dsp/fft.hpp \
+ /root/repo/include/dassa/dsp/filter.hpp \
  /root/repo/include/dassa/das/synth.hpp \
  /root/repo/include/dassa/das/time.hpp

@@ -285,5 +285,6 @@ examples/CMakeFiles/traffic_noise_interferometry.dir/traffic_noise_interferometr
  /root/repo/include/dassa/io/par_write.hpp \
  /root/repo/include/dassa/mpi/runtime.hpp \
  /root/repo/include/dassa/dsp/fft.hpp \
+ /root/repo/include/dassa/dsp/filter.hpp \
  /root/repo/include/dassa/das/synth.hpp \
  /root/repo/include/dassa/das/time.hpp

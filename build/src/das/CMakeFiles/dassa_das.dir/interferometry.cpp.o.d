@@ -276,10 +276,10 @@ src/das/CMakeFiles/dassa_das.dir/interferometry.cpp.o: \
  /root/repo/include/dassa/io/par_write.hpp \
  /root/repo/include/dassa/mpi/runtime.hpp \
  /root/repo/include/dassa/dsp/fft.hpp \
+ /root/repo/include/dassa/dsp/filter.hpp \
  /root/repo/include/dassa/common/counters.hpp \
  /root/repo/include/dassa/dsp/daslib.hpp \
  /root/repo/include/dassa/dsp/butterworth.hpp \
- /root/repo/include/dassa/dsp/filter.hpp \
  /root/repo/include/dassa/dsp/correlate.hpp \
  /root/repo/include/dassa/dsp/detrend.hpp \
  /root/repo/include/dassa/dsp/hilbert.hpp \

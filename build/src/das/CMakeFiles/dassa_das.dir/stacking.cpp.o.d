@@ -277,5 +277,6 @@ src/das/CMakeFiles/dassa_das.dir/stacking.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/include/dassa/dsp/fft.hpp \
+ /root/repo/include/dassa/dsp/filter.hpp \
  /root/repo/include/dassa/common/counters.hpp \
  /root/repo/include/dassa/dsp/correlate.hpp

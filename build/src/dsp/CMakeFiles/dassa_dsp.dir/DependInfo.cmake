@@ -19,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/dsp/moving.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/moving.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/moving.cpp.o.d"
   "/root/repo/src/dsp/resample.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/resample.cpp.o.d"
   "/root/repo/src/dsp/sta_lta.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/sta_lta.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/sta_lta.cpp.o.d"
+  "/root/repo/src/dsp/stats.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/stats.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/stats.cpp.o.d"
   "/root/repo/src/dsp/stft.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/stft.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/stft.cpp.o.d"
   "/root/repo/src/dsp/welch.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/welch.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/welch.cpp.o.d"
   "/root/repo/src/dsp/whiten.cpp" "src/dsp/CMakeFiles/dassa_dsp.dir/whiten.cpp.o" "gcc" "src/dsp/CMakeFiles/dassa_dsp.dir/whiten.cpp.o.d"

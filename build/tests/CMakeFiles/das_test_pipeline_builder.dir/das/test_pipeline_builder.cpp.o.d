@@ -353,11 +353,11 @@ tests/CMakeFiles/das_test_pipeline_builder.dir/das/test_pipeline_builder.cpp.o: 
  /root/repo/include/dassa/mpi/cost_model.hpp \
  /root/repo/include/dassa/io/par_write.hpp \
  /root/repo/include/dassa/mpi/runtime.hpp \
+ /root/repo/include/dassa/dsp/filter.hpp \
  /root/repo/include/dassa/das/synth.hpp \
  /root/repo/include/dassa/das/time.hpp \
  /root/repo/include/dassa/dsp/daslib.hpp \
  /root/repo/include/dassa/dsp/butterworth.hpp \
- /root/repo/include/dassa/dsp/filter.hpp \
  /root/repo/include/dassa/dsp/correlate.hpp \
  /root/repo/include/dassa/dsp/detrend.hpp \
  /root/repo/include/dassa/dsp/hilbert.hpp \

@@ -355,6 +355,7 @@ tests/CMakeFiles/das_test_pipelines.dir/das/test_pipelines.cpp.o: \
  /root/repo/include/dassa/io/par_write.hpp \
  /root/repo/include/dassa/mpi/runtime.hpp \
  /root/repo/include/dassa/dsp/fft.hpp \
+ /root/repo/include/dassa/dsp/filter.hpp \
  /root/repo/include/dassa/das/local_similarity.hpp \
  /root/repo/include/dassa/das/synth.hpp \
  /root/repo/include/dassa/das/time.hpp \

@@ -277,6 +277,7 @@ tests/CMakeFiles/das_test_stacking.dir/das/test_stacking.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/include/dassa/dsp/fft.hpp \
+ /root/repo/include/dassa/dsp/filter.hpp \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_test_fft_threads.dir/dsp/test_fft_threads.cpp.o"
+  "CMakeFiles/dsp_test_fft_threads.dir/dsp/test_fft_threads.cpp.o.d"
+  "dsp_test_fft_threads"
+  "dsp_test_fft_threads.pdb"
+  "dsp_test_fft_threads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_test_fft_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dsp_test_fft_threads.
+# This may be replaced when dependencies are built.

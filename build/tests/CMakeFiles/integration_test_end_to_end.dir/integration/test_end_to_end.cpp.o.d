@@ -356,6 +356,7 @@ tests/CMakeFiles/integration_test_end_to_end.dir/integration/test_end_to_end.cpp
  /root/repo/include/dassa/mpi/runtime.hpp \
  /root/repo/include/dassa/das/interferometry.hpp \
  /usr/include/c++/12/complex /root/repo/include/dassa/dsp/fft.hpp \
+ /root/repo/include/dassa/dsp/filter.hpp \
  /root/repo/include/dassa/das/local_similarity.hpp \
  /root/repo/include/dassa/das/search.hpp \
  /root/repo/include/dassa/das/time.hpp \

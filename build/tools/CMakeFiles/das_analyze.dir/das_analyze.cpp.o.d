@@ -165,37 +165,8 @@ tools/CMakeFiles/das_analyze.dir/das_analyze.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
- /root/repo/include/dassa/das/channel_qc.hpp \
- /root/repo/include/dassa/core/haee.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/include/dassa/common/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/include/dassa/core/apply.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/include/dassa/common/shape.hpp /usr/include/c++/12/cstddef \
- /root/repo/include/dassa/common/error.hpp \
- /root/repo/include/dassa/common/thread_pool.hpp \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/std_mutex.h \
- /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/bits/shared_ptr.h \
- /usr/include/c++/12/bits/shared_ptr_base.h \
- /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/bits/unique_ptr.h \
- /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
+ /root/repo/include/dassa/common/counters.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/limits.h \
@@ -217,17 +188,46 @@ tools/CMakeFiles/das_analyze.dir/das_analyze.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
+ /usr/include/c++/12/bits/std_mutex.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/include/dassa/das/channel_qc.hpp \
+ /root/repo/include/dassa/core/haee.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/include/dassa/common/timer.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/include/dassa/core/apply.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/include/dassa/common/shape.hpp /usr/include/c++/12/cstddef \
+ /root/repo/include/dassa/common/error.hpp \
+ /root/repo/include/dassa/common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
- /root/repo/include/dassa/core/array.hpp /usr/include/c++/12/span \
- /root/repo/include/dassa/core/stencil.hpp \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/thread /root/repo/include/dassa/core/array.hpp \
+ /usr/include/c++/12/span /root/repo/include/dassa/core/stencil.hpp \
  /root/repo/include/dassa/io/par_read.hpp \
  /root/repo/include/dassa/io/vca.hpp \
  /root/repo/include/dassa/io/array_source.hpp /usr/include/c++/12/memory \
@@ -275,6 +275,8 @@ tools/CMakeFiles/das_analyze.dir/das_analyze.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/include/dassa/dsp/fft.hpp \
+ /root/repo/include/dassa/dsp/filter.hpp \
  /root/repo/include/dassa/das/local_similarity.hpp \
  /root/repo/include/dassa/das/search.hpp \
- /root/repo/include/dassa/das/time.hpp
+ /root/repo/include/dassa/das/time.hpp \
+ /root/repo/include/dassa/dsp/stats.hpp

@@ -86,6 +86,20 @@ inline constexpr const char* kMpiBarriers = "mpi.barriers";
 inline constexpr const char* kMemMasterChannelCopies =
     "mem.master_channel_copies";
 inline constexpr const char* kMemPeakBytesModeled = "mem.peak_bytes_modeled";
+// DSP cache statistics. The dsp layer accumulates these in lock-free
+// atomics (a mutex per transform would serialise worker threads) and
+// copies them here via dsp::publish_dsp_counters().
+inline constexpr const char* kDspFftPlanHits = "dsp.fft.plan_hits";
+inline constexpr const char* kDspFftPlanMisses = "dsp.fft.plan_misses";
+inline constexpr const char* kDspFftBytesAllocated =
+    "dsp.fft.bytes_allocated";
+inline constexpr const char* kDspButterDesignHits = "dsp.butter.design_hits";
+inline constexpr const char* kDspButterDesignMisses =
+    "dsp.butter.design_misses";
+inline constexpr const char* kDspResampleDesignHits =
+    "dsp.resample.design_hits";
+inline constexpr const char* kDspResampleDesignMisses =
+    "dsp.resample.design_misses";
 }  // namespace counters
 
 }  // namespace dassa

@@ -15,6 +15,7 @@
 #include "dassa/core/apply.hpp"
 #include "dassa/core/haee.hpp"
 #include "dassa/dsp/fft.hpp"
+#include "dassa/dsp/filter.hpp"
 
 namespace dassa::das {
 
@@ -33,15 +34,36 @@ struct InterferometryParams {
   bool full_correlation = false;
 };
 
+/// Shared per-run state of the pre-processing chain: the designed
+/// bandpass coefficients. Designing a Butterworth filter involves
+/// root-finding and polynomial expansion, so doing it once per rank
+/// instead of once per channel (~10^4 redundant designs) matters; the
+/// UDF builders below hoist it out of the row loop.
+struct InterferometryPrep {
+  dsp::FilterCoeffs bandpass;
+};
+
+/// Design the shared pre-processing state for `p` (validates the band
+/// edges against Nyquist).
+[[nodiscard]] InterferometryPrep interferometry_prep(
+    const InterferometryParams& p);
+
 /// The sequential per-channel pre-processing chain (thread-safe):
 /// detrend -> filtfilt(bandpass) -> resample. Exposed for tests and
-/// the baseline pipeline.
+/// the baseline pipeline. The two-argument form designs the filter
+/// itself; pass a precomputed `prep` when calling per channel.
 [[nodiscard]] std::vector<double> interferometry_preprocess(
     std::span<const double> x, const InterferometryParams& p);
+[[nodiscard]] std::vector<double> interferometry_preprocess(
+    std::span<const double> x, const InterferometryParams& p,
+    const InterferometryPrep& prep);
 
 /// Full per-channel chain ending in the FFT (what the UDF correlates).
 [[nodiscard]] std::vector<dsp::cplx> interferometry_spectrum(
     std::span<const double> x, const InterferometryParams& p);
+[[nodiscard]] std::vector<dsp::cplx> interferometry_spectrum(
+    std::span<const double> x, const InterferometryParams& p,
+    const InterferometryPrep& prep);
 
 /// Build the Algorithm 3 row-UDF around a precomputed master spectrum.
 [[nodiscard]] core::RowUdf make_interferometry_udf(

@@ -19,8 +19,10 @@ struct StftParams {
   bool hann = true;          ///< apply a Hann window per frame
 };
 
-/// Complex STFT: result[frame][bin], frames x window bins. The last
-/// partial frame is dropped (MATLAB spectrogram convention).
+/// Complex STFT: result[frame][bin], frames x (window/2 + 1) one-sided
+/// bins (the input is real, so the upper half of each frame's spectrum
+/// is the conjugate mirror and is not materialised). The last partial
+/// frame is dropped (MATLAB spectrogram convention).
 [[nodiscard]] std::vector<std::vector<cplx>> stft(std::span<const double> x,
                                                   const StftParams& params);
 

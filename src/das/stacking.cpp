@@ -35,6 +35,9 @@ std::vector<double> stacked_ncf(std::span<const double> channel,
       stack_window_count(channel.size(), params);
   DASSA_CHECK(windows >= 1, "record shorter than one stacking window");
   const std::size_t hop = effective_hop(params);
+  // One filter design for every window of the record, not one per
+  // window (the coefficients depend only on the parameters).
+  const InterferometryPrep prep = interferometry_prep(params.base);
 
   std::vector<double> stack;
   for (std::size_t w = 0; w < windows; ++w) {
@@ -42,9 +45,9 @@ std::vector<double> stacked_ncf(std::span<const double> channel,
     // Per-window processing + frequency-domain correlation: one NCF per
     // (channel, window) -- the slice of the paper's 3D intermediate.
     const std::vector<dsp::cplx> ch_spec = interferometry_spectrum(
-        channel.subspan(off, params.window_samples), params.base);
+        channel.subspan(off, params.window_samples), params.base, prep);
     const std::vector<dsp::cplx> ms_spec = interferometry_spectrum(
-        master.subspan(off, params.window_samples), params.base);
+        master.subspan(off, params.window_samples), params.base, prep);
     const std::vector<double> ncf = dsp::xcorr_spectra(ch_spec, ms_spec);
     if (stack.empty()) {
       stack = ncf;

@@ -2,10 +2,15 @@
 
 #include <cmath>
 #include <complex>
+#include <map>
 #include <numbers>
+#include <mutex>
+#include <shared_mutex>
+#include <tuple>
 #include <vector>
 
 #include "dassa/common/error.hpp"
+#include "dassa/dsp/stats.hpp"
 
 namespace dassa::dsp {
 
@@ -147,31 +152,54 @@ double warp(double wn) {
   return 4.0 * std::tan(std::numbers::pi * wn / 2.0);
 }
 
-}  // namespace
+/// Design cache: row UDFs redesign the same filter for every channel
+/// (~10^4 identical designs per pipeline run), so finished coefficient
+/// sets are memoised by (kind, order, cutoffs) behind a read-mostly
+/// lock. Keys are the exact double arguments -- repeated calls from a
+/// pipeline pass bit-identical parameters.
+enum class ButterKind { kLowpass, kHighpass, kBandpass };
 
-FilterCoeffs butter_lowpass(int order, double wn) {
-  DASSA_CHECK(order >= 1, "filter order must be >= 1");
-  check_wn(wn);
+FilterCoeffs cached_design(ButterKind kind, int order, double w1, double w2,
+                           FilterCoeffs (*design)(int, double, double)) {
+  using Key = std::tuple<int, int, double, double>;
+  static std::shared_mutex mu;
+  static std::map<Key, FilterCoeffs> cache;
+  const Key key{static_cast<int>(kind), order, w1, w2};
+  auto& cells = detail::dsp_stat_cells();
+  {
+    std::shared_lock<std::shared_mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+      cells.butter_design_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  FilterCoeffs designed = design(order, w1, w2);
+  std::unique_lock<std::shared_mutex> lock(mu);
+  auto [it, inserted] = cache.emplace(key, std::move(designed));
+  if (inserted) {
+    cells.butter_design_misses.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    cells.butter_design_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second;
+}
+
+FilterCoeffs design_lowpass(int order, double wn, double) {
   Zpk f = butter_prototype(order);
   f = lp2lp(std::move(f), warp(wn));
   f = bilinear(std::move(f), 2.0);
   return zpk_to_tf(f);
 }
 
-FilterCoeffs butter_highpass(int order, double wn) {
-  DASSA_CHECK(order >= 1, "filter order must be >= 1");
-  check_wn(wn);
+FilterCoeffs design_highpass(int order, double wn, double) {
   Zpk f = butter_prototype(order);
   f = lp2hp(std::move(f), warp(wn));
   f = bilinear(std::move(f), 2.0);
   return zpk_to_tf(f);
 }
 
-FilterCoeffs butter_bandpass(int order, double w_lo, double w_hi) {
-  DASSA_CHECK(order >= 1, "filter order must be >= 1");
-  check_wn(w_lo);
-  check_wn(w_hi);
-  DASSA_CHECK(w_lo < w_hi, "bandpass requires w_lo < w_hi");
+FilterCoeffs design_bandpass(int order, double w_lo, double w_hi) {
   const double lo = warp(w_lo);
   const double hi = warp(w_hi);
   const double wo = std::sqrt(lo * hi);
@@ -180,6 +208,30 @@ FilterCoeffs butter_bandpass(int order, double w_lo, double w_hi) {
   f = lp2bp(std::move(f), wo, bw);
   f = bilinear(std::move(f), 2.0);
   return zpk_to_tf(f);
+}
+
+}  // namespace
+
+FilterCoeffs butter_lowpass(int order, double wn) {
+  DASSA_CHECK(order >= 1, "filter order must be >= 1");
+  check_wn(wn);
+  return cached_design(ButterKind::kLowpass, order, wn, 0.0, design_lowpass);
+}
+
+FilterCoeffs butter_highpass(int order, double wn) {
+  DASSA_CHECK(order >= 1, "filter order must be >= 1");
+  check_wn(wn);
+  return cached_design(ButterKind::kHighpass, order, wn, 0.0,
+                       design_highpass);
+}
+
+FilterCoeffs butter_bandpass(int order, double w_lo, double w_hi) {
+  DASSA_CHECK(order >= 1, "filter order must be >= 1");
+  check_wn(w_lo);
+  check_wn(w_hi);
+  DASSA_CHECK(w_lo < w_hi, "bandpass requires w_lo < w_hi");
+  return cached_design(ButterKind::kBandpass, order, w_lo, w_hi,
+                       design_bandpass);
 }
 
 }  // namespace dassa::dsp

@@ -1,5 +1,6 @@
 #include "dassa/dsp/correlate.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "dassa/common/error.hpp"
@@ -39,28 +40,40 @@ std::vector<double> xcorr_full(std::span<const double> a,
   DASSA_CHECK(!a.empty() && !b.empty(), "xcorr of empty signal");
   const std::size_t n = a.size() + b.size() - 1;
   const std::size_t m = next_pow2(n);
-  std::vector<cplx> fa(m, cplx(0, 0));
-  std::vector<cplx> fb(m, cplx(0, 0));
-  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = cplx(a[i], 0.0);
+  const auto plan = FftPlan::get(m);
+  FftWorkspace& ws = fft_workspace();
+
+  // Real inputs: two half-spectrum transforms of the zero-padded
+  // signals instead of two full complex ones, all in workspace buffers.
+  std::vector<double>& ra = ws.rbuf(0, m);
+  std::vector<double>& rb = ws.rbuf(1, m);
+  std::copy(a.begin(), a.end(), ra.begin());
+  std::fill(ra.begin() + static_cast<std::ptrdiff_t>(a.size()), ra.end(), 0.0);
   // Time-reverse b so that convolution computes correlation.
-  for (std::size_t i = 0; i < b.size(); ++i) {
-    fb[i] = cplx(b[b.size() - 1 - i], 0.0);
-  }
-  fft_inplace(fa);
-  fft_inplace(fb);
-  for (std::size_t i = 0; i < m; ++i) fa[i] *= fb[i];
-  ifft_inplace(fa);
-  std::vector<double> out(n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = fa[i].real();
-  return out;
+  for (std::size_t i = 0; i < b.size(); ++i) rb[i] = b[b.size() - 1 - i];
+  std::fill(rb.begin() + static_cast<std::ptrdiff_t>(b.size()), rb.end(), 0.0);
+
+  const std::size_t bins = plan->half_bins();
+  std::vector<cplx>& fa = ws.cbuf(2, bins);
+  std::vector<cplx>& fb = ws.cbuf(3, bins);
+  plan->forward_real(ra.data(), fa.data(), ws);
+  plan->forward_real(rb.data(), fb.data(), ws);
+  for (std::size_t i = 0; i < bins; ++i) fa[i] *= fb[i];
+
+  std::vector<double>& conv = ws.rbuf(2, m);
+  plan->inverse_real(fa.data(), conv.data(), ws);
+  return {conv.begin(), conv.begin() + static_cast<std::ptrdiff_t>(n)};
 }
 
 std::vector<double> xcorr_spectra(std::span<const cplx> a,
                                   std::span<const cplx> b) {
   DASSA_CHECK(a.size() == b.size(), "spectra must have equal length");
-  std::vector<cplx> prod(a.size());
+  if (a.empty()) return {};
+  const auto plan = FftPlan::get(a.size());
+  FftWorkspace& ws = fft_workspace();
+  std::vector<cplx>& prod = ws.cbuf(2, a.size());
   for (std::size_t i = 0; i < a.size(); ++i) prod[i] = a[i] * std::conj(b[i]);
-  ifft_inplace(prod);
+  plan->inverse(prod.data(), ws);
   std::vector<double> out(prod.size());
   for (std::size_t i = 0; i < prod.size(); ++i) out[i] = prod[i].real();
   return out;

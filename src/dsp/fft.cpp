@@ -2,114 +2,294 @@
 
 #include <cmath>
 #include <map>
-#include <memory>
-#include <mutex>
 #include <numbers>
+#include <mutex>
+#include <shared_mutex>
 
 #include "dassa/common/error.hpp"
+#include "dassa/dsp/stats.hpp"
 
 namespace dassa::dsp {
 
 namespace {
 
-/// Precomputed twiddle factors e^{-pi i k / half} for one radix-2 size.
-struct Twiddles {
-  explicit Twiddles(std::size_t n) : factors(n / 2) {
-    for (std::size_t k = 0; k < factors.size(); ++k) {
-      const double angle =
-          -2.0 * std::numbers::pi * static_cast<double>(k) /
-          static_cast<double>(n);
-      factors[k] = cplx(std::cos(angle), std::sin(angle));
-    }
-  }
-  std::vector<cplx> factors;
-};
+// Workspace slot convention (see fft.hpp): the engine owns these two.
+constexpr std::size_t kSlotBluestein = 0;
+constexpr std::size_t kSlotRealPack = 1;
 
-/// Shared twiddle cache; DasLib kernels run from many threads at once.
-std::shared_ptr<const Twiddles> twiddles_for(std::size_t n) {
-  static std::mutex mu;
-  static std::map<std::size_t, std::shared_ptr<const Twiddles>> cache;
-  std::lock_guard<std::mutex> lock(mu);
-  auto& entry = cache[n];
-  if (!entry) entry = std::make_shared<const Twiddles>(n);
-  return entry;
+void count_bytes(std::size_t bytes) {
+  detail::dsp_stat_cells().fft_bytes_allocated.fetch_add(
+      bytes, std::memory_order_relaxed);
 }
 
-/// Iterative radix-2 Cooley-Tukey; n must be a power of two.
-/// `invert` runs the conjugate transform without the 1/n scale.
-void fft_radix2(std::vector<cplx>& x, bool invert) {
-  const std::size_t n = x.size();
-  if (n <= 1) return;
+}  // namespace
 
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
+// ---------------------------------------------------------------------------
+// Workspace
+// ---------------------------------------------------------------------------
+
+std::vector<cplx>& FftWorkspace::cbuf(std::size_t slot, std::size_t n) {
+  auto& v = cplx_.at(slot);
+  if (v.capacity() < n) {
+    count_bytes((n - v.capacity()) * sizeof(cplx));
+    v.reserve(n);
+  }
+  v.resize(n);
+  return v;
+}
+
+std::vector<double>& FftWorkspace::rbuf(std::size_t slot, std::size_t n) {
+  auto& v = real_.at(slot);
+  if (v.capacity() < n) {
+    count_bytes((n - v.capacity()) * sizeof(double));
+    v.reserve(n);
+  }
+  v.resize(n);
+  return v;
+}
+
+FftWorkspace& fft_workspace() {
+  thread_local FftWorkspace ws;
+  return ws;
+}
+
+// ---------------------------------------------------------------------------
+// Plan construction + cache
+// ---------------------------------------------------------------------------
+
+FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
+  DASSA_CHECK(n >= 1, "FFT plan requires length >= 1");
+  if (pow2_ && n_ > 1) {
+    twiddles_.resize(n_ / 2);
+    for (std::size_t k = 0; k < twiddles_.size(); ++k) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                           static_cast<double>(n_);
+      twiddles_[k] = cplx(std::cos(angle), std::sin(angle));
+    }
+    bitrev_.resize(n_);
+    for (std::size_t i = 1, j = 0; i < n_; ++i) {
+      std::size_t bit = n_ >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      bitrev_[i] = static_cast<std::uint32_t>(j);
+    }
+  }
+  if (!pow2_) {
+    // Bluestein: chirp c[k] = e^{-pi i k^2 / n} and the spectrum of the
+    // padded filter b[k] = conj(c[|k| mod n]) -- both depend only on n,
+    // so the per-call cost drops from three FFTs plus 2n sin/cos pairs
+    // to two FFTs and no trigonometry.
+    m_ = next_pow2(2 * n_ - 1);
+    sub_ = FftPlan::get(m_);
+    chirp_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      // k^2 mod 2n avoids precision loss for large k.
+      const std::size_t k2 = (k * k) % (2 * n_);
+      const double angle = -std::numbers::pi * static_cast<double>(k2) /
+                           static_cast<double>(n_);
+      chirp_[k] = cplx(std::cos(angle), std::sin(angle));
+    }
+    chirp_spec_.assign(m_, cplx(0.0, 0.0));
+    for (std::size_t k = 0; k < n_; ++k) {
+      chirp_spec_[k] = std::conj(chirp_[k]);
+    }
+    for (std::size_t k = 1; k < n_; ++k) {
+      chirp_spec_[m_ - k] = std::conj(chirp_[k]);
+    }
+    sub_->radix2(chirp_spec_.data(), /*invert=*/false);
+  }
+  if (n_ % 2 == 0) {
+    // Packed real-input transform: one complex FFT of length n/2 plus
+    // an O(n) recombination with these twiddles.
+    const std::size_t h = n_ / 2;
+    half_ = FftPlan::get(h);
+    rtw_.resize(h + 1);
+    for (std::size_t k = 0; k <= h; ++k) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                           static_cast<double>(n_);
+      rtw_[k] = cplx(std::cos(angle), std::sin(angle));
+    }
+  }
+  count_bytes(twiddles_.capacity() * sizeof(cplx) +
+              bitrev_.capacity() * sizeof(std::uint32_t) +
+              chirp_.capacity() * sizeof(cplx) +
+              chirp_spec_.capacity() * sizeof(cplx) +
+              rtw_.capacity() * sizeof(cplx));
+}
+
+std::shared_ptr<const FftPlan> FftPlan::get(std::size_t n) {
+  DASSA_CHECK(n >= 1, "FFT plan requires length >= 1");
+  static std::shared_mutex mu;
+  static std::map<std::size_t, std::shared_ptr<const FftPlan>> cache;
+  auto& cells = detail::dsp_stat_cells();
+  {
+    std::shared_lock<std::shared_mutex> lock(mu);
+    auto it = cache.find(n);
+    if (it != cache.end()) {
+      cells.fft_plan_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Build outside the lock: construction recurses into get() for the
+  // half-size and Bluestein sub-plans, and may be slow for large n.
+  std::shared_ptr<const FftPlan> built(new FftPlan(n));
+  std::unique_lock<std::shared_mutex> lock(mu);
+  auto [it, inserted] = cache.emplace(n, std::move(built));
+  if (inserted) {
+    cells.fft_plan_misses.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Another thread won the race; its plan is the cached one.
+    cells.fft_plan_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Complex transforms
+// ---------------------------------------------------------------------------
+
+/// Iterative radix-2 Cooley-Tukey using the precomputed permutation and
+/// twiddles; `invert` runs the conjugate transform without the 1/n
+/// scale.
+void FftPlan::radix2(cplx* x, bool invert) const {
+  const std::size_t n = n_;
+  if (n <= 1) return;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
     if (i < j) std::swap(x[i], x[j]);
   }
-
-  const auto tw = twiddles_for(n);
   for (std::size_t len = 2; len <= n; len <<= 1) {
     const std::size_t stride = n / len;
+    const std::size_t half = len / 2;
     for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        cplx w = tw->factors[k * stride];
+      for (std::size_t k = 0; k < half; ++k) {
+        cplx w = twiddles_[k * stride];
         if (invert) w = std::conj(w);
         const cplx u = x[i + k];
-        const cplx v = x[i + k + len / 2] * w;
+        const cplx v = x[i + k + half] * w;
         x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
+        x[i + k + half] = u - v;
       }
     }
   }
 }
 
-/// Bluestein's chirp-z transform for arbitrary n, via a radix-2
-/// convolution of length >= 2n-1.
-void fft_bluestein(std::vector<cplx>& x, bool invert) {
-  const std::size_t n = x.size();
-  const std::size_t m = next_pow2(2 * n - 1);
-
-  // Chirp: w[k] = e^{-pi i k^2 / n} (conjugated for the inverse).
-  std::vector<cplx> chirp(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    // k^2 mod 2n avoids precision loss for large k.
-    const std::size_t k2 = (k * k) % (2 * n);
-    double angle = std::numbers::pi * static_cast<double>(k2) /
-                   static_cast<double>(n);
-    if (!invert) angle = -angle;
-    chirp[k] = cplx(std::cos(angle), std::sin(angle));
-  }
-
-  std::vector<cplx> a(m, cplx(0, 0));
-  std::vector<cplx> b(m, cplx(0, 0));
-  for (std::size_t k = 0; k < n; ++k) {
-    a[k] = x[k] * chirp[k];
-    b[k] = std::conj(chirp[k]);
-  }
-  for (std::size_t k = 1; k < n; ++k) b[m - k] = std::conj(chirp[k]);
-
-  fft_radix2(a, false);
-  fft_radix2(b, false);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  fft_radix2(a, true);
-  const double scale = 1.0 / static_cast<double>(m);
-  for (std::size_t k = 0; k < n; ++k) {
-    x[k] = a[k] * scale * chirp[k];
+/// Bluestein forward transform as a convolution against the cached
+/// chirp filter spectrum. The only per-call buffer is one workspace
+/// slot of length m.
+void FftPlan::bluestein_forward(cplx* x, FftWorkspace& ws) const {
+  std::vector<cplx>& a = ws.cbuf(kSlotBluestein, m_);
+  for (std::size_t k = 0; k < n_; ++k) a[k] = x[k] * chirp_[k];
+  for (std::size_t k = n_; k < m_; ++k) a[k] = cplx(0.0, 0.0);
+  sub_->radix2(a.data(), /*invert=*/false);
+  for (std::size_t k = 0; k < m_; ++k) a[k] *= chirp_spec_[k];
+  sub_->radix2(a.data(), /*invert=*/true);
+  const double scale = 1.0 / static_cast<double>(m_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    x[k] = a[k] * scale * chirp_[k];
   }
 }
 
-void dft_dispatch(std::vector<cplx>& x, bool invert) {
-  if (x.empty()) return;
-  if (is_pow2(x.size())) {
-    fft_radix2(x, invert);
+void FftPlan::forward(cplx* x, FftWorkspace& ws) const {
+  if (n_ <= 1) return;
+  if (pow2_) {
+    radix2(x, /*invert=*/false);
   } else {
-    fft_bluestein(x, invert);
+    bluestein_forward(x, ws);
   }
 }
 
-}  // namespace
+void FftPlan::inverse(cplx* x, FftWorkspace& ws) const {
+  const double scale = 1.0 / static_cast<double>(n_);
+  if (n_ <= 1) return;
+  if (pow2_) {
+    radix2(x, /*invert=*/true);
+    for (std::size_t k = 0; k < n_; ++k) x[k] *= scale;
+    return;
+  }
+  // IDFT(x) = conj(DFT(conj(x))) / n, so the cached forward chirp
+  // spectrum serves both directions.
+  for (std::size_t k = 0; k < n_; ++k) x[k] = std::conj(x[k]);
+  bluestein_forward(x, ws);
+  for (std::size_t k = 0; k < n_; ++k) x[k] = std::conj(x[k]) * scale;
+}
+
+// ---------------------------------------------------------------------------
+// Real transforms (packed half-size complex trick)
+// ---------------------------------------------------------------------------
+
+void FftPlan::forward_real(const double* x, cplx* out,
+                           FftWorkspace& ws) const {
+  if (n_ == 1) {
+    out[0] = cplx(x[0], 0.0);
+    return;
+  }
+  if (n_ % 2 != 0) {
+    // Odd lengths (necessarily Bluestein or trivial): full complex
+    // transform of the real signal, keep the non-redundant half.
+    std::vector<cplx>& buf = ws.cbuf(kSlotRealPack, n_);
+    for (std::size_t i = 0; i < n_; ++i) buf[i] = cplx(x[i], 0.0);
+    forward(buf.data(), ws);
+    for (std::size_t k = 0; k < half_bins(); ++k) out[k] = buf[k];
+    return;
+  }
+  // Pack even/odd samples into one complex signal of half the length:
+  // z[j] = x[2j] + i x[2j+1]. With E/O the DFTs of the even/odd
+  // subsequences, Z[k] = E[k] + i O[k] and conjugate symmetry of E and
+  // O recovers X[k] = E[k] + w^k O[k] for k = 0 .. n/2.
+  const std::size_t h = n_ / 2;
+  std::vector<cplx>& z = ws.cbuf(kSlotRealPack, h);
+  for (std::size_t j = 0; j < h; ++j) z[j] = cplx(x[2 * j], x[2 * j + 1]);
+  half_->forward(z.data(), ws);
+  out[0] = cplx(z[0].real() + z[0].imag(), 0.0);
+  out[h] = cplx(z[0].real() - z[0].imag(), 0.0);
+  for (std::size_t k = 1; k < h; ++k) {
+    const cplx zk = z[k];
+    const cplx zc = std::conj(z[h - k]);
+    const cplx even = 0.5 * (zk + zc);
+    const cplx odd = cplx(0.0, -0.5) * (zk - zc);
+    out[k] = even + rtw_[k] * odd;
+  }
+}
+
+void FftPlan::inverse_real(const cplx* spec, double* out,
+                           FftWorkspace& ws) const {
+  if (n_ == 1) {
+    out[0] = spec[0].real();
+    return;
+  }
+  if (n_ % 2 != 0) {
+    // Hermitian-extend to the full spectrum and run a complex inverse.
+    std::vector<cplx>& buf = ws.cbuf(kSlotRealPack, n_);
+    const std::size_t hb = half_bins();
+    for (std::size_t k = 0; k < hb; ++k) buf[k] = spec[k];
+    for (std::size_t k = hb; k < n_; ++k) buf[k] = std::conj(spec[n_ - k]);
+    inverse(buf.data(), ws);
+    for (std::size_t i = 0; i < n_; ++i) out[i] = buf[i].real();
+    return;
+  }
+  // Invert the packing of forward_real: rebuild Z[k] = E[k] + i O[k]
+  // from the half spectrum, inverse-transform at half length, and
+  // interleave the real/imaginary parts back into the signal.
+  const std::size_t h = n_ / 2;
+  std::vector<cplx>& z = ws.cbuf(kSlotRealPack, h);
+  for (std::size_t k = 0; k < h; ++k) {
+    const cplx xk = spec[k];
+    const cplx xc = std::conj(spec[h - k]);
+    const cplx even = 0.5 * (xk + xc);
+    const cplx odd = std::conj(rtw_[k]) * (0.5 * (xk - xc));
+    z[k] = even + cplx(0.0, 1.0) * odd;
+  }
+  half_->inverse(z.data(), ws);
+  for (std::size_t j = 0; j < h; ++j) {
+    out[2 * j] = z[j].real();
+    out[2 * j + 1] = z[j].imag();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Free-function entry points
+// ---------------------------------------------------------------------------
 
 std::size_t next_pow2(std::size_t n) {
   DASSA_CHECK(n >= 1, "next_pow2 requires n >= 1");
@@ -120,19 +300,65 @@ std::size_t next_pow2(std::size_t n) {
 
 bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
 
-void fft_inplace(std::vector<cplx>& x) { dft_dispatch(x, false); }
+void fft_inplace(std::vector<cplx>& x) {
+  if (x.empty()) return;
+  FftPlan::get(x.size())->forward(x.data(), fft_workspace());
+}
 
 void ifft_inplace(std::vector<cplx>& x) {
-  dft_dispatch(x, true);
-  const double scale = x.empty() ? 1.0 : 1.0 / static_cast<double>(x.size());
-  for (auto& v : x) v *= scale;
+  if (x.empty()) return;
+  FftPlan::get(x.size())->inverse(x.data(), fft_workspace());
 }
 
 std::vector<cplx> rfft(std::span<const double> x) {
-  std::vector<cplx> c(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) c[i] = cplx(x[i], 0.0);
-  fft_inplace(c);
-  return c;
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n);
+  if (n == 0) return out;
+  const auto plan = FftPlan::get(n);
+  plan->forward_real(x.data(), out.data(), fft_workspace());
+  // Mirror the non-redundant half into the negative frequencies.
+  for (std::size_t k = 1; k < (n + 1) / 2; ++k) {
+    out[n - k] = std::conj(out[k]);
+  }
+  return out;
+}
+
+std::vector<cplx> rfft_half(std::span<const double> x) {
+  if (x.empty()) return {};
+  const auto plan = FftPlan::get(x.size());
+  std::vector<cplx> out(plan->half_bins());
+  plan->forward_real(x.data(), out.data(), fft_workspace());
+  return out;
+}
+
+std::vector<double> irfft_half(std::span<const cplx> spectrum,
+                               std::size_t n) {
+  if (n == 0) {
+    DASSA_CHECK(spectrum.empty(), "length-0 inverse of non-empty spectrum");
+    return {};
+  }
+  const auto plan = FftPlan::get(n);
+  DASSA_CHECK(spectrum.size() == plan->half_bins(),
+              "irfft_half spectrum must hold n/2 + 1 bins");
+  std::vector<double> out(n);
+  plan->inverse_real(spectrum.data(), out.data(), fft_workspace());
+  return out;
+}
+
+std::vector<std::vector<cplx>> rfft_half_batch(std::span<const double> data,
+                                               std::size_t rows,
+                                               std::size_t cols) {
+  DASSA_CHECK(data.size() == rows * cols,
+              "batch buffer must hold rows * cols samples");
+  std::vector<std::vector<cplx>> out(rows);
+  if (rows == 0 || cols == 0) return out;
+  const auto plan = FftPlan::get(cols);
+  FftWorkspace& ws = fft_workspace();
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r].resize(plan->half_bins());
+    plan->forward_real(data.data() + r * cols, out[r].data(), ws);
+  }
+  return out;
 }
 
 std::vector<double> irfft_real(std::span<const cplx> spectrum) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dassa/common/error.hpp"
+#include "dassa/dsp/fft.hpp"
 
 namespace dassa::dsp {
 
@@ -27,12 +28,14 @@ Normalised normalise(const FilterCoeffs& f) {
   return out;
 }
 
-std::vector<double> run_df2t(const Normalised& f, std::span<const double> x,
-                             std::vector<double>& z) {
+/// Direct-form II transposed pass over x[0..n) into y[0..n) with state
+/// z[0..f.n-1). Each step reads x[i] before writing y[i], so x and y
+/// may alias (in-place filtering), which filtfilt exploits to run both
+/// passes inside one workspace buffer.
+void run_df2t_raw(const Normalised& f, const double* x, std::size_t n,
+                  double* y, double* z) {
   const std::size_t ns = f.n - 1;
-  DASSA_CHECK(z.size() == ns, "initial state has wrong length");
-  std::vector<double> y(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const double xi = x[i];
     const double yi = f.b[0] * xi + (ns > 0 ? z[0] : 0.0);
     for (std::size_t s = 0; s + 1 < ns; ++s) {
@@ -43,7 +46,35 @@ std::vector<double> run_df2t(const Normalised& f, std::span<const double> x,
     }
     y[i] = yi;
   }
+}
+
+std::vector<double> run_df2t(const Normalised& f, std::span<const double> x,
+                             std::vector<double>& z) {
+  DASSA_CHECK(z.size() == f.n - 1, "initial state has wrong length");
+  std::vector<double> y(x.size());
+  run_df2t_raw(f, x.data(), x.size(), y.data(), z.data());
   return y;
+}
+
+std::vector<double> steady_state_zi(const Normalised& nf) {
+  // Direct-form II transposed steady state for unit input. With
+  // y_ss = sum(b)/sum(a), the state recurrence at steady state is
+  //   z[i] = b[i+1] - a[i+1]*y_ss + z[i+1],
+  // solved by back-substitution. (For filters with sum(a) == 0 --
+  // not produced by the Butterworth designer -- y_ss is taken as 0.)
+  const std::size_t ns = nf.n - 1;
+  std::vector<double> zi(ns, 0.0);
+  if (ns == 0) return zi;
+  double sum_b = 0.0;
+  double sum_a = 0.0;
+  for (double v : nf.b) sum_b += v;
+  for (double v : nf.a) sum_a += v;
+  const double y_ss = (sum_a != 0.0) ? sum_b / sum_a : 0.0;
+  zi[ns - 1] = nf.b[ns] - nf.a[ns] * y_ss;
+  for (std::size_t i = ns - 1; i-- > 0;) {
+    zi[i] = nf.b[i + 1] - nf.a[i + 1] * y_ss + zi[i + 1];
+  }
+  return zi;
 }
 
 }  // namespace
@@ -61,25 +92,7 @@ std::vector<double> lfilter(const FilterCoeffs& f, std::span<const double> x,
 }
 
 std::vector<double> lfilter_zi(const FilterCoeffs& f) {
-  // Direct-form II transposed steady state for unit input. With
-  // y_ss = sum(b)/sum(a), the state recurrence at steady state is
-  //   z[i] = b[i+1] - a[i+1]*y_ss + z[i+1],
-  // solved by back-substitution. (For filters with sum(a) == 0 --
-  // not produced by the Butterworth designer -- y_ss is taken as 0.)
-  const Normalised nf = normalise(f);
-  const std::size_t ns = nf.n - 1;
-  std::vector<double> zi(ns, 0.0);
-  if (ns == 0) return zi;
-  double sum_b = 0.0;
-  double sum_a = 0.0;
-  for (double v : nf.b) sum_b += v;
-  for (double v : nf.a) sum_a += v;
-  const double y_ss = (sum_a != 0.0) ? sum_b / sum_a : 0.0;
-  zi[ns - 1] = nf.b[ns] - nf.a[ns] * y_ss;
-  for (std::size_t i = ns - 1; i-- > 0;) {
-    zi[i] = nf.b[i + 1] - nf.a[i + 1] * y_ss + zi[i + 1];
-  }
-  return zi;
+  return steady_state_zi(normalise(f));
 }
 
 std::vector<double> filtfilt(const FilterCoeffs& f,
@@ -88,33 +101,41 @@ std::vector<double> filtfilt(const FilterCoeffs& f,
   const std::size_t pad = 3 * (nf.n - 1);
   DASSA_CHECK(x.size() > pad,
               "filtfilt input must be longer than 3*(filter order)");
+  const std::size_t ns = nf.n - 1;
+  const std::size_t ext_len = x.size() + 2 * pad;
+
+  // The extended signal and the filter state live in the per-thread
+  // workspace arena; both passes filter the buffer in place, so the
+  // only per-call allocations left are the (order-sized) zi vector and
+  // the returned output.
+  FftWorkspace& ws = fft_workspace();
+  std::vector<double>& ext = ws.rbuf(3, ext_len);
+  std::vector<double>& state = ws.rbuf(4, ns);
 
   // Odd reflection about the end points removes edge transients.
-  std::vector<double> ext;
-  ext.reserve(x.size() + 2 * pad);
   for (std::size_t i = 0; i < pad; ++i) {
-    ext.push_back(2.0 * x[0] - x[pad - i]);
+    ext[i] = 2.0 * x[0] - x[pad - i];
   }
-  ext.insert(ext.end(), x.begin(), x.end());
+  std::copy(x.begin(), x.end(),
+            ext.begin() + static_cast<std::ptrdiff_t>(pad));
   for (std::size_t i = 0; i < pad; ++i) {
-    ext.push_back(2.0 * x[x.size() - 1] - x[x.size() - 2 - i]);
+    ext[pad + x.size() + i] = 2.0 * x[x.size() - 1] - x[x.size() - 2 - i];
   }
 
-  const std::vector<double> zi = lfilter_zi(f);
+  const std::vector<double> zi = steady_state_zi(nf);
 
-  // Forward pass.
-  std::vector<double> state(zi.size());
-  for (std::size_t i = 0; i < zi.size(); ++i) state[i] = zi[i] * ext.front();
-  std::vector<double> fwd = run_df2t(nf, ext, state);
+  // Forward pass (in place).
+  for (std::size_t i = 0; i < ns; ++i) state[i] = zi[i] * ext.front();
+  run_df2t_raw(nf, ext.data(), ext_len, ext.data(), state.data());
 
-  // Backward pass.
-  std::reverse(fwd.begin(), fwd.end());
-  for (std::size_t i = 0; i < zi.size(); ++i) state[i] = zi[i] * fwd.front();
-  std::vector<double> bwd = run_df2t(nf, fwd, state);
-  std::reverse(bwd.begin(), bwd.end());
+  // Backward pass (in place on the reversed signal).
+  std::reverse(ext.begin(), ext.end());
+  for (std::size_t i = 0; i < ns; ++i) state[i] = zi[i] * ext.front();
+  run_df2t_raw(nf, ext.data(), ext_len, ext.data(), state.data());
+  std::reverse(ext.begin(), ext.end());
 
-  return {bwd.begin() + static_cast<std::ptrdiff_t>(pad),
-          bwd.begin() + static_cast<std::ptrdiff_t>(pad + x.size())};
+  return {ext.begin() + static_cast<std::ptrdiff_t>(pad),
+          ext.begin() + static_cast<std::ptrdiff_t>(pad + x.size())};
 }
 
 }  // namespace dassa::dsp

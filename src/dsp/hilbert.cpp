@@ -8,13 +8,17 @@ namespace dassa::dsp {
 std::vector<cplx> analytic_signal(std::span<const double> x) {
   const std::size_t n = x.size();
   if (n == 0) return {};
-  std::vector<cplx> spec = rfft(x);
-  // Zero negative frequencies, double positive ones; DC (and Nyquist
-  // for even n) stay untouched.
-  const std::size_t half = n / 2;
+  const auto plan = FftPlan::get(n);
+  FftWorkspace& ws = fft_workspace();
+  // The half-spectrum forward transform writes bins 0..n/2 directly
+  // into the output buffer; the negative frequencies are exactly the
+  // bins the analytic spectrum zeroes, so they are never computed.
+  std::vector<cplx> spec(n, cplx(0.0, 0.0));
+  plan->forward_real(x.data(), spec.data(), ws);
+  // Double positive frequencies; DC (and Nyquist for even n) stay
+  // untouched.
   for (std::size_t k = 1; k < (n + 1) / 2; ++k) spec[k] *= 2.0;
-  for (std::size_t k = half + 1; k < n; ++k) spec[k] = cplx(0.0, 0.0);
-  ifft_inplace(spec);
+  plan->inverse(spec.data(), ws);
   return spec;
 }
 

@@ -1,12 +1,52 @@
 #include "dassa/dsp/resample.hpp"
 
 #include <cmath>
+#include <map>
+#include <memory>
 #include <numbers>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
 
 #include "dassa/common/error.hpp"
+#include "dassa/dsp/stats.hpp"
 #include "dassa/dsp/window.hpp"
 
 namespace dassa::dsp {
+
+namespace {
+
+/// Kaiser-windowed sinc designs depend only on (up, down); per-channel
+/// resampling in the pipelines reuses one design ~10^4 times, so
+/// finished filters are shared through a read-mostly cache.
+std::shared_ptr<const std::vector<double>> cached_resample_filter(
+    std::size_t up, std::size_t down) {
+  using Key = std::pair<std::size_t, std::size_t>;
+  static std::shared_mutex mu;
+  static std::map<Key, std::shared_ptr<const std::vector<double>>> cache;
+  const Key key{up, down};
+  auto& cells = detail::dsp_stat_cells();
+  {
+    std::shared_lock<std::shared_mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+      cells.resample_design_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  auto built = std::make_shared<const std::vector<double>>(
+      resample_filter(up, down));
+  std::unique_lock<std::shared_mutex> lock(mu);
+  auto [it, inserted] = cache.emplace(key, std::move(built));
+  if (inserted) {
+    cells.resample_design_misses.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    cells.resample_design_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second;
+}
+
+}  // namespace
 
 std::vector<double> resample_filter(std::size_t up, std::size_t down) {
   DASSA_CHECK(up >= 1 && down >= 1, "resample factors must be positive");
@@ -41,7 +81,9 @@ std::vector<double> resample(std::span<const double> x, std::size_t up,
   if (x.empty()) return {};
   if (up == down) return {x.begin(), x.end()};
 
-  const std::vector<double> h = resample_filter(up, down);
+  const std::shared_ptr<const std::vector<double>> h_ptr =
+      cached_resample_filter(up, down);
+  const std::vector<double>& h = *h_ptr;
   const std::size_t half = (h.size() - 1) / 2;  // group delay on the
                                                 // upsampled grid
   const std::size_t n = x.size();

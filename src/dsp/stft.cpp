@@ -16,13 +16,16 @@ std::vector<std::vector<cplx>> stft(std::span<const double> x,
       params.hann ? hann_window(params.window)
                   : std::vector<double>(params.window, 1.0);
   const std::size_t n_frames = (x.size() - params.window) / params.hop + 1;
-  frames.reserve(n_frames);
+  frames.resize(n_frames);
 
+  const auto plan = FftPlan::get(params.window);
+  FftWorkspace& ws = fft_workspace();
   std::vector<double> buf(params.window);
   for (std::size_t f = 0; f < n_frames; ++f) {
     const double* src = x.data() + f * params.hop;
     for (std::size_t i = 0; i < params.window; ++i) buf[i] = src[i] * win[i];
-    frames.push_back(rfft(buf));
+    frames[f].resize(plan->half_bins());
+    plan->forward_real(buf.data(), frames[f].data(), ws);
   }
   return frames;
 }

@@ -16,7 +16,9 @@ void validate(const WelchParams& p, std::size_t n) {
   DASSA_CHECK(n >= p.segment, "signal shorter than one Welch segment");
 }
 
-/// Windowed, detrended FFT of each segment of x.
+/// Windowed, detrended half-spectrum FFT of each segment of x. Only
+/// the segment/2 + 1 one-sided bins the estimators consume are
+/// computed; one shared plan serves every segment.
 std::vector<std::vector<cplx>> segment_spectra(std::span<const double> x,
                                                const WelchParams& p) {
   const std::size_t hop = p.segment - p.overlap;
@@ -25,15 +27,17 @@ std::vector<std::vector<cplx>> segment_spectra(std::span<const double> x,
       p.hann ? hann_window(p.segment)
              : std::vector<double>(p.segment, 1.0);
 
-  std::vector<std::vector<cplx>> spectra;
-  spectra.reserve(segments);
+  const auto plan = FftPlan::get(p.segment);
+  FftWorkspace& ws = fft_workspace();
+  std::vector<std::vector<cplx>> spectra(segments);
   std::vector<double> buf(p.segment);
   for (std::size_t s = 0; s < segments; ++s) {
     const double* src = x.data() + s * hop;
     std::copy(src, src + p.segment, buf.begin());
     detrend_constant_inplace(buf);
     for (std::size_t i = 0; i < p.segment; ++i) buf[i] *= win[i];
-    spectra.push_back(rfft(buf));
+    spectra[s].resize(plan->half_bins());
+    plan->forward_real(buf.data(), spectra[s].data(), ws);
   }
   return spectra;
 }

@@ -10,27 +10,45 @@ std::vector<double> spectral_whiten(std::span<const double> x,
                                     std::size_t smooth_bins) {
   DASSA_CHECK(smooth_bins >= 1, "smoothing window must be >= 1 bin");
   if (x.empty()) return {};
-  std::vector<cplx> spec = rfft(x);
-  const std::size_t n = spec.size();
+  const std::size_t n = x.size();
+  const auto plan = FftPlan::get(n);
+  FftWorkspace& ws = fft_workspace();
+  const std::size_t hb = plan->half_bins();
+  std::vector<cplx>& spec = ws.cbuf(2, hb);
+  plan->forward_real(x.data(), spec.data(), ws);
 
-  std::vector<double> amp(n);
-  for (std::size_t i = 0; i < n; ++i) amp[i] = std::abs(spec[i]);
-
-  // Moving average of the amplitude spectrum (clamped edges) via a
-  // prefix sum.
-  std::vector<double> prefix(n + 1, 0.0);
+  // Expand the (symmetric) amplitude spectrum to full length so the
+  // clamped-edge moving average is identical to smoothing the full
+  // spectrum, then build the prefix sum.
+  std::vector<double>& amp = ws.rbuf(0, n);
+  for (std::size_t k = 0; k < hb; ++k) amp[k] = std::abs(spec[k]);
+  for (std::size_t k = hb; k < n; ++k) amp[k] = amp[n - k];
+  std::vector<double>& prefix = ws.rbuf(1, n + 1);
+  prefix[0] = 0.0;
   for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + amp[i];
   const std::size_t half = smooth_bins / 2;
   const double eps = 1e-12;
 
-  for (std::size_t i = 0; i < n; ++i) {
+  // Full-spectrum whitening divides bin k by the mean around k and bin
+  // n-k by the (clamped-edge, hence different) mean around n-k; taking
+  // the real part of the inverse then averages the two. Reproduce that
+  // on the half spectrum by applying the mean of both directions'
+  // gains, keeping output identical to the full-spectrum reference.
+  const auto gain = [&](std::size_t i) -> double {
     const std::size_t lo = (i >= half) ? i - half : 0;
     const std::size_t hi = std::min(n, i + half + 1);
     const double mean =
         (prefix[hi] - prefix[lo]) / static_cast<double>(hi - lo);
-    if (mean > eps) spec[i] /= mean;
+    return (mean > eps) ? 1.0 / mean : 1.0;
+  };
+  for (std::size_t k = 0; k < hb; ++k) {
+    const std::size_t mirror = (n - k) % n;
+    spec[k] *= 0.5 * (gain(k) + gain(mirror));
   }
-  return irfft_real(spec);
+
+  std::vector<double> out(n);
+  plan->inverse_real(spec.data(), out.data(), ws);
+  return out;
 }
 
 std::vector<double> one_bit(std::span<const double> x) {

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <random>
+#include <utility>
 
 #include "dassa/common/error.hpp"
 
@@ -107,6 +108,81 @@ TEST(XcorrTest, MatchesNaiveCorrelation) {
     EXPECT_NEAR(fast[k], expect, 1e-9) << "k=" << k;
   }
 }
+
+/// Direct time-domain reference: full cross-correlation laid out the
+/// same way as xcorr_full (index k corresponds to lag k - (nb - 1)).
+std::vector<double> naive_xcorr_full(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const std::ptrdiff_t lag = static_cast<std::ptrdiff_t>(k) -
+                               static_cast<std::ptrdiff_t>(b.size() - 1);
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      const std::ptrdiff_t bj = static_cast<std::ptrdiff_t>(j) - lag;
+      if (bj >= 0 && bj < static_cast<std::ptrdiff_t>(b.size())) {
+        out[k] += a[j] * b[static_cast<std::size_t>(bj)];
+      }
+    }
+  }
+  return out;
+}
+
+TEST(XcorrTest, LengthOneInputs) {
+  // 1 x 1: a single product.
+  const std::vector<double> r11 = xcorr_full(std::vector<double>{3.0},
+                                             std::vector<double>{-2.0});
+  ASSERT_EQ(r11.size(), 1u);
+  EXPECT_NEAR(r11[0], -6.0, 1e-12);
+
+  // 1 x n and n x 1: scaled (reversed) copies of the longer input.
+  const std::vector<double> a{1.0, -2.0, 4.0, 0.5};
+  const std::vector<double> one{2.0};
+  const std::vector<double> r1n = xcorr_full(one, a);
+  const std::vector<double> rn1 = xcorr_full(a, one);
+  const std::vector<double> e1n = naive_xcorr_full(one, a);
+  const std::vector<double> en1 = naive_xcorr_full(a, one);
+  ASSERT_EQ(r1n.size(), e1n.size());
+  ASSERT_EQ(rn1.size(), en1.size());
+  for (std::size_t k = 0; k < r1n.size(); ++k) {
+    EXPECT_NEAR(r1n[k], e1n[k], 1e-10) << "k=" << k;
+  }
+  for (std::size_t k = 0; k < rn1.size(); ++k) {
+    EXPECT_NEAR(rn1[k], en1[k], 1e-10) << "k=" << k;
+  }
+}
+
+class XcorrShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(XcorrShapes, MatchesNaiveForUnequalAndNonPow2Lengths) {
+  const auto [na, nb] = GetParam();
+  std::mt19937_64 rng(na * 1009 + nb);
+  std::normal_distribution<double> dist;
+  std::vector<double> a(na);
+  std::vector<double> b(nb);
+  for (auto& v : a) v = dist(rng);
+  for (auto& v : b) v = dist(rng);
+  const std::vector<double> fast = xcorr_full(a, b);
+  const std::vector<double> naive = naive_xcorr_full(a, b);
+  ASSERT_EQ(fast.size(), na + nb - 1);
+  for (std::size_t k = 0; k < fast.size(); ++k) {
+    EXPECT_NEAR(fast[k], naive[k], 1e-9) << "na=" << na << " nb=" << nb
+                                         << " k=" << k;
+  }
+}
+
+// Very unequal lengths, and totals (na + nb - 1) that are prime or
+// otherwise far from a power of two, exercising the padded-size
+// selection inside xcorr_full.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, XcorrShapes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{2, 9},
+                      std::pair<std::size_t, std::size_t>{3, 64},
+                      std::pair<std::size_t, std::size_t>{13, 7},
+                      std::pair<std::size_t, std::size_t>{31, 31},
+                      std::pair<std::size_t, std::size_t>{100, 3},
+                      std::pair<std::size_t, std::size_t>{127, 129}));
 
 TEST(XcorrTest, AutocorrelationPeaksAtZeroLag) {
   std::mt19937_64 rng(2);

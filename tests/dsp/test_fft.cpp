@@ -7,6 +7,9 @@
 #include <cmath>
 #include <numbers>
 #include <random>
+#include <span>
+
+#include "dassa/dsp/stats.hpp"
 
 namespace dassa::dsp {
 namespace {
@@ -184,6 +187,121 @@ TEST(FftTest, IrfftRealRoundTrip) {
   for (std::size_t i = 0; i < x.size(); ++i) {
     EXPECT_NEAR(back[i], x[i], 1e-8);
   }
+}
+
+/// Reference O(n^2) DFT of a real signal, first n/2 + 1 bins.
+std::vector<cplx> naive_half_dft(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n / 2 + 1, cplx(0, 0));
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      out[k] += x[j] * cplx(std::cos(angle), std::sin(angle));
+    }
+  }
+  return out;
+}
+
+class RfftHalf : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RfftHalf, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(n * 131 + 3);
+  std::normal_distribution<double> dist;
+  std::vector<double> x(n);
+  for (auto& v : x) v = dist(rng);
+  const std::vector<cplx> fast = rfft_half(x);
+  const std::vector<cplx> naive = naive_half_dft(x);
+  ASSERT_EQ(fast.size(), n / 2 + 1);
+  for (std::size_t k = 0; k < fast.size(); ++k) {
+    EXPECT_NEAR(std::abs(fast[k] - naive[k]), 0.0,
+                1e-8 * (1.0 + static_cast<double>(n)))
+        << "n=" << n << " bin " << k;
+  }
+}
+
+TEST_P(RfftHalf, IrfftHalfRoundTrips) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(n * 7 + 11);
+  std::normal_distribution<double> dist;
+  std::vector<double> x(n);
+  for (auto& v : x) v = dist(rng);
+  const std::vector<double> back = irfft_half(rfft_half(x), n);
+  ASSERT_EQ(back.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-8) << "n=" << n << " i=" << i;
+  }
+}
+
+// n = 1 and 2 (degenerate), even packed path, odd fallback, primes,
+// powers of two, and even-but-not-pow2 composites.
+INSTANTIATE_TEST_SUITE_P(Sizes, RfftHalf,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10, 17, 23,
+                                           30, 50, 64, 100, 101, 128, 250,
+                                           256));
+
+TEST(FftTest, RfftMatchesRfftHalfPlusMirror) {
+  std::mt19937_64 rng(41);
+  std::normal_distribution<double> dist;
+  std::vector<double> x(96);
+  for (auto& v : x) v = dist(rng);
+  const std::vector<cplx> full = rfft(x);
+  const std::vector<cplx> half = rfft_half(x);
+  for (std::size_t k = 0; k < half.size(); ++k) {
+    EXPECT_NEAR(std::abs(full[k] - half[k]), 0.0, 1e-10);
+  }
+  for (std::size_t k = half.size(); k < x.size(); ++k) {
+    EXPECT_NEAR(std::abs(full[k] - std::conj(half[x.size() - k])), 0.0,
+                1e-10);
+  }
+}
+
+TEST(FftTest, RfftHalfBatchMatchesPerRow) {
+  const std::size_t rows = 5;
+  const std::size_t cols = 60;
+  std::mt19937_64 rng(59);
+  std::normal_distribution<double> dist;
+  std::vector<double> data(rows * cols);
+  for (auto& v : data) v = dist(rng);
+  const std::vector<std::vector<cplx>> batch =
+      rfft_half_batch(data, rows, cols);
+  ASSERT_EQ(batch.size(), rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::vector<cplx> row = rfft_half(
+        std::span<const double>(data.data() + r * cols, cols));
+    ASSERT_EQ(batch[r].size(), row.size());
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      EXPECT_NEAR(std::abs(batch[r][k] - row[k]), 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(FftTest, SteadyStateTransformsAllocateNothing) {
+  std::mt19937_64 rng(73);
+  std::normal_distribution<double> dist;
+  std::vector<double> x(1000);  // Bluestein path: the heaviest scratch use
+  for (auto& v : x) v = dist(rng);
+  // Warm up: builds the plan chain and grows this thread's workspace.
+  (void)rfft_half(x);
+  (void)irfft_half(rfft_half(x), x.size());
+  const std::uint64_t before = dsp_stats().fft_bytes_allocated;
+  for (int rep = 0; rep < 8; ++rep) {
+    const std::vector<double> back = irfft_half(rfft_half(x), x.size());
+    EXPECT_NEAR(back[rep], x[rep], 1e-8);
+  }
+  EXPECT_EQ(dsp_stats().fft_bytes_allocated, before)
+      << "steady-state transforms must not grow plans or workspace";
+}
+
+TEST(FftTest, PlanCacheHitsOnRepeatedLookups) {
+  const DspStats before = dsp_stats();
+  const auto plan = FftPlan::get(4096);
+  const auto again = FftPlan::get(4096);
+  EXPECT_EQ(plan.get(), again.get());
+  const DspStats after = dsp_stats();
+  EXPECT_GE(after.fft_plan_hits, before.fft_plan_hits + 1);
 }
 
 }  // namespace

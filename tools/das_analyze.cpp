@@ -17,14 +17,29 @@
 #include <iostream>
 
 #include "arg_parse.hpp"
+#include "dassa/common/counters.hpp"
 #include "dassa/das/channel_qc.hpp"
 #include "dassa/das/interferometry.hpp"
 #include "dassa/das/local_similarity.hpp"
 #include "dassa/das/search.hpp"
+#include "dassa/dsp/stats.hpp"
 
 namespace {
 
 using namespace dassa;
+
+/// Pull the DSP cache statistics into the global registry and print
+/// them: a cold plan cache or runaway allocation shows up here long
+/// before it shows up in wall time.
+void print_dsp_counters() {
+  dsp::publish_dsp_counters();
+  std::cerr << "dsp counters:\n";
+  for (const auto& [name, value] : global_counters().snapshot()) {
+    if (name.rfind("dsp.", 0) == 0) {
+      std::cerr << "  " << name << " = " << value << "\n";
+    }
+  }
+}
 
 std::vector<std::string> find_files(const tools::Args& args) {
   const das::Catalog catalog = das::Catalog::scan(args.get("--dir"));
@@ -109,6 +124,7 @@ int main(int argc, char** argv) {
                 << qc.count(das::ChannelStatus::kDead) << " dead, "
                 << qc.count(das::ChannelStatus::kNoisy) << " noisy of "
                 << qc.channels.size() << " channels\n";
+      print_dsp_counters();
       return 0;
     } else {
       std::cerr << "das_analyze: unknown pipeline '" << pipeline << "'\n";
@@ -117,6 +133,7 @@ int main(int argc, char** argv) {
 
     std::cerr << "output: " << report.output.shape << ", stages: "
               << report.stages << "\n";
+    print_dsp_counters();
     const std::string out_path = args.get("--out", "das_analyze_out.dh5");
     io::Dash5Header header;
     header.shape = report.output.shape;
