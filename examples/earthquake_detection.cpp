@@ -79,7 +79,9 @@ int main() {
   for (std::size_t cb = 0; cb < ch_bins; ++cb) {
     for (std::size_t tb = 0; tb < t_bins; ++tb) {
       csv << cb << "," << tb << ","
-          << tb * total_seconds / static_cast<double>(t_bins) << ","
+          << static_cast<double>(tb) * total_seconds /
+                 static_cast<double>(t_bins)
+          << ","
           << map[cb * t_bins + tb] << "\n";
     }
   }

@@ -1,0 +1,23 @@
+// DASSA common: opt-in bounds checking for hot-path accessors.
+//
+// Release builds keep Array2D / Shape2D indexing unchecked: these
+// accessors sit on the per-cell UDF path, where the paper's engine
+// validates at entry and runs unchecked inside (see error.hpp). The
+// CMake option -DDASSA_DEBUG_BOUNDS=ON defines DASSA_DEBUG_BOUNDS
+// globally and turns every indexed access into a checked accessor that
+// throws dassa::InvalidArgument naming the offending coordinates.
+//
+// DASSA_BOUNDS_CHECK compiles away entirely when the mode is off (the
+// condition and message expressions are never evaluated), so the
+// checked and unchecked builds share one set of accessor definitions.
+#pragma once
+
+#include "dassa/common/error.hpp"
+
+#if defined(DASSA_DEBUG_BOUNDS)
+#define DASSA_BOUNDS_CHECK(expr, msg) DASSA_CHECK(expr, msg)
+#else
+#define DASSA_BOUNDS_CHECK(expr, msg) \
+  do {                                \
+  } while (false)
+#endif

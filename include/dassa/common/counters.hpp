@@ -100,6 +100,14 @@ inline constexpr const char* kDspResampleDesignHits =
     "dsp.resample.design_hits";
 inline constexpr const char* kDspResampleDesignMisses =
     "dsp.resample.design_misses";
+// HAEE engine statistics: distributed runs, rank-threads launched, and
+// halo traffic, updated concurrently from MiniMPI rank threads (they
+// double as TSan coverage of this registry).
+inline constexpr const char* kHaeeRuns = "haee.runs";
+inline constexpr const char* kHaeeRanksLaunched = "haee.ranks_launched";
+inline constexpr const char* kHaeeHaloExchanges = "haee.halo_exchanges";
+inline constexpr const char* kHaeeHaloOverlapReads =
+    "haee.halo_overlap_reads";
 }  // namespace counters
 
 }  // namespace dassa

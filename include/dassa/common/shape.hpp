@@ -11,6 +11,7 @@
 #include <ostream>
 #include <string>
 
+#include "dassa/common/bounds.hpp"
 #include "dassa/common/error.hpp"
 
 namespace dassa {
@@ -24,8 +25,12 @@ struct Shape2D {
   [[nodiscard]] std::size_t size() const { return rows * cols; }
   [[nodiscard]] bool empty() const { return size() == 0; }
 
-  /// Flat index of element (r, c); unchecked, for inner loops.
+  /// Flat index of element (r, c); unchecked in release builds, for
+  /// inner loops. Checked under -DDASSA_DEBUG_BOUNDS=ON.
   [[nodiscard]] std::size_t at(std::size_t r, std::size_t c) const {
+    DASSA_BOUNDS_CHECK(r < rows && c < cols,
+                       "index (" + std::to_string(r) + "," +
+                           std::to_string(c) + ") outside " + str());
     return r * cols + c;
   }
 

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "dassa/common/bounds.hpp"
 #include "dassa/common/shape.hpp"
 
 namespace dassa::core {
@@ -21,6 +22,8 @@ struct Array2D {
                 "array data does not match shape");
   }
 
+  /// Element access; unchecked in release builds, checked (throws
+  /// InvalidArgument) under -DDASSA_DEBUG_BOUNDS=ON.
   [[nodiscard]] double& at(std::size_t r, std::size_t c) {
     return data[shape.at(r, c)];
   }
@@ -29,11 +32,17 @@ struct Array2D {
   }
 
   /// Contiguous view of one row (one channel's time series).
+  /// (Indexes r * cols directly: valid even when cols == 0, where
+  /// shape.at(r, 0) would flag column 0 as out of range.)
   [[nodiscard]] std::span<double> row(std::size_t r) {
-    return {data.data() + shape.at(r, 0), shape.cols};
+    DASSA_BOUNDS_CHECK(r < shape.rows, "row " + std::to_string(r) +
+                                           " outside " + shape.str());
+    return {data.data() + r * shape.cols, shape.cols};
   }
   [[nodiscard]] std::span<const double> row(std::size_t r) const {
-    return {data.data() + shape.at(r, 0), shape.cols};
+    DASSA_BOUNDS_CHECK(r < shape.rows, "row " + std::to_string(r) +
+                                           " outside " + shape.str());
+    return {data.data() + r * shape.cols, shape.cols};
   }
 
   friend bool operator==(const Array2D&, const Array2D&) = default;

@@ -77,7 +77,7 @@ struct TuneResult {
 
 /// Calibrate `seconds_per_unit` for a row UDF by timing it on
 /// `sample_rows` representative channels of the input.
-[[nodiscard]] double calibrate_row_udf(io::ArraySource& source,
+[[nodiscard]] double calibrate_row_udf(const io::ArraySource& source,
                                        const RowUdf& udf,
                                        std::size_t sample_rows = 4);
 

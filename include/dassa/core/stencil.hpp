@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "dassa/common/bounds.hpp"
 #include "dassa/common/error.hpp"
 #include "dassa/common/shape.hpp"
 
@@ -26,6 +27,11 @@ class Stencil {
   /// `block` is a local array of `block_shape` whose row 0 corresponds
   /// to global channel `global_row0`. The cursor sits at local row
   /// `local_row`, column `col`.
+  /// Out-of-ghost-zone *relative* access always throws (API contract,
+  /// exercised by UDFs via in_bounds()). The *cursor placement*
+  /// invariants below are unchecked in release builds -- the apply
+  /// engine constructs one stencil per cell -- and validated under
+  /// -DDASSA_DEBUG_BOUNDS=ON.
   Stencil(const double* block, Shape2D block_shape, std::size_t global_row0,
           std::size_t local_row, std::size_t col, Shape2D global_shape)
       : block_(block),
@@ -33,7 +39,18 @@ class Stencil {
         global_row0_(global_row0),
         local_row_(local_row),
         col_(col),
-        global_shape_(global_shape) {}
+        global_shape_(global_shape) {
+    DASSA_BOUNDS_CHECK(block_ != nullptr || block_shape_.empty(),
+                       "stencil over null block");
+    DASSA_BOUNDS_CHECK(local_row_ < block_shape_.rows &&
+                           col_ < block_shape_.cols,
+                       "stencil cursor (" + std::to_string(local_row_) + "," +
+                           std::to_string(col_) + ") outside local block " +
+                           block_shape_.str());
+    DASSA_BOUNDS_CHECK(global_row0_ + local_row_ < global_shape_.rows,
+                       "stencil cursor maps past the global array " +
+                           global_shape_.str());
+  }
 
   /// Value at time offset `dt` and channel offset `dch` from the
   /// cursor: S(dt, dch). Throws InvalidArgument if the access leaves

@@ -14,6 +14,10 @@
 namespace dassa::io {
 
 /// A readable dense 2D double array.
+///
+/// Reading is `const`: a source's observable state (shape, metadata,
+/// the data it serves) never changes across reads. Implementations that
+/// keep a file cursor treat it as non-observable state (see Dash5File).
 class ArraySource {
  public:
   virtual ~ArraySource() = default;
@@ -21,10 +25,11 @@ class ArraySource {
   [[nodiscard]] virtual Shape2D shape() const = 0;
 
   /// Read a rectangular selection (row-major, slab.size() elements).
-  [[nodiscard]] virtual std::vector<double> read_slab(const Slab2D& slab) = 0;
+  [[nodiscard]] virtual std::vector<double> read_slab(
+      const Slab2D& slab) const = 0;
 
   /// Read everything.
-  [[nodiscard]] std::vector<double> read_all() {
+  [[nodiscard]] std::vector<double> read_all() const {
     return read_slab(Slab2D::whole(shape()));
   }
 };
@@ -42,7 +47,8 @@ class Lav final : public ArraySource {
 
   [[nodiscard]] Shape2D shape() const override { return window_.shape(); }
 
-  [[nodiscard]] std::vector<double> read_slab(const Slab2D& slab) override {
+  [[nodiscard]] std::vector<double> read_slab(
+      const Slab2D& slab) const override {
     slab.validate_against(shape());
     const Slab2D absolute{window_.row_off + slab.row_off,
                           window_.col_off + slab.col_off, slab.row_cnt,
@@ -69,7 +75,8 @@ class MemorySource final : public ArraySource {
 
   [[nodiscard]] Shape2D shape() const override { return shape_; }
 
-  [[nodiscard]] std::vector<double> read_slab(const Slab2D& slab) override {
+  [[nodiscard]] std::vector<double> read_slab(
+      const Slab2D& slab) const override {
     slab.validate_against(shape_);
     std::vector<double> out(slab.size());
     for (std::size_t r = 0; r < slab.row_cnt; ++r) {

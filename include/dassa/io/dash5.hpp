@@ -113,20 +113,24 @@ class Dash5File {
   [[nodiscard]] ChunkShape chunk() const { return header_.chunk; }
 
   /// Read the whole dataset with a single I/O call.
-  [[nodiscard]] std::vector<double> read_all();
+  [[nodiscard]] std::vector<double> read_all() const;
 
   /// Read a rectangular selection. Full-width row blocks are served
   /// with one contiguous read; partial-width selections fall back to
   /// one read per row (each counted, which is exactly the small-I/O
   /// amplification the paper's VCA discussion is about).
-  [[nodiscard]] std::vector<double> read_slab(const Slab2D& slab);
+  /// Reads are `const`: only the (non-observable) file cursor moves.
+  [[nodiscard]] std::vector<double> read_slab(const Slab2D& slab) const;
 
   /// Parse only the header of `path` (used by VCA construction, which
   /// must never touch data bytes).
   [[nodiscard]] static Dash5Header read_header(const std::string& path);
 
  private:
-  InputFile file_;
+  // The stream cursor is physical state, not logical state: two
+  // identical reads return identical bytes regardless of cursor
+  // position, so const reads may move it.
+  mutable InputFile file_;
   Dash5Header header_;
   std::uint64_t data_offset_ = 0;
 

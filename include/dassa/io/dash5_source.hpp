@@ -16,7 +16,8 @@ class Dash5Source final : public ArraySource {
 
   [[nodiscard]] Shape2D shape() const override { return file_.shape(); }
 
-  [[nodiscard]] std::vector<double> read_slab(const Slab2D& slab) override {
+  [[nodiscard]] std::vector<double> read_slab(
+      const Slab2D& slab) const override {
     return file_.read_slab(slab);
   }
 

@@ -68,7 +68,8 @@ class Vca final : public ArraySource {
   [[nodiscard]] std::vector<VcaPiece> resolve(const Slab2D& slab) const;
 
   /// Sequential read: resolve and read each piece from its member file.
-  [[nodiscard]] std::vector<double> read_slab(const Slab2D& slab) override;
+  [[nodiscard]] std::vector<double> read_slab(
+      const Slab2D& slab) const override;
 
  private:
   void finalize();  // compute shape_ and col_starts_ from members_

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# DASSA correctness harness driver (docs/ANALYSIS.md).
+#
+# Runs the full static/dynamic-analysis matrix from a clean tree:
+#
+#   1. strict   -- -Wall -Wextra -Wconversion ... as errors, plus
+#                  DASSA_DEBUG_BOUNDS checked accessors; full ctest.
+#   2. asan     -- AddressSanitizer + UndefinedBehaviorSanitizer build;
+#                  full ctest with leak detection, then a long
+#                  deterministic fuzz run (>= 10000 inputs).
+#   3. tsan     -- ThreadSanitizer build; concurrency-relevant tests
+#                  (ThreadPool, FFT engine, MiniMPI, HAEE stress).
+#   4. lint     -- tools/das_lint.py over src/ and include/ (zero
+#                  findings against the committed baseline).
+#   5. bench    -- bench_compare.py perf-regression gate (optional,
+#                  skipped with --no-bench; needs the default build).
+#
+# Each matrix leg uses its CMakePresets.json preset, so every leg can
+# also be run by hand:  cmake --preset asan && cmake --build --preset
+# asan && ctest --preset asan.
+#
+# Usage: scripts/check.sh [--no-bench] [--fuzz-iters N] [--jobs N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RUN_BENCH=1
+FUZZ_ITERS=10000
+JOBS="$(nproc)"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --no-bench) RUN_BENCH=0 ;;
+    --fuzz-iters) FUZZ_ITERS="$2"; shift ;;
+    --jobs) JOBS="$2"; shift ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+# ---------------------------------------------------------------- lint
+# First: it needs no build and fails fastest.
+step "das_lint (src/ + include/ invariants)"
+python3 tools/das_lint.py --repo .
+
+# -------------------------------------------------------------- strict
+step "strict: warnings-as-errors + DASSA_DEBUG_BOUNDS"
+cmake --preset strict
+cmake --build --preset strict -j "${JOBS}"
+ctest --preset strict -j "${JOBS}"
+
+# ---------------------------------------------------------------- asan
+step "asan: AddressSanitizer + UBSan, full suite"
+cmake --preset asan
+cmake --build --preset asan -j "${JOBS}"
+ctest --preset asan -j "${JOBS}"
+
+step "asan: deterministic parser fuzz (${FUZZ_ITERS} inputs)"
+ASAN_OPTIONS=detect_leaks=1 \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$PWD/scripts/ubsan.supp" \
+  ./build-asan/tests/tools/fuzz_dash5 --iters "${FUZZ_ITERS}" --seed 20260806
+
+# ---------------------------------------------------------------- tsan
+# Concurrency-relevant subset: the pool, the FFT engine's shared plan
+# cache, MiniMPI collectives, and the HAEE row-apply stress tests.
+step "tsan: ThreadSanitizer, concurrency suite"
+cmake --preset tsan
+cmake --build --preset tsan -j "${JOBS}"
+ctest --preset tsan -j "${JOBS}" \
+  -R 'ThreadPool|Fft|MiniMpi|HaeeStress|HaeeMode|Apply'
+
+# --------------------------------------------------------------- bench
+if [[ "${RUN_BENCH}" -eq 1 ]]; then
+  step "bench: FFT-stack perf-regression gate"
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}" --target bench_micro_dsp
+  python3 bench/bench_compare.py --bench-bin build/bench/bench_micro_dsp
+fi
+
+step "all checks passed"

@@ -61,6 +61,7 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  DASSA_CHECK(body != nullptr, "parallel_for needs a callable body");
   if (n == 0) return;
   const std::size_t chunks = size();
   std::atomic<std::size_t> remaining{chunks};

@@ -135,7 +135,7 @@ TuneResult autotune_nodes(const ClusterSpec& cluster,
   return result;
 }
 
-double calibrate_row_udf(io::ArraySource& source, const RowUdf& udf,
+double calibrate_row_udf(const io::ArraySource& source, const RowUdf& udf,
                          std::size_t sample_rows) {
   const Shape2D shape = source.shape();
   DASSA_CHECK(shape.rows >= 1, "cannot calibrate on an empty array");

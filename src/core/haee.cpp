@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "dassa/common/counters.hpp"
+
 namespace dassa::core {
 
 namespace {
@@ -49,6 +51,9 @@ EngineReport run_engine(
     std::size_t extra_bytes_per_rank) {
   const int world = config.world_size();
   const Shape2D global = vca.shape();
+  global_counters().add(counters::kHaeeRuns);
+  global_counters().add(counters::kHaeeRanksLaunched,
+                        static_cast<std::uint64_t>(world));
 
   std::vector<StageTimes> rank_stages(static_cast<std::size_t>(world));
   std::vector<std::uint64_t> rank_peak(static_cast<std::size_t>(world), 0);
@@ -153,6 +158,8 @@ LocalBlock build_local_block(mpi::Comm& comm,
                 "ghost zone wider than the smallest channel partition");
     halo_lo = (rank > 0) ? halo : 0;
     halo_hi = (rank < p - 1) ? halo : 0;
+    global_counters().add(counters::kHaeeHaloExchanges,
+                          (rank > 0 ? 1u : 0u) + (rank < p - 1 ? 1u : 0u));
 
     // Buffered sends first, then receives: deadlock-free point-to-point
     // ghost-zone exchange with both neighbours.
@@ -211,12 +218,10 @@ LocalBlock build_local_block_overlap(mpi::Comm& comm, const io::Vca& vca,
   block.global_shape = global;
   block.data.resize(block.block_shape.size());
 
-  // A const view is enough for reading, but ArraySource::read_slab is
-  // non-const (it moves file cursors); VCA resolution itself is pure.
-  auto& source = const_cast<io::Vca&>(vca);
   // Model charge: one storage request per (halo read x member piece),
   // all ranks hitting the files concurrently.
   const auto charge = [&](const Slab2D& slab) {
+    global_counters().add(counters::kHaeeHaloOverlapReads);
     for (const io::VcaPiece& piece : vca.resolve(slab)) {
       comm.charge_modeled_seconds(io.shared_call_cost(
           piece.slab.size() * sizeof(double), comm.size()));
@@ -225,7 +230,7 @@ LocalBlock build_local_block_overlap(mpi::Comm& comm, const io::Vca& vca,
   if (halo_lo > 0) {
     const Slab2D slab{block.global_row0, 0, halo_lo, cols};
     charge(slab);
-    const std::vector<double> top = source.read_slab(slab);
+    const std::vector<double> top = vca.read_slab(slab);
     std::copy(top.begin(), top.end(), block.data.begin());
   }
   std::copy(read.data.begin(), read.data.end(),
@@ -233,7 +238,7 @@ LocalBlock build_local_block_overlap(mpi::Comm& comm, const io::Vca& vca,
   if (halo_hi > 0) {
     const Slab2D slab{read.rows.end, 0, halo_hi, cols};
     charge(slab);
-    const std::vector<double> bottom = source.read_slab(slab);
+    const std::vector<double> bottom = vca.read_slab(slab);
     std::copy(bottom.begin(), bottom.end(),
               block.data.begin() +
                   static_cast<std::ptrdiff_t>(

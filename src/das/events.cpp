@@ -172,7 +172,7 @@ std::vector<DetectedEvent> detect_events(const core::Array2D& similarity,
   for (std::size_t r = 0; r < shape.rows; ++r) {
     std::size_t hits = 0;
     for (std::size_t c = 0; c < shape.cols; ++c) {
-      hits += above[r * shape.cols + c] ? 1 : 0;
+      if (above[r * shape.cols + c]) ++hits;
     }
     persistent_row[r] = static_cast<double>(hits) >=
                         params.persistent_time_fraction *
@@ -204,14 +204,14 @@ std::vector<DetectedEvent> detect_events(const core::Array2D& similarity,
   // ---- pass 2: earthquakes (column projection) --------------------------
   std::size_t live_rows = 0;
   for (std::size_t r = 0; r < shape.rows; ++r) {
-    live_rows += persistent_row[r] ? 0 : 1;
+    if (!persistent_row[r]) ++live_rows;
   }
   std::vector<bool> quake_col(shape.cols, false);
   if (live_rows > 0) {
     for (std::size_t c = 0; c < shape.cols; ++c) {
       std::size_t hits = 0;
       for (std::size_t r = 0; r < shape.rows; ++r) {
-        hits += above[r * shape.cols + c] ? 1 : 0;
+        if (above[r * shape.cols + c]) ++hits;
       }
       quake_col[c] = static_cast<double>(hits) >=
                      params.quake_channel_fraction *

@@ -5,6 +5,9 @@
 namespace dassa::das {
 
 core::ScalarUdf make_local_similarity_udf(const LocalSimilarityParams& p) {
+  DASSA_CHECK(p.window_half >= 1, "similarity window must hold samples");
+  DASSA_CHECK(p.channel_offset >= 1,
+              "similarity needs a non-zero channel offset");
   const auto M = static_cast<std::ptrdiff_t>(p.window_half);
   const auto L = static_cast<std::ptrdiff_t>(p.lag_half);
   const auto K = static_cast<std::ptrdiff_t>(p.channel_offset);

@@ -31,6 +31,7 @@ std::vector<std::vector<cplx>> stft(std::span<const double> x,
 }
 
 Spectrogram spectrogram(std::span<const double> x, const StftParams& params) {
+  DASSA_CHECK(params.window >= 2, "window must hold >= 2 samples");
   const std::vector<std::vector<cplx>> frames = stft(x, params);
   Spectrogram out;
   const std::size_t bins = params.window / 2 + 1;

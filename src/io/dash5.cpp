@@ -1,6 +1,7 @@
 #include "dassa/io/dash5.hpp"
 
 #include <cstring>
+#include <limits>
 
 #include "serialize.hpp"
 
@@ -10,6 +11,13 @@ namespace {
 
 constexpr char kMagic[8] = {'D', 'A', 'S', 'H', '5', '\0', '\0', '\2'};
 constexpr std::uint64_t kPreludeSize = 16;  // magic + header size
+
+/// True iff a * b overflows uint64. Extent fields come straight from
+/// the (attacker-controllable) file, so every size computation derived
+/// from them must be checked before it feeds an allocation or offset.
+bool mul_overflows(std::uint64_t a, std::uint64_t b) {
+  return b != 0 && a > std::numeric_limits<std::uint64_t>::max() / b;
+}
 
 void encode_kv(detail::Encoder& enc, const KvList& kv) {
   enc.u32(static_cast<std::uint32_t>(kv.size()));
@@ -65,6 +73,12 @@ Dash5Header decode_header(const std::vector<std::byte>& raw,
   Dash5Header h;
   h.global = decode_kv(dec);
   const std::uint64_t nobj = dec.u64();
+  // Each object needs >= 8 encoded bytes (path length + kv count), so
+  // a count beyond body/8 cannot be satisfied -- reject it before the
+  // reserve turns a 4-byte corruption into a std::bad_alloc.
+  if (nobj > raw.size() / 8) {
+    throw FormatError("implausible object count in " + path);
+  }
   h.objects.reserve(nobj);
   for (std::uint64_t i = 0; i < nobj; ++i) {
     ObjectMeta obj;
@@ -89,6 +103,14 @@ Dash5Header decode_header(const std::vector<std::byte>& raw,
   if (h.layout == Layout::kChunked &&
       (h.chunk.rows == 0 || h.chunk.cols == 0)) {
     throw FormatError("chunked layout without chunk extents in " + path);
+  }
+  if (mul_overflows(h.shape.rows, h.shape.cols)) {
+    throw FormatError("dataset extent overflow " + h.shape.str() + " in " +
+                      path);
+  }
+  if (h.layout == Layout::kChunked &&
+      mul_overflows(h.chunk.rows, h.chunk.cols)) {
+    throw FormatError("chunk extent overflow in " + path);
   }
   return h;
 }
@@ -217,7 +239,9 @@ Dash5File::Dash5File(const std::string& path) : file_(path) {
     throw FormatError("bad magic in " + path);
   }
   file_.read_at(8, &head_size, sizeof head_size);
-  if (kPreludeSize + head_size > file_.size()) {
+  // Subtraction form: `kPreludeSize + head_size` wraps for a corrupted
+  // size near 2^64 and would slip past the check into a huge read.
+  if (head_size > file_.size() - kPreludeSize) {
     throw FormatError("header exceeds file in " + path);
   }
   const std::vector<std::byte> raw =
@@ -225,19 +249,29 @@ Dash5File::Dash5File(const std::string& path) : file_(path) {
   header_ = decode_header(raw, path);
   data_offset_ = kPreludeSize + head_size;
 
+  // decode_header rejected extent-product overflow, but the chunked
+  // stored size rounds each axis up to whole tiles, so recheck every
+  // product here; then bound the element count by the bytes actually
+  // present (division form -- the multiplied form wraps for corrupted
+  // extents and would admit a shape far larger than the file).
   std::uint64_t stored_elems = header_.shape.size();
   if (header_.layout == Layout::kChunked) {
-    const std::size_t grid_rows =
-        (header_.shape.rows + header_.chunk.rows - 1) / header_.chunk.rows;
-    const std::size_t grid_cols =
-        (header_.shape.cols + header_.chunk.cols - 1) / header_.chunk.cols;
-    stored_elems = static_cast<std::uint64_t>(grid_rows) * grid_cols *
-                   header_.chunk.rows * header_.chunk.cols;
+    const std::uint64_t grid_rows =
+        header_.shape.rows / header_.chunk.rows +
+        (header_.shape.rows % header_.chunk.rows != 0 ? 1 : 0);
+    const std::uint64_t grid_cols =
+        header_.shape.cols / header_.chunk.cols +
+        (header_.shape.cols % header_.chunk.cols != 0 ? 1 : 0);
+    const std::uint64_t chunk_elems = header_.chunk.rows * header_.chunk.cols;
+    if (mul_overflows(grid_rows, grid_cols) ||
+        mul_overflows(grid_rows * grid_cols, chunk_elems)) {
+      throw FormatError("chunk grid overflow in " + path);
+    }
+    stored_elems = grid_rows * grid_cols * chunk_elems;
   }
-  const std::uint64_t expected =
-      data_offset_ +
-      stored_elems * static_cast<std::uint64_t>(dtype_size(header_.dtype));
-  if (expected > file_.size()) {
+  const std::uint64_t avail = file_.size() - data_offset_;
+  if (stored_elems >
+      avail / static_cast<std::uint64_t>(dtype_size(header_.dtype))) {
     throw FormatError("dataset truncated in " + path);
   }
 }
@@ -258,11 +292,11 @@ void Dash5File::decode_elems(const std::vector<std::byte>& raw,
   }
 }
 
-std::vector<double> Dash5File::read_all() {
+std::vector<double> Dash5File::read_all() const {
   return read_slab(Slab2D::whole(header_.shape));
 }
 
-std::vector<double> Dash5File::read_slab(const Slab2D& slab) {
+std::vector<double> Dash5File::read_slab(const Slab2D& slab) const {
   slab.validate_against(header_.shape);
   const std::size_t esize = dtype_size(header_.dtype);
   std::vector<double> out(slab.size());

@@ -16,7 +16,8 @@ InputFile::InputFile(const std::string& path)
 }
 
 void InputFile::read_at(std::uint64_t off, void* dst, std::size_t n) {
-  if (off + n > size_) {
+  // Subtraction form: `off + n` wraps for corrupted offsets near 2^64.
+  if (off > size_ || n > size_ - off) {
     throw IoError("read past end of " + path_ + " (offset " +
                   std::to_string(off) + ", size " + std::to_string(n) + ")");
   }
@@ -34,6 +35,12 @@ void InputFile::read_at(std::uint64_t off, void* dst, std::size_t n) {
 }
 
 std::vector<std::byte> InputFile::read_vec(std::uint64_t off, std::size_t n) {
+  // Validate before sizing the buffer, so a corrupted length faults as
+  // IoError instead of std::bad_alloc.
+  if (off > size_ || n > size_ - off) {
+    throw IoError("read past end of " + path_ + " (offset " +
+                  std::to_string(off) + ", size " + std::to_string(n) + ")");
+  }
   std::vector<std::byte> buf(n);
   read_at(off, buf.data(), n);
   return buf;

@@ -51,12 +51,12 @@ double KvList::get_f64(std::string_view key) const {
   try {
     std::size_t pos = 0;
     const double out = std::stod(v, &pos);
-    if (pos != v.size()) throw std::invalid_argument(v);
-    return out;
+    if (pos == v.size()) return out;
   } catch (const std::exception&) {
-    throw InvalidArgument("metadata value for '" + std::string(key) +
-                          "' is not a number: " + v);
+    // fall through to the typed error below
   }
+  throw InvalidArgument("metadata value for '" + std::string(key) +
+                        "' is not a number: " + v);
 }
 
 bool KvList::contains(std::string_view key) const {

@@ -70,8 +70,10 @@ class Decoder {
   [[nodiscard]] std::size_t position() const { return pos_; }
 
  private:
+  // Subtraction form so a huge `n` cannot wrap past the bound
+  // (pos_ <= buf_.size() is a class invariant).
   void check(std::size_t n) const {
-    if (pos_ + n > buf_.size()) {
+    if (n > buf_.size() - pos_) {
       throw FormatError("truncated DASH5 header");
     }
   }

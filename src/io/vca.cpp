@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "dassa/common/counters.hpp"
 #include "dassa/common/timer.hpp"
@@ -23,6 +24,11 @@ void Vca::finalize() {
     DASSA_CHECK(m.shape.rows == rows,
                 "VCA members must have the same channel count (" + m.path +
                     " differs)");
+    // A wrapped total would break col_starts_'s monotonicity, which
+    // resolve()'s binary search and piece loop rely on.
+    DASSA_CHECK(m.shape.cols <=
+                    std::numeric_limits<std::size_t>::max() - col,
+                "VCA total width overflows (" + m.path + ")");
     col_starts_.push_back(col);
     col += m.shape.cols;
   }
@@ -76,7 +82,11 @@ Vca Vca::load(const std::string& path) {
   }
   std::uint64_t size = 0;
   in.read_at(8, &size, sizeof size);
-  if (16 + size + 4 > in.size()) throw FormatError("truncated VCA " + path);
+  // Subtraction form: `16 + size + 4` wraps for a corrupted size near
+  // 2^64 and would slip past the check into a huge allocation.
+  if (in.size() < 20 || size > in.size() - 20) {
+    throw FormatError("truncated VCA " + path);
+  }
   const std::vector<std::byte> body =
       in.read_vec(16, static_cast<std::size_t>(size));
   std::uint32_t stored_crc = 0;
@@ -94,6 +104,12 @@ Vca Vca::load(const std::string& path) {
     vca.global_.set(std::move(k), std::move(v));
   }
   const std::uint64_t nmem = dec.u64();
+  // Each member needs >= 20 encoded bytes (path length + two extents),
+  // so a count beyond body/20 cannot be satisfied -- reject it before
+  // the reserve turns a corrupted count into a std::bad_alloc.
+  if (nmem > body.size() / 20) {
+    throw FormatError("implausible member count in " + path);
+  }
   vca.members_.reserve(nmem);
   for (std::uint64_t i = 0; i < nmem; ++i) {
     VcaMember m;
@@ -101,6 +117,16 @@ Vca Vca::load(const std::string& path) {
     m.shape.rows = dec.u64();
     m.shape.cols = dec.u64();
     vca.members_.push_back(std::move(m));
+  }
+  // Validate structural invariants here with FormatError (this is a
+  // parser); finalize()'s DASSA_CHECKs guard the programmatic builder.
+  if (vca.members_.empty()) {
+    throw FormatError("VCA without members in " + path);
+  }
+  for (const auto& m : vca.members_) {
+    if (m.shape.rows != vca.members_.front().shape.rows) {
+      throw FormatError("VCA member channel counts differ in " + path);
+    }
   }
   vca.finalize();
   return vca;
@@ -134,7 +160,7 @@ std::vector<VcaPiece> Vca::resolve(const Slab2D& slab) const {
   return pieces;
 }
 
-std::vector<double> Vca::read_slab(const Slab2D& slab) {
+std::vector<double> Vca::read_slab(const Slab2D& slab) const {
   const std::vector<VcaPiece> pieces = resolve(slab);
   std::vector<double> out(slab.size());
   for (const auto& piece : pieces) {

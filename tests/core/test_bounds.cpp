@@ -1,0 +1,110 @@
+// DASSA_DEBUG_BOUNDS checked accessors.
+//
+// This binary is compiled with DASSA_DEBUG_BOUNDS defined on the
+// target (see tests/CMakeLists.txt), so the checks are exercised by a
+// plain `ctest` run even when the rest of the build has the mode off.
+// All checked types are header-only, so the define fully controls the
+// behaviour seen here.
+#include <gtest/gtest.h>
+
+#include "dassa/core/array.hpp"
+#include "dassa/core/stencil.hpp"
+
+namespace dassa::core {
+namespace {
+
+#if !defined(DASSA_DEBUG_BOUNDS)
+#error "test_bounds must be compiled with DASSA_DEBUG_BOUNDS"
+#endif
+
+TEST(DebugBounds, Shape2DAtChecksBothAxes) {
+  const Shape2D s{3, 5};
+  EXPECT_EQ(s.at(2, 4), 2 * 5 + 4);
+  EXPECT_THROW((void)s.at(3, 0), InvalidArgument);
+  EXPECT_THROW((void)s.at(0, 5), InvalidArgument);
+}
+
+TEST(DebugBounds, Shape2DMessageNamesCoordinates) {
+  const Shape2D s{2, 2};
+  try {
+    (void)s.at(7, 1);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("(7,1)"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("[2 x 2]"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DebugBounds, Array2DAtChecked) {
+  Array2D a(Shape2D{2, 3}, 1.0);
+  EXPECT_EQ(a.at(1, 2), 1.0);
+  a.at(1, 2) = 4.0;
+  EXPECT_EQ(a.at(1, 2), 4.0);
+  EXPECT_THROW((void)a.at(2, 0), InvalidArgument);
+  EXPECT_THROW(a.at(0, 3) = 0.0, InvalidArgument);
+  const Array2D& ca = a;
+  EXPECT_THROW((void)ca.at(2, 0), InvalidArgument);
+}
+
+TEST(DebugBounds, Array2DRowChecked) {
+  Array2D a(Shape2D{2, 3}, 0.0);
+  EXPECT_EQ(a.row(1).size(), 3u);
+  EXPECT_THROW((void)a.row(2), InvalidArgument);
+  const Array2D& ca = a;
+  EXPECT_THROW((void)ca.row(5), InvalidArgument);
+}
+
+TEST(DebugBounds, Array2DRowOfZeroWidthArrayIsFine) {
+  Array2D a(Shape2D{2, 0});
+  EXPECT_EQ(a.row(0).size(), 0u);
+  EXPECT_EQ(a.row(1).size(), 0u);
+  EXPECT_THROW((void)a.row(2), InvalidArgument);
+}
+
+TEST(DebugBounds, StencilCursorInsideBlockIsFine) {
+  const std::vector<double> block(12, 0.0);
+  const Shape2D bs{3, 4};
+  const Shape2D global{3, 4};
+  const Stencil s(block.data(), bs, 0, 1, 2, global);
+  EXPECT_EQ(s.channel(), 1u);
+  EXPECT_EQ(s.time(), 2u);
+}
+
+TEST(DebugBounds, StencilCursorOutsideBlockThrows) {
+  const std::vector<double> block(12, 0.0);
+  const Shape2D bs{3, 4};
+  const Shape2D global{3, 4};
+  EXPECT_THROW(Stencil(block.data(), bs, 0, 3, 0, global), InvalidArgument);
+  EXPECT_THROW(Stencil(block.data(), bs, 0, 0, 4, global), InvalidArgument);
+}
+
+TEST(DebugBounds, StencilCursorPastGlobalArrayThrows) {
+  const std::vector<double> block(12, 0.0);
+  const Shape2D bs{3, 4};
+  const Shape2D global{4, 4};
+  // Local row 2 with the block anchored at global row 2 would be
+  // global row 4 of a 4-row array.
+  EXPECT_THROW(Stencil(block.data(), bs, 2, 2, 0, global), InvalidArgument);
+}
+
+TEST(DebugBounds, StencilNullBlockThrows) {
+  EXPECT_THROW(Stencil(nullptr, Shape2D{1, 1}, 0, 0, 0, Shape2D{1, 1}),
+               InvalidArgument);
+}
+
+// The always-on ghost-zone contract is unchanged by the mode: relative
+// access past the block still throws, exactly as in release builds.
+TEST(DebugBounds, GhostZoneContractStillHolds) {
+  const std::vector<double> block = {1, 2, 3, 4, 5, 6};
+  const Shape2D bs{2, 3};
+  const Stencil s(block.data(), bs, 0, 0, 1, Shape2D{2, 3});
+  EXPECT_EQ(s(0, 0), 2.0);
+  EXPECT_EQ(s(1, 1), 6.0);
+  EXPECT_THROW((void)s(0, -1), InvalidArgument);
+  EXPECT_THROW((void)s(2, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dassa::core

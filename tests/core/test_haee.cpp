@@ -42,7 +42,7 @@ struct Fixture {
 double cross_udf(const Stencil& s) {
   double sum = s(0, 0);
   double n = 1.0;
-  for (const auto [dt, dch] :
+  for (const auto& [dt, dch] :
        {std::pair{-1, 0}, std::pair{1, 0}, std::pair{0, -1},
         std::pair{0, 1}}) {
     if (s.in_bounds(dt, dch)) {

@@ -18,7 +18,10 @@ struct PlainFixture {
   PlainFixture() {
     data.resize(shape.size());
     for (std::size_t r = 0; r < 4; ++r) {
-      for (std::size_t c = 0; c < 5; ++c) data[shape.at(r, c)] = 10.0 * r + c;
+      for (std::size_t c = 0; c < 5; ++c) {
+        data[shape.at(r, c)] =
+            10.0 * static_cast<double>(r) + static_cast<double>(c);
+      }
     }
   }
   [[nodiscard]] Stencil at(std::size_t r, std::size_t c) const {

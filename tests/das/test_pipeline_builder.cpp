@@ -84,7 +84,9 @@ TEST(PipelineBuilderTest, BuiltUdfIsImmutableSnapshot) {
   p.one_bit();  // added AFTER build: must not affect `udf`
 
   core::Array2D data(Shape2D{1, 32});
-  for (std::size_t i = 0; i < 32; ++i) data.at(0, i) = 5.0 + (i % 2);
+  for (std::size_t i = 0; i < 32; ++i) {
+    data.at(0, i) = 5.0 + static_cast<double>(i % 2);
+  }
   const core::Array2D out =
       core::apply_rows_serial(core::LocalBlock::whole(data), udf);
   // demean only: values are +-0.5, not +-1 (one_bit would give that).

@@ -287,7 +287,7 @@ TEST(FftTest, SteadyStateTransformsAllocateNothing) {
   (void)rfft_half(x);
   (void)irfft_half(rfft_half(x), x.size());
   const std::uint64_t before = dsp_stats().fft_bytes_allocated;
-  for (int rep = 0; rep < 8; ++rep) {
+  for (std::size_t rep = 0; rep < 8; ++rep) {
     const std::vector<double> back = irfft_half(rfft_half(x), x.size());
     EXPECT_NEAR(back[rep], x[rep], 1e-8);
   }

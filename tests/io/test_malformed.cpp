@@ -1,0 +1,363 @@
+// Malformed-container tests: every corrupted DASH5 / VCA input must be
+// rejected with a typed FormatError (or IoError for filesystem-level
+// failures) carrying the offending path -- never an abort, an
+// uncaught std:: exception, or an allocation bomb. The deterministic
+// fuzz harness (tests/tools/fuzz_dash5.cpp) explores the same contract
+// randomly; these tests pin the named corruption classes so a
+// regression points at the exact broken check.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "../../src/io/serialize.hpp"
+#include "dassa/io/dash5.hpp"
+#include "dassa/io/vca.hpp"
+#include "testing/tmpdir.hpp"
+
+namespace dassa::io {
+namespace {
+
+using testing::TmpDir;
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+Dash5Header small_header(Shape2D shape) {
+  Dash5Header h;
+  h.shape = shape;
+  h.global.set("SamplingFrequency[Hz]", "500");
+  return h;
+}
+
+/// Write a healthy 4x8 f64 file and return its bytes.
+std::vector<char> healthy_dash5(const std::string& path) {
+  const Shape2D shape{4, 8};
+  std::vector<double> data(shape.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<double>(i);
+  }
+  dash5_write(path, small_header(shape), data);
+  return slurp(path);
+}
+
+// ---------------------------------------------------------------------
+// DASH5
+
+TEST(MalformedDash5Test, FileSmallerThanPreludeIsRejected) {
+  TmpDir dir("malformed");
+  const std::string path = dir.file("tiny.dh5");
+  spit(path, {'D', 'A', 'S', 'H', '5'});
+  try {
+    Dash5File f(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("too small"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+TEST(MalformedDash5Test, BadMagicIsRejected) {
+  TmpDir dir("malformed");
+  const std::string path = dir.file("magic.dh5");
+  std::vector<char> bytes = healthy_dash5(path);
+  bytes[0] = 'X';
+  spit(path, bytes);
+  try {
+    Dash5File f(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+TEST(MalformedDash5Test, FlippedHeaderByteFailsCrc) {
+  TmpDir dir("malformed");
+  const std::string path = dir.file("crc.dh5");
+  std::vector<char> bytes = healthy_dash5(path);
+  // Byte 16 is the first byte of the CRC-protected header body.
+  bytes[16] = static_cast<char>(bytes[16] ^ 0x40);
+  spit(path, bytes);
+  try {
+    Dash5File f(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC mismatch"), std::string::npos);
+  }
+}
+
+TEST(MalformedDash5Test, HeaderSizeBeyondFileIsRejected) {
+  TmpDir dir("malformed");
+  const std::string path = dir.file("headsize.dh5");
+  std::vector<char> bytes = healthy_dash5(path);
+  const std::uint64_t huge = bytes.size() + 1;
+  std::memcpy(bytes.data() + 8, &huge, sizeof huge);
+  spit(path, bytes);
+  EXPECT_THROW(Dash5File f(path), FormatError);
+}
+
+TEST(MalformedDash5Test, HeaderSizeNearUint64MaxDoesNotWrap) {
+  // 16 + head_size must not wrap around and pass the bounds check; a
+  // wrapped check would feed a ~2^64 allocation (bad_alloc, not a
+  // typed parse error).
+  TmpDir dir("malformed");
+  const std::string path = dir.file("wrap.dh5");
+  std::vector<char> bytes = healthy_dash5(path);
+  const std::uint64_t wrap = std::numeric_limits<std::uint64_t>::max() - 4;
+  std::memcpy(bytes.data() + 8, &wrap, sizeof wrap);
+  spit(path, bytes);
+  EXPECT_THROW(Dash5File f(path), FormatError);
+}
+
+TEST(MalformedDash5Test, TruncatedDatasetIsRejected) {
+  TmpDir dir("malformed");
+  const std::string path = dir.file("trunc.dh5");
+  std::vector<char> bytes = healthy_dash5(path);
+  bytes.resize(bytes.size() - 9);  // drop part of the last row
+  spit(path, bytes);
+  try {
+    Dash5File f(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST(MalformedDash5Test, CorruptedObjectCountDoesNotAllocate) {
+  // Re-encode the header with an absurd object count and a fixed-up
+  // CRC so the corruption reaches the structural checks: the parser
+  // must reject the count as implausible instead of reserving 2^60
+  // entries.
+  TmpDir dir("malformed");
+  const std::string path = dir.file("bomb.dh5");
+  healthy_dash5(path);
+
+  detail::Encoder enc;
+  enc.u32(0);                          // empty global kv
+  enc.u64(std::uint64_t{1} << 60);     // object count bomb
+  std::vector<std::byte> body = enc.bytes();
+  const std::uint32_t crc = detail::crc32(body.data(), body.size());
+  detail::Encoder tail;
+  tail.u32(crc);
+  body.insert(body.end(), tail.bytes().begin(), tail.bytes().end());
+
+  std::vector<char> bytes(16 + body.size());
+  std::memcpy(bytes.data(), "DASH5\0\0\2", 8);
+  const std::uint64_t head_size = body.size();
+  std::memcpy(bytes.data() + 8, &head_size, sizeof head_size);
+  std::memcpy(bytes.data() + 16, body.data(), body.size());
+  spit(path, bytes);
+  try {
+    Dash5File f(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible object count"),
+              std::string::npos);
+  }
+}
+
+TEST(MalformedDash5Test, OutOfBoundsSlabIsInvalidArgument) {
+  // A well-formed file with an out-of-range selection is caller error,
+  // not file corruption: InvalidArgument, not FormatError.
+  TmpDir dir("malformed");
+  const std::string path = dir.file("oob.dh5");
+  healthy_dash5(path);
+  Dash5File f(path);
+  EXPECT_THROW(f.read_slab(Slab2D{0, 0, 5, 8}), InvalidArgument);
+  EXPECT_THROW(f.read_slab(Slab2D{0, 6, 4, 8}), InvalidArgument);
+}
+
+TEST(MalformedDash5Test, MissingFileIsIoError) {
+  TmpDir dir("malformed");
+  EXPECT_THROW(Dash5File f(dir.file("nope.dh5")), IoError);
+}
+
+// ---------------------------------------------------------------------
+// VCA
+
+/// Build a healthy two-member VCA and return the .vca path.
+std::string healthy_vca(const TmpDir& dir) {
+  const Shape2D shape{3, 5};
+  std::vector<double> data(shape.size(), 1.0);
+  dash5_write(dir.file("m0.dh5"), small_header(shape), data);
+  dash5_write(dir.file("m1.dh5"), small_header(shape), data);
+  const Vca vca = Vca::build({dir.file("m0.dh5"), dir.file("m1.dh5")});
+  const std::string path = dir.file("pair.vca");
+  vca.save(path);
+  return path;
+}
+
+TEST(MalformedVcaTest, BadMagicIsRejected) {
+  TmpDir dir("malformed");
+  const std::string path = healthy_vca(dir);
+  std::vector<char> bytes = slurp(path);
+  bytes[3] = 'X';
+  spit(path, bytes);
+  try {
+    (void)Vca::load(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad VCA magic"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+TEST(MalformedVcaTest, TruncatedFileIsRejected) {
+  TmpDir dir("malformed");
+  const std::string path = healthy_vca(dir);
+  std::vector<char> bytes = slurp(path);
+  bytes.resize(18);  // magic survives; size field is cut
+  spit(path, bytes);
+  EXPECT_THROW(Vca::load(path), Error);
+}
+
+TEST(MalformedVcaTest, SizeFieldNearUint64MaxDoesNotWrap) {
+  TmpDir dir("malformed");
+  const std::string path = healthy_vca(dir);
+  std::vector<char> bytes = slurp(path);
+  const std::uint64_t wrap = std::numeric_limits<std::uint64_t>::max() - 8;
+  std::memcpy(bytes.data() + 8, &wrap, sizeof wrap);
+  spit(path, bytes);
+  try {
+    (void)Vca::load(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated VCA"), std::string::npos);
+  }
+}
+
+TEST(MalformedVcaTest, FlippedBodyByteFailsCrc) {
+  TmpDir dir("malformed");
+  const std::string path = healthy_vca(dir);
+  std::vector<char> bytes = slurp(path);
+  bytes[16] = static_cast<char>(bytes[16] ^ 0x01);
+  spit(path, bytes);
+  try {
+    (void)Vca::load(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC mismatch"), std::string::npos);
+  }
+}
+
+/// Write a VCA container around an arbitrary body, with a valid CRC,
+/// so corruptions survive the integrity check and reach the
+/// structural validation.
+void write_vca_container(const std::string& path,
+                         const std::vector<std::byte>& body) {
+  std::vector<char> bytes(8 + 8 + body.size() + 4);
+  std::memcpy(bytes.data(), "DASVCA\0\1", 8);
+  const std::uint64_t size = body.size();
+  std::memcpy(bytes.data() + 8, &size, sizeof size);
+  std::memcpy(bytes.data() + 16, body.data(), body.size());
+  const std::uint32_t crc = detail::crc32(body.data(), body.size());
+  std::memcpy(bytes.data() + 16 + body.size(), &crc, sizeof crc);
+  spit(path, bytes);
+}
+
+TEST(MalformedVcaTest, MemberCountBombDoesNotAllocate) {
+  TmpDir dir("malformed");
+  const std::string path = dir.file("bomb.vca");
+  detail::Encoder enc;
+  enc.u32(0);                       // no global kv
+  enc.u64(std::uint64_t{1} << 59);  // member count bomb
+  write_vca_container(path, enc.bytes());
+  try {
+    (void)Vca::load(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible member count"),
+              std::string::npos);
+  }
+}
+
+TEST(MalformedVcaTest, ZeroMembersIsRejected) {
+  TmpDir dir("malformed");
+  const std::string path = dir.file("empty.vca");
+  detail::Encoder enc;
+  enc.u32(0);
+  enc.u64(0);
+  write_vca_container(path, enc.bytes());
+  try {
+    (void)Vca::load(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("without members"),
+              std::string::npos);
+  }
+}
+
+TEST(MalformedVcaTest, InconsistentMemberRowsIsRejected) {
+  TmpDir dir("malformed");
+  const std::string path = dir.file("rows.vca");
+  detail::Encoder enc;
+  enc.u32(0);
+  enc.u64(2);
+  enc.str("a.dh5");
+  enc.u64(3);  // rows
+  enc.u64(5);  // cols
+  enc.str("b.dh5");
+  enc.u64(4);  // differs
+  enc.u64(5);
+  write_vca_container(path, enc.bytes());
+  try {
+    (void)Vca::load(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("channel counts differ"),
+              std::string::npos);
+  }
+}
+
+TEST(MalformedVcaTest, TotalWidthOverflowIsRejected) {
+  // Two members whose summed widths wrap uint64 would break the
+  // monotonic col_starts_ table resolve() binary-searches.
+  TmpDir dir("malformed");
+  const std::string path = dir.file("width.vca");
+  const std::uint64_t half = std::numeric_limits<std::uint64_t>::max() / 2 + 1;
+  detail::Encoder enc;
+  enc.u32(0);
+  enc.u64(2);
+  enc.str("a.dh5");
+  enc.u64(3);
+  enc.u64(half);
+  enc.str("b.dh5");
+  enc.u64(3);
+  enc.u64(half);
+  write_vca_container(path, enc.bytes());
+  EXPECT_THROW(Vca::load(path), Error);
+}
+
+TEST(MalformedVcaTest, MissingMemberFileSurfacesAsIoErrorOnRead) {
+  // The container itself is fine; the member path points nowhere.
+  // Loading succeeds (headers are lazy) but reading must throw IoError,
+  // not crash.
+  TmpDir dir("malformed");
+  const std::string path = dir.file("ghost.vca");
+  detail::Encoder enc;
+  enc.u32(0);
+  enc.u64(1);
+  enc.str(dir.file("missing.dh5"));
+  enc.u64(3);
+  enc.u64(5);
+  write_vca_container(path, enc.bytes());
+  const Vca vca = Vca::load(path);
+  EXPECT_EQ(vca.shape(), (Shape2D{3, 5}));
+  EXPECT_THROW(vca.read_slab(Slab2D{0, 0, 3, 5}), IoError);
+}
+
+}  // namespace
+}  // namespace dassa::io

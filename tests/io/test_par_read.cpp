@@ -197,7 +197,9 @@ TEST(ParReadTest, MoreRanksThanRowsStillCorrect) {
   mpi::Runtime::run(5, [&](mpi::Comm& comm) {
     const ParallelReadResult res = read_vca_comm_avoiding(comm, vca);
     EXPECT_EQ(res.data, fx.expected_block(comm.size(), comm.rank()));
-    if (comm.rank() >= 3) EXPECT_TRUE(res.data.empty());
+    if (comm.rank() >= 3) {
+      EXPECT_TRUE(res.data.empty());
+    }
   });
 }
 

@@ -210,7 +210,9 @@ TEST_P(CollectiveTest, ReduceAndAllreduce) {
   Runtime::run(p, [&](Comm& comm) {
     const auto plus = [](int a, int b) { return a + b; };
     const int sum = comm.reduce<int>(comm.rank() + 1, plus, 0);
-    if (comm.rank() == 0) EXPECT_EQ(sum, p * (p + 1) / 2);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(sum, p * (p + 1) / 2);
+    }
 
     const int all_sum = comm.allreduce<int>(comm.rank() + 1, plus);
     EXPECT_EQ(all_sum, p * (p + 1) / 2);

@@ -1,0 +1,343 @@
+#!/usr/bin/env python3
+"""das_lint: DASSA's custom invariant lint over src/ and include/.
+
+Rules (see docs/ANALYSIS.md for rationale and how to add one):
+
+  no-const-cast    const_cast is banned in src/ and include/. Reads are
+                   const (ArraySource::read_slab); casting constness
+                   away hides mutation from the engine's contracts.
+  no-naked-new     Array new / delete are banned; scalar `new` is only
+                   allowed feeding a smart pointer on the same line
+                   (for types with private constructors, where
+                   make_shared cannot be used).
+  dassa-throw      Every `throw` in src/ must raise a dassa:: error
+                   type, so callers (and the fuzz harness) can rely on
+                   catching dassa::Error for any library failure.
+  counter-prefix   Counter names live in one place (counters.hpp) and
+                   must match the canonical namespaces:
+                   io.* mpi.* mem.* dsp.* haee.*  String literals fed
+                   to the registry directly in src/ must match too.
+  include-hygiene  Headers carry #pragma once, never `using namespace`
+                   at namespace scope, and never include <iostream>
+                   (iostream's static init order and weight do not
+                   belong in library headers).
+  entry-guard      Public API entry points (out-of-line definitions in
+                   src/*.cpp taking arguments) must validate input:
+                   the body must contain DASSA_CHECK / a validate
+                   helper / a typed throw. Findings are ratcheted
+                   against tools/das_lint_baseline.txt: legacy
+                   unguarded functions are listed there; new ones
+                   fail the lint.
+
+Zero findings is enforced by ctest (`tools_das_lint`). To accept a new
+entry-guard finding deliberately, run with --update-baseline and commit
+the diff; every other rule has no baseline and must stay clean.
+
+Usage:
+    python3 tools/das_lint.py [--repo DIR] [--update-baseline]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+CANONICAL_COUNTER_PREFIX = re.compile(r"^(io|mpi|mem|dsp|haee)\.")
+STD_EXCEPTIONS = (
+    "std::", "runtime_error", "logic_error", "invalid_argument",
+    "out_of_range", "length_error", "bad_alloc", "exception",
+)
+DASSA_ERROR_TYPES = (
+    "Error", "InvalidArgument", "IoError", "FormatError", "MpiError",
+    "StateError",
+)
+GUARD_TOKENS = re.compile(
+    r"DASSA_CHECK|DASSA_BOUNDS_CHECK|validate|throw\s|\bresolve\("
+    r"|\bcheck_\w+\(")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literal contents, preserving
+    line structure so reported line numbers stay meaningful."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            else:
+                out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, rule, path, line, message, key=None):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+        # Stable identity for the baseline (line numbers drift).
+        self.key = key or f"{rule}:{path}:{message}"
+
+    def __str__(self):
+        return f"{self.rule}  {self.path}:{self.line}  {self.message}"
+
+
+def iter_lines(scrubbed):
+    return enumerate(scrubbed.splitlines(), start=1)
+
+
+def rule_no_const_cast(path, scrubbed, raw):
+    for lineno, line in iter_lines(scrubbed):
+        if "const_cast" in line:
+            yield Finding("no-const-cast", path, lineno,
+                          "const_cast is banned")
+
+
+def rule_no_naked_new(path, scrubbed, raw):
+    for lineno, line in iter_lines(scrubbed):
+        if re.search(r"\bdelete\b", line):
+            # Deleted special member functions are idiomatic.
+            if re.search(r"=\s*delete", line):
+                continue
+            yield Finding("no-naked-new", path, lineno,
+                          "manual delete is banned (use RAII)")
+        m = re.search(r"\bnew\b(\s*\(\s*std::nothrow\s*\))?", line)
+        if m and not re.search(r"\bnew\b\s*\(", line):
+            if re.search(r"\bnew\b[^;]*\[", line):
+                yield Finding("no-naked-new", path, lineno,
+                              "array new[] is banned (use std::vector)")
+            elif not re.search(r"(make_unique|make_shared|shared_ptr|"
+                               r"unique_ptr)", line):
+                yield Finding("no-naked-new", path, lineno,
+                              "naked new outside a smart pointer")
+
+
+def rule_dassa_throw(path, scrubbed, raw):
+    if not str(path).startswith("src/"):
+        return
+    for lineno, line in iter_lines(scrubbed):
+        m = re.search(r"\bthrow\s+([A-Za-z_][\w:]*)", line)
+        if not m:
+            continue
+        what = m.group(1)
+        if what.startswith("dassa::") or what in DASSA_ERROR_TYPES:
+            continue
+        yield Finding("dassa-throw", path, lineno,
+                      f"throws non-DASSA type '{what}'")
+
+
+def rule_counter_prefix(path, scrubbed, raw):
+    raw_lines = raw.splitlines()
+    if path.endswith("common/counters.hpp"):
+        for lineno, line in enumerate(raw_lines, start=1):
+            m = re.search(r'inline constexpr const char\* k\w+\s*=?\s*'
+                          r'"([^"]+)"', line)
+            if not m:
+                # Multi-line constant: name on one line, literal later.
+                m = re.match(r'\s*"([^"]+)";', line)
+            if m and not CANONICAL_COUNTER_PREFIX.match(m.group(1)):
+                yield Finding("counter-prefix", path, lineno,
+                              f"counter '{m.group(1)}' outside canonical "
+                              "namespaces io|mpi|mem|dsp|haee")
+        return
+    for lineno, line in enumerate(raw_lines, start=1):
+        # Only calls on a counter registry count; pipeline stage names
+        # etc. also flow through methods called `add`.
+        m = re.search(r'counters\(\)\s*\.\s*(?:add|high_water|get)'
+                      r'\(\s*"([^"]+)"', line)
+        if m and not CANONICAL_COUNTER_PREFIX.match(m.group(1)):
+            yield Finding("counter-prefix", path, lineno,
+                          f"counter literal '{m.group(1)}' outside "
+                          "canonical namespaces io|mpi|mem|dsp|haee")
+
+
+def rule_include_hygiene(path, scrubbed, raw):
+    if not path.endswith((".hpp", ".h")):
+        return
+    if "#pragma once" not in raw:
+        yield Finding("include-hygiene", path, 1, "missing #pragma once")
+    for lineno, line in iter_lines(scrubbed):
+        if re.search(r"^\s*using\s+namespace\b", line):
+            yield Finding("include-hygiene", path, lineno,
+                          "using-namespace at namespace scope in a header")
+        if re.search(r'#\s*include\s*<iostream>', line):
+            yield Finding("include-hygiene", path, lineno,
+                          "<iostream> in a header")
+
+
+FUNC_DEF = re.compile(
+    r"^[A-Za-z_][\w:<>,&*\s\[\]]*?"      # return type (line starts at col 0)
+    r"\b((?:[A-Za-z_]\w*::)*[A-Za-z_~]\w*)"  # qualified function name
+    r"\s*\(([^;{}]*)\)"                  # parameter list
+    r"(\s*const)?\s*\{",                 # opening brace (possibly const)
+    re.M | re.S)
+
+
+def rule_entry_guard(path, scrubbed, raw):
+    """Out-of-line definitions in src/*.cpp with parameters must
+    validate input near the top of the body."""
+    if not (str(path).startswith("src/") and path.endswith(".cpp")):
+        return
+    for m in FUNC_DEF.finditer(scrubbed):
+        name, params = m.group(1), m.group(2).strip()
+        if not params or params == "void":
+            continue
+        # Local helpers inside anonymous namespaces are not public API;
+        # they are only reachable through a guarded entry point.
+        before = scrubbed[:m.start()]
+        if before.count("namespace {") > before.count("}  // namespace\n"):
+            # Heuristic: inside an open anonymous namespace.
+            anon_open = before.rfind("namespace {")
+            anon_close = before.rfind("}  // namespace")
+            if anon_open > anon_close:
+                continue
+        # Find the body extent by brace matching.
+        depth, i = 0, m.end() - 1
+        end = len(scrubbed)
+        while i < len(scrubbed):
+            if scrubbed[i] == "{":
+                depth += 1
+            elif scrubbed[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = i
+                    break
+            i += 1
+        body = scrubbed[m.end():end]
+        lineno = scrubbed[:m.start()].count("\n") + 1
+        if not GUARD_TOKENS.search(body):
+            yield Finding(
+                "entry-guard", path, lineno,
+                f"'{name}' takes arguments but has no DASSA_CHECK / "
+                "validation in its body",
+                key=f"entry-guard:{path}:{name}")
+
+
+RULES = [
+    rule_no_const_cast,
+    rule_no_naked_new,
+    rule_dassa_throw,
+    rule_counter_prefix,
+    rule_include_hygiene,
+    rule_entry_guard,
+]
+
+
+def lint(repo):
+    findings = []
+    roots = [repo / "src", repo / "include"]
+    for root in roots:
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in (".cpp", ".hpp", ".h"):
+                continue
+            rel = str(path.relative_to(repo))
+            raw = path.read_text(encoding="utf-8", errors="replace")
+            scrubbed = strip_comments_and_strings(raw)
+            for rule in RULES:
+                findings.extend(rule(rel, scrubbed, raw))
+    return findings
+
+
+def load_baseline(path):
+    if not path.exists():
+        return set()
+    keys = set()
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            keys.add(line)
+    return keys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=pathlib.Path(__file__).parent.parent,
+                        type=pathlib.Path)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="accept current entry-guard findings into "
+                             "the baseline file")
+    args = parser.parse_args()
+    repo = args.repo.resolve()
+    baseline_path = repo / "tools" / "das_lint_baseline.txt"
+
+    findings = lint(repo)
+    baseline = load_baseline(baseline_path)
+
+    if args.update_baseline:
+        accepted = sorted(f.key for f in findings if f.rule == "entry-guard")
+        header = ("# das_lint entry-guard baseline: legacy public entry "
+                  "points accepted as\n# unguarded. New findings must "
+                  "either add a DASSA_CHECK or be added here\n# via "
+                  "`python3 tools/das_lint.py --update-baseline` in the "
+                  "same review.\n")
+        baseline_path.write_text(header + "\n".join(accepted) + "\n")
+        print(f"das_lint: baseline updated with {len(accepted)} entries")
+        return 0
+
+    fresh = [f for f in findings if f.key not in baseline]
+    used = {f.key for f in findings if f.key in baseline}
+    stale = sorted(baseline - used)
+
+    for f in fresh:
+        print(f, file=sys.stderr)
+    for key in stale:
+        print(f"stale-baseline  {key}  (fixed? remove it from "
+              f"{baseline_path.name})", file=sys.stderr)
+
+    checked = len(findings)
+    if fresh or stale:
+        print(f"das_lint: {len(fresh)} finding(s), {len(stale)} stale "
+              "baseline entr(y/ies)", file=sys.stderr)
+        return 1
+    print(f"das_lint: clean ({checked} baselined finding(s) accepted)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
