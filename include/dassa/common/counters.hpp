@@ -100,6 +100,25 @@ inline constexpr const char* kDspResampleDesignHits =
     "dsp.resample.design_hits";
 inline constexpr const char* kDspResampleDesignMisses =
     "dsp.resample.design_misses";
+// Storage engine statistics (DASH5 v3). The codec pipeline and the
+// chunk cache charge these directly: their per-event rate matches the
+// file layer's per-I/O-call rate, so the same mutex-protected registry
+// is the right cost class.
+inline constexpr const char* kIoCodecEncodeCalls = "io.codec.encode_calls";
+inline constexpr const char* kIoCodecDecodeCalls = "io.codec.decode_calls";
+inline constexpr const char* kIoCodecBytesRaw = "io.codec.bytes_raw";
+inline constexpr const char* kIoCodecBytesStored = "io.codec.bytes_stored";
+inline constexpr const char* kIoCodecEncodeNs = "io.codec.encode_ns";
+inline constexpr const char* kIoCodecDecodeNs = "io.codec.decode_ns";
+inline constexpr const char* kIoCodecStoredRawChunks =
+    "io.codec.stored_raw_chunks";
+inline constexpr const char* kIoCacheHits = "io.cache.hits";
+inline constexpr const char* kIoCacheMisses = "io.cache.misses";
+inline constexpr const char* kIoCacheInserts = "io.cache.inserts";
+inline constexpr const char* kIoCacheEvictions = "io.cache.evictions";
+inline constexpr const char* kIoCachePeakBytes = "io.cache.peak_bytes";
+inline constexpr const char* kIoCachePrefetchIssued =
+    "io.cache.prefetch_issued";
 // HAEE engine statistics: distributed runs, rank-threads launched, and
 // halo traffic, updated concurrently from MiniMPI rank threads (they
 // double as TSan coverage of this registry).

@@ -111,6 +111,15 @@ struct AcquisitionSpec {
   io::DType dtype = io::DType::kF32;
   /// Chunked tiles per file (0 x 0 = contiguous layout).
   io::ChunkShape chunk{0, 0};
+  /// Per-chunk compression chain (requires a chunked layout; empty =
+  /// uncompressed v2 files).
+  io::CodecSpec codec;
+  /// Simulated ADC step: samples are rounded to multiples of this
+  /// amplitude before writing (0 = keep full float precision). Real
+  /// interrogators emit fixed-point data; a power-of-two step zeroes
+  /// the low mantissa bits so files compress the way field recordings
+  /// do.
+  double quantize_lsb = 0.0;
   bool per_channel_metadata = true;
 };
 

@@ -1,0 +1,129 @@
+// Sharded LRU cache of decoded DASH5 chunk tiles, plus the shared I/O
+// thread pool that runs chunk compression, decompression, and
+// readahead prefetch.
+//
+// Decoding a compressed chunk costs real CPU; repeated slab reads over
+// the same region (VCA resolution, strided analysis windows, repack
+// verification) hit the same tiles again and again. The cache keeps
+// decoded tiles as immutable shared buffers keyed by
+// (file_id, chunk_row, chunk_col), sharded to keep lock hold times
+// short under concurrent readers, with byte-budget LRU eviction.
+//
+// file_id is a process-unique token minted per Dash5File instance
+// (next_file_id()), not a path: a reopened or rewritten file gets a
+// fresh id, so stale tiles can never be served. Closing a file erases
+// its tiles eagerly via erase_file().
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace dassa {
+class ThreadPool;
+}  // namespace dassa
+
+namespace dassa::io {
+
+/// Identity of one decoded chunk tile.
+struct ChunkKey {
+  std::uint64_t file_id = 0;
+  std::size_t row = 0;  ///< chunk-grid row (not element row)
+  std::size_t col = 0;  ///< chunk-grid column
+
+  friend bool operator==(const ChunkKey&, const ChunkKey&) = default;
+};
+
+/// Decoded tile payload: chunk.rows * chunk.cols doubles (zero-padded
+/// at grid edges, exactly as stored). Immutable once published —
+/// readers share the buffer without copying.
+using ChunkData = std::shared_ptr<const std::vector<double>>;
+
+/// Sharded LRU cache with a global byte budget. All methods are
+/// thread-safe; each operation takes exactly one shard lock.
+class ChunkCache {
+ public:
+  /// `budget_bytes` caps the summed payload size; 0 disables caching
+  /// entirely (get always misses, put is a no-op).
+  explicit ChunkCache(std::size_t budget_bytes);
+
+  /// Look up a tile; returns nullptr on miss. Charges io.cache.hits /
+  /// io.cache.misses and refreshes LRU order on hit.
+  [[nodiscard]] ChunkData get(const ChunkKey& key);
+
+  /// Insert (or refresh) a tile, evicting least-recently-used entries
+  /// until the shard fits its budget slice. Oversized tiles that can
+  /// never fit are simply not cached.
+  void put(const ChunkKey& key, ChunkData data);
+
+  /// Drop every tile belonging to `file_id` (file closed or rewritten).
+  void erase_file(std::uint64_t file_id);
+
+  /// Drop everything and reset the byte count (budget unchanged).
+  void clear();
+
+  /// Change the budget; evicts immediately if shrinking.
+  void set_budget(std::size_t budget_bytes);
+
+  [[nodiscard]] std::size_t bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::size_t budget() const {
+    return budget_.load(std::memory_order_relaxed);
+  }
+
+  /// The process-wide cache used by Dash5File. Default budget is
+  /// kDefaultBudget; tests and tools resize it via set_budget().
+  static ChunkCache& global();
+
+  /// Mint a fresh file identity for a Dash5File instance.
+  static std::uint64_t next_file_id();
+
+  static constexpr std::size_t kShards = 8;
+  static constexpr std::size_t kDefaultBudget = 256ull << 20;  // 256 MiB
+
+ private:
+  struct Entry {
+    ChunkKey key;
+    ChunkData data;
+    std::size_t bytes = 0;
+  };
+  struct KeyHash {
+    std::size_t operator()(const ChunkKey& k) const {
+      std::uint64_t h = k.file_id * 0x9E3779B97F4A7C15ull;
+      h ^= (static_cast<std::uint64_t>(k.row) + 0x9E3779B97F4A7C15ull +
+            (h << 6) + (h >> 2));
+      h ^= (static_cast<std::uint64_t>(k.col) + 0x9E3779B97F4A7C15ull +
+            (h << 6) + (h >> 2));
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<ChunkKey, std::list<Entry>::iterator, KeyHash> index;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_for(const ChunkKey& key);
+  void evict_to_fit(Shard& shard, std::size_t slice);
+
+  std::atomic<std::size_t> budget_;
+  std::atomic<std::size_t> total_bytes_{0};
+  Shard shards_[kShards];
+};
+
+/// Lazily created thread pool shared by chunk encode/decode and the
+/// readahead prefetcher. Sized for I/O-adjacent CPU work (about half
+/// the hardware threads, clamped to [2, 8]). Tasks submitted here must
+/// be leaf work: never call io_pool().parallel_for() from inside an
+/// io_pool() task.
+ThreadPool& io_pool();
+
+}  // namespace dassa::io

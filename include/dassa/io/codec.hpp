@@ -1,0 +1,116 @@
+// DASS storage engine: the composable chunk codec pipeline.
+//
+// DASH5 v3 compresses each chunk tile independently through a chain of
+// codec stages (docs/STORAGE.md). The stage set mirrors what works on
+// real DAS traces (DASPack, arXiv:2507.16390): byte shuffle to group
+// the low-entropy exponent/high-mantissa bytes of IEEE floats, a
+// delta + zigzag + varint integer stage for fixed-point-like data, and
+// a general LZ stage to squeeze the runs both produce. Stages compose:
+// the file header names the chain, encode applies it left to right,
+// decode inverts it right to left.
+//
+// Every decoder treats its input as attacker-controlled (chunk bytes
+// come straight from disk): malformed streams must surface as
+// dassa::FormatError, never out-of-bounds access, unbounded
+// allocation, or a non-DASSA exception.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::io {
+
+/// Identifier of one codec stage, as stored in the DASH5 v3 header.
+enum class CodecId : std::uint8_t {
+  kNone = 0,     ///< identity (useful for testing the v3 machinery)
+  kShuffle = 1,  ///< byte transpose across element lanes
+  kDelta = 2,    ///< lane-wise delta + zigzag + varint
+  kLz = 3,       ///< LZ77-style general stage (greedy, 64 KiB window)
+};
+
+/// One stage of the pipeline. Implementations are stateless and
+/// thread-safe: the same instance encodes/decodes chunks concurrently
+/// from thread-pool workers.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  [[nodiscard]] virtual CodecId id() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Encode `raw`; `elem_size` is the dataset element width (4 or 8),
+  /// which lane-aware stages use as their stride.
+  [[nodiscard]] virtual std::vector<std::byte> encode(
+      std::span<const std::byte> raw, std::size_t elem_size) const = 0;
+
+  /// Invert encode(). `max_decoded_size` is an upper bound on the
+  /// output (derived from the chunk's raw size); size-changing stages
+  /// carry their exact decoded size in-stream and must validate it
+  /// against the bound. Exceeding it is a FormatError.
+  [[nodiscard]] virtual std::vector<std::byte> decode(
+      std::span<const std::byte> stored, std::size_t elem_size,
+      std::size_t max_decoded_size) const = 0;
+};
+
+/// Process-wide stage registry. The built-in stages are registered on
+/// first use; find() is lock-free after that and safe to call from
+/// decode workers.
+class CodecRegistry {
+ public:
+  /// The shared instance holding the built-in stages.
+  static const CodecRegistry& instance();
+
+  /// Stage for `id`, or nullptr if the id is unknown (callers parsing
+  /// file bytes must map nullptr to FormatError).
+  [[nodiscard]] const Codec* find(CodecId id) const;
+
+  /// Stage by CLI/config name ("none", "shuffle", "delta", "lz"), or
+  /// nullptr.
+  [[nodiscard]] const Codec* find(const std::string& name) const;
+
+ private:
+  CodecRegistry();
+  std::vector<const Codec*> stages_;
+};
+
+/// An ordered chain of codec stages — the per-file compression
+/// configuration carried by Dash5Header. An empty chain means "no
+/// codec": the writer emits a plain v2 file.
+struct CodecSpec {
+  std::vector<CodecId> chain;
+
+  [[nodiscard]] bool empty() const { return chain.empty(); }
+
+  /// "shuffle+lz" etc.; "none" for an empty chain.
+  [[nodiscard]] std::string str() const;
+
+  /// Parse "shuffle+lz" / "delta+lz" / "none". "none" yields an empty
+  /// chain. Throws InvalidArgument on unknown stage names or chains
+  /// longer than kMaxChain.
+  [[nodiscard]] static CodecSpec parse(const std::string& text);
+
+  /// Stages per chain the format (and sanity) allows.
+  static constexpr std::size_t kMaxChain = 8;
+
+  friend bool operator==(const CodecSpec&, const CodecSpec&) = default;
+};
+
+/// Apply `spec`'s stages in order to `raw`. Returns the encoded bytes
+/// and charges the io.codec.* counters. `elem_size` must be 4 or 8.
+[[nodiscard]] std::vector<std::byte> encode_chain(
+    const CodecSpec& spec, std::span<const std::byte> raw,
+    std::size_t elem_size);
+
+/// Invert encode_chain(): decode `stored` back to exactly `raw_size`
+/// bytes. Throws FormatError on any malformed stream (wrong size,
+/// truncated varint, out-of-window LZ match, ...).
+[[nodiscard]] std::vector<std::byte> decode_chain(
+    const CodecSpec& spec, std::span<const std::byte> stored,
+    std::size_t elem_size, std::size_t raw_size);
+
+}  // namespace dassa::io

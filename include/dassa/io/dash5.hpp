@@ -14,11 +14,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "dassa/common/shape.hpp"
+#include "dassa/io/codec.hpp"
 #include "dassa/io/file_io.hpp"
 #include "dassa/io/kv.hpp"
 
@@ -60,6 +62,19 @@ struct Dash5Header {
   Shape2D shape;
   Layout layout = Layout::kContiguous;
   ChunkShape chunk;  ///< used when layout == kChunked
+  /// Per-chunk compression chain. Empty = uncompressed: the writer
+  /// emits a plain v2 file. Non-empty requires the chunked layout and
+  /// produces a v3 file with a chunk index footer (docs/FORMAT.md).
+  CodecSpec codec;
+};
+
+/// One entry of the DASH5 v3 chunk index (chunk-grid row-major).
+struct ChunkIndexEntry {
+  std::uint64_t offset = 0;    ///< absolute file offset of stored bytes
+  std::uint64_t csize = 0;     ///< stored (possibly compressed) size
+  std::uint64_t raw_size = 0;  ///< decoded size: chunk_elems * esize
+  std::uint32_t crc = 0;       ///< CRC-32 of the stored bytes
+  std::uint8_t codec = 0;      ///< 0 = stored raw, 1 = file codec chain
 };
 
 /// Write a complete DASH5 file in one shot.
@@ -73,6 +88,14 @@ void dash5_write(const std::string& path, const Dash5Header& header,
 /// order across any number of calls. Lets large merges (streaming RCA
 /// creation) run in bounded memory instead of staging the whole merged
 /// array.
+///
+/// With an empty header codec the output is a plain contiguous v2 file
+/// (the chunked layout stays refused, as the tile order cannot be
+/// produced from a row-major stream without buffering). With a codec
+/// chain the layout must be chunked: rows are buffered into whole
+/// chunk-row bands, each band is tiled and compressed in parallel when
+/// full, and close() appends the v3 chunk index footer — memory stays
+/// bounded by one band.
 class Dash5StreamWriter {
  public:
   Dash5StreamWriter(const std::string& path, const Dash5Header& header);
@@ -89,11 +112,18 @@ class Dash5StreamWriter {
   void close();
 
  private:
+  void flush_band();
+
   OutputFile out_;
-  DType dtype_;
+  Dash5Header header_;
   std::size_t expected_;
   std::size_t written_ = 0;
   bool closed_ = false;
+  // v3 band state (used only when header_.codec is non-empty).
+  std::vector<double> band_;  ///< chunk.rows x shape.cols staging rows
+  std::size_t band_fill_ = 0;
+  std::uint64_t cursor_ = 0;  ///< absolute offset of the next chunk
+  std::vector<ChunkIndexEntry> index_;
 };
 
 /// Read-only handle on a DASH5 file. Opening parses and CRC-verifies
@@ -101,6 +131,12 @@ class Dash5StreamWriter {
 class Dash5File {
  public:
   explicit Dash5File(const std::string& path);
+  ~Dash5File();
+
+  // Holds a mutex and registers with the global chunk cache under a
+  // per-instance identity, so the handle is pinned in place.
+  Dash5File(const Dash5File&) = delete;
+  Dash5File& operator=(const Dash5File&) = delete;
 
   [[nodiscard]] const std::string& path() const { return file_.path(); }
   [[nodiscard]] const KvList& global_meta() const { return header_.global; }
@@ -111,6 +147,14 @@ class Dash5File {
   [[nodiscard]] Shape2D shape() const { return header_.shape; }
   [[nodiscard]] Layout layout() const { return header_.layout; }
   [[nodiscard]] ChunkShape chunk() const { return header_.chunk; }
+  /// Container format version: 2 (plain) or 3 (compressed chunks).
+  [[nodiscard]] std::uint8_t version() const { return version_; }
+  /// Per-chunk codec chain; empty for v2 files.
+  [[nodiscard]] const CodecSpec& codec() const { return header_.codec; }
+  /// v3 chunk index in chunk-grid row-major order; empty for v2 files.
+  [[nodiscard]] const std::vector<ChunkIndexEntry>& chunk_index() const {
+    return index_;
+  }
 
   /// Read the whole dataset with a single I/O call.
   [[nodiscard]] std::vector<double> read_all() const;
@@ -133,9 +177,28 @@ class Dash5File {
   mutable InputFile file_;
   Dash5Header header_;
   std::uint64_t data_offset_ = 0;
+  std::uint8_t version_ = 2;
+
+  // v3 state: chunk index, cache identity, and the readahead
+  // prefetcher. file_ is shared between caller reads and background
+  // prefetch tasks, hence the I/O mutex. Prefetch internals live in
+  // the .cpp (Prefetch is opaque here).
+  std::vector<ChunkIndexEntry> index_;
+  std::uint64_t file_id_ = 0;
+  mutable std::mutex io_mu_;
+  struct Prefetch;
+  std::unique_ptr<Prefetch> prefetch_;
 
   void decode_elems(const std::vector<std::byte>& raw, std::size_t count,
                     double* out) const;
+  void parse_chunk_index();
+  [[nodiscard]] std::vector<double> decode_chunk(
+      std::size_t chunk_idx, std::span<const std::byte> stored) const;
+  [[nodiscard]] std::shared_ptr<const std::vector<double>> load_tile(
+      std::size_t gi, std::size_t gj) const;
+  [[nodiscard]] std::vector<double> read_slab_v3(const Slab2D& slab) const;
+  void maybe_prefetch(std::size_t gi_lo, std::size_t gi_hi, std::size_t gj_lo,
+                      std::size_t gj_hi) const;
 };
 
 }  // namespace dassa::io

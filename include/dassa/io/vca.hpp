@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -68,16 +69,25 @@ class Vca final : public ArraySource {
   [[nodiscard]] std::vector<VcaPiece> resolve(const Slab2D& slab) const;
 
   /// Sequential read: resolve and read each piece from its member file.
+  /// Member handles are opened lazily on first use and kept for the
+  /// VCA's lifetime, so repeated reads skip per-call header parsing
+  /// and keep their decoded-chunk cache identity (v3 members).
   [[nodiscard]] std::vector<double> read_slab(
       const Slab2D& slab) const override;
 
  private:
   void finalize();  // compute shape_ and col_starts_ from members_
+  [[nodiscard]] Dash5File& member_file(std::size_t i) const;
+
+  // Lazily opened member handles, shared across copies of this VCA
+  // (handles are read-only; Dash5File serialises its own I/O).
+  struct MemberFiles;
 
   std::vector<VcaMember> members_;
   std::vector<std::size_t> col_starts_;  // per member, plus total at end
   Shape2D shape_;
   KvList global_;
+  mutable std::shared_ptr<MemberFiles> handles_;
 };
 
 /// Statistics from building an RCA.

@@ -63,12 +63,13 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$PWD/scripts/ubsa
 
 # ---------------------------------------------------------------- tsan
 # Concurrency-relevant subset: the pool, the FFT engine's shared plan
-# cache, MiniMPI collectives, and the HAEE row-apply stress tests.
+# cache, MiniMPI collectives, the HAEE row-apply stress tests, and the
+# storage engine (parallel chunk codecs, sharded chunk cache, prefetch).
 step "tsan: ThreadSanitizer, concurrency suite"
 cmake --preset tsan
 cmake --build --preset tsan -j "${JOBS}"
 ctest --preset tsan -j "${JOBS}" \
-  -R 'ThreadPool|Fft|MiniMpi|HaeeStress|HaeeMode|Apply'
+  -R 'ThreadPool|Fft|MiniMpi|HaeeStress|HaeeMode|Apply|Codec|ChunkCache|Dash5V3'
 
 # --------------------------------------------------------------- bench
 if [[ "${RUN_BENCH}" -eq 1 ]]; then
@@ -76,6 +77,10 @@ if [[ "${RUN_BENCH}" -eq 1 ]]; then
   cmake --preset default
   cmake --build --preset default -j "${JOBS}" --target bench_micro_dsp
   python3 bench/bench_compare.py --bench-bin build/bench/bench_micro_dsp
+
+  step "bench: storage codec + chunk-cache gate (BENCH_codec.json)"
+  cmake --build --preset default -j "${JOBS}" --target bench_codec
+  ./build/bench/bench_codec --check
 fi
 
 step "all checks passed"

@@ -157,6 +157,11 @@ std::vector<std::string> write_acquisition(const SynthDas& synth,
   const auto samples_per_file = static_cast<std::size_t>(
       spec.seconds_per_file * cfg.sampling_hz + 0.5);
   DASSA_CHECK(samples_per_file >= 1, "file would contain zero samples");
+  if (!spec.codec.empty()) {
+    DASSA_CHECK(spec.chunk.rows > 0 && spec.chunk.cols > 0,
+                "a codec chain requires chunk extents");
+  }
+  DASSA_CHECK(spec.quantize_lsb >= 0.0, "quantize_lsb must be >= 0");
 
   std::vector<std::string> paths;
   paths.reserve(spec.file_count);
@@ -164,9 +169,14 @@ std::vector<std::string> write_acquisition(const SynthDas& synth,
     const Timestamp ts = spec.start.plus_seconds(
         static_cast<std::int64_t>(static_cast<double>(f) *
                                   spec.seconds_per_file));
-    const core::Array2D data =
+    core::Array2D data =
         synth.render(static_cast<std::uint64_t>(f) * samples_per_file,
                      samples_per_file);
+    if (spec.quantize_lsb > 0.0) {
+      for (double& v : data.data) {
+        v = std::nearbyint(v / spec.quantize_lsb) * spec.quantize_lsb;
+      }
+    }
 
     io::Dash5Header header;
     header.shape = data.shape;
@@ -175,6 +185,7 @@ std::vector<std::string> write_acquisition(const SynthDas& synth,
       header.layout = io::Layout::kChunked;
       header.chunk = spec.chunk;
     }
+    header.codec = spec.codec;
     header.global.set_f64(io::meta::kSamplingFrequencyHz, cfg.sampling_hz);
     header.global.set_f64(io::meta::kSpatialResolutionM,
                           cfg.spatial_resolution_m);

@@ -1,0 +1,134 @@
+#include "dassa/io/chunk_cache.hpp"
+
+#include "dassa/common/counters.hpp"
+#include "dassa/common/error.hpp"
+
+namespace dassa::io {
+
+namespace {
+
+std::size_t payload_bytes(const ChunkData& data) {
+  return data ? data->size() * sizeof(double) : 0;
+}
+
+}  // namespace
+
+ChunkCache::ChunkCache(std::size_t budget_bytes) : budget_(budget_bytes) {}
+
+ChunkCache::Shard& ChunkCache::shard_for(const ChunkKey& key) {
+  return shards_[KeyHash{}(key) % kShards];
+}
+
+ChunkData ChunkCache::get(const ChunkKey& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    global_counters().add(counters::kIoCacheMisses, 1);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  global_counters().add(counters::kIoCacheHits, 1);
+  return it->second->data;
+}
+
+void ChunkCache::put(const ChunkKey& key, ChunkData data) {
+  DASSA_CHECK(data != nullptr, "cannot cache a null chunk");
+  const std::size_t slice = budget() / kShards;
+  const std::size_t nbytes = payload_bytes(data);
+  if (nbytes == 0 || nbytes > slice) return;  // can never fit
+
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Refresh: same key decoded twice by racing readers. Keep the
+      // newcomer (identical content) and fix the accounting.
+      shard.bytes -= it->second->bytes;
+      total_bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+      it->second->data = std::move(data);
+      it->second->bytes = nbytes;
+      shard.bytes += nbytes;
+      total_bytes_.fetch_add(nbytes, std::memory_order_relaxed);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Entry{key, std::move(data), nbytes});
+      shard.index[key] = shard.lru.begin();
+      shard.bytes += nbytes;
+      total_bytes_.fetch_add(nbytes, std::memory_order_relaxed);
+      global_counters().add(counters::kIoCacheInserts, 1);
+    }
+    evict_to_fit(shard, slice);
+  }
+  global_counters().high_water(counters::kIoCachePeakBytes, bytes());
+}
+
+void ChunkCache::evict_to_fit(Shard& shard, std::size_t slice) {
+  while (shard.bytes > slice && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    total_bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    global_counters().add(counters::kIoCacheEvictions, 1);
+  }
+}
+
+void ChunkCache::erase_file(std::uint64_t file_id) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.file_id == file_id) {
+        shard.bytes -= it->bytes;
+        total_bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ChunkCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Entry& entry : shard.lru) {
+      total_bytes_.fetch_sub(entry.bytes, std::memory_order_relaxed);
+    }
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+void ChunkCache::set_budget(std::size_t budget_bytes) {
+  budget_.store(budget_bytes, std::memory_order_relaxed);
+  const std::size_t slice = budget_bytes / kShards;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    evict_to_fit(shard, slice);
+  }
+}
+
+std::size_t ChunkCache::entries() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.index.size();
+  }
+  return total;
+}
+
+ChunkCache& ChunkCache::global() {
+  static ChunkCache cache(kDefaultBudget);
+  return cache;
+}
+
+std::uint64_t ChunkCache::next_file_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace dassa::io

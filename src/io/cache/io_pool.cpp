@@ -1,0 +1,17 @@
+#include <algorithm>
+#include <thread>
+
+#include "dassa/common/thread_pool.hpp"
+#include "dassa/io/chunk_cache.hpp"
+
+namespace dassa::io {
+
+ThreadPool& io_pool() {
+  static ThreadPool pool([] {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    return static_cast<std::size_t>(std::clamp(hw / 2, 2u, 8u));
+  }());
+  return pool;
+}
+
+}  // namespace dassa::io

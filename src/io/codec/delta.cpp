@@ -1,0 +1,168 @@
+// Delta + zigzag + varint stage: lane-wise predictive coding.
+//
+// Each element lane (the dataset element width) is read as a
+// little-endian unsigned integer; consecutive lanes are differenced
+// with wrap-around arithmetic, the differences are zigzag-mapped so
+// small magnitudes of either sign become small unsigned values, and
+// those are LEB128 varint-packed. Interrogator-style fixed-point DAS
+// data (quantised floats, integer counts) turns into streams of
+// near-zero deltas that pack into one byte each; full-entropy mantissa
+// bits pass through at ~1.25x expansion, which the raw-fallback in the
+// chunk writer absorbs.
+//
+// Stream layout: [u64 decoded_size][varints for each whole lane]
+// [tail bytes verbatim]. The embedded size is validated against the
+// caller's bound before any allocation.
+#include <cstring>
+
+#include "stages.hpp"
+
+namespace dassa::io::detail {
+
+namespace {
+
+/// Lane width used for differencing: the element size when it is a
+/// power-of-two machine width, one byte otherwise.
+std::size_t lane_width(std::size_t elem_size) {
+  switch (elem_size) {
+    case 1:
+    case 2:
+    case 4:
+    case 8:
+      return elem_size;
+    default:
+      return 1;
+  }
+}
+
+std::uint64_t load_lane(const std::byte* p, std::size_t w) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, w);  // little-endian host, as everywhere in DASH5
+  return v;
+}
+
+void store_lane(std::byte* p, std::uint64_t v, std::size_t w) {
+  std::memcpy(p, &v, w);
+}
+
+void put_varint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+/// Bounds-checked LEB128 reader; rejects truncation and overlong
+/// (> 64 bit) encodings.
+std::uint64_t get_varint(std::span<const std::byte> in, std::size_t& pos) {
+  std::uint64_t v = 0;
+  for (std::size_t shift = 0; shift < 64; shift += 7) {
+    if (pos >= in.size()) {
+      throw FormatError("truncated varint in delta stream");
+    }
+    const auto b = static_cast<std::uint64_t>(in[pos++]);
+    if (shift == 63 && (b & 0xFE) != 0) {
+      throw FormatError("overlong varint in delta stream");
+    }
+    v |= (b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  throw FormatError("unterminated varint in delta stream");
+}
+
+class DeltaCodec final : public Codec {
+ public:
+  [[nodiscard]] CodecId id() const override { return CodecId::kDelta; }
+  [[nodiscard]] const char* name() const override { return "delta"; }
+
+  [[nodiscard]] std::vector<std::byte> encode(
+      std::span<const std::byte> raw, std::size_t elem_size) const override {
+    DASSA_CHECK(elem_size >= 1, "delta needs a positive element size");
+    const std::size_t w = lane_width(elem_size);
+    const std::size_t bits = w * 8;
+    const std::uint64_t mask =
+        bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+
+    std::vector<std::byte> out;
+    out.reserve(16 + raw.size() + raw.size() / 4);
+    const std::uint64_t n = raw.size();
+    out.resize(sizeof n);
+    std::memcpy(out.data(), &n, sizeof n);
+
+    const std::size_t nlanes = raw.size() / w;
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < nlanes; ++i) {
+      const std::uint64_t v = load_lane(raw.data() + i * w, w);
+      const std::uint64_t d = (v - prev) & mask;
+      // Interpret the wrap-difference as signed in `bits` bits, then
+      // zigzag so both directions map to small varints.
+      const std::uint64_t half = std::uint64_t{1} << (bits - 1);
+      const auto sd = static_cast<std::int64_t>(
+          d >= half ? d - half - half : d);
+      const std::uint64_t zz =
+          (static_cast<std::uint64_t>(sd) << 1) ^
+          static_cast<std::uint64_t>(sd >> 63);
+      put_varint(out, zz);
+      prev = v;
+    }
+    const std::size_t body = nlanes * w;
+    out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(body),
+               raw.end());
+    return out;
+  }
+
+  [[nodiscard]] std::vector<std::byte> decode(
+      std::span<const std::byte> stored, std::size_t elem_size,
+      std::size_t max_decoded_size) const override {
+    DASSA_CHECK(elem_size >= 1, "delta needs a positive element size");
+    if (stored.size() < sizeof(std::uint64_t)) {
+      throw FormatError("delta stream smaller than its size header");
+    }
+    std::uint64_t n = 0;
+    std::memcpy(&n, stored.data(), sizeof n);
+    if (n > max_decoded_size) {
+      throw FormatError("delta stream claims an implausible decoded size");
+    }
+
+    const std::size_t w = lane_width(elem_size);
+    const std::size_t bits = w * 8;
+    const std::uint64_t mask =
+        bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+
+    std::vector<std::byte> out(static_cast<std::size_t>(n));
+    const std::size_t nlanes = out.size() / w;
+    const std::size_t tail = out.size() - nlanes * w;
+    std::size_t pos = sizeof n;
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < nlanes; ++i) {
+      const std::uint64_t zz = get_varint(stored, pos);
+      const auto sd = static_cast<std::int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+      const std::uint64_t v =
+          (prev + (static_cast<std::uint64_t>(sd) & mask)) & mask;
+      store_lane(out.data() + i * w, v, w);
+      prev = v;
+    }
+    // Subtraction form: pos <= stored.size() is a loop invariant.
+    if (tail > stored.size() - pos) {
+      throw FormatError("truncated tail in delta stream");
+    }
+    if (tail > 0) {
+      std::memcpy(out.data() + nlanes * w, stored.data() + pos, tail);
+    }
+    pos += tail;
+    if (pos != stored.size()) {
+      throw FormatError("trailing garbage after delta stream");
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+const Codec& delta_codec() {
+  static const DeltaCodec codec;
+  return codec;
+}
+
+}  // namespace dassa::io::detail

@@ -1,0 +1,210 @@
+// LZ stage: greedy LZ77 with a hash-table match finder and an
+// LZ4-flavoured token stream. General-purpose back-end of every chain:
+// it folds up the byte-plane runs the shuffle stage exposes and the
+// zero runs the delta stage produces.
+//
+// Stream layout: [u64 decoded_size] then sequences of
+//   token      1 byte: high nibble = literal count, low nibble =
+//              match length - kMinMatch; nibble value 15 extends with
+//              255-run bytes (LZ4 style)
+//   literals   `literal count` verbatim bytes
+//   offset     u16 LE back-reference distance (1..65535), omitted for
+//              the final sequence (which ends exactly at decoded_size)
+//   (match bytes are reproduced from the sliding window)
+//
+// The decoder is written against hostile input: every length is
+// bounded before use, offsets must land inside the produced output,
+// and the stream must consume exactly its input — anything else is a
+// FormatError.
+#include <cstring>
+
+#include "stages.hpp"
+
+namespace dassa::io::detail {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr std::size_t kHashBits = 15;
+constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+
+std::uint32_t load32(const std::byte* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+std::size_t hash4(std::uint32_t v) {
+  return static_cast<std::size_t>((v * 2654435761u) >> (32 - kHashBits));
+}
+
+void put_len(std::vector<std::byte>& out, std::size_t extra) {
+  while (extra >= 255) {
+    out.push_back(std::byte{255});
+    extra -= 255;
+  }
+  out.push_back(static_cast<std::byte>(extra));
+}
+
+/// Read an extended length: `nibble` plus 255-run continuation bytes.
+/// Bounded by `limit` so a hostile run cannot spin or overflow.
+std::size_t get_len(std::span<const std::byte> in, std::size_t& pos,
+                    std::size_t nibble, std::size_t limit) {
+  std::size_t len = nibble;
+  if (nibble == 15) {
+    for (;;) {
+      if (pos >= in.size()) {
+        throw FormatError("truncated length run in lz stream");
+      }
+      const auto b = static_cast<std::size_t>(in[pos++]);
+      len += b;
+      if (len > limit) {
+        throw FormatError("length run exceeds decoded size in lz stream");
+      }
+      if (b < 255) break;
+    }
+  }
+  return len;
+}
+
+class LzCodec final : public Codec {
+ public:
+  [[nodiscard]] CodecId id() const override { return CodecId::kLz; }
+  [[nodiscard]] const char* name() const override { return "lz"; }
+
+  [[nodiscard]] std::vector<std::byte> encode(
+      std::span<const std::byte> raw,
+      std::size_t /*elem_size*/) const override {
+    std::vector<std::byte> out;
+    out.reserve(16 + raw.size() / 2);
+    const std::uint64_t n = raw.size();
+    out.resize(sizeof n);
+    std::memcpy(out.data(), &n, sizeof n);
+    if (raw.empty()) return out;
+
+    std::vector<std::uint32_t> table(std::size_t{1} << kHashBits, kNoPos);
+    const std::byte* src = raw.data();
+    std::size_t anchor = 0;
+    std::size_t i = 0;
+    // Leave kMinMatch + headroom at the end: the tail is emitted as
+    // plain literals, which also gives the decoder its final,
+    // offset-less sequence.
+    while (raw.size() >= 12 && i + 12 <= raw.size()) {
+      const std::uint32_t v = load32(src + i);
+      const std::size_t h = hash4(v);
+      const std::uint32_t cand = table[h];
+      table[h] = static_cast<std::uint32_t>(i);
+      if (cand == kNoPos || i - cand > kMaxOffset ||
+          load32(src + cand) != v) {
+        ++i;
+        continue;
+      }
+      std::size_t len = kMinMatch;
+      const std::size_t max_len = raw.size() - i;
+      while (len < max_len && src[cand + len] == src[i + len]) ++len;
+      emit(out, src, anchor, i, i - cand, len);
+      i += len;
+      anchor = i;
+    }
+    // Final literal-only sequence. Omitted entirely when the stream
+    // ends exactly on a match: the decoder stops at decoded_size, so a
+    // trailing empty token would never be consumed.
+    const std::size_t lit = raw.size() - anchor;
+    if (lit > 0) {
+      const std::size_t lit_nibble = lit < 15 ? lit : 15;
+      out.push_back(static_cast<std::byte>(lit_nibble << 4));
+      if (lit_nibble == 15) put_len(out, lit - 15);
+      out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(anchor),
+                 raw.end());
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<std::byte> decode(
+      std::span<const std::byte> stored, std::size_t /*elem_size*/,
+      std::size_t max_decoded_size) const override {
+    if (stored.size() < sizeof(std::uint64_t)) {
+      throw FormatError("lz stream smaller than its size header");
+    }
+    std::uint64_t n = 0;
+    std::memcpy(&n, stored.data(), sizeof n);
+    if (n > max_decoded_size) {
+      throw FormatError("lz stream claims an implausible decoded size");
+    }
+    std::vector<std::byte> out;
+    out.reserve(static_cast<std::size_t>(n));
+    std::size_t pos = sizeof n;
+
+    while (out.size() < n) {
+      if (pos >= stored.size()) {
+        throw FormatError("truncated sequence in lz stream");
+      }
+      const auto token = static_cast<std::size_t>(stored[pos++]);
+      const std::size_t lit =
+          get_len(stored, pos, token >> 4, static_cast<std::size_t>(n));
+      // Subtraction forms: pos <= stored.size(), out.size() <= n.
+      if (lit > stored.size() - pos) {
+        throw FormatError("literal run past end of lz stream");
+      }
+      if (lit > n - out.size()) {
+        throw FormatError("literal run past decoded size in lz stream");
+      }
+      out.insert(out.end(), stored.begin() + static_cast<std::ptrdiff_t>(pos),
+                 stored.begin() + static_cast<std::ptrdiff_t>(pos + lit));
+      pos += lit;
+      if (out.size() == n) break;  // final sequence carries no match
+
+      if (stored.size() - pos < 2) {
+        throw FormatError("truncated match offset in lz stream");
+      }
+      std::uint16_t offset = 0;
+      std::memcpy(&offset, stored.data() + pos, sizeof offset);
+      pos += sizeof offset;
+      if (offset == 0 || offset > out.size()) {
+        throw FormatError("match offset outside window in lz stream");
+      }
+      const std::size_t match =
+          kMinMatch +
+          get_len(stored, pos, token & 15, static_cast<std::size_t>(n));
+      if (match > n - out.size()) {
+        throw FormatError("match run past decoded size in lz stream");
+      }
+      // Byte-wise: matches may overlap their own output (RLE case).
+      std::size_t from = out.size() - offset;
+      for (std::size_t k = 0; k < match; ++k) {
+        out.push_back(out[from + k]);
+      }
+    }
+    if (pos != stored.size()) {
+      throw FormatError("trailing garbage after lz stream");
+    }
+    return out;
+  }
+
+ private:
+  static void emit(std::vector<std::byte>& out, const std::byte* src,
+                   std::size_t anchor, std::size_t end, std::size_t offset,
+                   std::size_t match_len) {
+    const std::size_t lit = end - anchor;
+    const std::size_t ml = match_len - kMinMatch;
+    const std::size_t lit_nibble = lit < 15 ? lit : 15;
+    const std::size_t ml_nibble = ml < 15 ? ml : 15;
+    out.push_back(static_cast<std::byte>((lit_nibble << 4) | ml_nibble));
+    if (lit_nibble == 15) put_len(out, lit - 15);
+    out.insert(out.end(), src + anchor, src + end);
+    const auto off16 = static_cast<std::uint16_t>(offset);
+    const std::byte* ob = reinterpret_cast<const std::byte*>(&off16);
+    out.insert(out.end(), ob, ob + sizeof off16);
+    if (ml_nibble == 15) put_len(out, ml - 15);
+  }
+};
+
+}  // namespace
+
+const Codec& lz_codec() {
+  static const LzCodec codec;
+  return codec;
+}
+
+}  // namespace dassa::io::detail

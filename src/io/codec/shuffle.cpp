@@ -1,0 +1,73 @@
+// Byte-shuffle stage: transpose an element stream into per-byte
+// planes. IEEE-float DAS samples share sign/exponent/high-mantissa
+// structure across neighbouring samples, so plane 3 (f32) or planes
+// 6-7 (f64) become long near-constant runs that the LZ stage folds up
+// — the classic shuffle+LZ arrangement HDF5 and DASPack both use.
+// Size-preserving and header-free: decode output size equals input
+// size.
+#include <cstring>
+
+#include "stages.hpp"
+
+namespace dassa::io::detail {
+
+namespace {
+
+class ShuffleCodec final : public Codec {
+ public:
+  [[nodiscard]] CodecId id() const override { return CodecId::kShuffle; }
+  [[nodiscard]] const char* name() const override { return "shuffle"; }
+
+  [[nodiscard]] std::vector<std::byte> encode(
+      std::span<const std::byte> raw, std::size_t elem_size) const override {
+    DASSA_CHECK(elem_size >= 1, "shuffle needs a positive element size");
+    return transpose(raw, elem_size, /*forward=*/true);
+  }
+
+  [[nodiscard]] std::vector<std::byte> decode(
+      std::span<const std::byte> stored, std::size_t elem_size,
+      std::size_t max_decoded_size) const override {
+    DASSA_CHECK(elem_size >= 1, "shuffle needs a positive element size");
+    if (stored.size() > max_decoded_size) {
+      throw FormatError("shuffle stream larger than its decode bound");
+    }
+    return transpose(stored, elem_size, /*forward=*/false);
+  }
+
+ private:
+  /// Forward: element-major -> plane-major. Backward: inverse. Only
+  /// the elem_size-divisible prefix is transposed; tail bytes (never
+  /// present for whole chunks, but the stage stays total) ride along
+  /// unchanged at the end.
+  static std::vector<std::byte> transpose(std::span<const std::byte> in,
+                                          std::size_t elem_size,
+                                          bool forward) {
+    std::vector<std::byte> out(in.size());
+    const std::size_t nelem = in.size() / elem_size;
+    for (std::size_t e = 0; e < nelem; ++e) {
+      for (std::size_t p = 0; p < elem_size; ++p) {
+        const std::size_t planar = p * nelem + e;
+        const std::size_t linear = e * elem_size + p;
+        if (forward) {
+          out[planar] = in[linear];
+        } else {
+          out[linear] = in[planar];
+        }
+      }
+    }
+    const std::size_t body = nelem * elem_size;
+    if (body < in.size()) {
+      std::memcpy(out.data() + body, in.data() + body, in.size() - body);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+const Codec& shuffle_codec() {
+  static const ShuffleCodec codec;
+  return codec;
+}
+
+}  // namespace dassa::io::detail

@@ -1,0 +1,15 @@
+// Codec stage accessors, private to src/io/codec. Each stage lives in
+// its own translation unit as a stateless singleton; the registry
+// (codec.cpp) assembles them.
+#pragma once
+
+#include "dassa/io/codec.hpp"
+
+namespace dassa::io::detail {
+
+const Codec& none_codec();
+const Codec& shuffle_codec();
+const Codec& delta_codec();
+const Codec& lz_codec();
+
+}  // namespace dassa::io::detail

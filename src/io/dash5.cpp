@@ -1,8 +1,14 @@
 #include "dassa/io/dash5.hpp"
 
+#include <condition_variable>
 #include <cstring>
 #include <limits>
+#include <set>
+#include <utility>
 
+#include "dassa/common/counters.hpp"
+#include "dassa/common/thread_pool.hpp"
+#include "dassa/io/chunk_cache.hpp"
 #include "serialize.hpp"
 
 namespace dassa::io {
@@ -10,7 +16,13 @@ namespace dassa::io {
 namespace {
 
 constexpr char kMagic[8] = {'D', 'A', 'S', 'H', '5', '\0', '\0', '\2'};
+constexpr char kMagicV3[8] = {'D', 'A', 'S', 'H', '5', '\0', '\0', '\3'};
 constexpr std::uint64_t kPreludeSize = 16;  // magic + header size
+
+// v3 chunk index footer: [index block][crc u32][block size u64][magic].
+constexpr char kIndexMagic[8] = {'D', 'A', 'S', 'I', 'D', 'X', '\0', '\3'};
+constexpr std::uint64_t kFooterTail = 20;  // crc + size + magic
+constexpr std::uint64_t kIndexEntrySize = 29;  // u64 x3 + u32 + u8
 
 /// True iff a * b overflows uint64. Extent fields come straight from
 /// the (attacker-controllable) file, so every size computation derived
@@ -52,6 +64,14 @@ std::vector<std::byte> encode_header(const Dash5Header& h) {
   enc.u8(static_cast<std::uint8_t>(h.layout));
   enc.u64(h.chunk.rows);
   enc.u64(h.chunk.cols);
+  if (!h.codec.empty()) {
+    // v3 extension: the per-chunk codec chain. v2 headers stop at the
+    // chunk extents, so old readers never see these bytes.
+    enc.u8(static_cast<std::uint8_t>(h.codec.chain.size()));
+    for (const CodecId id : h.codec.chain) {
+      enc.u8(static_cast<std::uint8_t>(id));
+    }
+  }
   std::vector<std::byte> out = enc.bytes();
   const std::uint32_t crc = detail::crc32(out.data(), out.size());
   detail::Encoder tail;
@@ -61,7 +81,8 @@ std::vector<std::byte> encode_header(const Dash5Header& h) {
 }
 
 Dash5Header decode_header(const std::vector<std::byte>& raw,
-                          const std::string& path) {
+                          const std::string& path,
+                          std::uint8_t version) {
   if (raw.size() < 4) throw FormatError("header too small in " + path);
   const std::size_t body = raw.size() - 4;
   std::uint32_t stored_crc = 0;
@@ -100,6 +121,22 @@ Dash5Header decode_header(const std::vector<std::byte>& raw,
   h.layout = static_cast<Layout>(layout);
   h.chunk.rows = dec.u64();
   h.chunk.cols = dec.u64();
+  if (version >= 3) {
+    const std::uint8_t nstages = dec.u8();
+    if (nstages == 0 || nstages > CodecSpec::kMaxChain) {
+      throw FormatError("implausible codec chain length in " + path);
+    }
+    h.codec.chain.reserve(nstages);
+    for (std::uint8_t i = 0; i < nstages; ++i) {
+      const std::uint8_t id = dec.u8();
+      if (CodecRegistry::instance().find(static_cast<CodecId>(id)) ==
+          nullptr) {
+        throw FormatError("unknown codec id " + std::to_string(id) + " in " +
+                          path);
+      }
+      h.codec.chain.push_back(static_cast<CodecId>(id));
+    }
+  }
   if (h.layout == Layout::kChunked &&
       (h.chunk.rows == 0 || h.chunk.cols == 0)) {
     throw FormatError("chunked layout without chunk extents in " + path);
@@ -111,6 +148,9 @@ Dash5Header decode_header(const std::vector<std::byte>& raw,
   if (h.layout == Layout::kChunked &&
       mul_overflows(h.chunk.rows, h.chunk.cols)) {
     throw FormatError("chunk extent overflow in " + path);
+  }
+  if (version >= 3 && h.layout != Layout::kChunked) {
+    throw FormatError("v3 requires the chunked layout in " + path);
   }
   return h;
 }
@@ -142,6 +182,93 @@ void write_elements(OutputFile& out, const Dash5Header& header,
   }
 }
 
+/// Convert a tile to its on-disk element bytes (the codec input).
+std::vector<std::byte> elem_bytes(DType dtype, std::span<const double> tile) {
+  std::vector<std::byte> raw(tile.size() * dtype_size(dtype));
+  if (dtype == DType::kF64) {
+    std::memcpy(raw.data(), tile.data(), raw.size());
+  } else {
+    std::vector<float> f(tile.size());
+    for (std::size_t i = 0; i < tile.size(); ++i) {
+      f[i] = static_cast<float>(tile[i]);
+    }
+    std::memcpy(raw.data(), f.data(), raw.size());
+  }
+  return raw;
+}
+
+/// Copy the chunk (gi, gj) out of a row-major array into a dense,
+/// zero-padded tile (the v2 and v3 writers share this shape logic).
+void fill_tile(const Dash5Header& header, std::span<const double> data,
+               std::size_t gi, std::size_t gj, std::vector<double>& tile) {
+  std::fill(tile.begin(), tile.end(), 0.0);
+  const std::size_t r0 = gi * header.chunk.rows;
+  const std::size_t c0 = gj * header.chunk.cols;
+  const std::size_t r_cnt = std::min(header.chunk.rows, header.shape.rows - r0);
+  const std::size_t c_cnt = std::min(header.chunk.cols, header.shape.cols - c0);
+  for (std::size_t r = 0; r < r_cnt; ++r) {
+    const double* src = data.data() + header.shape.at(r0 + r, c0);
+    std::copy(src, src + c_cnt, tile.data() + r * header.chunk.cols);
+  }
+}
+
+/// Compressed payload of one chunk: the codec chain's output, or the
+/// raw element bytes when compression does not pay (codec flag 0).
+/// The raw fallback bounds worst-case file growth at zero: incompres-
+/// sible chunks cost exactly their v2 size.
+std::pair<std::vector<std::byte>, std::uint8_t> encode_tile(
+    const Dash5Header& header, std::span<const double> tile) {
+  std::vector<std::byte> raw = elem_bytes(header.dtype, tile);
+  std::vector<std::byte> enc =
+      encode_chain(header.codec, raw, dtype_size(header.dtype));
+  if (enc.size() >= raw.size()) {
+    return {std::move(raw), std::uint8_t{0}};
+  }
+  return {std::move(enc), std::uint8_t{1}};
+}
+
+/// Append one encoded chunk: write its bytes, extend the index, and
+/// charge the io.codec.* byte counters.
+void append_chunk(OutputFile& out, std::vector<ChunkIndexEntry>& index,
+                  std::uint64_t& cursor, std::uint64_t raw_size,
+                  const std::vector<std::byte>& payload, std::uint8_t codec) {
+  ChunkIndexEntry entry;
+  entry.offset = cursor;
+  entry.csize = payload.size();
+  entry.raw_size = raw_size;
+  entry.crc = detail::crc32(payload.data(), payload.size());
+  entry.codec = codec;
+  out.write(payload.data(), payload.size());
+  index.push_back(entry);
+  cursor += payload.size();
+  global_counters().add(counters::kIoCodecBytesRaw, raw_size);
+  global_counters().add(counters::kIoCodecBytesStored, payload.size());
+  if (codec == 0) {
+    global_counters().add(counters::kIoCodecStoredRawChunks, 1);
+  }
+}
+
+/// Write the v3 footer: index block, its CRC, its size, and the
+/// trailing magic that lets the reader find it from the file end.
+void write_chunk_index(OutputFile& out,
+                       const std::vector<ChunkIndexEntry>& index) {
+  detail::Encoder enc;
+  for (const ChunkIndexEntry& e : index) {
+    enc.u64(e.offset);
+    enc.u64(e.csize);
+    enc.u64(e.raw_size);
+    enc.u32(e.crc);
+    enc.u8(e.codec);
+  }
+  const std::vector<std::byte>& block = enc.bytes();
+  const std::uint32_t crc = detail::crc32(block.data(), block.size());
+  const std::uint64_t size = block.size();
+  out.write(block.data(), block.size());
+  out.write(&crc, sizeof crc);
+  out.write(&size, sizeof size);
+  out.write(kIndexMagic, sizeof kIndexMagic);
+}
+
 }  // namespace
 
 void dash5_write(const std::string& path, const Dash5Header& header,
@@ -152,68 +279,151 @@ void dash5_write(const std::string& path, const Dash5Header& header,
     DASSA_CHECK(header.chunk.rows >= 1 && header.chunk.cols >= 1,
                 "chunked layout needs positive chunk extents");
   }
+  if (!header.codec.empty()) {
+    DASSA_CHECK(header.layout == Layout::kChunked,
+                "codec chains require the chunked layout");
+  }
+  const bool v3 = !header.codec.empty();
   const std::vector<std::byte> head = encode_header(header);
 
   OutputFile out(path);
-  out.write(kMagic, sizeof kMagic);
+  out.write(v3 ? kMagicV3 : kMagic, sizeof kMagic);
   const std::uint64_t head_size = head.size();
   out.write(&head_size, sizeof head_size);
   out.write(head.data(), head.size());
 
   if (header.layout == Layout::kContiguous) {
     write_elements(out, header, data);
-  } else {
-    // Tile the array: chunks in grid row-major order, each a dense
+  } else if (!v3) {
+    // v2 tiling: chunks in grid row-major order, each a dense
     // chunk_rows x chunk_cols block, zero-padded at the edges.
     const auto [grid_rows, grid_cols] = chunk_grid(header);
     std::vector<double> tile(header.chunk.rows * header.chunk.cols);
     for (std::size_t gi = 0; gi < grid_rows; ++gi) {
       for (std::size_t gj = 0; gj < grid_cols; ++gj) {
-        std::fill(tile.begin(), tile.end(), 0.0);
-        const std::size_t r0 = gi * header.chunk.rows;
-        const std::size_t c0 = gj * header.chunk.cols;
-        const std::size_t r_cnt =
-            std::min(header.chunk.rows, header.shape.rows - r0);
-        const std::size_t c_cnt =
-            std::min(header.chunk.cols, header.shape.cols - c0);
-        for (std::size_t r = 0; r < r_cnt; ++r) {
-          const double* src = data.data() + header.shape.at(r0 + r, c0);
-          std::copy(src, src + c_cnt,
-                    tile.data() + r * header.chunk.cols);
-        }
+        fill_tile(header, data, gi, gj, tile);
         write_elements(out, header, tile);
       }
     }
+  } else {
+    // v3: same tile order, but each tile runs through the codec chain
+    // (in parallel on the I/O pool) and lands with a chunk index entry.
+    const auto [grid_rows, grid_cols] = chunk_grid(header);
+    const std::size_t n_chunks = grid_rows * grid_cols;
+    const std::size_t chunk_elems = header.chunk.rows * header.chunk.cols;
+    std::vector<std::vector<std::byte>> payloads(n_chunks);
+    std::vector<std::uint8_t> flags(n_chunks, 0);
+    if (n_chunks > 0) {
+      io_pool().parallel_for(
+          n_chunks, [&](std::size_t, std::size_t begin, std::size_t end) {
+            std::vector<double> tile(chunk_elems);
+            for (std::size_t i = begin; i < end; ++i) {
+              fill_tile(header, data, i / grid_cols, i % grid_cols, tile);
+              auto [payload, flag] = encode_tile(header, tile);
+              payloads[i] = std::move(payload);
+              flags[i] = flag;
+            }
+          });
+    }
+    const std::uint64_t raw_size = chunk_elems * dtype_size(header.dtype);
+    std::uint64_t cursor = kPreludeSize + head_size;
+    std::vector<ChunkIndexEntry> index;
+    index.reserve(n_chunks);
+    for (std::size_t i = 0; i < n_chunks; ++i) {
+      append_chunk(out, index, cursor, raw_size, payloads[i], flags[i]);
+    }
+    write_chunk_index(out, index);
   }
   out.close();
 }
 
 Dash5StreamWriter::Dash5StreamWriter(const std::string& path,
                                      const Dash5Header& header)
-    : out_(path), dtype_(header.dtype), expected_(header.shape.size()) {
-  DASSA_CHECK(header.layout == Layout::kContiguous,
-              "stream writer supports the contiguous layout only");
-  const std::vector<std::byte> head = encode_header(header);
-  out_.write(kMagic, sizeof kMagic);
+    : out_(path), header_(header), expected_(header.shape.size()) {
+  const bool v3 = !header_.codec.empty();
+  if (v3) {
+    DASSA_CHECK(header_.layout == Layout::kChunked,
+                "codec chains require the chunked layout");
+    DASSA_CHECK(header_.chunk.rows >= 1 && header_.chunk.cols >= 1,
+                "chunked layout needs positive chunk extents");
+    band_.resize(header_.chunk.rows * header_.shape.cols);
+  } else {
+    DASSA_CHECK(header_.layout == Layout::kContiguous,
+                "stream writer supports the contiguous layout only");
+  }
+  const std::vector<std::byte> head = encode_header(header_);
+  out_.write(v3 ? kMagicV3 : kMagic, sizeof kMagic);
   const std::uint64_t head_size = head.size();
   out_.write(&head_size, sizeof head_size);
   out_.write(head.data(), head.size());
+  cursor_ = kPreludeSize + head_size;
 }
 
 void Dash5StreamWriter::append(std::span<const double> data) {
   DASSA_CHECK(!closed_, "append on closed stream writer");
   DASSA_CHECK(written_ + data.size() <= expected_,
               "stream writer overflow: more elements than the header shape");
-  if (dtype_ == DType::kF64) {
-    out_.write(data.data(), data.size_bytes());
-  } else {
-    std::vector<float> f(data.size());
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      f[i] = static_cast<float>(data[i]);
+  if (header_.codec.empty()) {
+    if (header_.dtype == DType::kF64) {
+      out_.write(data.data(), data.size_bytes());
+    } else {
+      std::vector<float> f(data.size());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        f[i] = static_cast<float>(data[i]);
+      }
+      out_.write(f.data(), f.size() * sizeof(float));
     }
-    out_.write(f.data(), f.size() * sizeof(float));
+  } else {
+    // Stage into the band buffer; every full band (chunk.rows complete
+    // rows) is tiled and flushed, keeping memory at one band.
+    std::size_t consumed = 0;
+    while (consumed < data.size()) {
+      const std::size_t take =
+          std::min(band_.size() - band_fill_, data.size() - consumed);
+      std::copy(data.begin() + static_cast<std::ptrdiff_t>(consumed),
+                data.begin() + static_cast<std::ptrdiff_t>(consumed + take),
+                band_.begin() + static_cast<std::ptrdiff_t>(band_fill_));
+      band_fill_ += take;
+      consumed += take;
+      if (band_fill_ == band_.size()) flush_band();
+    }
   }
   written_ += data.size();
+}
+
+void Dash5StreamWriter::flush_band() {
+  if (band_fill_ == 0) return;
+  // Zero-fill the tail rows of a partial final band: tiles are always
+  // stored at full chunk size, zero-padded, exactly like dash5_write.
+  std::fill(band_.begin() + static_cast<std::ptrdiff_t>(band_fill_),
+            band_.end(), 0.0);
+  const ChunkShape chunk = header_.chunk;
+  const std::size_t cols = header_.shape.cols;
+  const std::size_t grid_cols = (cols + chunk.cols - 1) / chunk.cols;
+  const std::size_t chunk_elems = chunk.rows * chunk.cols;
+  std::vector<std::vector<std::byte>> payloads(grid_cols);
+  std::vector<std::uint8_t> flags(grid_cols, 0);
+  io_pool().parallel_for(
+      grid_cols, [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::vector<double> tile(chunk_elems);
+        for (std::size_t gj = begin; gj < end; ++gj) {
+          std::fill(tile.begin(), tile.end(), 0.0);
+          const std::size_t c0 = gj * chunk.cols;
+          const std::size_t c_cnt = std::min(chunk.cols, cols - c0);
+          for (std::size_t r = 0; r < chunk.rows; ++r) {
+            const double* src = band_.data() + r * cols + c0;
+            std::copy(src, src + c_cnt, tile.data() + r * chunk.cols);
+          }
+          auto [payload, flag] = encode_tile(header_, tile);
+          payloads[gj] = std::move(payload);
+          flags[gj] = flag;
+        }
+      });
+  const std::uint64_t raw_size = chunk_elems * dtype_size(header_.dtype);
+  for (std::size_t gj = 0; gj < grid_cols; ++gj) {
+    append_chunk(out_, index_, cursor_, raw_size, payloads[gj], flags[gj]);
+  }
+  band_fill_ = 0;
 }
 
 void Dash5StreamWriter::close() {
@@ -222,6 +432,10 @@ void Dash5StreamWriter::close() {
     throw StateError("stream writer closed after " +
                      std::to_string(written_) + " of " +
                      std::to_string(expected_) + " elements");
+  }
+  if (!header_.codec.empty()) {
+    flush_band();
+    write_chunk_index(out_, index_);
   }
   out_.close();
   closed_ = true;
@@ -235,9 +449,11 @@ Dash5File::Dash5File(const std::string& path) : file_(path) {
   }
   // One read covers magic + header size + header block.
   file_.read_at(0, magic, sizeof magic);
-  if (std::memcmp(magic, kMagic, sizeof magic) != 0) {
+  if (std::memcmp(magic, kMagic, sizeof magic - 1) != 0 ||
+      (magic[7] != kMagic[7] && magic[7] != kMagicV3[7])) {
     throw FormatError("bad magic in " + path);
   }
+  version_ = static_cast<std::uint8_t>(magic[7]);
   file_.read_at(8, &head_size, sizeof head_size);
   // Subtraction form: `kPreludeSize + head_size` wraps for a corrupted
   // size near 2^64 and would slip past the check into a huge read.
@@ -246,7 +462,7 @@ Dash5File::Dash5File(const std::string& path) : file_(path) {
   }
   const std::vector<std::byte> raw =
       file_.read_vec(kPreludeSize, static_cast<std::size_t>(head_size));
-  header_ = decode_header(raw, path);
+  header_ = decode_header(raw, path, version_);
   data_offset_ = kPreludeSize + head_size;
 
   // decode_header rejected extent-product overflow, but the chunked
@@ -269,11 +485,155 @@ Dash5File::Dash5File(const std::string& path) : file_(path) {
     }
     stored_elems = grid_rows * grid_cols * chunk_elems;
   }
+  if (version_ >= 3) {
+    // Chunk sizes are variable: the chunk index footer, not the shape,
+    // says how many bytes are present. parse_chunk_index() validates
+    // every entry against the file extents.
+    parse_chunk_index();
+    file_id_ = ChunkCache::next_file_id();
+    prefetch_ = std::make_unique<Prefetch>();
+    return;
+  }
   const std::uint64_t avail = file_.size() - data_offset_;
   if (stored_elems >
       avail / static_cast<std::uint64_t>(dtype_size(header_.dtype))) {
     throw FormatError("dataset truncated in " + path);
   }
+}
+
+/// Readahead state. Tasks run on io_pool() and must stay leaf work
+/// (a prefetch task never fans out again); the destructor closes the
+/// gate and drains in-flight tasks before the file handle dies.
+struct Dash5File::Prefetch {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t inflight = 0;
+  bool closed = false;
+  std::set<std::pair<std::size_t, std::size_t>> pending;
+  // Stride detector: two consecutive equal window steps arm the
+  // prefetcher (sequential scans and strided sweeps both qualify).
+  bool have_prev = false;
+  bool have_delta = false;
+  std::ptrdiff_t prev_gi = 0;
+  std::ptrdiff_t prev_gj = 0;
+  std::ptrdiff_t dgi = 0;
+  std::ptrdiff_t dgj = 0;
+};
+
+Dash5File::~Dash5File() {
+  if (prefetch_) {
+    std::unique_lock<std::mutex> lock(prefetch_->mu);
+    prefetch_->closed = true;
+    prefetch_->cv.wait(lock, [this] { return prefetch_->inflight == 0; });
+  }
+  if (file_id_ != 0) ChunkCache::global().erase_file(file_id_);
+}
+
+void Dash5File::parse_chunk_index() {
+  const std::string& p = file_.path();
+  const std::uint64_t fsize = file_.size();
+  const auto [grid_rows, grid_cols] = chunk_grid(header_);
+  const std::uint64_t n_chunks =
+      static_cast<std::uint64_t>(grid_rows) * grid_cols;
+
+  if (fsize - data_offset_ < kFooterTail) {
+    throw FormatError("v3 file too small for its chunk index footer: " + p);
+  }
+  char magic[8];
+  std::uint64_t index_size = 0;
+  file_.read_at(fsize - 8, magic, sizeof magic);
+  if (std::memcmp(magic, kIndexMagic, sizeof magic) != 0) {
+    throw FormatError("bad chunk index magic in " + p);
+  }
+  file_.read_at(fsize - 16, &index_size, sizeof index_size);
+  if (mul_overflows(n_chunks, kIndexEntrySize) ||
+      index_size != n_chunks * kIndexEntrySize) {
+    throw FormatError("chunk index size mismatch in " + p);
+  }
+  if (index_size > fsize - data_offset_ - kFooterTail) {
+    throw FormatError("chunk index exceeds file in " + p);
+  }
+  const std::uint64_t index_start = fsize - kFooterTail - index_size;
+  std::uint32_t stored_crc = 0;
+  file_.read_at(fsize - kFooterTail, &stored_crc, sizeof stored_crc);
+  const std::vector<std::byte> block =
+      file_.read_vec(index_start, static_cast<std::size_t>(index_size));
+  if (detail::crc32(block.data(), block.size()) != stored_crc) {
+    throw FormatError("chunk index CRC mismatch in " + p);
+  }
+
+  const std::uint64_t chunk_bytes =
+      static_cast<std::uint64_t>(header_.chunk.rows) * header_.chunk.cols *
+      dtype_size(header_.dtype);
+  detail::Decoder dec(block);
+  index_.reserve(n_chunks);
+  // Chunks are densely packed from the data offset: each entry must
+  // start exactly where the previous one ended and stay below the
+  // index block, which makes overlap and overflow unrepresentable.
+  std::uint64_t cursor = data_offset_;
+  for (std::uint64_t i = 0; i < n_chunks; ++i) {
+    ChunkIndexEntry e;
+    e.offset = dec.u64();
+    e.csize = dec.u64();
+    e.raw_size = dec.u64();
+    e.crc = dec.u32();
+    e.codec = dec.u8();
+    if (e.offset != cursor) {
+      throw FormatError("chunk index offsets not densely packed in " + p);
+    }
+    if (e.csize > index_start - cursor) {
+      throw FormatError("chunk overruns the index block in " + p);
+    }
+    if (e.raw_size != chunk_bytes) {
+      throw FormatError("chunk raw size disagrees with the header in " + p);
+    }
+    if (e.codec > 1) {
+      throw FormatError("chunk codec flag out of range in " + p);
+    }
+    if (e.codec == 0 && e.csize != e.raw_size) {
+      throw FormatError("raw-stored chunk with a compressed size in " + p);
+    }
+    cursor += e.csize;
+    index_.push_back(e);
+  }
+}
+
+std::vector<double> Dash5File::decode_chunk(
+    std::size_t chunk_idx, std::span<const std::byte> stored) const {
+  const ChunkIndexEntry& e = index_[chunk_idx];
+  if (detail::crc32(stored.data(), stored.size()) != e.crc) {
+    throw FormatError("chunk " + std::to_string(chunk_idx) +
+                      " CRC mismatch in " + file_.path());
+  }
+  const std::size_t chunk_elems = header_.chunk.rows * header_.chunk.cols;
+  std::vector<double> tile(chunk_elems);
+  if (e.codec == 0) {
+    decode_elems({stored.begin(), stored.end()}, chunk_elems, tile.data());
+  } else {
+    const std::vector<std::byte> raw =
+        decode_chain(header_.codec, stored, dtype_size(header_.dtype),
+                     static_cast<std::size_t>(e.raw_size));
+    decode_elems(raw, chunk_elems, tile.data());
+  }
+  return tile;
+}
+
+std::shared_ptr<const std::vector<double>> Dash5File::load_tile(
+    std::size_t gi, std::size_t gj) const {
+  const auto [grid_rows, grid_cols] = chunk_grid(header_);
+  const ChunkKey key{file_id_, gi, gj};
+  ChunkCache& cache = ChunkCache::global();
+  if (ChunkData hit = cache.get(key)) return hit;
+  const ChunkIndexEntry& e = index_[gi * grid_cols + gj];
+  std::vector<std::byte> stored;
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    stored = file_.read_vec(e.offset, static_cast<std::size_t>(e.csize));
+  }
+  auto tile = std::make_shared<const std::vector<double>>(
+      decode_chunk(gi * grid_cols + gj, stored));
+  cache.put(key, tile);
+  return tile;
 }
 
 Dash5Header Dash5File::read_header(const std::string& path) {
@@ -301,6 +661,8 @@ std::vector<double> Dash5File::read_slab(const Slab2D& slab) const {
   const std::size_t esize = dtype_size(header_.dtype);
   std::vector<double> out(slab.size());
   if (slab.empty()) return out;
+
+  if (version_ >= 3) return read_slab_v3(slab);
 
   if (header_.layout == Layout::kChunked) {
     // One contiguous read per intersecting chunk tile, then copy the
@@ -370,6 +732,152 @@ std::vector<double> Dash5File::read_slab(const Slab2D& slab) const {
     }
   }
   return out;
+}
+
+std::vector<double> Dash5File::read_slab_v3(const Slab2D& slab) const {
+  const ChunkShape chunk = header_.chunk;
+  std::vector<double> out(slab.size());
+
+  const std::size_t gi_lo = slab.row_off / chunk.rows;
+  const std::size_t gi_hi = (slab.row_off + slab.row_cnt - 1) / chunk.rows;
+  const std::size_t gj_lo = slab.col_off / chunk.cols;
+  const std::size_t gj_hi = (slab.col_off + slab.col_cnt - 1) / chunk.cols;
+
+  // Gather the window's tiles: cache hits immediately, misses as a
+  // batch — stored bytes are read serially (one I/O pass), then
+  // decoded in parallel on the I/O pool when the batch is large
+  // enough to pay for the fan-out.
+  struct Want {
+    std::size_t gi, gj;
+    ChunkData tile;
+  };
+  std::vector<Want> wants;
+  wants.reserve((gi_hi - gi_lo + 1) * (gj_hi - gj_lo + 1));
+  for (std::size_t gi = gi_lo; gi <= gi_hi; ++gi) {
+    for (std::size_t gj = gj_lo; gj <= gj_hi; ++gj) {
+      wants.push_back({gi, gj, ChunkCache::global().get({file_id_, gi, gj})});
+    }
+  }
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < wants.size(); ++i) {
+    if (!wants[i].tile) misses.push_back(i);
+  }
+  if (!misses.empty()) {
+    const auto [grid_rows, grid_cols] = chunk_grid(header_);
+    std::vector<std::vector<std::byte>> stored(misses.size());
+    {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      for (std::size_t k = 0; k < misses.size(); ++k) {
+        const Want& w = wants[misses[k]];
+        const ChunkIndexEntry& e = index_[w.gi * grid_cols + w.gj];
+        stored[k] = file_.read_vec(e.offset, static_cast<std::size_t>(e.csize));
+      }
+    }
+    const auto decode_one = [&](std::size_t k) {
+      Want& w = wants[misses[k]];
+      w.tile = std::make_shared<const std::vector<double>>(
+          decode_chunk(w.gi * grid_cols + w.gj, stored[k]));
+      ChunkCache::global().put({file_id_, w.gi, w.gj}, w.tile);
+    };
+    if (misses.size() >= 4) {
+      io_pool().parallel_for(misses.size(),
+                             [&](std::size_t, std::size_t b, std::size_t e) {
+                               for (std::size_t k = b; k < e; ++k) {
+                                 decode_one(k);
+                               }
+                             });
+    } else {
+      for (std::size_t k = 0; k < misses.size(); ++k) decode_one(k);
+    }
+  }
+
+  for (const Want& w : wants) {
+    // Intersection of this tile with the selection, in global
+    // coordinates (same arithmetic as the v2 chunked path).
+    const std::size_t r_lo = std::max(slab.row_off, w.gi * chunk.rows);
+    const std::size_t r_hi =
+        std::min(slab.row_off + slab.row_cnt, (w.gi + 1) * chunk.rows);
+    const std::size_t c_lo = std::max(slab.col_off, w.gj * chunk.cols);
+    const std::size_t c_hi =
+        std::min(slab.col_off + slab.col_cnt, (w.gj + 1) * chunk.cols);
+    for (std::size_t r = r_lo; r < r_hi; ++r) {
+      const double* src = w.tile->data() + (r - w.gi * chunk.rows) * chunk.cols +
+                          (c_lo - w.gj * chunk.cols);
+      std::copy(src, src + (c_hi - c_lo),
+                out.data() + (r - slab.row_off) * slab.col_cnt +
+                    (c_lo - slab.col_off));
+    }
+  }
+
+  maybe_prefetch(gi_lo, gi_hi, gj_lo, gj_hi);
+  return out;
+}
+
+void Dash5File::maybe_prefetch(std::size_t gi_lo, std::size_t gi_hi,
+                               std::size_t gj_lo, std::size_t gj_hi) const {
+  Prefetch& pf = *prefetch_;
+  const auto [grid_rows, grid_cols] = chunk_grid(header_);
+  std::vector<std::pair<std::size_t, std::size_t>> targets;
+  {
+    std::lock_guard<std::mutex> lock(pf.mu);
+    if (pf.closed) return;
+    const auto gi = static_cast<std::ptrdiff_t>(gi_lo);
+    const auto gj = static_cast<std::ptrdiff_t>(gj_lo);
+    if (pf.have_prev) {
+      const std::ptrdiff_t dgi = gi - pf.prev_gi;
+      const std::ptrdiff_t dgj = gj - pf.prev_gj;
+      if (pf.have_delta && dgi == pf.dgi && dgj == pf.dgj &&
+          (dgi != 0 || dgj != 0)) {
+        // Two consecutive equal steps: predict the next window (the
+        // current one shifted by the stride, clipped to the grid).
+        for (std::size_t wi = gi_lo; wi <= gi_hi; ++wi) {
+          for (std::size_t wj = gj_lo; wj <= gj_hi; ++wj) {
+            const auto ti = static_cast<std::ptrdiff_t>(wi) + dgi;
+            const auto tj = static_cast<std::ptrdiff_t>(wj) + dgj;
+            if (ti < 0 || tj < 0 ||
+                ti >= static_cast<std::ptrdiff_t>(grid_rows) ||
+                tj >= static_cast<std::ptrdiff_t>(grid_cols)) {
+              continue;
+            }
+            const std::pair<std::size_t, std::size_t> t{
+                static_cast<std::size_t>(ti), static_cast<std::size_t>(tj)};
+            if (pf.pending.insert(t).second) {
+              targets.push_back(t);
+              ++pf.inflight;
+            }
+          }
+        }
+      }
+      pf.dgi = dgi;
+      pf.dgj = dgj;
+      pf.have_delta = true;
+    }
+    pf.prev_gi = gi;
+    pf.prev_gj = gj;
+    pf.have_prev = true;
+  }
+  for (const auto& t : targets) {
+    global_counters().add(counters::kIoCachePrefetchIssued, 1);
+    io_pool().submit([this, t] {
+      bool run = false;
+      {
+        std::lock_guard<std::mutex> lock(prefetch_->mu);
+        run = !prefetch_->closed;
+      }
+      if (run) {
+        // Background warm-up is best-effort: a corrupt chunk must
+        // surface on the foreground read that needs it, not here.
+        try {
+          (void)load_tile(t.first, t.second);
+        } catch (const std::exception&) {
+        }
+      }
+      std::lock_guard<std::mutex> lock(prefetch_->mu);
+      prefetch_->pending.erase(t);
+      --prefetch_->inflight;
+      prefetch_->cv.notify_all();
+    });
+  }
 }
 
 }  // namespace dassa::io

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <mutex>
 
 #include "dassa/common/counters.hpp"
 #include "dassa/common/timer.hpp"
@@ -13,6 +14,24 @@ namespace dassa::io {
 namespace {
 constexpr char kVcaMagic[8] = {'D', 'A', 'S', 'V', 'C', 'A', '\0', '\1'};
 }  // namespace
+
+/// Lazily opened member handles. Slots open on first touch under the
+/// mutex; Dash5File handles are immobile (they pin a chunk-cache
+/// identity), hence unique_ptr slots.
+struct Vca::MemberFiles {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Dash5File>> files;
+};
+
+Dash5File& Vca::member_file(std::size_t i) const {
+  DASSA_CHECK(handles_ != nullptr && i < handles_->files.size(),
+              "member_file on an unbuilt VCA");
+  std::lock_guard<std::mutex> lock(handles_->mu);
+  if (!handles_->files[i]) {
+    handles_->files[i] = std::make_unique<Dash5File>(members_[i].path);
+  }
+  return *handles_->files[i];
+}
 
 void Vca::finalize() {
   DASSA_CHECK(!members_.empty(), "VCA needs at least one member file");
@@ -34,6 +53,8 @@ void Vca::finalize() {
   }
   col_starts_.push_back(col);
   shape_ = {rows, col};
+  handles_ = std::make_shared<MemberFiles>();
+  handles_->files.resize(members_.size());
 }
 
 Vca Vca::build(const std::vector<std::string>& files) {
@@ -164,8 +185,8 @@ std::vector<double> Vca::read_slab(const Slab2D& slab) const {
   const std::vector<VcaPiece> pieces = resolve(slab);
   std::vector<double> out(slab.size());
   for (const auto& piece : pieces) {
-    Dash5File file(members_[piece.member].path);
-    const std::vector<double> part = file.read_slab(piece.slab);
+    const std::vector<double> part =
+        member_file(piece.member).read_slab(piece.slab);
     // Scatter the piece's rows into the assembled result.
     for (std::size_t r = 0; r < piece.slab.row_cnt; ++r) {
       std::copy(part.data() + r * piece.slab.col_cnt,

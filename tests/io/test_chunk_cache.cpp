@@ -1,0 +1,222 @@
+// ChunkCache tests: deterministic LRU eviction within a shard, byte
+// budgets, per-file eviction, and a multi-threaded stress mix that
+// doubles as the TSan workout for the sharded locking.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "dassa/io/chunk_cache.hpp"
+
+namespace dassa::io {
+namespace {
+
+ChunkData make_tile(std::size_t elems, double value) {
+  return std::make_shared<const std::vector<double>>(elems, value);
+}
+
+constexpr std::size_t kTileElems = 64;
+constexpr std::size_t kTileBytes = kTileElems * sizeof(double);
+
+/// Mirror of ChunkCache's internal key hash, used to pick keys that
+/// deliberately collide in one shard so LRU order is observable.
+std::size_t shard_of(const ChunkKey& k) {
+  std::uint64_t h = k.file_id * 0x9E3779B97F4A7C15ull;
+  h ^= (static_cast<std::uint64_t>(k.row) + 0x9E3779B97F4A7C15ull + (h << 6) +
+        (h >> 2));
+  h ^= (static_cast<std::uint64_t>(k.col) + 0x9E3779B97F4A7C15ull + (h << 6) +
+        (h >> 2));
+  return static_cast<std::size_t>(h) % ChunkCache::kShards;
+}
+
+/// First `count` keys of `file_id` that all land in shard 0.
+std::vector<ChunkKey> same_shard_keys(std::uint64_t file_id,
+                                      std::size_t count) {
+  std::vector<ChunkKey> keys;
+  for (std::size_t col = 0; keys.size() < count; ++col) {
+    const ChunkKey key{file_id, 0, col};
+    if (shard_of(key) == 0) keys.push_back(key);
+  }
+  return keys;
+}
+
+TEST(ChunkCacheTest, MissThenPutThenHit) {
+  ChunkCache cache(1 << 20);
+  const ChunkKey key{1, 2, 3};
+  EXPECT_EQ(cache.get(key), nullptr);
+  const ChunkData tile = make_tile(kTileElems, 7.0);
+  cache.put(key, tile);
+  const ChunkData back = cache.get(key);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back, tile);  // shared buffer, not a copy
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), kTileBytes);
+}
+
+TEST(ChunkCacheTest, LruEvictionIsDeterministicWithinAShard) {
+  // Budget slice = 2 tiles per shard; three same-shard inserts with a
+  // refresh in between must evict exactly the least-recently-used key.
+  ChunkCache cache(ChunkCache::kShards * 2 * kTileBytes);
+  const std::vector<ChunkKey> keys = same_shard_keys(1, 3);
+  cache.put(keys[0], make_tile(kTileElems, 0.0));
+  cache.put(keys[1], make_tile(kTileElems, 1.0));
+  ASSERT_NE(cache.get(keys[0]), nullptr);  // refresh: keys[1] is now LRU
+  cache.put(keys[2], make_tile(kTileElems, 2.0));
+  EXPECT_NE(cache.get(keys[0]), nullptr);
+  EXPECT_EQ(cache.get(keys[1]), nullptr);  // evicted
+  EXPECT_NE(cache.get(keys[2]), nullptr);
+  EXPECT_EQ(cache.bytes(), 2 * kTileBytes);
+}
+
+TEST(ChunkCacheTest, RepeatedRunsProduceIdenticalHitPatterns) {
+  // The same access sequence against a fresh cache must produce the
+  // same hit/miss pattern every time: no randomized or time-dependent
+  // eviction.
+  const std::vector<ChunkKey> keys = same_shard_keys(1, 8);
+  std::vector<bool> first;
+  for (int run = 0; run < 3; ++run) {
+    ChunkCache cache(ChunkCache::kShards * 3 * kTileBytes);
+    std::vector<bool> pattern;
+    std::mt19937 rng(7);  // fixed seed: same sequence each run
+    for (int op = 0; op < 200; ++op) {
+      const ChunkKey& key = keys[rng() % keys.size()];
+      const bool hit = cache.get(key) != nullptr;
+      pattern.push_back(hit);
+      if (!hit) cache.put(key, make_tile(kTileElems, 1.0));
+    }
+    if (run == 0) {
+      first = pattern;
+    } else {
+      EXPECT_EQ(pattern, first) << "run " << run;
+    }
+  }
+}
+
+TEST(ChunkCacheTest, ZeroBudgetDisablesCaching) {
+  ChunkCache cache(0);
+  const ChunkKey key{1, 0, 0};
+  cache.put(key, make_tile(kTileElems, 1.0));
+  EXPECT_EQ(cache.get(key), nullptr);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ChunkCacheTest, OversizedTileIsNotCached) {
+  ChunkCache cache(ChunkCache::kShards * kTileBytes);  // slice = 1 tile
+  const ChunkKey key{1, 0, 0};
+  cache.put(key, make_tile(kTileElems * 2, 1.0));  // 2x the slice
+  EXPECT_EQ(cache.get(key), nullptr);
+  cache.put(key, make_tile(kTileElems, 1.0));  // exactly the slice fits
+  EXPECT_NE(cache.get(key), nullptr);
+}
+
+TEST(ChunkCacheTest, EraseFileDropsOnlyThatFile) {
+  ChunkCache cache(1 << 20);
+  for (std::size_t col = 0; col < 5; ++col) {
+    cache.put({1, 0, col}, make_tile(kTileElems, 1.0));
+    cache.put({2, 0, col}, make_tile(kTileElems, 2.0));
+  }
+  EXPECT_EQ(cache.entries(), 10u);
+  cache.erase_file(1);
+  EXPECT_EQ(cache.entries(), 5u);
+  EXPECT_EQ(cache.bytes(), 5 * kTileBytes);
+  for (std::size_t col = 0; col < 5; ++col) {
+    EXPECT_EQ(cache.get({1, 0, col}), nullptr);
+    EXPECT_NE(cache.get({2, 0, col}), nullptr);
+  }
+}
+
+TEST(ChunkCacheTest, ClearEmptiesEverything) {
+  ChunkCache cache(1 << 20);
+  for (std::size_t col = 0; col < 16; ++col) {
+    cache.put({1, 0, col}, make_tile(kTileElems, 1.0));
+  }
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.budget(), std::size_t{1} << 20);  // budget survives
+}
+
+TEST(ChunkCacheTest, ShrinkingBudgetEvictsImmediately) {
+  ChunkCache cache(1 << 20);
+  for (std::size_t col = 0; col < 64; ++col) {
+    cache.put({1, 0, col}, make_tile(kTileElems, 1.0));
+  }
+  ASSERT_EQ(cache.entries(), 64u);
+  cache.set_budget(ChunkCache::kShards * kTileBytes);
+  EXPECT_LE(cache.bytes(), ChunkCache::kShards * kTileBytes);
+  EXPECT_LE(cache.entries(), ChunkCache::kShards);
+}
+
+TEST(ChunkCacheTest, RefreshingAKeyKeepsAccountingExact) {
+  ChunkCache cache(1 << 20);
+  const ChunkKey key{1, 0, 0};
+  cache.put(key, make_tile(kTileElems, 1.0));
+  cache.put(key, make_tile(kTileElems, 2.0));  // racing-reader refresh
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), kTileBytes);
+  const ChunkData back = cache.get(key);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ((*back)[0], 2.0);
+}
+
+TEST(ChunkCacheTest, NextFileIdIsUniqueAndNonZero) {
+  const std::uint64_t a = ChunkCache::next_file_id();
+  const std::uint64_t b = ChunkCache::next_file_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(ChunkCacheStressTest, ConcurrentMixedOperationsStaySane) {
+  // Many threads hammering put/get/erase/set_budget: under TSan this
+  // is the locking workout; in plain builds it checks the accounting
+  // invariants survive contention.
+  ChunkCache cache(ChunkCache::kShards * 16 * kTileBytes);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      std::mt19937 rng(static_cast<unsigned>(t));
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const ChunkKey key{1 + rng() % 4, rng() % 4, rng() % 16};
+        switch (rng() % 8) {
+          case 0:
+            cache.erase_file(key.file_id);
+            break;
+          case 1:
+            cache.set_budget(ChunkCache::kShards * (8 + rng() % 16) *
+                             kTileBytes);
+            break;
+          case 2:
+          case 3:
+            cache.put(key, make_tile(kTileElems, static_cast<double>(op)));
+            break;
+          default: {
+            const ChunkData tile = cache.get(key);
+            if (tile) {
+              // Reading through the shared pointer must stay valid even
+              // if the entry is concurrently evicted.
+              volatile double sink = (*tile)[0];
+              (void)sink;
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // Quiescent invariant: bytes() equals the sum of live entries. (The
+  // budget itself may be transiently overshot by a put that read the
+  // old budget while another thread shrank it, so only the accounting
+  // identity is checked here.)
+  EXPECT_EQ(cache.bytes(), cache.entries() * kTileBytes);
+}
+
+}  // namespace
+}  // namespace dassa::io

@@ -1,0 +1,246 @@
+// Codec pipeline tests: every chain must round-trip bit-exactly over
+// every element width, payload size (including 0, 1, and non-divisible
+// tails), and data character (constant, ramp, random, quantized
+// floats). Malformed encoded streams must come back as FormatError --
+// the decoders run on attacker-controlled disk bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dassa/common/counters.hpp"
+#include "dassa/io/codec.hpp"
+
+namespace dassa::io {
+namespace {
+
+std::vector<std::byte> to_bytes(const std::vector<std::uint8_t>& v) {
+  std::vector<std::byte> out(v.size());
+  if (!v.empty()) std::memcpy(out.data(), v.data(), v.size());
+  return out;
+}
+
+/// Deterministic payload generators, one per data character.
+std::vector<std::byte> make_payload(const std::string& kind,
+                                    std::size_t nbytes) {
+  std::vector<std::uint8_t> v(nbytes);
+  std::mt19937 rng(42);
+  if (kind == "zeros") {
+    // already zero
+  } else if (kind == "ramp") {
+    for (std::size_t i = 0; i < nbytes; ++i) {
+      v[i] = static_cast<std::uint8_t>(i / 7);
+    }
+  } else if (kind == "random") {
+    for (auto& b : v) b = static_cast<std::uint8_t>(rng());
+  } else if (kind == "quantized") {
+    // Doubles snapped to a power-of-two LSB: low mantissa bytes are
+    // zero, the realistic DAS-after-ADC case the codecs target.
+    std::vector<double> d((nbytes + 7) / 8, 0.0);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const double x = std::sin(static_cast<double>(i) * 0.05) * 100.0;
+      d[i] = std::nearbyint(x * 128.0) / 128.0;
+    }
+    if (nbytes > 0) std::memcpy(v.data(), d.data(), nbytes);
+  }
+  return to_bytes(v);
+}
+
+const char* const kChains[] = {
+    "none", "shuffle", "delta", "lz",
+    "shuffle+lz", "delta+lz", "shuffle+delta+lz",
+};
+const char* const kKinds[] = {"zeros", "ramp", "random", "quantized"};
+constexpr std::size_t kSizes[] = {0, 1, 3, 7, 8, 17, 64, 1000, 4096, 32771};
+
+TEST(CodecRoundtripTest, EveryChainEverySizeEveryKindIsBitExact) {
+  for (const char* chain : kChains) {
+    const CodecSpec spec = CodecSpec::parse(chain);
+    for (const std::size_t esize : {std::size_t{4}, std::size_t{8}}) {
+      for (const char* kind : kKinds) {
+        for (const std::size_t nbytes : kSizes) {
+          const std::vector<std::byte> raw = make_payload(kind, nbytes);
+          const std::vector<std::byte> enc = encode_chain(spec, raw, esize);
+          const std::vector<std::byte> dec =
+              decode_chain(spec, enc, esize, raw.size());
+          ASSERT_EQ(dec, raw) << chain << " esize=" << esize << " " << kind
+                              << " nbytes=" << nbytes;
+        }
+      }
+    }
+  }
+}
+
+TEST(CodecRoundtripTest, LzStreamEndingExactlyOnMatchRoundtrips) {
+  // Regression: when the input ends exactly where a match ends, the
+  // encoder must not emit a trailing empty literal token -- the decoder
+  // stops at decoded_size and would report trailing garbage.
+  std::vector<std::byte> block = make_payload("random", 32);
+  std::vector<std::byte> raw;
+  for (int rep = 0; rep < 4; ++rep) {
+    raw.insert(raw.end(), block.begin(), block.end());
+  }
+  const CodecSpec spec = CodecSpec::parse("lz");
+  const std::vector<std::byte> enc = encode_chain(spec, raw, 8);
+  EXPECT_LT(enc.size(), raw.size());  // the repeats must actually match
+  EXPECT_EQ(decode_chain(spec, enc, 8, raw.size()), raw);
+}
+
+TEST(CodecRoundtripTest, LongLiteralAndMatchRunsUseExtensionBytes) {
+  // >15 literals and >18 match bytes exercise the 255-run length
+  // extension on both sides of the token.
+  std::vector<std::byte> raw = make_payload("random", 600);
+  std::vector<std::byte> tail(raw.begin(), raw.begin() + 500);
+  raw.insert(raw.end(), tail.begin(), tail.end());
+  const CodecSpec spec = CodecSpec::parse("lz");
+  const std::vector<std::byte> enc = encode_chain(spec, raw, 8);
+  EXPECT_EQ(decode_chain(spec, enc, 8, raw.size()), raw);
+}
+
+TEST(CodecRoundtripTest, CompressibleDataActuallyShrinks) {
+  const std::vector<std::byte> raw = make_payload("quantized", 32768);
+  for (const char* chain : {"shuffle+lz", "delta+lz"}) {
+    const CodecSpec spec = CodecSpec::parse(chain);
+    const std::vector<std::byte> enc = encode_chain(spec, raw, 8);
+    EXPECT_LT(enc.size(), raw.size() / 2)
+        << chain << " only reached " << enc.size() << " of " << raw.size();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Spec parsing and registry
+
+TEST(CodecSpecTest, ParseAndStrRoundtrip) {
+  EXPECT_TRUE(CodecSpec::parse("none").empty());
+  EXPECT_EQ(CodecSpec::parse("none").str(), "none");
+  const CodecSpec s = CodecSpec::parse("shuffle+lz");
+  ASSERT_EQ(s.chain.size(), 2u);
+  EXPECT_EQ(s.chain[0], CodecId::kShuffle);
+  EXPECT_EQ(s.chain[1], CodecId::kLz);
+  EXPECT_EQ(s.str(), "shuffle+lz");
+  EXPECT_EQ(CodecSpec::parse("delta+lz").str(), "delta+lz");
+}
+
+TEST(CodecSpecTest, ParseRejectsUnknownStageAndOverlongChain) {
+  EXPECT_THROW(CodecSpec::parse("gzip"), InvalidArgument);
+  EXPECT_THROW(CodecSpec::parse("shuffle+"), InvalidArgument);
+  EXPECT_THROW(CodecSpec::parse(""), InvalidArgument);
+  EXPECT_THROW(CodecSpec::parse("lz+lz+lz+lz+lz+lz+lz+lz+lz"),
+               InvalidArgument);
+  // Exactly kMaxChain stages is allowed.
+  EXPECT_EQ(CodecSpec::parse("lz+lz+lz+lz+lz+lz+lz+lz").chain.size(),
+            CodecSpec::kMaxChain);
+}
+
+TEST(CodecSpecTest, RegistryFindsBuiltinsAndRejectsUnknown) {
+  const CodecRegistry& reg = CodecRegistry::instance();
+  for (const CodecId id :
+       {CodecId::kNone, CodecId::kShuffle, CodecId::kDelta, CodecId::kLz}) {
+    const Codec* stage = reg.find(id);
+    ASSERT_NE(stage, nullptr);
+    EXPECT_EQ(stage->id(), id);
+    EXPECT_EQ(reg.find(std::string(stage->name())), stage);
+  }
+  EXPECT_EQ(reg.find(static_cast<CodecId>(200)), nullptr);
+  EXPECT_EQ(reg.find(std::string("bogus")), nullptr);
+}
+
+TEST(CodecSpecTest, EncodeChainRejectsBadElementSize) {
+  const std::vector<std::byte> raw(16);
+  EXPECT_THROW((void)encode_chain(CodecSpec::parse("lz"), raw, 3),
+               InvalidArgument);
+  EXPECT_THROW((void)decode_chain(CodecSpec::parse("lz"), raw, 16, 16),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Hostile streams
+
+class MalformedCodecTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MalformedCodecTest, TruncatedStreamIsFormatError) {
+  const CodecSpec spec = CodecSpec::parse(GetParam());
+  const std::vector<std::byte> raw = make_payload("quantized", 4096);
+  std::vector<std::byte> enc = encode_chain(spec, raw, 8);
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, enc.size() / 2, enc.size() - 1}) {
+    std::vector<std::byte> cut(enc.begin(),
+                               enc.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW((void)decode_chain(spec, cut, 8, raw.size()), FormatError)
+        << GetParam() << " keep=" << keep;
+  }
+}
+
+TEST_P(MalformedCodecTest, AppendedGarbageIsFormatError) {
+  const CodecSpec spec = CodecSpec::parse(GetParam());
+  const std::vector<std::byte> raw = make_payload("ramp", 1024);
+  std::vector<std::byte> enc = encode_chain(spec, raw, 8);
+  enc.push_back(std::byte{0x5A});
+  EXPECT_THROW((void)decode_chain(spec, enc, 8, raw.size()), FormatError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, MalformedCodecTest,
+                         ::testing::Values("delta", "lz", "shuffle+lz",
+                                           "delta+lz"),
+                         [](const auto& param_info) {
+                           std::string n = param_info.param;
+                           for (auto& c : n) {
+                             if (c == '+') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(MalformedCodecDirectTest, LzSizeHeaderBeyondBoundIsRejected) {
+  const CodecSpec spec = CodecSpec::parse("lz");
+  const std::vector<std::byte> raw = make_payload("ramp", 256);
+  std::vector<std::byte> enc = encode_chain(spec, raw, 8);
+  const std::uint64_t huge = 1ull << 60;  // allocation bomb if trusted
+  std::memcpy(enc.data(), &huge, sizeof huge);
+  EXPECT_THROW((void)decode_chain(spec, enc, 8, raw.size()), FormatError);
+}
+
+TEST(MalformedCodecDirectTest, LzOffsetOutsideWindowIsRejected) {
+  // Hand-build: size 8, one sequence of 4 literals then a match whose
+  // offset points before the start of the output.
+  std::vector<std::byte> enc(8, std::byte{0});
+  const std::uint64_t n = 8;
+  std::memcpy(enc.data(), &n, sizeof n);
+  enc.push_back(std::byte{0x40});  // 4 literals, match len 4
+  for (int i = 0; i < 4; ++i) enc.push_back(std::byte{0xAB});
+  const std::uint16_t offset = 9;  // > 4 bytes produced so far
+  enc.resize(enc.size() + 2);
+  std::memcpy(enc.data() + enc.size() - 2, &offset, sizeof offset);
+  EXPECT_THROW((void)decode_chain(CodecSpec::parse("lz"), enc, 8, 8),
+               FormatError);
+}
+
+TEST(MalformedCodecDirectTest, DeltaSizeMismatchIsRejected) {
+  const CodecSpec spec = CodecSpec::parse("delta");
+  const std::vector<std::byte> raw = make_payload("ramp", 256);
+  std::vector<std::byte> enc = encode_chain(spec, raw, 8);
+  // Claim one byte fewer than the varint payload actually decodes to.
+  std::uint64_t n = 0;
+  std::memcpy(&n, enc.data(), sizeof n);
+  n -= 1;
+  std::memcpy(enc.data(), &n, sizeof n);
+  EXPECT_THROW((void)decode_chain(spec, enc, 8, raw.size()), FormatError);
+}
+
+TEST(CodecCountersTest, EncodeAndDecodeChargeIoCodecCounters) {
+  const std::uint64_t enc0 =
+      global_counters().get(counters::kIoCodecEncodeCalls);
+  const std::uint64_t dec0 =
+      global_counters().get(counters::kIoCodecDecodeCalls);
+  const CodecSpec spec = CodecSpec::parse("shuffle+lz");
+  const std::vector<std::byte> raw = make_payload("ramp", 512);
+  const std::vector<std::byte> enc = encode_chain(spec, raw, 8);
+  (void)decode_chain(spec, enc, 8, raw.size());
+  EXPECT_EQ(global_counters().get(counters::kIoCodecEncodeCalls), enc0 + 1);
+  EXPECT_EQ(global_counters().get(counters::kIoCodecDecodeCalls), dec0 + 1);
+}
+
+}  // namespace
+}  // namespace dassa::io

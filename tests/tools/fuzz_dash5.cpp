@@ -14,11 +14,14 @@
 //   fuzz_dash5 [--iters N] [--seed S] [--scratch DIR] [--keep-failures]
 //
 // Each iteration picks a valid seed container (contiguous f64 DasH5,
-// chunked f32 DasH5, VCA, KV-heavy DasH5), applies 1-3 random
-// mutations (bit flips, byte stomps, truncation, growth, zeroed and
-// garbage spans), writes the result to a scratch file and runs the
-// full parse+read surface over it. A failing input is saved next to
-// the scratch file so it can be replayed and minimised by hand.
+// chunked f32 DasH5, compressed v3 DasH5 under both codec chains, VCA,
+// KV-heavy DasH5), applies 1-3 random mutations (bit flips, byte
+// stomps, truncation, growth, zeroed and garbage spans, plus
+// v3-targeted chunk-index mutations that re-sign the index CRC so the
+// corruption reaches the structural validators), writes the result to
+// a scratch file and runs the full parse+read surface over it. A
+// failing input is saved next to the scratch file so it can be
+// replayed and minimised by hand.
 #include <unistd.h>
 
 #include <cstdint>
@@ -30,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "../../src/io/serialize.hpp"
 #include "dassa/common/error.hpp"
 #include "dassa/io/dash5.hpp"
 #include "dassa/io/vca.hpp"
@@ -147,6 +151,25 @@ std::vector<SeedInput> build_corpus(const fs::path& dir) {
     }
     dash5_write((dir / "kv.dh5").string(), h, make_data(shape, 3));
   }
+  // Compressed v3 f64 (chunk index footer, shuffle+lz chain).
+  {
+    const Shape2D shape{9, 50};
+    Dash5Header h = base_header(shape);
+    h.layout = Layout::kChunked;
+    h.chunk = ChunkShape{4, 16};
+    h.codec = CodecSpec::parse("shuffle+lz");
+    dash5_write((dir / "v3_shuffle.dh5").string(), h, make_data(shape, 6));
+  }
+  // Compressed v3 f32 (delta+lz chain, odd tile grid).
+  {
+    const Shape2D shape{5, 41};
+    Dash5Header h = base_header(shape);
+    h.dtype = DType::kF32;
+    h.layout = Layout::kChunked;
+    h.chunk = ChunkShape{2, 8};
+    h.codec = CodecSpec::parse("delta+lz");
+    dash5_write((dir / "v3_delta.dh5").string(), h, make_data(shape, 7));
+  }
   // VCA over two members (exercises the .vca parser; its member paths
   // point at real files, so post-parse reads exercise resolution too).
   {
@@ -161,13 +184,64 @@ std::vector<SeedInput> build_corpus(const fs::path& dir) {
   }
 
   std::vector<SeedInput> corpus;
-  for (const char* name : {"plain.dh5", "chunked.dh5", "kv.dh5"}) {
+  for (const char* name : {"plain.dh5", "chunked.dh5", "kv.dh5",
+                           "v3_shuffle.dh5", "v3_delta.dh5"}) {
     corpus.push_back({SeedInput::Kind::kDash5, name,
                       read_file((dir / name).string())});
   }
   corpus.push_back({SeedInput::Kind::kVca, "pair.vca",
                     read_file((dir / "pair.vca").string())});
   return corpus;
+}
+
+/// True iff `bytes` still ends with the v3 chunk index magic.
+bool has_v3_footer(const std::vector<std::uint8_t>& bytes) {
+  static const std::uint8_t magic[8] = {'D', 'A', 'S', 'I', 'D', 'X', 0, 3};
+  return bytes.size() >= 28 &&
+         std::memcmp(bytes.data() + bytes.size() - 8, magic, 8) == 0;
+}
+
+/// Mutate a byte inside the chunk index block and re-sign its CRC, so
+/// the corruption survives the integrity gate and reaches the
+/// structural validators (dense offsets, size bounds, codec flags).
+/// Returns false when the input has no (intact) footer.
+bool mutate_v3_index(std::vector<std::uint8_t>& bytes, std::mt19937_64& rng,
+                     std::string& what) {
+  if (!has_v3_footer(bytes)) return false;
+  std::uint64_t index_size = 0;
+  std::memcpy(&index_size, bytes.data() + bytes.size() - 16,
+              sizeof index_size);
+  if (index_size == 0 || index_size > bytes.size() - 20) return false;
+  const std::size_t index_start =
+      bytes.size() - 20 - static_cast<std::size_t>(index_size);
+  const std::size_t p =
+      index_start + std::uniform_int_distribution<std::size_t>(
+                        0, static_cast<std::size_t>(index_size) - 1)(rng);
+  if (rng() % 2 == 0) {
+    bytes[p] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+  } else {
+    bytes[p] = static_cast<std::uint8_t>(rng());
+  }
+  const std::uint32_t crc = dassa::io::detail::crc32(
+      reinterpret_cast<const std::byte*>(bytes.data()) + index_start,
+      static_cast<std::size_t>(index_size));
+  std::memcpy(bytes.data() + bytes.size() - 20, &crc, sizeof crc);
+  what = "v3index@" + std::to_string(p) + "+crcfix";
+  return true;
+}
+
+/// Stomp one of the three footer control fields (index CRC, index
+/// size, trailing magic) without fixing anything up.
+bool mutate_v3_footer(std::vector<std::uint8_t>& bytes, std::mt19937_64& rng,
+                      std::string& what) {
+  if (!has_v3_footer(bytes)) return false;
+  const std::size_t tail = 20;  // crc u32 + size u64 + magic u64
+  const std::size_t p =
+      bytes.size() - tail +
+      std::uniform_int_distribution<std::size_t>(0, tail - 1)(rng);
+  bytes[p] = rng() % 2 == 0 ? 0xFF : static_cast<std::uint8_t>(rng());
+  what = "v3footer@" + std::to_string(p);
+  return true;
 }
 
 /// Apply one random mutation in place; returns a description for
@@ -178,6 +252,20 @@ std::string mutate_once(std::vector<std::uint8_t>& bytes,
     return std::uniform_int_distribution<std::size_t>(0, extent - 1)(rng);
   };
   if (bytes.empty()) bytes.push_back(0);
+  switch (rng() % 9) {
+    case 7: {  // v3: index mutation behind a fixed-up CRC
+      std::string what;
+      if (mutate_v3_index(bytes, rng, what)) return what;
+      break;  // not a v3 file (any more): fall through to a bit flip
+    }
+    case 8: {  // v3: footer control-field stomp
+      std::string what;
+      if (mutate_v3_footer(bytes, rng, what)) return what;
+      break;
+    }
+    default:
+      break;
+  }
   switch (rng() % 7) {
     case 0: {  // flip 1-8 bits
       const auto flips = 1 + rng() % 8;
@@ -237,6 +325,9 @@ void drive_dash5(const std::string& path) {
   const Dash5File f(path);
   (void)f.global_meta();
   (void)f.objects();
+  (void)f.version();
+  (void)f.codec().str();
+  (void)f.chunk_index();
   const Shape2D shape = f.shape();
   (void)f.read_all();
   if (shape.rows > 0 && shape.cols > 0) {

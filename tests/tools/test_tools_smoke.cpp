@@ -117,6 +117,79 @@ TEST_F(ToolsSmokeTest, AnalyzeInterferometryWritesOutput) {
   EXPECT_EQ(f.shape(), (Shape2D{16, 1}));
 }
 
+TEST_F(ToolsSmokeTest, RepackCompressesAndVerifiesRoundtrip) {
+  std::string first;
+  for (const auto& e : std::filesystem::directory_iterator(dir_->str())) {
+    if (e.path().extension() == ".dh5") {
+      first = e.path().string();
+      break;
+    }
+  }
+  ASSERT_FALSE(first.empty());
+  const std::string v3 = dir_->file("repacked_v3.dh5");
+  ASSERT_EQ(run(tools_dir() + "/das_repack " + first + " " + v3 +
+                " --codec shuffle+lz --chunk 4x16 --verify"),
+            0);
+  io::Dash5File f(v3);
+  EXPECT_EQ(f.version(), 3);
+  EXPECT_EQ(f.codec().str(), "shuffle+lz");
+  EXPECT_EQ(f.chunk(), (io::ChunkShape{4, 16}));
+  EXPECT_EQ(f.read_all(), io::Dash5File(first).read_all());
+
+  // And back to a plain contiguous v2 file, still bit-exact.
+  const std::string back = dir_->file("repacked_back.dh5");
+  ASSERT_EQ(run(tools_dir() + "/das_repack " + v3 + " " + back +
+                " --contiguous --verify"),
+            0);
+  io::Dash5File b(back);
+  EXPECT_EQ(b.version(), 2);
+  EXPECT_EQ(b.layout(), io::Layout::kContiguous);
+  EXPECT_EQ(b.read_all(), f.read_all());
+  EXPECT_EQ(run(tools_dir() + "/das_info " + v3), 0);
+}
+
+TEST_F(ToolsSmokeTest, RepackRejectsBadInvocations) {
+  EXPECT_EQ(run(tools_dir() + "/das_repack only_one_arg.dh5"), 2);
+  const std::string out = dir_->file("never.dh5");
+  std::string first;
+  for (const auto& e : std::filesystem::directory_iterator(dir_->str())) {
+    if (e.path().extension() == ".dh5") {
+      first = e.path().string();
+      break;
+    }
+  }
+  // --contiguous cannot carry a codec chain.
+  EXPECT_EQ(run(tools_dir() + "/das_repack " + first + " " + out +
+                " --contiguous --codec lz"),
+            1);
+  EXPECT_EQ(run(tools_dir() + "/das_repack " + first + " " + out +
+                " --codec nonsense"),
+            1);
+  EXPECT_EQ(run(tools_dir() + "/das_repack " + first + " " + out +
+                " --chunk 4by16"),
+            1);
+}
+
+TEST_F(ToolsSmokeTest, GenerateWithCodecEmitsReadableV3Files) {
+  TmpDir v3dir("tools_v3gen");
+  ASSERT_EQ(run(tools_dir() + "/das_generate --dir " + v3dir.str() +
+                " --channels 8 --rate 50 --files 1 --seconds-per-file 2 "
+                "--start 170728224510 --codec shuffle+lz --chunk 4x32 "
+                "--quantize 0.0078125"),
+            0);
+  std::size_t count = 0;
+  for (const auto& e : std::filesystem::directory_iterator(v3dir.str())) {
+    if (e.path().extension() != ".dh5") continue;
+    ++count;
+    io::Dash5File f(e.path().string());
+    EXPECT_EQ(f.version(), 3);
+    EXPECT_EQ(f.shape(), (Shape2D{8, 100}));
+    EXPECT_EQ(f.codec().str(), "shuffle+lz");
+    EXPECT_EQ(f.read_all().size(), 800u);
+  }
+  EXPECT_EQ(count, 1u);
+}
+
 TEST_F(ToolsSmokeTest, AnalyzeRejectsUnknownPipeline) {
   EXPECT_EQ(run(tools_dir() + "/das_analyze --dir " + dir_->str() +
                 " --pipeline nonsense"),

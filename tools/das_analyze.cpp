@@ -41,6 +41,17 @@ void print_dsp_counters() {
   }
 }
 
+/// Storage-engine statistics: codec throughput and chunk cache
+/// effectiveness (DASH5 v3 inputs only; all zeros for v2 files).
+void print_storage_counters() {
+  std::cerr << "storage counters:\n";
+  for (const auto& [name, value] : global_counters().snapshot()) {
+    if (name.rfind("io.codec.", 0) == 0 || name.rfind("io.cache.", 0) == 0) {
+      std::cerr << "  " << name << " = " << value << "\n";
+    }
+  }
+}
+
 std::vector<std::string> find_files(const tools::Args& args) {
   const das::Catalog catalog = das::Catalog::scan(args.get("--dir"));
   std::vector<das::DasFileInfo> hits;
@@ -125,6 +136,7 @@ int main(int argc, char** argv) {
                 << qc.count(das::ChannelStatus::kNoisy) << " noisy of "
                 << qc.channels.size() << " channels\n";
       print_dsp_counters();
+      print_storage_counters();
       return 0;
     } else {
       std::cerr << "das_analyze: unknown pipeline '" << pipeline << "'\n";
@@ -134,6 +146,7 @@ int main(int argc, char** argv) {
     std::cerr << "output: " << report.output.shape << ", stages: "
               << report.stages << "\n";
     print_dsp_counters();
+    print_storage_counters();
     const std::string out_path = args.get("--out", "das_analyze_out.dh5");
     io::Dash5Header header;
     header.shape = report.output.shape;

@@ -7,10 +7,28 @@
 //   das_generate --dir data/ [--channels 256] [--rate 500]
 //                [--files 6] [--seconds-per-file 60] [--seed 42]
 //                [--start 170728224510] [--prefix das] [--f64]
+//                [--chunk RxC] [--codec CHAIN] [--quantize LSB]
 #include <iostream>
 
 #include "arg_parse.hpp"
 #include "dassa/das/synth.hpp"
+
+namespace {
+
+/// Parse "32x1024" into chunk extents.
+dassa::io::ChunkShape parse_chunk(const std::string& text) {
+  const std::size_t x = text.find('x');
+  if (x == std::string::npos || x == 0 || x + 1 >= text.size()) {
+    throw dassa::InvalidArgument("--chunk expects ROWSxCOLS, got '" + text +
+                                 "'");
+  }
+  dassa::io::ChunkShape chunk;
+  chunk.rows = static_cast<std::size_t>(std::stoull(text.substr(0, x)));
+  chunk.cols = static_cast<std::size_t>(std::stoull(text.substr(x + 1)));
+  return chunk;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dassa;
@@ -19,7 +37,9 @@ int main(int argc, char** argv) {
     std::cerr << "usage: das_generate --dir <out-dir> [--channels N] "
                  "[--rate HZ] [--files N] [--seconds-per-file S] "
                  "[--seed N] [--start yymmddhhmmss] [--prefix P] [--f64]\n"
-                 "[--chunk-rows N --chunk-cols N]  (chunked layout)\n";
+                 "[--chunk RxC | --chunk-rows N --chunk-cols N]  (chunked)\n"
+                 "[--codec none|shuffle+lz|delta+lz|...]  (DASH5 v3)\n"
+                 "[--quantize LSB]  (simulated ADC amplitude step)\n";
     return 2;
   }
   try {
@@ -38,12 +58,21 @@ int main(int argc, char** argv) {
     spec.file_count = static_cast<std::size_t>(args.get_long("--files", 6));
     spec.seconds_per_file = args.get_double("--seconds-per-file", 60.0);
     spec.dtype = args.has("--f64") ? io::DType::kF64 : io::DType::kF32;
-    if (args.has("--chunk-rows") || args.has("--chunk-cols")) {
+    if (args.has("--chunk")) {
+      spec.chunk = parse_chunk(args.get("--chunk"));
+    } else if (args.has("--chunk-rows") || args.has("--chunk-cols")) {
       spec.chunk.rows =
           static_cast<std::size_t>(args.get_long("--chunk-rows", 32));
       spec.chunk.cols =
           static_cast<std::size_t>(args.get_long("--chunk-cols", 1024));
     }
+    if (args.has("--codec")) {
+      spec.codec = io::CodecSpec::parse(args.get("--codec"));
+      if (!spec.codec.empty() && spec.chunk.rows == 0) {
+        spec.chunk = {32, 1024};  // codec needs tiles; use the defaults
+      }
+    }
+    spec.quantize_lsb = args.get_double("--quantize", 0.0);
 
     const std::vector<std::string> paths = das::write_acquisition(synth, spec);
     for (const auto& p : paths) std::cout << p << "\n";

@@ -41,19 +41,46 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const io::Dash5Header h = io::Dash5File::read_header(path);
+    const io::Dash5File file(path);
     std::cout << "Root of DAS metadata in DASH5 file: " << path << "\n";
-    print_kv(h.global, "  ");
-    std::cout << "Dataset : " << h.shape << " "
-              << (h.dtype == io::DType::kF64 ? "float64" : "float32") << "\n";
-    std::cout << "Objects : " << h.objects.size() << "\n";
-    for (std::size_t i = 0; i < std::min(max_objects, h.objects.size());
-         ++i) {
-      std::cout << "  Object Path: " << h.objects[i].path << "\n";
-      print_kv(h.objects[i].kv, "    ");
+    print_kv(file.global_meta(), "  ");
+    std::cout << "Dataset : " << file.shape() << " "
+              << (file.dtype() == io::DType::kF64 ? "float64" : "float32")
+              << "\n";
+    std::cout << "Version : " << static_cast<int>(file.version()) << "\n";
+    if (file.layout() == io::Layout::kChunked) {
+      std::cout << "Layout  : chunked " << file.chunk().rows << "x"
+                << file.chunk().cols << "\n";
+    } else {
+      std::cout << "Layout  : contiguous\n";
     }
-    if (h.objects.size() > max_objects) {
-      std::cout << "  ... " << h.objects.size() - max_objects
+    if (file.version() >= 3) {
+      std::cout << "Codec   : " << file.codec().str() << "\n";
+      std::uint64_t raw = 0;
+      std::uint64_t stored = 0;
+      std::size_t raw_chunks = 0;
+      for (const auto& e : file.chunk_index()) {
+        raw += e.raw_size;
+        stored += e.csize;
+        if (e.codec == 0) ++raw_chunks;
+      }
+      std::cout << "Chunks  : " << file.chunk_index().size() << " tiles, "
+                << raw << " raw -> " << stored << " stored bytes";
+      if (stored > 0) {
+        std::cout << " (" << static_cast<double>(raw) /
+                                 static_cast<double>(stored)
+                  << "x)";
+      }
+      std::cout << ", " << raw_chunks << " stored raw\n";
+    }
+    const auto& objects = file.objects();
+    std::cout << "Objects : " << objects.size() << "\n";
+    for (std::size_t i = 0; i < std::min(max_objects, objects.size()); ++i) {
+      std::cout << "  Object Path: " << objects[i].path << "\n";
+      print_kv(objects[i].kv, "    ");
+    }
+    if (objects.size() > max_objects) {
+      std::cout << "  ... " << objects.size() - max_objects
                 << " more objects ...\n";
     }
     return 0;

@@ -14,9 +14,11 @@ Rules (see docs/ANALYSIS.md for rationale and how to add one):
                    type, so callers (and the fuzz harness) can rely on
                    catching dassa::Error for any library failure.
   counter-prefix   Counter names live in one place (counters.hpp) and
-                   must match the canonical namespaces:
-                   io.* mpi.* mem.* dsp.* haee.*  String literals fed
-                   to the registry directly in src/ must match too.
+                   must sit in a registered dotted namespace:
+                   io io.codec io.cache mpi mem dsp.fft dsp.butter
+                   dsp.resample haee.  String literals fed to the
+                   registry directly in src/ must match too. New
+                   subsystems register their namespace here.
   include-hygiene  Headers carry #pragma once, never `using namespace`
                    at namespace scope, and never include <iostream>
                    (iostream's static init order and weight do not
@@ -43,6 +45,15 @@ import re
 import sys
 
 CANONICAL_COUNTER_PREFIX = re.compile(r"^(io|mpi|mem|dsp|haee)\.")
+# Registered counter namespaces: everything before the final dot of a
+# counter name must appear here. Adding a subsystem (e.g. the DASH5 v3
+# storage engine's io.codec / io.cache) means adding its namespace.
+CANONICAL_COUNTER_NAMESPACES = frozenset({
+    "io", "io.codec", "io.cache",
+    "mpi", "mem",
+    "dsp.fft", "dsp.butter", "dsp.resample",
+    "haee",
+})
 STD_EXCEPTIONS = (
     "std::", "runtime_error", "logic_error", "invalid_argument",
     "out_of_range", "length_error", "bad_alloc", "exception",
@@ -172,6 +183,20 @@ def rule_dassa_throw(path, scrubbed, raw):
                       f"throws non-DASSA type '{what}'")
 
 
+def counter_name_problem(name):
+    """Return a description of what is wrong with counter `name`, or
+    None if it is canonical: top-level prefix registered AND the dotted
+    namespace (everything before the final dot) listed in
+    CANONICAL_COUNTER_NAMESPACES."""
+    if not CANONICAL_COUNTER_PREFIX.match(name):
+        return "outside canonical namespaces io|mpi|mem|dsp|haee"
+    namespace = name.rsplit(".", 1)[0]
+    if namespace not in CANONICAL_COUNTER_NAMESPACES:
+        return (f"namespace '{namespace}' not registered in "
+                "CANONICAL_COUNTER_NAMESPACES")
+    return None
+
+
 def rule_counter_prefix(path, scrubbed, raw):
     raw_lines = raw.splitlines()
     if path.endswith("common/counters.hpp"):
@@ -181,20 +206,22 @@ def rule_counter_prefix(path, scrubbed, raw):
             if not m:
                 # Multi-line constant: name on one line, literal later.
                 m = re.match(r'\s*"([^"]+)";', line)
-            if m and not CANONICAL_COUNTER_PREFIX.match(m.group(1)):
-                yield Finding("counter-prefix", path, lineno,
-                              f"counter '{m.group(1)}' outside canonical "
-                              "namespaces io|mpi|mem|dsp|haee")
+            if m:
+                problem = counter_name_problem(m.group(1))
+                if problem:
+                    yield Finding("counter-prefix", path, lineno,
+                                  f"counter '{m.group(1)}' {problem}")
         return
     for lineno, line in enumerate(raw_lines, start=1):
         # Only calls on a counter registry count; pipeline stage names
         # etc. also flow through methods called `add`.
         m = re.search(r'counters\(\)\s*\.\s*(?:add|high_water|get)'
                       r'\(\s*"([^"]+)"', line)
-        if m and not CANONICAL_COUNTER_PREFIX.match(m.group(1)):
-            yield Finding("counter-prefix", path, lineno,
-                          f"counter literal '{m.group(1)}' outside "
-                          "canonical namespaces io|mpi|mem|dsp|haee")
+        if m:
+            problem = counter_name_problem(m.group(1))
+            if problem:
+                yield Finding("counter-prefix", path, lineno,
+                              f"counter literal '{m.group(1)}' {problem}")
 
 
 def rule_include_hygiene(path, scrubbed, raw):
