@@ -127,6 +127,11 @@ inline constexpr const char* kHaeeRanksLaunched = "haee.ranks_launched";
 inline constexpr const char* kHaeeHaloExchanges = "haee.halo_exchanges";
 inline constexpr const char* kHaeeHaloOverlapReads =
     "haee.halo_overlap_reads";
+// Tracer self-statistics, published idempotently (high_water) by
+// trace::publish_trace_counters() from the tracer's own atomics.
+inline constexpr const char* kTraceSpansEmitted = "trace.spans_emitted";
+inline constexpr const char* kTraceSpansDropped = "trace.spans_dropped";
+inline constexpr const char* kTraceThreads = "trace.threads";
 }  // namespace counters
 
 }  // namespace dassa

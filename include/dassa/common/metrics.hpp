@@ -1,0 +1,93 @@
+// DASSA common: latency histograms and the unified metrics registry.
+//
+// Counters (counters.hpp) answer "how many"; the paper's figures also
+// need "how long, and how skewed". LatencyHistogram buckets durations
+// by power of two nanoseconds -- recording is two relaxed atomic adds,
+// cheap enough for span-exit paths -- and reports interpolated
+// p50/p95/p99. MetricsRegistry unifies both worlds: every completed
+// trace span feeds the histogram of its name, and write_report() emits
+// counters and quantiles as one flat document (the das_analyze
+// "metrics:" block).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+namespace dassa {
+
+/// Non-atomic copy of a histogram for reporting.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::array<std::uint64_t, 64> buckets{};  ///< bucket i: [2^i, 2^(i+1)) ns
+
+  /// Interpolated quantile in nanoseconds, q in [0, 1]. Returns 0 for
+  /// an empty histogram.
+  [[nodiscard]] double quantile_ns(double q) const;
+};
+
+/// Thread-safe power-of-two latency histogram. All methods may be
+/// called concurrently; record() is two relaxed atomic adds plus one
+/// atomic increment.
+class LatencyHistogram {
+ public:
+  void record_ns(std::uint64_t ns) {
+    buckets_[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  void reset();
+
+  /// Bucket index of a duration: floor(log2(ns)), clamped to [0, 63].
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t ns) {
+    if (ns <= 1) return 0;
+    return static_cast<std::size_t>(63 - __builtin_clzll(ns));
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, 64> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+};
+
+/// Named histograms, created on first use, living for the registry's
+/// lifetime. Lookups of existing histograms take a shared lock and do
+/// not allocate (transparent comparator), so the span-exit path stays
+/// allocation-free in steady state.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] LatencyHistogram& histogram(std::string_view name);
+
+  [[nodiscard]] std::map<std::string, HistogramSnapshot> snapshot() const;
+
+  /// Zero every histogram (names are retained).
+  void reset();
+
+  /// Unified flat report: every global counter, then every histogram
+  /// with count / total ms / p50 / p95 / p99.
+  void write_report(std::ostream& os) const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      hists_;
+};
+
+/// Process-global registry; trace spans feed it by span name.
+[[nodiscard]] MetricsRegistry& global_metrics();
+
+}  // namespace dassa

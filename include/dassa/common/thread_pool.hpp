@@ -25,8 +25,13 @@ namespace dassa {
 /// A fixed pool of worker threads executing submitted tasks FIFO.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (must be >= 1).
-  explicit ThreadPool(std::size_t num_threads);
+  /// Spawns `num_threads` workers (must be >= 1). Workers inherit the
+  /// creating thread's trace rank label (HAEE builds its ApplyMT pool
+  /// inside a MiniMPI rank thread, so worker spans land in that rank's
+  /// chrome-trace lane); pass `inherit_trace_rank = false` for pools
+  /// shared across ranks, e.g. io_pool().
+  explicit ThreadPool(std::size_t num_threads,
+                      bool inherit_trace_rank = true);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

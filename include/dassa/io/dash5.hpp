@@ -170,6 +170,17 @@ class Dash5File {
   /// must never touch data bytes).
   [[nodiscard]] static Dash5Header read_header(const std::string& path);
 
+  /// Process-global toggle for the stride-detecting readahead
+  /// prefetcher (default on). Tests turn it off so io.cache.* counters
+  /// become exact functions of the access pattern.
+  static void set_readahead(bool on);
+  [[nodiscard]] static bool readahead_enabled();
+
+  /// Block until every in-flight prefetch task for this file has
+  /// completed (no-op for v2 files). Between this call and the next
+  /// read, the cache contents are deterministic.
+  void drain_prefetch() const;
+
  private:
   // The stream cursor is physical state, not logical state: two
   // identical reads return identical bytes regardless of cursor

@@ -63,13 +63,14 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$PWD/scripts/ubsa
 
 # ---------------------------------------------------------------- tsan
 # Concurrency-relevant subset: the pool, the FFT engine's shared plan
-# cache, MiniMPI collectives, the HAEE row-apply stress tests, and the
-# storage engine (parallel chunk codecs, sharded chunk cache, prefetch).
+# cache, MiniMPI collectives, the HAEE row-apply stress tests, the
+# storage engine (parallel chunk codecs, sharded chunk cache, prefetch),
+# and the span tracer (concurrent emission vs collection).
 step "tsan: ThreadSanitizer, concurrency suite"
 cmake --preset tsan
 cmake --build --preset tsan -j "${JOBS}"
 ctest --preset tsan -j "${JOBS}" \
-  -R 'ThreadPool|Fft|MiniMpi|HaeeStress|HaeeMode|Apply|Codec|ChunkCache|Dash5V3'
+  -R 'ThreadPool|Fft|MiniMpi|HaeeStress|HaeeMode|Apply|Codec|ChunkCache|Dash5V3|Trace'
 
 # --------------------------------------------------------------- bench
 if [[ "${RUN_BENCH}" -eq 1 ]]; then

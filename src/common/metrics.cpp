@@ -1,0 +1,100 @@
+#include "dassa/common/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "dassa/common/counters.hpp"
+#include "dassa/common/error.hpp"
+
+namespace dassa {
+
+double HistogramSnapshot::quantile_ns(double q) const {
+  DASSA_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (seen + in_bucket >= target) {
+      // Interpolate linearly inside the power-of-two bucket
+      // [2^i, 2^(i+1)): bucket 0 also holds 0 ns and 1 ns durations.
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+      const double hi = std::ldexp(1.0, static_cast<int>(i) + 1);
+      const double frac =
+          in_bucket > 0.0 ? (target - seen) / in_bucket : 0.0;
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    seen += in_bucket;
+  }
+  return std::ldexp(1.0, 63);  // everything landed in the top bucket
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.total_ns = total_ns_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  DASSA_CHECK(!name.empty(), "histogram name must be non-empty");
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = hists_.find(name);
+    if (it != hists_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = hists_[std::string(name)];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+std::map<std::string, HistogramSnapshot> MetricsRegistry::snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, hist] : hists_) {
+    out.emplace(name, hist->snapshot());
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& [_, hist] : hists_) hist->reset();
+}
+
+void MetricsRegistry::write_report(std::ostream& os) const {
+  DASSA_CHECK(os.good(), "metrics report stream is not writable");
+  for (const auto& [name, value] : global_counters().snapshot()) {
+    os << "  " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, h] : snapshot()) {
+    if (h.count == 0) continue;
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  %s: count=%llu total_ms=%.3f p50_us=%.1f p95_us=%.1f "
+                  "p99_us=%.1f",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  static_cast<double>(h.total_ns) / 1e6,
+                  h.quantile_ns(0.50) / 1e3, h.quantile_ns(0.95) / 1e3,
+                  h.quantile_ns(0.99) / 1e3);
+    os << line << "\n";
+  }
+}
+
+MetricsRegistry& global_metrics() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+}  // namespace dassa

@@ -4,14 +4,19 @@
 #include <exception>
 
 #include "dassa/common/shape.hpp"
+#include "dassa/common/trace.hpp"
 
 namespace dassa {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, bool inherit_trace_rank) {
   DASSA_CHECK(num_threads >= 1, "thread pool needs at least one thread");
+  const int rank = inherit_trace_rank ? trace::thread_rank() : -1;
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, rank] {
+      trace::set_thread_rank(rank);
+      worker_loop();
+    });
   }
 }
 

@@ -4,6 +4,8 @@
 
 #include <cstring>
 
+#include "dassa/common/trace.hpp"
+
 namespace dassa::core {
 
 namespace {
@@ -72,6 +74,7 @@ Array2D apply_cells_mt(const LocalBlock& block, const ScalarUdf& udf,
   // contiguous, so the prefix offset is the chunk start.
   pool.parallel_for(n, [&](std::size_t /*thread*/, std::size_t begin,
                            std::size_t end) {
+    DASSA_TRACE_SPAN("haee", "haee.apply_cells_chunk");
     std::vector<double> rp;  // result vector per thread
     rp.reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
@@ -144,6 +147,7 @@ Array2D apply_rows_mt(const LocalBlock& block, const RowUdf& udf,
   std::vector<std::vector<double>> results(block.owned_rows());
   pool.parallel_for(results.size(), [&](std::size_t /*thread*/,
                                         std::size_t begin, std::size_t end) {
+    DASSA_TRACE_SPAN("haee", "haee.apply_rows_chunk");
     for (std::size_t r = begin; r < end; ++r) {
       results[r] = udf(row_stencil(block, r));
     }

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "dassa/common/counters.hpp"
+#include "dassa/common/trace.hpp"
 
 namespace dassa::core {
 
@@ -67,6 +68,7 @@ EngineReport run_engine(
         LocalBlock block;
         {
           StageScope scope(stages, "read");
+          DASSA_TRACE_SPAN("haee", "haee.read");
           const io::ParallelReadResult read = read_block(comm, vca, config);
           block = config.halo_mode == HaloMode::kExchange
                       ? build_local_block(comm, read, global,
@@ -79,6 +81,7 @@ EngineReport run_engine(
         Array2D mine;
         {
           StageScope scope(stages, "compute");
+          DASSA_TRACE_SPAN("haee", "haee.apply");
           RankContext ctx{comm, block, config.threads_per_rank()};
           mine = compute(ctx);
         }
@@ -89,6 +92,7 @@ EngineReport run_engine(
 
         if (!config.output_path.empty()) {
           StageScope scope(stages, "write");
+          DASSA_TRACE_SPAN("haee", "haee.write");
           // Output column count can differ from the input's (row UDFs
           // choose their own length); agree on the maximum, which all
           // non-empty ranks share.
@@ -109,6 +113,7 @@ EngineReport run_engine(
 
         if (config.gather_output) {
           StageScope scope(stages, "write");
+          DASSA_TRACE_SPAN("haee", "haee.gather");
           Array2D out = gather_output(comm, mine, global.rows);
           if (comm.rank() == 0) gathered = std::move(out);
         }
@@ -147,6 +152,7 @@ EngineReport run_engine(
 LocalBlock build_local_block(mpi::Comm& comm,
                              const io::ParallelReadResult& read,
                              Shape2D global, std::size_t halo) {
+  DASSA_TRACE_SPAN("haee", "haee.ghost_exchange");
   const int p = comm.size();
   const int rank = comm.rank();
   const std::size_t cols = read.shape.cols;
@@ -206,6 +212,7 @@ LocalBlock build_local_block_overlap(mpi::Comm& comm, const io::Vca& vca,
                                      const io::ParallelReadResult& read,
                                      Shape2D global, std::size_t halo,
                                      const io::IoCostParams& io) {
+  DASSA_TRACE_SPAN("haee", "haee.ghost_overlap_read");
   const std::size_t cols = read.shape.cols;
   const std::size_t halo_lo = std::min(halo, read.rows.begin);
   const std::size_t halo_hi =

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dassa/common/error.hpp"
+#include "dassa/common/trace.hpp"
 #include "dassa/dsp/median.hpp"
 
 namespace dassa::das {
@@ -150,6 +151,7 @@ std::vector<std::size_t> flood(const std::vector<bool>& above,
 
 std::vector<DetectedEvent> detect_events(const core::Array2D& similarity,
                                          const DetectorParams& params) {
+  DASSA_TRACE_SPAN("dsp", "dsp.detect_events");
   const Shape2D shape = similarity.shape;
   DASSA_CHECK(!shape.empty(), "cannot detect events in an empty map");
   DASSA_CHECK(params.noise_floor_multiplier > 1.0,

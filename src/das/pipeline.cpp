@@ -1,5 +1,6 @@
 #include "dassa/das/pipeline.hpp"
 
+#include "dassa/common/trace.hpp"
 #include "dassa/dsp/daslib.hpp"
 
 namespace dassa::das {
@@ -126,6 +127,7 @@ ChannelPipeline& ChannelPipeline::custom(std::string name, Stage stage) {
 }
 
 std::vector<double> ChannelPipeline::run(std::vector<double> x) const {
+  DASSA_TRACE_SPAN("dsp", "dsp.pipeline_run");
   for (const auto& [name, stage] : *stages_) {
     x = stage(std::move(x));
   }
@@ -138,6 +140,7 @@ core::RowUdf ChannelPipeline::build() const {
   auto snapshot = std::make_shared<
       const std::vector<std::pair<std::string, Stage>>>(*stages_);
   return [snapshot](const core::Stencil& s) {
+    DASSA_TRACE_SPAN("dsp", "dsp.pipeline_row");
     const std::span<const double> row = s.row_span(0);
     std::vector<double> x(row.begin(), row.end());
     for (const auto& [name, stage] : *snapshot) {

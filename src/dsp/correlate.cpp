@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dassa/common/error.hpp"
+#include "dassa/common/trace.hpp"
 
 namespace dassa::dsp {
 
@@ -37,6 +38,7 @@ double abscorr(std::span<const cplx> a, std::span<const cplx> b) {
 
 std::vector<double> xcorr_full(std::span<const double> a,
                                std::span<const double> b) {
+  DASSA_TRACE_SPAN("dsp", "dsp.xcorr_full");
   DASSA_CHECK(!a.empty() && !b.empty(), "xcorr of empty signal");
   const std::size_t n = a.size() + b.size() - 1;
   const std::size_t m = next_pow2(n);

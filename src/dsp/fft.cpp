@@ -7,6 +7,7 @@
 #include <shared_mutex>
 
 #include "dassa/common/error.hpp"
+#include "dassa/common/trace.hpp"
 #include "dassa/dsp/stats.hpp"
 
 namespace dassa::dsp {
@@ -311,6 +312,7 @@ void ifft_inplace(std::vector<cplx>& x) {
 }
 
 std::vector<cplx> rfft(std::span<const double> x) {
+  DASSA_TRACE_SPAN("dsp", "dsp.rfft");
   const std::size_t n = x.size();
   std::vector<cplx> out(n);
   if (n == 0) return out;
@@ -324,6 +326,7 @@ std::vector<cplx> rfft(std::span<const double> x) {
 }
 
 std::vector<cplx> rfft_half(std::span<const double> x) {
+  DASSA_TRACE_SPAN("dsp", "dsp.rfft_half");
   if (x.empty()) return {};
   const auto plan = FftPlan::get(x.size());
   std::vector<cplx> out(plan->half_bins());
@@ -333,6 +336,7 @@ std::vector<cplx> rfft_half(std::span<const double> x) {
 
 std::vector<double> irfft_half(std::span<const cplx> spectrum,
                                std::size_t n) {
+  DASSA_TRACE_SPAN("dsp", "dsp.irfft_half");
   if (n == 0) {
     DASSA_CHECK(spectrum.empty(), "length-0 inverse of non-empty spectrum");
     return {};
@@ -348,6 +352,7 @@ std::vector<double> irfft_half(std::span<const cplx> spectrum,
 std::vector<std::vector<cplx>> rfft_half_batch(std::span<const double> data,
                                                std::size_t rows,
                                                std::size_t cols) {
+  DASSA_TRACE_SPAN("dsp", "dsp.rfft_half_batch");
   DASSA_CHECK(data.size() == rows * cols,
               "batch buffer must hold rows * cols samples");
   std::vector<std::vector<cplx>> out(rows);

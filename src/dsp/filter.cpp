@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dassa/common/error.hpp"
+#include "dassa/common/trace.hpp"
 #include "dassa/dsp/fft.hpp"
 
 namespace dassa::dsp {
@@ -97,6 +98,7 @@ std::vector<double> lfilter_zi(const FilterCoeffs& f) {
 
 std::vector<double> filtfilt(const FilterCoeffs& f,
                              std::span<const double> x) {
+  DASSA_TRACE_SPAN("dsp", "dsp.filtfilt");
   const Normalised nf = normalise(f);
   const std::size_t pad = 3 * (nf.n - 1);
   DASSA_CHECK(x.size() > pad,

@@ -3,9 +3,12 @@
 #include <cmath>
 #include <numbers>
 
+#include "dassa/common/trace.hpp"
+
 namespace dassa::dsp {
 
 std::vector<cplx> analytic_signal(std::span<const double> x) {
+  DASSA_TRACE_SPAN("dsp", "dsp.analytic_signal");
   const std::size_t n = x.size();
   if (n == 0) return {};
   const auto plan = FftPlan::get(n);

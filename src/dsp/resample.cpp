@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "dassa/common/error.hpp"
+#include "dassa/common/trace.hpp"
 #include "dassa/dsp/stats.hpp"
 #include "dassa/dsp/window.hpp"
 
@@ -77,6 +78,7 @@ std::vector<double> resample_filter(std::size_t up, std::size_t down) {
 
 std::vector<double> resample(std::span<const double> x, std::size_t up,
                              std::size_t down) {
+  DASSA_TRACE_SPAN("dsp", "dsp.resample");
   DASSA_CHECK(up >= 1 && down >= 1, "resample factors must be positive");
   if (x.empty()) return {};
   if (up == down) return {x.begin(), x.end()};

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dassa/common/error.hpp"
+#include "dassa/common/trace.hpp"
 #include "dassa/dsp/detrend.hpp"
 #include "dassa/dsp/window.hpp"
 
@@ -55,6 +56,7 @@ double window_power(const WelchParams& p) {
 
 std::vector<double> welch_psd(std::span<const double> x, double sampling_hz,
                               const WelchParams& params) {
+  DASSA_TRACE_SPAN("dsp", "dsp.welch_psd");
   validate(params, x.size());
   DASSA_CHECK(sampling_hz > 0.0, "sampling rate must be positive");
   const auto spectra = segment_spectra(x, params);
@@ -77,6 +79,7 @@ std::vector<double> welch_psd(std::span<const double> x, double sampling_hz,
 std::vector<double> coherence(std::span<const double> x,
                               std::span<const double> y,
                               const WelchParams& params) {
+  DASSA_TRACE_SPAN("dsp", "dsp.coherence");
   DASSA_CHECK(x.size() == y.size(), "coherence requires equal lengths");
   validate(params, x.size());
   const auto sx = segment_spectra(x, params);

@@ -7,10 +7,15 @@
 namespace dassa::io {
 
 ThreadPool& io_pool() {
-  static ThreadPool pool([] {
-    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    return static_cast<std::size_t>(std::clamp(hw / 2, 2u, 8u));
-  }());
+  // The pool is shared by every Dash5File across all MiniMPI ranks, so
+  // its workers must not inherit whichever rank happened to construct it
+  // first: their trace spans stay in the unranked lane.
+  static ThreadPool pool(
+      [] {
+        const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+        return static_cast<std::size_t>(std::clamp(hw / 2, 2u, 8u));
+      }(),
+      /*inherit_trace_rank=*/false);
   return pool;
 }
 

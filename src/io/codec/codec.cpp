@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "dassa/common/counters.hpp"
+#include "dassa/common/trace.hpp"
 #include "stages.hpp"
 
 namespace dassa::io {
@@ -133,6 +134,7 @@ std::vector<std::byte> encode_chain(const CodecSpec& spec,
                                     std::size_t elem_size) {
   DASSA_CHECK(elem_size == 4 || elem_size == 8,
               "codec chains operate on 4- or 8-byte elements");
+  DASSA_TRACE_SPAN("codec", "codec.encode_chain");
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::byte> cur;
   std::span<const std::byte> in = raw;
@@ -152,6 +154,7 @@ std::vector<std::byte> decode_chain(const CodecSpec& spec,
                                     std::size_t raw_size) {
   DASSA_CHECK(elem_size == 4 || elem_size == 8,
               "codec chains operate on 4- or 8-byte elements");
+  DASSA_TRACE_SPAN("codec", "codec.decode_chain");
   const auto t0 = std::chrono::steady_clock::now();
   // Intermediate stages may be mildly expansive (varint worst case is
   // ~1.25x); give every stage the same generous-but-bounded ceiling.

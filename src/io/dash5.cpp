@@ -6,14 +6,21 @@
 #include <set>
 #include <utility>
 
+#include <atomic>
+
 #include "dassa/common/counters.hpp"
 #include "dassa/common/thread_pool.hpp"
+#include "dassa/common/trace.hpp"
 #include "dassa/io/chunk_cache.hpp"
 #include "serialize.hpp"
 
 namespace dassa::io {
 
 namespace {
+
+/// Process-global readahead gate (see Dash5File::set_readahead). Tests
+/// flip it off to make io.cache.* counts exactly reproducible.
+std::atomic<bool> g_readahead{true};
 
 constexpr char kMagic[8] = {'D', 'A', 'S', 'H', '5', '\0', '\0', '\2'};
 constexpr char kMagicV3[8] = {'D', 'A', 'S', 'H', '5', '\0', '\0', '\3'};
@@ -273,6 +280,7 @@ void write_chunk_index(OutputFile& out,
 
 void dash5_write(const std::string& path, const Dash5Header& header,
                  std::span<const double> data) {
+  DASSA_TRACE_SPAN("io", "io.write");
   DASSA_CHECK(data.size() == header.shape.size(),
               "data size does not match dataset shape");
   if (header.layout == Layout::kChunked) {
@@ -441,7 +449,16 @@ void Dash5StreamWriter::close() {
   closed_ = true;
 }
 
+void Dash5File::set_readahead(bool on) {
+  g_readahead.store(on, std::memory_order_relaxed);
+}
+
+bool Dash5File::readahead_enabled() {
+  return g_readahead.load(std::memory_order_relaxed);
+}
+
 Dash5File::Dash5File(const std::string& path) : file_(path) {
+  DASSA_TRACE_SPAN("io", "io.open");
   char magic[8];
   std::uint64_t head_size = 0;
   if (file_.size() < kPreludeSize) {
@@ -529,6 +546,12 @@ Dash5File::~Dash5File() {
   if (file_id_ != 0) ChunkCache::global().erase_file(file_id_);
 }
 
+void Dash5File::drain_prefetch() const {
+  if (!prefetch_) return;
+  std::unique_lock<std::mutex> lock(prefetch_->mu);
+  prefetch_->cv.wait(lock, [this] { return prefetch_->inflight == 0; });
+}
+
 void Dash5File::parse_chunk_index() {
   const std::string& p = file_.path();
   const std::uint64_t fsize = file_.size();
@@ -600,6 +623,7 @@ void Dash5File::parse_chunk_index() {
 
 std::vector<double> Dash5File::decode_chunk(
     std::size_t chunk_idx, std::span<const std::byte> stored) const {
+  DASSA_TRACE_SPAN("codec", "codec.decode_chunk");
   const ChunkIndexEntry& e = index_[chunk_idx];
   if (detail::crc32(stored.data(), stored.size()) != e.crc) {
     throw FormatError("chunk " + std::to_string(chunk_idx) +
@@ -620,6 +644,7 @@ std::vector<double> Dash5File::decode_chunk(
 
 std::shared_ptr<const std::vector<double>> Dash5File::load_tile(
     std::size_t gi, std::size_t gj) const {
+  DASSA_TRACE_SPAN("cache", "cache.load_tile");
   const auto [grid_rows, grid_cols] = chunk_grid(header_);
   const ChunkKey key{file_id_, gi, gj};
   ChunkCache& cache = ChunkCache::global();
@@ -657,6 +682,7 @@ std::vector<double> Dash5File::read_all() const {
 }
 
 std::vector<double> Dash5File::read_slab(const Slab2D& slab) const {
+  DASSA_TRACE_SPAN("io", "io.read_slab");
   slab.validate_against(header_.shape);
   const std::size_t esize = dtype_size(header_.dtype);
   std::vector<double> out(slab.size());
@@ -735,6 +761,7 @@ std::vector<double> Dash5File::read_slab(const Slab2D& slab) const {
 }
 
 std::vector<double> Dash5File::read_slab_v3(const Slab2D& slab) const {
+  DASSA_TRACE_SPAN("cache", "cache.window_gather");
   const ChunkShape chunk = header_.chunk;
   std::vector<double> out(slab.size());
 
@@ -815,6 +842,7 @@ std::vector<double> Dash5File::read_slab_v3(const Slab2D& slab) const {
 
 void Dash5File::maybe_prefetch(std::size_t gi_lo, std::size_t gi_hi,
                                std::size_t gj_lo, std::size_t gj_hi) const {
+  if (!readahead_enabled()) return;
   Prefetch& pf = *prefetch_;
   const auto [grid_rows, grid_cols] = chunk_grid(header_);
   std::vector<std::pair<std::size_t, std::size_t>> targets;
@@ -867,6 +895,7 @@ void Dash5File::maybe_prefetch(std::size_t gi_lo, std::size_t gi_hi,
       if (run) {
         // Background warm-up is best-effort: a corrupt chunk must
         // surface on the foreground read that needs it, not here.
+        DASSA_TRACE_SPAN("cache", "cache.prefetch");
         try {
           (void)load_tile(t.first, t.second);
         } catch (const std::exception&) {

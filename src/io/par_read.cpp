@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dassa/common/trace.hpp"
 #include "dassa/io/dash5.hpp"
 
 namespace dassa::io {
@@ -24,6 +25,7 @@ void place_block(const double* src, std::size_t src_rows,
 ParallelReadResult read_vca_collective_per_file(mpi::Comm& comm,
                                                 const Vca& vca,
                                                 const IoCostParams& io) {
+  DASSA_TRACE_SPAN("par_read", "par_read.collective_per_file");
   const int p = comm.size();
   const int rank = comm.rank();
   const Shape2D total = vca.shape();
@@ -43,12 +45,16 @@ ParallelReadResult read_vca_collective_per_file(mpi::Comm& comm,
     const int aggregator = static_cast<int>(m % static_cast<std::size_t>(p));
     std::vector<double> file_data;
     if (rank == aggregator) {
+      DASSA_TRACE_SPAN("par_read", "par_read.file_read");
       Dash5File file(members[m].path);
       file_data = file.read_all();
       comm.charge_modeled_seconds(io.call_cost(
           file_data.size() * sizeof(double), comm.size()));
     }
-    comm.bcast(file_data, aggregator);
+    {
+      DASSA_TRACE_SPAN("par_read", "par_read.bcast");
+      comm.bcast(file_data, aggregator);
+    }
 
     // Every rank keeps only its own channel block of the file.
     const std::size_t cols = members[m].shape.cols;
@@ -60,6 +66,7 @@ ParallelReadResult read_vca_collective_per_file(mpi::Comm& comm,
 
 ParallelReadResult read_vca_comm_avoiding(mpi::Comm& comm, const Vca& vca,
                                           const IoCostParams& io) {
+  DASSA_TRACE_SPAN("par_read", "par_read.comm_avoiding");
   const int p = comm.size();
   const int rank = comm.rank();
   const Shape2D total = vca.shape();
@@ -77,6 +84,7 @@ ParallelReadResult read_vca_comm_avoiding(mpi::Comm& comm, const Vca& vca,
   std::vector<std::vector<double>> per_dest(static_cast<std::size_t>(p));
   for (std::size_t m = static_cast<std::size_t>(rank); m < n;
        m += static_cast<std::size_t>(p)) {
+    DASSA_TRACE_SPAN("par_read", "par_read.local_read");
     Dash5File file(members[m].path);
     const std::vector<double> data = file.read_all();
     comm.charge_modeled_seconds(
@@ -92,11 +100,16 @@ ParallelReadResult read_vca_comm_avoiding(mpi::Comm& comm, const Vca& vca,
   }
 
   // Phase 2: one all-to-all routes every block to its owner.
-  const std::vector<std::vector<double>> received = comm.alltoallv(per_dest);
+  std::vector<std::vector<double>> received;
+  {
+    DASSA_TRACE_SPAN("par_read", "par_read.exchange");
+    received = comm.alltoallv(per_dest);
+  }
 
   // Phase 3: assemble. The round-robin assignment is deterministic, so
   // rank r's payload is the concatenation of my channel block of files
   // r, r+p, r+2p, ... in that order.
+  DASSA_TRACE_SPAN("par_read", "par_read.assemble");
   ParallelReadResult result;
   result.rows = rows;
   result.shape = {rows.size(), total.cols};
@@ -120,6 +133,7 @@ ParallelReadResult read_vca_comm_avoiding(mpi::Comm& comm, const Vca& vca,
 
 ParallelReadResult read_vca_direct_per_rank(mpi::Comm& comm, const Vca& vca,
                                             const IoCostParams& io) {
+  DASSA_TRACE_SPAN("par_read", "par_read.direct_per_rank");
   const int p = comm.size();
   const int rank = comm.rank();
   const Shape2D total = vca.shape();
@@ -150,6 +164,7 @@ ParallelReadResult read_vca_direct_per_rank(mpi::Comm& comm, const Vca& vca,
 ParallelReadResult read_rca_direct(mpi::Comm& comm,
                                    const std::string& rca_path,
                                    const IoCostParams& io) {
+  DASSA_TRACE_SPAN("par_read", "par_read.rca_direct");
   const int p = comm.size();
   const int rank = comm.rank();
   Dash5File file(rca_path);

@@ -1,6 +1,7 @@
 #include "dassa/mpi/comm.hpp"
 
 #include "dassa/common/counters.hpp"
+#include "dassa/common/trace.hpp"
 #include "world.hpp"
 
 namespace dassa::mpi {
@@ -90,6 +91,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
 }
 
 void Comm::barrier() {
+  DASSA_TRACE_SPAN("mpi", "mpi.barrier");
   // Dissemination barrier: in round k every rank signals the rank
   // 2^k ahead and waits for the rank 2^k behind; ceil(log2 p) rounds.
   const int p = size();
@@ -104,6 +106,7 @@ void Comm::barrier() {
 }
 
 void Comm::bcast_bytes(std::vector<std::byte>& data, int root) {
+  DASSA_TRACE_SPAN("mpi", "mpi.bcast");
   // Binomial tree on relative ranks: root sends to relative ranks
   // 1, 2, 4, ...; each receiver forwards down its subtree. log2(p)
   // rounds, p-1 messages total.
@@ -138,6 +141,7 @@ void Comm::bcast_bytes(std::vector<std::byte>& data, int root) {
 
 std::vector<std::vector<std::byte>> Comm::gatherv_bytes(
     std::vector<std::byte> mine, int root) {
+  DASSA_TRACE_SPAN("mpi", "mpi.gatherv");
   const int p = size();
   DASSA_CHECK(root >= 0 && root < p, "gather root out of range");
   std::vector<std::vector<std::byte>> out;
@@ -156,6 +160,7 @@ std::vector<std::vector<std::byte>> Comm::gatherv_bytes(
 
 std::vector<std::byte> Comm::scatter_bytes(const std::vector<std::byte>& all,
                                            std::size_t per_bytes, int root) {
+  DASSA_TRACE_SPAN("mpi", "mpi.scatter");
   const int p = size();
   DASSA_CHECK(root >= 0 && root < p, "scatter root out of range");
   if (rank_ == root) {
@@ -173,6 +178,7 @@ std::vector<std::byte> Comm::scatter_bytes(const std::vector<std::byte>& all,
 
 std::vector<std::vector<std::byte>> Comm::alltoallv_bytes(
     const std::vector<std::vector<std::byte>>& per_dest) {
+  DASSA_TRACE_SPAN("mpi", "mpi.alltoallv");
   // Pairwise exchange: in step s, send to (rank+s) mod p and receive
   // from (rank-s) mod p. Eager buffered sends make this deadlock-free,
   // and each rank issues exactly p-1 sends -- the O(n/p)-exchange

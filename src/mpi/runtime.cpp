@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "dassa/common/error.hpp"
+#include "dassa/common/trace.hpp"
 #include "world.hpp"
 
 namespace dassa::mpi {
@@ -28,8 +29,12 @@ RunReport Runtime::run(int world_size, const CostParams& params,
   ranks.reserve(static_cast<std::size_t>(world_size));
   for (int r = 0; r < world_size; ++r) {
     ranks.emplace_back([&, r] {
+      // Label this rank thread's trace lane: every span it (or a pool
+      // it creates) emits merges into the per-rank chrome-trace view.
+      trace::set_thread_rank(r);
       Comm comm(&world, r);
       try {
+        DASSA_TRACE_SPAN("mpi", "mpi.rank");
         fn(comm);
       } catch (...) {
         {

@@ -1,0 +1,164 @@
+// Deterministic chunk-cache counter regression tests: with readahead
+// disabled the io.cache.* counters are exact functions of the scripted
+// access pattern (misses = distinct tiles touched, hits = re-touches),
+// and with readahead on, the stride detector's prefetch_issued count
+// and the hits it buys are pinned down by draining the prefetcher
+// between windows. A drifting count here means the cache or prefetch
+// policy changed -- which is exactly what these tests exist to catch.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dassa/common/counters.hpp"
+#include "dassa/io/chunk_cache.hpp"
+#include "dassa/io/dash5.hpp"
+#include "testing/tmpdir.hpp"
+
+namespace dassa::io {
+namespace {
+
+using testing::TmpDir;
+
+/// v3 file with a known chunk grid: shape 16x64 in 2x16 tiles makes an
+/// 8x4 grid; every full-width 2-row slab touches exactly one grid row
+/// (4 tiles).
+std::string make_grid_file(TmpDir& dir) {
+  Dash5Header h;
+  h.shape = {16, 64};
+  h.layout = Layout::kChunked;
+  h.chunk = {2, 16};
+  h.codec = CodecSpec::parse("lz");
+  std::vector<double> data(h.shape.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<double>((i * 31) % 257);
+  }
+  const std::string path = dir.file("grid.dh5");
+  dash5_write(path, h, data);
+  return path;
+}
+
+struct Counts {
+  std::uint64_t hits;
+  std::uint64_t misses;
+  std::uint64_t prefetch;
+};
+
+Counts cache_counts() {
+  return {global_counters().get(counters::kIoCacheHits),
+          global_counters().get(counters::kIoCacheMisses),
+          global_counters().get(counters::kIoCachePrefetchIssued)};
+}
+
+/// Restores readahead and clears shared state around every test.
+class CacheCountersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Dash5File::set_readahead(false);
+    ChunkCache::global().clear();
+    global_counters().reset();
+  }
+  void TearDown() override { Dash5File::set_readahead(true); }
+};
+
+TEST_F(CacheCountersTest, SequentialPatternReadaheadOff) {
+  TmpDir dir("cc");
+  const std::string path = make_grid_file(dir);
+  Dash5File f(path);
+  global_counters().reset();
+
+  // First sequential sweep: 8 windows x 4 tiles, all cold.
+  for (std::size_t w = 0; w < 8; ++w) {
+    (void)f.read_slab(Slab2D{w * 2, 0, 2, 64});
+  }
+  Counts c = cache_counts();
+  EXPECT_EQ(c.misses, 32u);
+  EXPECT_EQ(c.hits, 0u);
+  EXPECT_EQ(c.prefetch, 0u);
+
+  // Second sweep: everything cached, zero new misses.
+  for (std::size_t w = 0; w < 8; ++w) {
+    (void)f.read_slab(Slab2D{w * 2, 0, 2, 64});
+  }
+  c = cache_counts();
+  EXPECT_EQ(c.misses, 32u);
+  EXPECT_EQ(c.hits, 32u);
+  EXPECT_EQ(c.prefetch, 0u);
+}
+
+TEST_F(CacheCountersTest, StridedPatternReadaheadOff) {
+  TmpDir dir("cc");
+  const std::string path = make_grid_file(dir);
+  Dash5File f(path);
+  global_counters().reset();
+
+  // Stride-2 sweep over grid rows 0, 2, 4, 6: 16 distinct tiles.
+  for (std::size_t w = 0; w < 4; ++w) {
+    (void)f.read_slab(Slab2D{w * 4, 0, 2, 64});
+  }
+  // Partial-width re-reads of the same tiles: column window [16, 48)
+  // touches tiles 1 and 2 of each visited grid row.
+  for (std::size_t w = 0; w < 4; ++w) {
+    (void)f.read_slab(Slab2D{w * 4, 16, 2, 32});
+  }
+  const Counts c = cache_counts();
+  EXPECT_EQ(c.misses, 16u);
+  EXPECT_EQ(c.hits, 8u);
+  EXPECT_EQ(c.prefetch, 0u);
+}
+
+TEST_F(CacheCountersTest, SequentialPatternReadaheadOn) {
+  TmpDir dir("cc");
+  const std::string path = make_grid_file(dir);
+  Dash5File f(path);
+  Dash5File::set_readahead(true);
+  global_counters().reset();
+
+  // Window w covers grid row w. The stride detector sees its first
+  // delta at w=1 and fires from w=2 on, always predicting grid row
+  // w+1 (4 tiles). Draining between windows makes the counts exact:
+  //   w=0: 4 misses
+  //   w=1: 4 misses                       (delta recorded, no fire)
+  //   w=2: 4 misses, issue 4 prefetches -> 4 background misses
+  //   w=3..7: 4 hits each, issue 4 more  -> 4 background misses each,
+  //           except w=7's prediction (grid row 8) is clipped away.
+  for (std::size_t w = 0; w < 8; ++w) {
+    (void)f.read_slab(Slab2D{w * 2, 0, 2, 64});
+    f.drain_prefetch();
+  }
+  const Counts c = cache_counts();
+  EXPECT_EQ(c.prefetch, 20u);  // fired at w=2..6, 4 tiles each
+  EXPECT_EQ(c.hits, 20u);      // w=3..7 foreground windows
+  EXPECT_EQ(c.misses, 32u);    // 12 foreground cold + 20 background
+}
+
+TEST_F(CacheCountersTest, StridedPatternReadaheadOn) {
+  TmpDir dir("cc");
+  const std::string path = make_grid_file(dir);
+  Dash5File f(path);
+  Dash5File::set_readahead(true);
+  global_counters().reset();
+
+  // Stride-2 windows over grid rows 0, 2, 4, 6: the detector locks on
+  // the 2-row stride at w=2 and prefetches grid rows 6 (at w=2) and 8
+  // (at w=3, clipped off the grid).
+  for (std::size_t w = 0; w < 4; ++w) {
+    (void)f.read_slab(Slab2D{w * 4, 0, 2, 64});
+    f.drain_prefetch();
+  }
+  const Counts c = cache_counts();
+  EXPECT_EQ(c.prefetch, 4u);  // grid row 6, fired at w=2
+  EXPECT_EQ(c.hits, 4u);      // w=3 rides the prefetched row
+  EXPECT_EQ(c.misses, 16u);   // 12 foreground cold + 4 background
+}
+
+TEST_F(CacheCountersTest, ReadaheadToggleIsObservable) {
+  EXPECT_FALSE(Dash5File::readahead_enabled());
+  Dash5File::set_readahead(true);
+  EXPECT_TRUE(Dash5File::readahead_enabled());
+  Dash5File::set_readahead(false);
+  EXPECT_FALSE(Dash5File::readahead_enabled());
+}
+
+}  // namespace
+}  // namespace dassa::io

@@ -14,10 +14,17 @@
 //     [--master CH] [--full-correlation]
 //   pipeline "qc": channel quality control
 //     [--dead-fraction F] [--noisy-multiple M]
+//   any pipeline:
+//     [--trace out.json]  enable span tracing, export chrome://tracing
+//                         JSON to out.json and a per-span summary to
+//                         stderr (inspect with das_trace)
+#include <fstream>
 #include <iostream>
 
 #include "arg_parse.hpp"
 #include "dassa/common/counters.hpp"
+#include "dassa/common/metrics.hpp"
+#include "dassa/common/trace.hpp"
 #include "dassa/das/channel_qc.hpp"
 #include "dassa/das/interferometry.hpp"
 #include "dassa/das/local_similarity.hpp"
@@ -52,6 +59,22 @@ void print_storage_counters() {
   }
 }
 
+/// Export the recorded spans as chrome://tracing JSON plus a per-span
+/// summary and the unified metrics report on stderr. No-op unless
+/// --trace was given.
+void maybe_export_trace(const tools::Args& args) {
+  if (!args.has("--trace")) return;
+  const std::string path = args.get("--trace");
+  trace::publish_trace_counters();
+  const std::vector<trace::TraceEvent> events = trace::collect();
+  std::ofstream out(path);
+  DASSA_CHECK(out.good(), "cannot open trace output file: " + path);
+  trace::write_chrome_trace(out, events);
+  std::cerr << "trace: " << events.size() << " spans -> " << path << "\n";
+  trace::write_summary(std::cerr, events);
+  global_metrics().write_report(std::cerr);
+}
+
 std::vector<std::string> find_files(const tools::Args& args) {
   const das::Catalog catalog = das::Catalog::scan(args.get("--dir"));
   std::vector<das::DasFileInfo> hits;
@@ -79,6 +102,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    if (args.has("--trace")) trace::set_enabled(true);
     const std::vector<std::string> files = find_files(args);
     if (files.empty()) {
       std::cerr << "das_analyze: no matching files\n";
@@ -137,6 +161,7 @@ int main(int argc, char** argv) {
                 << qc.channels.size() << " channels\n";
       print_dsp_counters();
       print_storage_counters();
+      maybe_export_trace(args);
       return 0;
     } else {
       std::cerr << "das_analyze: unknown pipeline '" << pipeline << "'\n";
@@ -153,6 +178,7 @@ int main(int argc, char** argv) {
     header.global = vca.global_meta();
     io::dash5_write(out_path, header, report.output.data);
     std::cerr << "wrote " << out_path << "\n";
+    maybe_export_trace(args);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "das_analyze: " << e.what() << "\n";

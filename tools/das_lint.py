@@ -16,9 +16,14 @@ Rules (see docs/ANALYSIS.md for rationale and how to add one):
   counter-prefix   Counter names live in one place (counters.hpp) and
                    must sit in a registered dotted namespace:
                    io io.codec io.cache mpi mem dsp.fft dsp.butter
-                   dsp.resample haee.  String literals fed to the
+                   dsp.resample haee trace.  String literals fed to the
                    registry directly in src/ must match too. New
                    subsystems register their namespace here.
+  trace-span-macro Spans are opened only through DASSA_TRACE_SPAN.
+                   Naming trace::detail::SpanGuard anywhere outside
+                   common/trace.hpp bypasses the macro's single
+                   enable-check shape and its scope naming, so the
+                   type itself is off-limits to the rest of the tree.
   include-hygiene  Headers carry #pragma once, never `using namespace`
                    at namespace scope, and never include <iostream>
                    (iostream's static init order and weight do not
@@ -44,7 +49,7 @@ import pathlib
 import re
 import sys
 
-CANONICAL_COUNTER_PREFIX = re.compile(r"^(io|mpi|mem|dsp|haee)\.")
+CANONICAL_COUNTER_PREFIX = re.compile(r"^(io|mpi|mem|dsp|haee|trace)\.")
 # Registered counter namespaces: everything before the final dot of a
 # counter name must appear here. Adding a subsystem (e.g. the DASH5 v3
 # storage engine's io.codec / io.cache) means adding its namespace.
@@ -53,6 +58,7 @@ CANONICAL_COUNTER_NAMESPACES = frozenset({
     "mpi", "mem",
     "dsp.fft", "dsp.butter", "dsp.resample",
     "haee",
+    "trace",
 })
 STD_EXCEPTIONS = (
     "std::", "runtime_error", "logic_error", "invalid_argument",
@@ -189,7 +195,7 @@ def counter_name_problem(name):
     namespace (everything before the final dot) listed in
     CANONICAL_COUNTER_NAMESPACES."""
     if not CANONICAL_COUNTER_PREFIX.match(name):
-        return "outside canonical namespaces io|mpi|mem|dsp|haee"
+        return "outside canonical namespaces io|mpi|mem|dsp|haee|trace"
     namespace = name.rsplit(".", 1)[0]
     if namespace not in CANONICAL_COUNTER_NAMESPACES:
         return (f"namespace '{namespace}' not registered in "
@@ -236,6 +242,18 @@ def rule_include_hygiene(path, scrubbed, raw):
         if re.search(r'#\s*include\s*<iostream>', line):
             yield Finding("include-hygiene", path, lineno,
                           "<iostream> in a header")
+
+
+def rule_trace_span_macro(path, scrubbed, raw):
+    """SpanGuard is an implementation detail of DASSA_TRACE_SPAN; any
+    other spelling of it in the tree is a macro bypass."""
+    if path.endswith("common/trace.hpp"):
+        return
+    for lineno, line in iter_lines(scrubbed):
+        if "SpanGuard" in line:
+            yield Finding("trace-span-macro", path, lineno,
+                          "construct spans via DASSA_TRACE_SPAN, not "
+                          "trace::detail::SpanGuard")
 
 
 FUNC_DEF = re.compile(
@@ -292,6 +310,7 @@ RULES = [
     rule_dassa_throw,
     rule_counter_prefix,
     rule_include_hygiene,
+    rule_trace_span_macro,
     rule_entry_guard,
 ]
 

@@ -1,0 +1,119 @@
+// das_trace: inspect and validate chrome-trace JSON exported by
+// `das_analyze --trace` (docs/OBSERVABILITY.md).
+//
+// Usage:
+//   das_trace <trace.json>              validate, then print per-name
+//                                       span statistics and lane counts
+//   das_trace <trace.json> --validate   validate only (exit 0/1)
+//   das_trace <trace.json> --cat dsp    restrict the report to one
+//                                       span category
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "arg_parse.hpp"
+#include "dassa/common/error.hpp"
+#include "dassa/common/trace.hpp"
+
+namespace {
+
+using dassa::trace::ChromeEvent;
+
+struct NameStats {
+  std::string cat;
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Pair up B/E events per (pid, tid) lane and fold the durations into
+/// per-name statistics. validate_chrome_trace already proved the pairs
+/// balance, so the stack discipline here cannot fail.
+std::map<std::string, NameStats> fold_stats(
+    const std::vector<ChromeEvent>& events, const std::string& cat_filter) {
+  std::map<std::string, NameStats> stats;
+  std::map<std::pair<long long, long long>, std::vector<const ChromeEvent*>>
+      lanes;
+  for (const ChromeEvent& e : events) {
+    if (e.ph == "B") {
+      lanes[{e.pid, e.tid}].push_back(&e);
+    } else if (e.ph == "E") {
+      auto& stack = lanes[{e.pid, e.tid}];
+      const ChromeEvent& open = *stack.back();
+      stack.pop_back();
+      if (!cat_filter.empty() && open.cat != cat_filter) continue;
+      NameStats& ns = stats[open.name];
+      ns.cat = open.cat;
+      ns.count += 1;
+      const double dur = e.ts_us - open.ts_us;
+      ns.total_us += dur;
+      ns.max_us = std::max(ns.max_us, dur);
+    }
+  }
+  return stats;
+}
+
+void print_report(const std::vector<ChromeEvent>& events,
+                  const std::string& cat_filter) {
+  std::set<long long> pids;
+  std::set<std::pair<long long, long long>> lanes;
+  std::uint64_t spans = 0;
+  for (const ChromeEvent& e : events) {
+    if (e.ph != "B") continue;
+    pids.insert(e.pid);
+    lanes.insert({e.pid, e.tid});
+    ++spans;
+  }
+  std::cout << spans << " spans across " << pids.size()
+            << " process lanes (" << lanes.size() << " threads)\n";
+
+  const std::map<std::string, NameStats> stats =
+      fold_stats(events, cat_filter);
+  std::cout << "name                             cat        count"
+               "     total_ms       max_ms\n";
+  for (const auto& [name, ns] : stats) {
+    char line[160];
+    std::snprintf(line, sizeof line, "%-32s %-10s %6llu %12.3f %12.3f\n",
+                  name.c_str(), ns.cat.c_str(),
+                  static_cast<unsigned long long>(ns.count),
+                  ns.total_us / 1000.0, ns.max_us / 1000.0);
+    std::cout << line;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dassa::tools::Args args(argc, argv);
+  if (args.positional().empty()) {
+    std::cerr << "usage: das_trace <trace.json> [--validate] [--cat CAT]\n";
+    return 2;
+  }
+  const std::string path = args.positional().front();
+  try {
+    std::ifstream in(path);
+    if (!in.good()) {
+      throw dassa::IoError("cannot open trace file: " + path);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::vector<ChromeEvent> events =
+        dassa::trace::parse_chrome_trace(buf.str());
+    dassa::trace::validate_chrome_trace(events);
+    if (args.has("--validate")) {
+      std::cout << path << ": valid chrome trace, " << events.size()
+                << " events\n";
+      return 0;
+    }
+    print_report(events, args.get("--cat", ""));
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "das_trace: " << e.what() << "\n";
+    return 1;
+  }
+}
