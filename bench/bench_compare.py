@@ -6,9 +6,14 @@ extracts the FFT-dependent benchmarks, computes speedups against the
 baseline numbers recorded before the plan-cache engine landed, and
 writes the result to BENCH_fft.json at the repository root.
 
+Every run also appends one timestamped line to BENCH_history.jsonl at
+the repository root (git-ignored), so perf drift across local runs can
+be plotted without scraping old BENCH_fft.json revisions.
+
 Usage:
     python3 bench/bench_compare.py [--bench-bin build/bench/bench_micro_dsp]
                                    [--out BENCH_fft.json]
+                                   [--history BENCH_history.jsonl]
                                    [--min-time 0.2]
 
 Exit status is non-zero if the binary is missing or any acceptance
@@ -17,6 +22,7 @@ regression gate.
 """
 
 import argparse
+import datetime
 import json
 import pathlib
 import subprocess
@@ -74,6 +80,8 @@ def main():
                         default=REPO_ROOT / "build" / "bench"
                         / "bench_micro_dsp")
     parser.add_argument("--out", default=REPO_ROOT / "BENCH_fft.json")
+    parser.add_argument("--history",
+                        default=REPO_ROOT / "BENCH_history.jsonl")
     parser.add_argument("--min-time", default="0.2")
     args = parser.parse_args()
 
@@ -117,6 +125,19 @@ def main():
     out_path = pathlib.Path(args.out)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
+
+    # Append one compact line per run to the local history log.
+    history_entry = {
+        "ts": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"),
+        "bench": "fft",
+        "passed": not failures,
+        "results": {n: r["current_ns"] for n, r in sorted(results.items())},
+    }
+    history_path = pathlib.Path(args.history)
+    with history_path.open("a") as history:
+        history.write(json.dumps(history_entry) + "\n")
+    print(f"appended run to {history_path}")
     for name, row in sorted(results.items()):
         speed = f"  {row['speedup']}x" if "speedup" in row else ""
         print(f"  {name}: {row['current_ns']} ns{speed}")

@@ -132,6 +132,16 @@ inline constexpr const char* kHaeeHaloOverlapReads =
 inline constexpr const char* kTraceSpansEmitted = "trace.spans_emitted";
 inline constexpr const char* kTraceSpansDropped = "trace.spans_dropped";
 inline constexpr const char* kTraceThreads = "trace.threads";
+// Telemetry layer: progress counters charged by the compute kernels
+// (rows/cells retired) so the sampler can tell "busy" from "stalled",
+// and the sampler's own samples-taken count.
+inline constexpr const char* kTelemetrySamples = "telemetry.samples";
+inline constexpr const char* kTelemetryRowsProcessed =
+    "telemetry.rows_processed";
+inline constexpr const char* kTelemetryCellsProcessed =
+    "telemetry.cells_processed";
+inline constexpr const char* kTelemetryPipelineRows =
+    "telemetry.pipeline_rows";
 }  // namespace counters
 
 }  // namespace dassa

@@ -1,49 +1,188 @@
-// DASSA common: minimal leveled logger.
+// DASSA common: structured leveled logging.
 //
-// Logging is intentionally tiny: severity filter + single-line
-// timestamped output to stderr. Framework code logs sparingly (file
-// opens, partition decisions, engine configuration); hot paths never
-// log.
+// Framework code logs sparingly (file opens, partition decisions,
+// engine configuration); hot paths never log. What it does log is
+// structured: every record carries a severity, a wall-clock timestamp,
+// the emitting MiniMPI rank and a process-unique thread id, a dotted
+// event name, a free-form message, and typed key=value fields. Records
+// flow to up to three sinks:
+//
+//   * console -- one human-readable line on stderr (the ONLY place in
+//     the tree allowed to write stderr; das_lint's no-direct-stderr
+//     rule bans it everywhere else),
+//   * a JSONL file -- one JSON object per line, machine-readable, for
+//     post-hoc correlation with telemetry timelines (set_log_file),
+//   * an in-memory ring of the last N warning/error records,
+//     retrievable programmatically via recent_errors() so tools and
+//     health reports can say *why* a run degraded.
+//
+// The global severity threshold gates everything: a filtered DASSA_LOG
+// / DASSA_SLOG never evaluates its stream arguments.
 #pragma once
 
-#include <sstream>
+#include <cstdint>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 namespace dassa {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global severity threshold; messages below it are discarded.
+/// Global severity threshold; records below it are discarded before
+/// their arguments are evaluated. Default is kWarn.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one log line (thread-safe). Prefer the DASSA_LOG macro.
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
+/// One typed key=value field of a structured record. `value` is the
+/// rendered text; `quoted` distinguishes string fields (JSON-quoted)
+/// from numeric/bool fields (emitted raw).
+struct LogField {
+  std::string key;
+  std::string value;
+  bool quoted = false;
+};
+
+/// One emitted record, as stored in the error ring and written to the
+/// sinks.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  double wall_seconds = 0.0;  ///< seconds since the unix epoch
+  int rank = -1;              ///< MiniMPI rank of the emitting thread
+  std::uint32_t tid = 0;      ///< process-unique small thread id
+  std::string event;          ///< dotted event name ("engine.run")
+  std::string message;
+  std::vector<LogField> fields;
+};
+
+/// Route records to a JSONL file sink (append). Replaces any previous
+/// sink; an empty path closes it. Throws dassa::IoError if the file
+/// cannot be opened.
+void set_log_file(const std::string& path);
+
+/// Ring capacity for the warn/error ring (default 128). Shrinking
+/// drops the oldest retained records.
+void set_error_ring_capacity(std::size_t records);
+
+/// The most recent warning/error records, oldest first.
+[[nodiscard]] std::vector<LogRecord> recent_errors();
+
+/// Records emitted so far (all sinks, cumulative).
+[[nodiscard]] std::uint64_t log_records_emitted();
+
+/// Emit one unstructured log line (thread-safe). Prefer the DASSA_LOG
+/// / DASSA_SLOG macros.
 void log_message(LogLevel level, const std::string& msg);
 
 namespace detail {
-class LogLine {
- public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, stream_.str()); }
-  LogLine(const LogLine&) = delete;
-  LogLine& operator=(const LogLine&) = delete;
 
+/// Routes a finished record to the sinks. The record's wall clock,
+/// rank and tid are stamped here.
+void emit_record(LogLevel level, std::string event, std::string message,
+                 std::vector<LogField> fields);
+
+/// Builder behind DASSA_LOG / DASSA_SLOG: accumulates fields and a
+/// streamed message, emits at end of statement.
+class LogBuilder {
+ public:
+  explicit LogBuilder(LogLevel level, std::string event = {})
+      : level_(level), event_(std::move(event)) {}
+  ~LogBuilder() {
+    emit_record(level_, std::move(event_), std::move(message_),
+                std::move(fields_));
+  }
+  LogBuilder(const LogBuilder&) = delete;
+  LogBuilder& operator=(const LogBuilder&) = delete;
+
+  /// Typed field: integral, floating-point, bool, or string-like.
   template <typename T>
-  LogLine& operator<<(const T& v) {
-    stream_ << v;
+  LogBuilder& field(std::string key, const T& value) {
+    LogField f;
+    f.key = std::move(key);
+    if constexpr (std::is_same_v<T, bool>) {
+      f.value = value ? "true" : "false";
+    } else if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+      f.value = std::to_string(static_cast<long long>(value));
+    } else if constexpr (std::is_floating_point_v<T>) {
+      f.value = render_double(static_cast<double>(value));
+    } else {
+      f.value = std::string(value);
+      f.quoted = true;
+    }
+    fields_.push_back(std::move(f));
+    return *this;
+  }
+
+  /// Unsigned integers keep their full range.
+  LogBuilder& field(std::string key, std::uint64_t value) {
+    fields_.push_back(LogField{std::move(key), std::to_string(value), false});
+    return *this;
+  }
+
+  /// Streamed free-form message text.
+  template <typename T>
+  LogBuilder& operator<<(const T& v) {
+    append(v);
     return *this;
   }
 
  private:
-  LogLevel level_;
-  std::ostringstream stream_;
-};
-}  // namespace detail
+  static std::string render_double(double v);
 
+  void append(const std::string& s) { message_ += s; }
+  void append(const char* s) { message_ += s; }
+  void append(char c) { message_ += c; }
+  void append(bool v) { message_ += v ? "true" : "false"; }
+  template <typename T>
+  void append(const T& v) {
+    if constexpr (std::is_integral_v<T>) {
+      message_ += std::to_string(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      message_ += render_double(static_cast<double>(v));
+    } else {
+      append_stream(v);
+    }
+  }
+  // Fallback for ostream-printable types (Shape2D, StageTimes, ...),
+  // out of line to keep <sstream> out of this header.
+  template <typename T>
+  void append_stream(const T& v);
+
+  LogLevel level_;
+  std::string event_;
+  std::string message_;
+  std::vector<LogField> fields_;
+};
+
+}  // namespace detail
 }  // namespace dassa
 
+// Stream fallback for ostream-printable types (Shape2D, StageTimes,
+// ...). Kept at the end of the header so the common case (strings and
+// numbers) reads without it.
+#include <sstream>
+
+namespace dassa::detail {
+template <typename T>
+void LogBuilder::append_stream(const T& v) {
+  std::ostringstream os;
+  os << v;
+  message_ += os.str();
+}
+}  // namespace dassa::detail
+
 /// Stream-style logging: DASSA_LOG(kInfo) << "read " << n << " files";
+/// Filtered levels never evaluate the stream expression.
 #define DASSA_LOG(severity)                                   \
   if (::dassa::LogLevel::severity < ::dassa::log_level()) {   \
   } else                                                      \
-    ::dassa::detail::LogLine(::dassa::LogLevel::severity)
+    ::dassa::detail::LogBuilder(::dassa::LogLevel::severity)
+
+/// Structured logging with an event name and typed fields:
+///   DASSA_SLOG(kInfo, "vca.build").field("files", n) << "built VCA";
+#define DASSA_SLOG(severity, event)                           \
+  if (::dassa::LogLevel::severity < ::dassa::log_level()) {   \
+  } else                                                      \
+    ::dassa::detail::LogBuilder(::dassa::LogLevel::severity, event)

@@ -28,9 +28,15 @@ struct HistogramSnapshot {
   std::uint64_t total_ns = 0;
   std::array<std::uint64_t, 64> buckets{};  ///< bucket i: [2^i, 2^(i+1)) ns
 
-  /// Interpolated quantile in nanoseconds, q in [0, 1]. Returns 0 for
-  /// an empty histogram.
+  /// Interpolated quantile in nanoseconds, q in [0, 1]. The estimate
+  /// interpolates linearly *within* the landing bucket (never just its
+  /// upper bound). Returns 0 for an empty histogram.
   [[nodiscard]] double quantile_ns(double q) const;
+
+  /// Bucket-wise sum with `other`. Histograms share the same 64 pow2
+  /// bins by construction, so snapshots from different ranks merge
+  /// exactly -- this is what the cross-rank telemetry reduction uses.
+  void merge(const HistogramSnapshot& other);
 };
 
 /// Thread-safe power-of-two latency histogram. All methods may be
@@ -49,6 +55,10 @@ class LatencyHistogram {
   }
 
   [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Add every bucket of `other` into this histogram (atomic; safe
+  /// against concurrent record_ns).
+  void merge(const HistogramSnapshot& other);
 
   void reset();
 
@@ -74,7 +84,12 @@ class MetricsRegistry {
 
   [[nodiscard]] std::map<std::string, HistogramSnapshot> snapshot() const;
 
-  /// Zero every histogram (names are retained).
+  /// Merge a snapshot map (e.g. another rank's histograms) into this
+  /// registry, creating histograms as needed.
+  void merge(const std::map<std::string, HistogramSnapshot>& other);
+
+  /// Zero every histogram (names are retained). Pipelines call this
+  /// between stages to attribute latencies per stage.
   void reset();
 
   /// Unified flat report: every global counter, then every histogram

@@ -1,0 +1,195 @@
+// DASSA common: telemetry sampling and the pipeline health report.
+//
+// Spans (trace.hpp) answer "where did the time go" after a run;
+// counters answer "how much work happened" in total. Neither answers
+// the operator's question *during* a long HAEE campaign: is the
+// pipeline still making progress, and at what rate? The TelemetrySampler
+// closes that gap -- a background thread snapshots every global
+// counter, registered gauge, histogram percentile, and the process's
+// resource usage (RSS, peak RSS, user/sys CPU) into an in-memory
+// timeline at a configurable period. The timeline exports as JSONL
+// ("dassa.telemetry.v1", one typed record per line) and parses back
+// through an in-tree reader with a validator strict enough to serve as
+// the schema's executable spec.
+//
+// The same file model carries the post-run records: per-stage
+// throughput, per-rank counter totals gathered over MiniMPI, cluster
+// aggregates with imbalance ratios, and merged histograms.
+// write_health_report() renders the whole file as the operator-facing
+// summary das_health and `das_analyze --telemetry` print.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dassa::telemetry {
+
+/// JSONL schema identifier written into every telemetry file's meta
+/// record and required back by validate_telemetry_file().
+inline constexpr const char* kSchemaVersion = "dassa.telemetry.v1";
+
+/// Process resource usage at one instant. Peak RSS and CPU come from
+/// getrusage(RUSAGE_SELF); current RSS from /proc/self/statm (0 where
+/// unavailable).
+struct ResourceUsage {
+  std::uint64_t rss_bytes = 0;
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t user_cpu_ns = 0;
+  std::uint64_t sys_cpu_ns = 0;
+};
+
+[[nodiscard]] ResourceUsage sample_resources();
+
+/// A gauge is a point-in-time reading (queue depth, cache occupancy)
+/// as opposed to a monotonic counter. Subsystems register one function
+/// per name; registering an existing name replaces the reader (so
+/// re-created singletons stay current). Gauge functions must be
+/// thread-safe: the sampler thread calls them.
+using GaugeFn = std::function<double()>;
+void register_gauge(const std::string& name, GaugeFn fn);
+
+/// Read every registered gauge now. Built-in gauges
+/// (trace.open_spans, trace.dropped_spans, log.records) are always
+/// present.
+[[nodiscard]] std::map<std::string, double> read_gauges();
+
+/// One timeline entry: everything observable about the process at one
+/// instant. Counter values are cumulative; gauges are instantaneous.
+/// Histogram percentiles are folded into `gauges` as
+/// "hist.<name>.p50_ns" / ".p95_ns" / ".p99_ns" / ".count".
+struct Sample {
+  std::uint64_t seq = 0;      ///< contiguous from 0 per timeline
+  std::uint64_t wall_ns = 0;  ///< trace clock (ns since process epoch)
+  ResourceUsage res;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+};
+
+struct SamplerConfig {
+  std::chrono::milliseconds period{250};
+  std::size_t max_samples = 1 << 14;  ///< timeline cap; extra ticks drop
+  bool include_histograms = true;     ///< fold percentiles into gauges
+};
+
+/// Periodic sampler. start() launches one background thread; stop()
+/// (or destruction) joins it. tick() takes one sample synchronously
+/// and is the deterministic injection point the tests drive -- the
+/// background loop calls exactly the same code.
+class TelemetrySampler {
+ public:
+  explicit TelemetrySampler(SamplerConfig cfg = {});
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const;
+
+  /// Take one sample now (any thread; also the background loop body).
+  void tick();
+
+  /// Copy of the timeline so far, oldest first.
+  [[nodiscard]] std::vector<Sample> timeline() const;
+
+  /// Ticks discarded because the timeline hit max_samples.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  void run_loop();
+
+  SamplerConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Sample> samples_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+};
+
+// ---- telemetry file model (JSONL, one typed record per line) ---------
+
+/// Post-run per-stage summary ("read", "halo", "compute", "write").
+struct StageRecord {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t bytes = 0;  ///< bytes moved by the stage (0 if n/a)
+  std::uint64_t rows = 0;   ///< rows retired by the stage (0 if n/a)
+};
+
+/// One rank's counter totals, gathered over MiniMPI.
+struct RankRecord {
+  int rank = 0;
+  std::map<std::string, std::uint64_t> counters;
+};
+
+/// Cluster-wide aggregate of one counter across ranks. `imbalance` is
+/// max / mean -- 1.0 means perfectly balanced, 2.4 means the busiest
+/// rank did 2.4x the average.
+struct AggRecord {
+  std::string counter;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  int min_rank = 0;
+  int max_rank = 0;
+  double imbalance = 1.0;
+};
+
+/// Cluster-merged latency histogram with precomputed percentiles.
+struct HistRecord {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+  std::array<std::uint64_t, 64> buckets{};
+};
+
+/// Everything a telemetry JSONL file carries.
+struct TelemetryFile {
+  std::map<std::string, std::string> meta;  ///< includes "schema"
+  std::vector<Sample> samples;
+  std::vector<StageRecord> stages;
+  std::vector<RankRecord> ranks;
+  std::vector<AggRecord> aggs;
+  std::vector<HistRecord> hists;
+};
+
+/// Serialize as JSONL. Writes the meta record first (stamping the
+/// schema version), then samples, stages, ranks, aggs, hists.
+void write_telemetry_file(std::ostream& os, const TelemetryFile& file);
+
+/// Parse text produced by write_telemetry_file. Throws
+/// dassa::FormatError on malformed JSON, an unknown record type, or a
+/// missing required field.
+[[nodiscard]] TelemetryFile parse_telemetry_jsonl(const std::string& text);
+
+/// Schema validation with teeth. Throws dassa::FormatError describing
+/// the first violation of: schema version present and supported;
+/// sample seq contiguous from 0 with non-decreasing wall clock;
+/// counters monotonic across samples; histogram count equal to the
+/// bucket sum; every aggregate's sum/min/max exactly consistent with
+/// the per-rank records.
+void validate_telemetry_file(const TelemetryFile& file);
+
+/// Render the operator-facing health report: stage throughput and time
+/// breakdown, resource ceiling, cache/codec efficiency, per-rank
+/// imbalance table, merged percentiles, and stall warnings (sampler
+/// intervals with zero counter progress while spans were open).
+void write_health_report(std::ostream& os, const TelemetryFile& file);
+
+}  // namespace dassa::telemetry

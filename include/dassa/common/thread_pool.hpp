@@ -39,6 +39,13 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// Tasks queued plus tasks currently executing. The telemetry
+  /// sampler exports this as the io.pool queue-depth gauge.
+  [[nodiscard]] std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_.size() + in_flight_;
+  }
+
   /// Enqueue a task; returns immediately.
   void submit(std::function<void()> task);
 
@@ -60,7 +67,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;

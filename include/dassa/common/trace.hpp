@@ -43,6 +43,7 @@ struct TraceEvent {
 
 namespace detail {
 extern std::atomic<bool> g_enabled;
+extern std::atomic<std::int64_t> g_open_spans;
 [[nodiscard]] std::uint64_t now_ns();
 void emit_span(const char* cat, const char* name, std::uint64_t start_ns,
                std::uint64_t end_ns);
@@ -78,6 +79,15 @@ void clear();
 
 /// Spans dropped because a thread's ring filled (newest-dropped).
 [[nodiscard]] std::uint64_t dropped_spans();
+
+/// Spans currently open (entered but not yet exited) across all
+/// threads. Only counted while tracing is enabled; the telemetry
+/// sampler reads this to flag stalls (zero counter progress while work
+/// is nominally in flight).
+[[nodiscard]] inline std::uint64_t open_spans() {
+  const std::int64_t n = detail::g_open_spans.load(std::memory_order_relaxed);
+  return n > 0 ? static_cast<std::uint64_t>(n) : 0;
+}
 
 /// Copy the tracer's own statistics (trace.spans_emitted,
 /// trace.spans_dropped, trace.threads) into global_counters().
@@ -128,11 +138,15 @@ class SpanGuard {
     if (enabled()) {
       cat_ = cat;
       name_ = name;
+      g_open_spans.fetch_add(1, std::memory_order_relaxed);
       start_ns_ = now_ns();
     }
   }
   ~SpanGuard() {
-    if (cat_ != nullptr) emit_span(cat_, name_, start_ns_, now_ns());
+    if (cat_ != nullptr) {
+      emit_span(cat_, name_, start_ns_, now_ns());
+      g_open_spans.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
   SpanGuard(const SpanGuard&) = delete;
   SpanGuard& operator=(const SpanGuard&) = delete;

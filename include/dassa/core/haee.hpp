@@ -27,6 +27,7 @@
 #include "dassa/io/par_write.hpp"
 #include "dassa/io/vca.hpp"
 #include "dassa/mpi/runtime.hpp"
+#include "dassa/mpi/telemetry.hpp"
 
 namespace dassa::core {
 
@@ -99,6 +100,10 @@ struct EngineReport {
   /// Modeled per-node peak bytes: local block + output + per-rank
   /// duplicated state reported by the UDF factory via `extra_bytes`.
   std::uint64_t modeled_peak_bytes_per_node = 0;
+  /// Cross-rank telemetry reduced onto rank 0 at the end of the run:
+  /// per-rank read bytes / rows / comm traffic with cluster-wide
+  /// aggregates and imbalance ratios (das_analyze --telemetry).
+  mpi::ClusterTelemetry telemetry;
 };
 
 /// Run a cell-granularity UDF (e.g. local similarity) distributed.

@@ -10,9 +10,11 @@
 #                  deterministic fuzz run (>= 10000 inputs).
 #   3. tsan     -- ThreadSanitizer build; concurrency-relevant tests
 #                  (ThreadPool, FFT engine, MiniMPI, HAEE stress).
-#   4. lint     -- tools/das_lint.py over src/ and include/ (zero
-#                  findings against the committed baseline).
-#   5. bench    -- bench_compare.py perf-regression gate (optional,
+#   4. lint     -- tools/das_lint.py over src/, include/ and tools/
+#                  (zero findings against the committed baseline).
+#   5. telemetry-- das_analyze --telemetry on a 4-rank synthetic run,
+#                  validated and rendered by das_health.
+#   6. bench    -- bench_compare.py perf-regression gate (optional,
 #                  skipped with --no-bench; needs the default build).
 #
 # Each matrix leg uses its CMakePresets.json preset, so every leg can
@@ -41,7 +43,7 @@ step() { printf '\n==== %s ====\n' "$*"; }
 
 # ---------------------------------------------------------------- lint
 # First: it needs no build and fails fastest.
-step "das_lint (src/ + include/ invariants)"
+step "das_lint (src/ + include/ + tools/ invariants)"
 python3 tools/das_lint.py --repo .
 
 # -------------------------------------------------------------- strict
@@ -65,12 +67,32 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$PWD/scripts/ubsa
 # Concurrency-relevant subset: the pool, the FFT engine's shared plan
 # cache, MiniMPI collectives, the HAEE row-apply stress tests, the
 # storage engine (parallel chunk codecs, sharded chunk cache, prefetch),
-# and the span tracer (concurrent emission vs collection).
+# the span tracer (concurrent emission vs collection), and the telemetry
+# sampler (background thread vs counter/histogram/gauge writers).
 step "tsan: ThreadSanitizer, concurrency suite"
 cmake --preset tsan
 cmake --build --preset tsan -j "${JOBS}"
 ctest --preset tsan -j "${JOBS}" \
-  -R 'ThreadPool|Fft|MiniMpi|HaeeStress|HaeeMode|Apply|Codec|ChunkCache|Dash5V3|Trace'
+  -R 'ThreadPool|Fft|MiniMpi|HaeeStress|HaeeMode|Apply|Codec|ChunkCache|Dash5V3|Trace|Telemetry'
+
+# ---------------------------------------------------------- telemetry
+# End-to-end observability smoke: generate a tiny acquisition, run the
+# analysis pipeline on 4 ranks with telemetry sampling, then make
+# das_health validate and render the resulting JSONL.
+step "telemetry: das_analyze --telemetry -> das_health round trip"
+cmake --preset default
+cmake --build --preset default -j "${JOBS}" \
+  --target das_generate das_analyze das_health
+TELEDIR="$(mktemp -d)"
+trap 'rm -rf "${TELEDIR}"' EXIT
+./build/tools/das_generate --dir "${TELEDIR}" --channels 16 --rate 20 \
+  --files 2 --seconds-per-file 2 --start 170728224510
+./build/tools/das_analyze --dir "${TELEDIR}" --pipeline similarity \
+  --window-half 4 --lag-half 2 --nodes 4 \
+  --telemetry "${TELEDIR}/run.telemetry.jsonl" --telemetry-period-ms 5 \
+  --out "${TELEDIR}/out.dh5" > /dev/null
+./build/tools/das_health "${TELEDIR}/run.telemetry.jsonl" --validate-only
+./build/tools/das_health "${TELEDIR}/run.telemetry.jsonl" > /dev/null
 
 # --------------------------------------------------------------- bench
 if [[ "${RUN_BENCH}" -eq 1 ]]; then

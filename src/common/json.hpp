@@ -1,0 +1,251 @@
+// DASSA common (internal): minimal JSON reading and escaping shared by
+// the chrome-trace inspector (trace.cpp), the telemetry JSONL layer
+// (telemetry.cpp), and the structured log sinks (log.cpp).
+//
+// This is an src/-internal header: the public surface is the typed
+// parse/validate functions those modules export. The reader is a
+// recursive-descent parser sufficient for the documents DASSA itself
+// emits; it throws dassa::FormatError with byte offsets on any syntax
+// error, which is the contract the schema tests pin.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::jsonio {
+
+/// Append `s` to `out` as a quoted, escaped JSON string literal.
+inline void escape(std::string& out, const char* s) {
+  out += '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+inline void escape(std::string& out, const std::string& s) {
+  escape(out, s.c_str());
+}
+
+/// Minimal recursive-descent JSON reader. Throws dassa::FormatError
+/// with byte offsets on any syntax error.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : s_(text) {
+    DASSA_CHECK(!text.empty(), "empty JSON document");
+  }
+
+  struct Value {
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+    Type type = Type::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> arr;
+    std::vector<std::pair<std::string, Value>> obj;
+
+    [[nodiscard]] const Value* find(const std::string& key) const {
+      for (const auto& [k, v] : obj) {
+        if (k == key) return &v;
+      }
+      return nullptr;
+    }
+  };
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (i_ != s_.size()) fail("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw FormatError("JSON at byte " + std::to_string(i_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' ||
+            s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (i_ >= s_.size()) fail("unexpected end of input");
+    return s_[i_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++i_;
+  }
+
+  Value value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+      case 'f': return boolean();
+      case 'n': return null_value();
+      default: return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.type = Value::Type::kObject;
+    if (peek() == '}') {
+      ++i_;
+      return v;
+    }
+    while (true) {
+      Value key = string_value();
+      expect(':');
+      v.obj.emplace_back(std::move(key.str), value());
+      const char c = peek();
+      ++i_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.type = Value::Type::kArray;
+    if (peek() == ']') {
+      ++i_;
+      return v;
+    }
+    while (true) {
+      v.arr.push_back(value());
+      const char c = peek();
+      ++i_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  Value string_value() {
+    expect('"');
+    Value v;
+    v.type = Value::Type::kString;
+    while (true) {
+      if (i_ >= s_.size()) fail("unterminated string");
+      const char c = s_[i_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (i_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[i_++];
+        switch (e) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case '/': v.str += '/'; break;
+          case 'n': v.str += '\n'; break;
+          case 't': v.str += '\t'; break;
+          case 'r': v.str += '\r'; break;
+          case 'b': v.str += '\b'; break;
+          case 'f': v.str += '\f'; break;
+          case 'u': {
+            if (i_ + 4 > s_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = s_[i_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape digit");
+              }
+            }
+            // DASSA only ever emits ASCII control escapes; map the
+            // BMP code point to one byte when it fits, '?' otherwise.
+            v.str += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: fail("unknown string escape");
+        }
+      } else {
+        v.str += c;
+      }
+    }
+  }
+
+  Value boolean() {
+    Value v;
+    v.type = Value::Type::kBool;
+    if (s_.compare(i_, 4, "true") == 0) {
+      v.boolean = true;
+      i_ += 4;
+    } else if (s_.compare(i_, 5, "false") == 0) {
+      v.boolean = false;
+      i_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  Value null_value() {
+    if (s_.compare(i_, 4, "null") != 0) fail("bad literal");
+    i_ += 4;
+    Value v;
+    v.type = Value::Type::kNull;
+    return v;
+  }
+
+  Value number() {
+    const std::size_t start = i_;
+    if (i_ < s_.size() && (s_[i_] == '-' || s_[i_] == '+')) ++i_;
+    while (i_ < s_.size() &&
+           ((s_[i_] >= '0' && s_[i_] <= '9') || s_[i_] == '.' ||
+            s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == '-' ||
+            s_[i_] == '+')) {
+      ++i_;
+    }
+    if (i_ == start) fail("expected a value");
+    Value v;
+    v.type = Value::Type::kNumber;
+    try {
+      v.number = std::stod(s_.substr(start, i_ - start));
+    } catch (const std::exception&) {
+      throw FormatError("JSON at byte " + std::to_string(start) +
+                        ": malformed number");
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace dassa::jsonio

@@ -3,27 +3,100 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <deque>
+#include <fstream>
 #include <mutex>
+#include <utility>
+
+#include "dassa/common/error.hpp"
+#include "dassa/common/trace.hpp"
+#include "json.hpp"
 
 namespace dassa {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_out_mu;
 
-const char* level_name(LogLevel level) {
-  switch (level) {
-    case LogLevel::kDebug:
-      return "DEBUG";
-    case LogLevel::kInfo:
-      return "INFO ";
-    case LogLevel::kWarn:
-      return "WARN ";
-    case LogLevel::kError:
-      return "ERROR";
-  }
-  return "?????";
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<std::uint64_t> g_records{0};
+
+/// Sinks share one mutex: records are rare (framework events, never
+/// hot paths), so serialising console, file, and ring keeps lines from
+/// interleaving without a lock-free design.
+struct Sinks {
+  std::mutex mu;
+  std::ofstream file;        // JSONL sink; open() == active
+  std::deque<LogRecord> ring;  // warn+ ring, front = oldest
+  std::size_t ring_capacity = 128;
+};
+
+Sinks& sinks() {
+  static Sinks s;
+  return s;
 }
+
+/// Process-unique small thread id for log attribution (independent of
+/// the tracer's tids, which only exist once a span was emitted).
+std::uint32_t log_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+void write_console(const LogRecord& rec) {
+  std::string line;
+  line.reserve(96 + rec.message.size());
+  char head[96];
+  std::snprintf(head, sizeof head, "[dassa %s %.3f r%d t%u] ",
+                log_level_name(rec.level), rec.wall_seconds, rec.rank,
+                rec.tid);
+  line += head;
+  if (!rec.event.empty()) {
+    line += rec.event;
+    line += ": ";
+  }
+  line += rec.message;
+  for (const LogField& f : rec.fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    line += f.value;
+  }
+  // The one sanctioned stderr write in the tree (see das_lint's
+  // no-direct-stderr rule).
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+void write_jsonl(std::ofstream& os, const LogRecord& rec) {
+  std::string line;
+  line.reserve(128 + rec.message.size());
+  char head[96];
+  std::snprintf(head, sizeof head,
+                "{\"ts_s\":%.6f,\"level\":\"%s\",\"rank\":%d,\"tid\":%u",
+                rec.wall_seconds, log_level_name(rec.level), rec.rank,
+                rec.tid);
+  line += head;
+  line += ",\"event\":";
+  jsonio::escape(line, rec.event);
+  line += ",\"msg\":";
+  jsonio::escape(line, rec.message);
+  line += ",\"fields\":{";
+  bool first = true;
+  for (const LogField& f : rec.fields) {
+    if (!first) line += ',';
+    first = false;
+    jsonio::escape(line, f.key);
+    line += ':';
+    if (f.quoted) {
+      jsonio::escape(line, f.value);
+    } else {
+      line += f.value;
+    }
+  }
+  line += "}}\n";
+  os << line;
+  os.flush();
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -34,13 +107,86 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void set_log_file(const std::string& path) {
+  Sinks& s = sinks();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.file.is_open()) s.file.close();
+  if (path.empty()) return;
+  s.file.open(path, std::ios::app);
+  if (!s.file.is_open()) {
+    throw IoError("cannot open log file: " + path);
+  }
+}
+
+void set_error_ring_capacity(std::size_t records) {
+  DASSA_CHECK(records > 0, "error ring capacity must be positive");
+  Sinks& s = sinks();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.ring_capacity = records;
+  while (s.ring.size() > s.ring_capacity) s.ring.pop_front();
+}
+
+std::vector<LogRecord> recent_errors() {
+  Sinks& s = sinks();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return {s.ring.begin(), s.ring.end()};
+}
+
+std::uint64_t log_records_emitted() {
+  return g_records.load(std::memory_order_relaxed);
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
-  const auto now = std::chrono::system_clock::now().time_since_epoch();
-  const double secs = std::chrono::duration<double>(now).count();
-  std::lock_guard<std::mutex> lock(g_out_mu);
-  std::fprintf(stderr, "[dassa %s %.3f] %s\n", level_name(level), secs,
-               msg.c_str());
+  detail::emit_record(level, {}, msg, {});
 }
+
+namespace detail {
+
+std::string LogBuilder::render_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+void emit_record(LogLevel level, std::string event, std::string message,
+                 std::vector<LogField> fields) {
+  LogRecord rec;
+  rec.level = level;
+  rec.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+  rec.rank = trace::thread_rank();
+  rec.tid = log_tid();
+  rec.event = std::move(event);
+  rec.message = std::move(message);
+  rec.fields = std::move(fields);
+
+  g_records.fetch_add(1, std::memory_order_relaxed);
+  Sinks& s = sinks();
+  std::lock_guard<std::mutex> lock(s.mu);
+  write_console(rec);
+  if (s.file.is_open()) write_jsonl(s.file, rec);
+  if (rec.level >= LogLevel::kWarn) {
+    s.ring.push_back(std::move(rec));
+    while (s.ring.size() > s.ring_capacity) s.ring.pop_front();
+  }
+}
+
+}  // namespace detail
 
 }  // namespace dassa

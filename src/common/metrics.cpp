@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "dassa/common/counters.hpp"
 #include "dassa/common/error.hpp"
@@ -30,6 +31,16 @@ double HistogramSnapshot::quantile_ns(double q) const {
   return std::ldexp(1.0, 63);  // everything landed in the top bucket
 }
 
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  DASSA_CHECK(count <= std::numeric_limits<std::uint64_t>::max() - other.count,
+              "histogram merge would overflow the sample count");
+  count += other.count;
+  total_ns += other.total_ns;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
 HistogramSnapshot LatencyHistogram::snapshot() const {
   HistogramSnapshot s;
   s.count = count_.load(std::memory_order_relaxed);
@@ -38,6 +49,19 @@ HistogramSnapshot LatencyHistogram::snapshot() const {
     s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return s;
+}
+
+void LatencyHistogram::merge(const HistogramSnapshot& other) {
+  DASSA_CHECK(count_.load(std::memory_order_relaxed) <=
+                  std::numeric_limits<std::uint64_t>::max() - other.count,
+              "histogram merge would overflow the sample count");
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    if (other.buckets[i] != 0) {
+      buckets_[i].fetch_add(other.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  total_ns_.fetch_add(other.total_ns, std::memory_order_relaxed);
 }
 
 void LatencyHistogram::reset() {
@@ -66,6 +90,14 @@ std::map<std::string, HistogramSnapshot> MetricsRegistry::snapshot() const {
     out.emplace(name, hist->snapshot());
   }
   return out;
+}
+
+void MetricsRegistry::merge(
+    const std::map<std::string, HistogramSnapshot>& other) {
+  for (const auto& [name, snap] : other) {
+    DASSA_CHECK(!name.empty(), "merged histogram name must be non-empty");
+    histogram(name).merge(snap);
+  }
 }
 
 void MetricsRegistry::reset() {

@@ -4,6 +4,7 @@
 
 #include <cstring>
 
+#include "dassa/common/counters.hpp"
 #include "dassa/common/trace.hpp"
 
 namespace dassa::core {
@@ -50,6 +51,19 @@ Stencil row_stencil(const LocalBlock& block, std::size_t owned_row) {
                  block.owned_local.begin + owned_row, 0, block.global_shape);
 }
 
+// Telemetry progress hooks: one registry add per apply call (or per
+// pool chunk), so the sampler can tell a busy pipeline from a stalled
+// one without taxing the per-cell hot loop.
+void charge_cells(std::size_t n) {
+  global_counters().add(counters::kTelemetryCellsProcessed,
+                        static_cast<std::uint64_t>(n));
+}
+
+void charge_rows(std::size_t n) {
+  global_counters().add(counters::kTelemetryRowsProcessed,
+                        static_cast<std::uint64_t>(n));
+}
+
 }  // namespace
 
 Array2D apply_cells_serial(const LocalBlock& block, const ScalarUdf& udf) {
@@ -59,6 +73,7 @@ Array2D apply_cells_serial(const LocalBlock& block, const ScalarUdf& udf) {
   for (std::size_t i = 0; i < n; ++i) {
     out.data[i] = udf(stencil_at(block, i));
   }
+  charge_cells(n);
   return out;
 }
 
@@ -82,6 +97,7 @@ Array2D apply_cells_mt(const LocalBlock& block, const ScalarUdf& udf,
     }
     std::memcpy(out.data.data() + begin, rp.data(),
                 rp.size() * sizeof(double));  // R[p[h-1] : p[h]] = Rp
+    charge_cells(end - begin);
   });
   return out;
 }
@@ -96,6 +112,7 @@ Array2D apply_cells_mt_direct(const LocalBlock& block, const ScalarUdf& udf,
     for (std::size_t i = begin; i < end; ++i) {
       out.data[i] = udf(stencil_at(block, i));
     }
+    charge_cells(end - begin);
   });
   return out;
 }
@@ -129,6 +146,7 @@ Array2D apply_cells_omp(const LocalBlock& block, const ScalarUdf& udf,
     std::memcpy(out.data.data() + prefix[h], mine.data(),
                 mine.size() * sizeof(double));
   }
+  charge_cells(n);
   return out;
 }
 
@@ -138,6 +156,7 @@ Array2D apply_rows_serial(const LocalBlock& block, const RowUdf& udf) {
   for (std::size_t r = 0; r < results.size(); ++r) {
     results[r] = udf(row_stencil(block, r));
   }
+  charge_rows(results.size());
   return rows_from_results(block, results);
 }
 
@@ -151,6 +170,7 @@ Array2D apply_rows_mt(const LocalBlock& block, const RowUdf& udf,
     for (std::size_t r = begin; r < end; ++r) {
       results[r] = udf(row_stencil(block, r));
     }
+    charge_rows(end - begin);
   });
   return rows_from_results(block, results);
 }
@@ -166,6 +186,7 @@ Array2D apply_rows_omp(const LocalBlock& block, const RowUdf& udf,
     results[static_cast<std::size_t>(r)] =
         udf(row_stencil(block, static_cast<std::size_t>(r)));
   }
+  charge_rows(results.size());
   return rows_from_results(block, results);
 }
 

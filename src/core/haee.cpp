@@ -59,6 +59,7 @@ EngineReport run_engine(
   std::vector<StageTimes> rank_stages(static_cast<std::size_t>(world));
   std::vector<std::uint64_t> rank_peak(static_cast<std::size_t>(world), 0);
   Array2D gathered;
+  mpi::ClusterTelemetry cluster;
 
   const mpi::RunReport run_report = mpi::Runtime::run(
       world, config.net_cost, [&](mpi::Comm& comm) {
@@ -66,10 +67,12 @@ EngineReport run_engine(
             rank_stages[static_cast<std::size_t>(comm.rank())];
 
         LocalBlock block;
+        std::uint64_t read_bytes = 0;
         {
           StageScope scope(stages, "read");
           DASSA_TRACE_SPAN("haee", "haee.read");
           const io::ParallelReadResult read = read_block(comm, vca, config);
+          read_bytes = read.data.size() * sizeof(double);
           block = config.halo_mode == HaloMode::kExchange
                       ? build_local_block(comm, read, global,
                                           config.halo_channels)
@@ -117,6 +120,30 @@ EngineReport run_engine(
           Array2D out = gather_output(comm, mine, global.rows);
           if (comm.rank() == 0) gathered = std::move(out);
         }
+
+        // Per-rank telemetry cannot come from the process-global
+        // counters (rank threads share them); each rank assembles its
+        // own view and a real gatherv reduces it onto rank 0.
+        mpi::RankTelemetry mine_t;
+        mine_t.counters["haee.read_bytes"] = read_bytes;
+        mine_t.counters["haee.rows_owned"] = static_cast<std::uint64_t>(
+            block.owned_local.end - block.owned_local.begin);
+        mine_t.counters["haee.output_values"] =
+            static_cast<std::uint64_t>(mine.data.size());
+        const mpi::CommStats& cs = comm.stats();
+        mine_t.counters["mpi.bytes_sent"] = cs.bytes_sent;
+        mine_t.counters["mpi.bytes_received"] = cs.bytes_received;
+        mine_t.counters["mpi.p2p_messages"] = cs.p2p_sends + cs.p2p_recvs;
+        LatencyHistogram stage_hist;
+        for (const auto& [name, secs] : stages.stages()) {
+          const auto ns = static_cast<std::uint64_t>(secs * 1e9);
+          mine_t.counters["haee.stage." + name + "_ns"] = ns;
+          stage_hist.record_ns(ns);
+        }
+        mine_t.hists["haee.stage_ns"] = stage_hist.snapshot();
+        mpi::ClusterTelemetry reduced =
+            mpi::reduce_telemetry(comm, mine_t, 0);
+        if (comm.rank() == 0) cluster = std::move(reduced);
       });
 
   EngineReport report;
@@ -144,6 +171,7 @@ EngineReport run_engine(
           ? 1
           : static_cast<std::uint64_t>(config.cores_per_node);
   report.modeled_peak_bytes_per_node = max_rank_peak * ranks_per_node;
+  report.telemetry = std::move(cluster);
   return report;
 }
 

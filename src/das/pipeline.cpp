@@ -1,5 +1,6 @@
 #include "dassa/das/pipeline.hpp"
 
+#include "dassa/common/counters.hpp"
 #include "dassa/common/trace.hpp"
 #include "dassa/dsp/daslib.hpp"
 
@@ -131,6 +132,9 @@ std::vector<double> ChannelPipeline::run(std::vector<double> x) const {
   for (const auto& [name, stage] : *stages_) {
     x = stage(std::move(x));
   }
+  // Progress hook: one registry add per channel run, so the telemetry
+  // sampler sees DSP throughput without touching the per-sample loops.
+  global_counters().add(counters::kTelemetryPipelineRows);
   return x;
 }
 

@@ -2,6 +2,7 @@
 
 #include "dassa/common/counters.hpp"
 #include "dassa/common/error.hpp"
+#include "dassa/common/telemetry.hpp"
 
 namespace dassa::io {
 
@@ -123,6 +124,16 @@ std::size_t ChunkCache::entries() const {
 
 ChunkCache& ChunkCache::global() {
   static ChunkCache cache(kDefaultBudget);
+  static const bool gauges_registered = [] {
+    telemetry::register_gauge("io.cache.bytes", [] {
+      return static_cast<double>(ChunkCache::global().bytes());
+    });
+    telemetry::register_gauge("io.cache.entries", [] {
+      return static_cast<double>(ChunkCache::global().entries());
+    });
+    return true;
+  }();
+  (void)gauges_registered;
   return cache;
 }
 

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "dassa/common/telemetry.hpp"
 #include "dassa/common/thread_pool.hpp"
 #include "dassa/io/chunk_cache.hpp"
 
@@ -16,6 +17,16 @@ ThreadPool& io_pool() {
         return static_cast<std::size_t>(std::clamp(hw / 2, 2u, 8u));
       }(),
       /*inherit_trace_rank=*/false);
+  static const bool gauges_registered = [] {
+    telemetry::register_gauge("io.pool.queue_depth", [] {
+      return static_cast<double>(io_pool().queue_depth());
+    });
+    telemetry::register_gauge("io.pool.threads", [] {
+      return static_cast<double>(io_pool().size());
+    });
+    return true;
+  }();
+  (void)gauges_registered;
   return pool;
 }
 

@@ -1,10 +1,15 @@
-// Logger tests: level filtering, thread safety of concurrent emission.
+// Logger tests: level filtering, thread safety of concurrent emission,
+// structured fields, the warn/error ring, and the JSONL file sink.
 #include "dassa/common/log.hpp"
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <thread>
 #include <vector>
+
+#include "dassa/common/error.hpp"
+#include "testing/tmpdir.hpp"
 
 namespace dassa {
 namespace {
@@ -53,6 +58,97 @@ TEST(LogTest, ConcurrentLoggingDoesNotCrash) {
     });
   }
   for (auto& th : threads) th.join();
+}
+
+TEST(LogTest, StructuredRecordCarriesEventAndTypedFields) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  DASSA_SLOG(kWarn, "test.structured")
+          .field("files", std::uint64_t{42})
+          .field("ratio", 2.5)
+          .field("ok", true)
+          .field("path", "a/b.dh5")
+      << "structured message";
+
+  const std::vector<LogRecord> ring = recent_errors();
+  ASSERT_FALSE(ring.empty());
+  const LogRecord& rec = ring.back();
+  EXPECT_EQ(rec.event, "test.structured");
+  EXPECT_EQ(rec.message, "structured message");
+  EXPECT_EQ(rec.level, LogLevel::kWarn);
+  EXPECT_GT(rec.wall_seconds, 0.0);
+  ASSERT_EQ(rec.fields.size(), 4u);
+  EXPECT_EQ(rec.fields[0].key, "files");
+  EXPECT_EQ(rec.fields[0].value, "42");
+  EXPECT_FALSE(rec.fields[0].quoted);
+  EXPECT_EQ(rec.fields[2].value, "true");
+  EXPECT_EQ(rec.fields[3].value, "a/b.dh5");
+  EXPECT_TRUE(rec.fields[3].quoted);
+}
+
+TEST(LogTest, ErrorRingKeepsOnlyWarnAndAboveAndHonorsCapacity) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  set_error_ring_capacity(4);
+  DASSA_SLOG(kInfo, "test.ring.info") << "not retained";
+  for (int i = 0; i < 6; ++i) {
+    DASSA_SLOG(kError, "test.ring.err").field("i", i) << "boom";
+  }
+  const std::vector<LogRecord> ring = recent_errors();
+  ASSERT_EQ(ring.size(), 4u);
+  for (const LogRecord& rec : ring) {
+    EXPECT_EQ(rec.event, "test.ring.err");  // info record never entered
+  }
+  // Oldest first: the retained records are i = 2..5.
+  EXPECT_EQ(ring.front().fields.at(0).value, "2");
+  EXPECT_EQ(ring.back().fields.at(0).value, "5");
+  set_error_ring_capacity(128);  // restore the default for later tests
+}
+
+TEST(LogTest, RecordsEmittedCountsOnlyUnfiltered) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kError);
+  const std::uint64_t before = log_records_emitted();
+  DASSA_LOG(kDebug) << "filtered";
+  EXPECT_EQ(log_records_emitted(), before);
+  DASSA_LOG(kError) << "emitted";
+  EXPECT_EQ(log_records_emitted(), before + 1);
+}
+
+TEST(LogTest, JsonlSinkWritesOneParsableObjectPerRecord) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  testing::TmpDir dir("log");
+  const std::string path = dir.file("run.log.jsonl");
+  set_log_file(path);
+  DASSA_SLOG(kInfo, "test.jsonl")
+          .field("n", std::uint64_t{3})
+          .field("what", "x\"y")  // must be escaped in the sink
+      << "line one";
+  DASSA_SLOG(kWarn, "test.jsonl2") << "line two";
+  set_log_file("");  // close the sink so the file is flushed
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"event\":\"test.jsonl\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"n\":3"), std::string::npos);
+  EXPECT_NE(lines[0].find("x\\\"y"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"msg\":\"line one\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"level\":\"warn\""), std::string::npos);
+}
+
+TEST(LogTest, SetLogFileRejectsUnwritablePath) {
+  EXPECT_THROW(set_log_file("/nonexistent_dir_xyz/log.jsonl"), Error);
+}
+
+TEST(LogTest, LevelNamesRoundTrip) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "info");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "warn");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "error");
 }
 
 }  // namespace

@@ -7,8 +7,10 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
+#include "dassa/common/telemetry.hpp"
 #include "dassa/io/dash5.hpp"
 #include "dassa/io/vca.hpp"
 #include "testing/tmpdir.hpp"
@@ -188,6 +190,86 @@ TEST_F(ToolsSmokeTest, GenerateWithCodecEmitsReadableV3Files) {
     EXPECT_EQ(f.read_all().size(), 800u);
   }
   EXPECT_EQ(count, 1u);
+}
+
+TEST_F(ToolsSmokeTest, AnalyzeTelemetryProducesValidHealthFile) {
+  // The acceptance run: >= 4 ranks, telemetry JSONL out, then the file
+  // must round-trip through the in-process schema validator and its
+  // aggregate rows must exactly equal the per-rank totals.
+  const std::string tele = dir_->file("run.telemetry.jsonl");
+  ASSERT_EQ(run(tools_dir() + "/das_analyze --dir " + dir_->str() +
+                " --pipeline similarity --window-half 4 --lag-half 2 "
+                "--nodes 4 --cores 2 --telemetry " + tele +
+                " --telemetry-period-ms 5 --out " +
+                dir_->file("tele_out.dh5")),
+            0);
+
+  std::ifstream in(tele);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const telemetry::TelemetryFile file =
+      telemetry::parse_telemetry_jsonl(text.str());
+  telemetry::validate_telemetry_file(file);
+
+  EXPECT_EQ(file.meta.at("schema"), telemetry::kSchemaVersion);
+  EXPECT_EQ(file.meta.at("tool"), "das_analyze");
+  EXPECT_EQ(file.meta.at("world_size"), "4");
+  ASSERT_EQ(file.ranks.size(), 4u);
+  ASSERT_FALSE(file.samples.empty());
+  ASSERT_FALSE(file.stages.empty());
+  ASSERT_FALSE(file.aggs.empty());
+
+  // Cross-check every aggregate against the per-rank records (the
+  // validator did too -- this spells the acceptance criterion out).
+  for (const telemetry::AggRecord& agg : file.aggs) {
+    std::uint64_t sum = 0;
+    for (const telemetry::RankRecord& r : file.ranks) {
+      const auto it = r.counters.find(agg.counter);
+      if (it != r.counters.end()) sum += it->second;
+    }
+    EXPECT_EQ(agg.sum, sum) << agg.counter;
+    EXPECT_GE(agg.imbalance, 1.0) << agg.counter;
+  }
+  bool saw_rows = false;
+  for (const telemetry::AggRecord& agg : file.aggs) {
+    if (agg.counter == "haee.rows_owned") {
+      saw_rows = true;
+      EXPECT_EQ(agg.sum, 16u);  // every channel owned exactly once
+    }
+  }
+  EXPECT_TRUE(saw_rows);
+
+  // Merged stage histogram: per-rank clocks, bucket sum == count.
+  ASSERT_FALSE(file.hists.empty());
+  for (const telemetry::HistRecord& h : file.hists) {
+    std::uint64_t bucket_sum = 0;
+    for (const std::uint64_t b : h.buckets) bucket_sum += b;
+    EXPECT_EQ(bucket_sum, h.count) << h.name;
+  }
+
+  // das_health accepts the same file, both modes.
+  EXPECT_EQ(run(tools_dir() + "/das_health " + tele + " --validate-only"),
+            0);
+  EXPECT_EQ(run(tools_dir() + "/das_health " + tele), 0);
+  EXPECT_EQ(run(tools_dir() + "/das_health " + dir_->file("absent.jsonl")),
+            1);
+  EXPECT_EQ(run(tools_dir() + "/das_health"), 2);
+
+  // Corrupt one aggregate: das_health must now reject the file.
+  std::string doctored = text.str();
+  const std::string needle = "\"type\":\"agg\",\"counter\":\"haee.rows_owned\",\"sum\":16";
+  const std::size_t at = doctored.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  doctored.replace(at, needle.size(),
+                   "\"type\":\"agg\",\"counter\":\"haee.rows_owned\",\"sum\":17");
+  const std::string bad = dir_->file("bad.telemetry.jsonl");
+  {
+    std::ofstream out(bad);
+    out << doctored;
+  }
+  EXPECT_EQ(run(tools_dir() + "/das_health " + bad + " --validate-only"),
+            1);
 }
 
 TEST_F(ToolsSmokeTest, AnalyzeRejectsUnknownPipeline) {

@@ -15,15 +15,23 @@
 //   pipeline "qc": channel quality control
 //     [--dead-fraction F] [--noisy-multiple M]
 //   any pipeline:
-//     [--trace out.json]  enable span tracing, export chrome://tracing
-//                         JSON to out.json and a per-span summary to
-//                         stderr (inspect with das_trace)
+//     [--trace out.json]      enable span tracing, export chrome://tracing
+//                             JSON to out.json (inspect with das_trace)
+//     [--telemetry out.jsonl] sample counters/resources during the run,
+//                             write the "dassa.telemetry.v1" timeline with
+//                             per-rank aggregates, and print the health
+//                             report to stdout (inspect with das_health)
+//     [--log-json path]       mirror log records to a JSONL file
+//     [--log-level L]         debug|info|warn|error (default info)
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "arg_parse.hpp"
 #include "dassa/common/counters.hpp"
+#include "dassa/common/log.hpp"
 #include "dassa/common/metrics.hpp"
+#include "dassa/common/telemetry.hpp"
 #include "dassa/common/trace.hpp"
 #include "dassa/das/channel_qc.hpp"
 #include "dassa/das/interferometry.hpp"
@@ -35,33 +43,26 @@ namespace {
 
 using namespace dassa;
 
-/// Pull the DSP cache statistics into the global registry and print
-/// them: a cold plan cache or runaway allocation shows up here long
-/// before it shows up in wall time.
-void print_dsp_counters() {
-  dsp::publish_dsp_counters();
-  std::cerr << "dsp counters:\n";
+/// One structured record per counter namespace: a cold plan cache or
+/// runaway allocation shows up here long before it shows up in wall
+/// time.
+void log_counters(const char* event, const char* prefix1,
+                  const char* prefix2) {
+  std::string line;
   for (const auto& [name, value] : global_counters().snapshot()) {
-    if (name.rfind("dsp.", 0) == 0) {
-      std::cerr << "  " << name << " = " << value << "\n";
+    if (name.rfind(prefix1, 0) == 0 ||
+        (prefix2 != nullptr && name.rfind(prefix2, 0) == 0)) {
+      line += ' ';
+      line += name;
+      line += '=';
+      line += std::to_string(value);
     }
   }
-}
-
-/// Storage-engine statistics: codec throughput and chunk cache
-/// effectiveness (DASH5 v3 inputs only; all zeros for v2 files).
-void print_storage_counters() {
-  std::cerr << "storage counters:\n";
-  for (const auto& [name, value] : global_counters().snapshot()) {
-    if (name.rfind("io.codec.", 0) == 0 || name.rfind("io.cache.", 0) == 0) {
-      std::cerr << "  " << name << " = " << value << "\n";
-    }
-  }
+  if (!line.empty()) DASSA_SLOG(kInfo, event) << line;
 }
 
 /// Export the recorded spans as chrome://tracing JSON plus a per-span
-/// summary and the unified metrics report on stderr. No-op unless
-/// --trace was given.
+/// summary and the unified metrics report. No-op unless --trace given.
 void maybe_export_trace(const tools::Args& args) {
   if (!args.has("--trace")) return;
   const std::string path = args.get("--trace");
@@ -70,9 +71,97 @@ void maybe_export_trace(const tools::Args& args) {
   std::ofstream out(path);
   DASSA_CHECK(out.good(), "cannot open trace output file: " + path);
   trace::write_chrome_trace(out, events);
-  std::cerr << "trace: " << events.size() << " spans -> " << path << "\n";
-  trace::write_summary(std::cerr, events);
-  global_metrics().write_report(std::cerr);
+  std::ostringstream summary;
+  trace::write_summary(summary, events);
+  global_metrics().write_report(summary);
+  DASSA_SLOG(kInfo, "analyze.trace")
+          .field("spans", static_cast<std::uint64_t>(events.size()))
+          .field("path", path)
+      << "\n"
+      << summary.str();
+}
+
+/// Assemble the telemetry file from the sampler timeline and the
+/// engine's cross-rank reduction, write it, then re-parse and validate
+/// the bytes on disk -- the health report only prints if the file
+/// round-trips through the schema checker.
+void export_telemetry(const std::string& path, const tools::Args& args,
+                      const core::EngineReport& report,
+                      const telemetry::TelemetrySampler& sampler) {
+  telemetry::TelemetryFile file;
+  file.meta["tool"] = "das_analyze";
+  file.meta["pipeline"] = args.get("--pipeline");
+  file.meta["world_size"] = std::to_string(report.world_size);
+  file.meta["threads_per_rank"] = std::to_string(report.threads_per_rank);
+  file.samples = sampler.timeline();
+
+  const auto cluster_sum = [&report](const char* name) {
+    const auto it = report.telemetry.counters.find(name);
+    return it == report.telemetry.counters.end() ? std::uint64_t{0}
+                                                 : it->second.sum;
+  };
+  for (const auto& [name, secs] : report.stages.stages()) {
+    telemetry::StageRecord st;
+    st.name = name;
+    st.seconds = secs;
+    if (name == "read") {
+      st.bytes = cluster_sum("haee.read_bytes");
+      st.rows = cluster_sum("haee.rows_owned");
+    } else if (name == "compute") {
+      st.rows = cluster_sum("haee.rows_owned");
+    } else if (name == "write") {
+      st.bytes = cluster_sum("haee.output_values") * sizeof(double);
+      st.rows = cluster_sum("haee.rows_owned");
+    }
+    file.stages.push_back(std::move(st));
+  }
+
+  for (const mpi::RankTelemetry& rt : report.telemetry.per_rank) {
+    telemetry::RankRecord rec;
+    rec.rank = static_cast<int>(file.ranks.size());
+    rec.counters = rt.counters;
+    file.ranks.push_back(std::move(rec));
+  }
+  for (const auto& [name, agg] : report.telemetry.counters) {
+    telemetry::AggRecord a;
+    a.counter = name;
+    a.sum = agg.sum;
+    a.min = agg.min;
+    a.max = agg.max;
+    a.min_rank = agg.min_rank;
+    a.max_rank = agg.max_rank;
+    a.imbalance = agg.imbalance(report.world_size);
+    file.aggs.push_back(std::move(a));
+  }
+  for (const auto& [name, h] : report.telemetry.hists) {
+    telemetry::HistRecord rec;
+    rec.name = name;
+    rec.count = h.count;
+    rec.total_ns = h.total_ns;
+    rec.p50_ns = h.quantile_ns(0.50);
+    rec.p95_ns = h.quantile_ns(0.95);
+    rec.p99_ns = h.quantile_ns(0.99);
+    rec.buckets = h.buckets;
+    file.hists.push_back(std::move(rec));
+  }
+
+  {
+    std::ofstream out(path);
+    DASSA_CHECK(out.good(), "cannot open telemetry output file: " + path);
+    telemetry::write_telemetry_file(out, file);
+  }
+  std::ifstream back(path);
+  std::ostringstream text;
+  text << back.rdbuf();
+  const telemetry::TelemetryFile parsed =
+      telemetry::parse_telemetry_jsonl(text.str());
+  telemetry::validate_telemetry_file(parsed);
+  DASSA_SLOG(kInfo, "analyze.telemetry")
+      .field("path", path)
+      .field("samples", static_cast<std::uint64_t>(parsed.samples.size()))
+      .field("ranks", static_cast<std::uint64_t>(parsed.ranks.size()))
+      .field("dropped", sampler.dropped());
+  telemetry::write_health_report(std::cout, parsed);
 }
 
 std::vector<std::string> find_files(const tools::Args& args) {
@@ -90,27 +179,49 @@ std::vector<std::string> find_files(const tools::Args& args) {
   return das::Catalog::paths(hits);
 }
 
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  throw InvalidArgument("unknown log level: " + name);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const tools::Args args(argc, argv);
   if (!args.has("--dir") || !args.has("--pipeline")) {
     std::cerr << "usage: das_analyze --dir <dir> --pipeline "
-                 "<similarity|interferometry> [options]\n"
-                 "run with the header comment of tools/das_analyze.cpp "
+                 "<similarity|interferometry|qc> [options]\n"
+                 "see the header comment of tools/das_analyze.cpp "
                  "for the full option list\n";
     return 2;
   }
   try {
+    set_log_level(parse_log_level(args.get("--log-level", "info")));
+    if (args.has("--log-json")) set_log_file(args.get("--log-json"));
     if (args.has("--trace")) trace::set_enabled(true);
+
+    telemetry::SamplerConfig sampler_config;
+    sampler_config.period = std::chrono::milliseconds(
+        args.get_long("--telemetry-period-ms", 25));
+    telemetry::TelemetrySampler sampler(sampler_config);
+    if (args.has("--telemetry")) {
+      trace::set_enabled(true);  // stall detection needs open spans
+      sampler.start();
+    }
+
     const std::vector<std::string> files = find_files(args);
     if (files.empty()) {
-      std::cerr << "das_analyze: no matching files\n";
+      DASSA_SLOG(kError, "analyze.no_files")
+          .field("dir", args.get("--dir"));
       return 1;
     }
     io::Vca vca = io::Vca::build(files);
-    std::cerr << "input: " << vca.shape() << " from " << files.size()
-              << " files\n";
+    DASSA_SLOG(kInfo, "analyze.input")
+            .field("files", static_cast<std::uint64_t>(files.size()))
+        << vca.shape();
 
     core::EngineConfig config;
     config.nodes = static_cast<int>(args.get_long("--nodes", 2));
@@ -155,33 +266,52 @@ int main(int argc, char** argv) {
                   << c.kurtosis << ","
                   << das::channel_status_name(c.status) << "\n";
       }
-      std::cerr << "median rms " << qc.median_rms << "; "
-                << qc.count(das::ChannelStatus::kDead) << " dead, "
-                << qc.count(das::ChannelStatus::kNoisy) << " noisy of "
-                << qc.channels.size() << " channels\n";
-      print_dsp_counters();
-      print_storage_counters();
+      DASSA_SLOG(kInfo, "analyze.qc")
+          .field("channels", static_cast<std::uint64_t>(qc.channels.size()))
+          .field("dead", static_cast<std::uint64_t>(
+                             qc.count(das::ChannelStatus::kDead)))
+          .field("noisy", static_cast<std::uint64_t>(
+                              qc.count(das::ChannelStatus::kNoisy)))
+          .field("median_rms", qc.median_rms);
+      dsp::publish_dsp_counters();
+      log_counters("analyze.dsp_counters", "dsp.", nullptr);
+      log_counters("analyze.storage_counters", "io.codec.", "io.cache.");
       maybe_export_trace(args);
+      if (args.has("--telemetry")) {
+        sampler.stop();
+        DASSA_SLOG(kWarn, "analyze.telemetry")
+            << "--telemetry needs a distributed pipeline "
+               "(similarity|interferometry); qc has no rank telemetry";
+      }
       return 0;
     } else {
-      std::cerr << "das_analyze: unknown pipeline '" << pipeline << "'\n";
+      DASSA_SLOG(kError, "analyze.bad_pipeline").field("pipeline", pipeline);
       return 2;
     }
 
-    std::cerr << "output: " << report.output.shape << ", stages: "
-              << report.stages << "\n";
-    print_dsp_counters();
-    print_storage_counters();
+    std::ostringstream stages;
+    stages << report.output.shape << "; " << report.stages;
+    DASSA_SLOG(kInfo, "analyze.done")
+            .field("world_size", report.world_size)
+        << stages.str();
+    dsp::publish_dsp_counters();
+    log_counters("analyze.dsp_counters", "dsp.", nullptr);
+    log_counters("analyze.storage_counters", "io.codec.", "io.cache.");
     const std::string out_path = args.get("--out", "das_analyze_out.dh5");
     io::Dash5Header header;
     header.shape = report.output.shape;
     header.global = vca.global_meta();
     io::dash5_write(out_path, header, report.output.data);
-    std::cerr << "wrote " << out_path << "\n";
+    DASSA_SLOG(kInfo, "analyze.output").field("path", out_path);
     maybe_export_trace(args);
+    if (args.has("--telemetry")) {
+      sampler.stop();
+      sampler.tick();  // final sample: the completed run's totals
+      export_telemetry(args.get("--telemetry"), args, report, sampler);
+    }
     return 0;
   } catch (const std::exception& e) {
-    std::cerr << "das_analyze: " << e.what() << "\n";
+    DASSA_SLOG(kError, "analyze.fail") << e.what();
     return 1;
   }
 }

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "arg_parse.hpp"
+#include "dassa/common/log.hpp"
 #include "dassa/das/synth.hpp"
 
 namespace {
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
                  "[--quantize LSB]  (simulated ADC amplitude step)\n";
     return 2;
   }
+  set_log_level(LogLevel::kInfo);
   try {
     const auto channels =
         static_cast<std::size_t>(args.get_long("--channels", 256));
@@ -76,12 +78,13 @@ int main(int argc, char** argv) {
 
     const std::vector<std::string> paths = das::write_acquisition(synth, spec);
     for (const auto& p : paths) std::cout << p << "\n";
-    std::cerr << "wrote " << paths.size() << " files (" << channels
-              << " channels x " << spec.seconds_per_file * rate
-              << " samples each)\n";
+    DASSA_SLOG(kInfo, "generate.done")
+            .field("files", static_cast<std::uint64_t>(paths.size()))
+            .field("channels", static_cast<std::uint64_t>(channels))
+        << spec.seconds_per_file * rate << " samples per file";
     return 0;
   } catch (const std::exception& e) {
-    std::cerr << "das_generate: " << e.what() << "\n";
+    DASSA_SLOG(kError, "generate.fail") << e.what();
     return 1;
   }
 }

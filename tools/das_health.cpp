@@ -1,0 +1,51 @@
+// das_health: validate a DASSA telemetry JSONL file and print the
+// pipeline health report.
+//
+// Usage:
+//   das_health <run.telemetry.jsonl> [--validate-only]
+//
+// The file is produced by `das_analyze --telemetry out.jsonl` (or any
+// caller of telemetry::write_telemetry_file). The schema validator
+// runs first -- a file whose aggregates disagree with its per-rank
+// records, whose counters go backwards, or whose histogram buckets do
+// not sum to their counts fails with exit code 1 and a description of
+// the first violation.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "arg_parse.hpp"
+#include "dassa/common/error.hpp"
+#include "dassa/common/log.hpp"
+#include "dassa/common/telemetry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dassa;
+  const tools::Args args(argc, argv);
+  if (args.positional().size() != 1) {
+    std::cerr << "usage: das_health <run.telemetry.jsonl> "
+                 "[--validate-only]\n";
+    return 2;
+  }
+  const std::string& path = args.positional().front();
+  try {
+    std::ifstream in(path);
+    if (!in.good()) throw IoError("cannot open telemetry file: " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    const telemetry::TelemetryFile file =
+        telemetry::parse_telemetry_jsonl(text.str());
+    telemetry::validate_telemetry_file(file);
+    if (args.has("--validate-only")) {
+      std::cout << path << ": valid (" << file.samples.size()
+                << " samples, " << file.ranks.size() << " ranks)\n";
+      return 0;
+    }
+    telemetry::write_health_report(std::cout, file);
+    return 0;
+  } catch (const std::exception& e) {
+    DASSA_SLOG(kError, "health.fail").field("file", path) << e.what();
+    return 1;
+  }
+}

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "arg_parse.hpp"
+#include "dassa/common/log.hpp"
 #include "dassa/io/dash5.hpp"
 #include "dassa/io/vca.hpp"
 
@@ -85,7 +86,7 @@ int main(int argc, char** argv) {
     }
     return 0;
   } catch (const std::exception& e) {
-    std::cerr << "das_info: " << e.what() << "\n";
+    DASSA_SLOG(kError, "info.fail") << e.what();
     return 1;
   }
 }

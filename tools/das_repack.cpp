@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "arg_parse.hpp"
+#include "dassa/common/log.hpp"
 #include "dassa/io/dash5.hpp"
 
 namespace {
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
   }
   const std::string in_path = args.positional()[0];
   const std::string out_path = args.positional()[1];
+  dassa::set_log_level(dassa::LogLevel::kInfo);
   try {
     const io::Dash5File in(in_path);
     const auto rows_per_block = static_cast<std::size_t>(
@@ -105,25 +107,29 @@ int main(int argc, char** argv) {
 
     const auto in_bytes = std::filesystem::file_size(in_path);
     const auto out_bytes = std::filesystem::file_size(out_path);
-    std::cerr << "repacked " << in_path << " (v" << int{in.version()} << ", "
-              << in_bytes << " bytes) -> " << out_path << " (codec "
-              << header.codec.str() << ", " << out_bytes << " bytes, "
-              << static_cast<double>(in_bytes) /
-                     static_cast<double>(out_bytes)
-              << "x)\n";
+    DASSA_SLOG(kInfo, "repack.done")
+            .field("in", in_path)
+            .field("in_version", int{in.version()})
+            .field("in_bytes", static_cast<std::uint64_t>(in_bytes))
+            .field("out", out_path)
+            .field("codec", header.codec.str())
+            .field("out_bytes", static_cast<std::uint64_t>(out_bytes))
+        << static_cast<double>(in_bytes) / static_cast<double>(out_bytes)
+        << "x";
 
     if (args.has("--verify")) {
       const io::Dash5File check(out_path);
       if (!datasets_match(in, check, rows_per_block)) {
-        std::cerr << "das_repack: VERIFY FAILED: " << out_path
-                  << " does not round-trip " << in_path << "\n";
+        DASSA_SLOG(kError, "repack.verify_failed")
+            .field("out", out_path)
+            .field("in", in_path);
         return 1;
       }
-      std::cerr << "verify: bit-exact roundtrip ok\n";
+      DASSA_SLOG(kInfo, "repack.verify") << "bit-exact roundtrip ok";
     }
     return 0;
   } catch (const std::exception& e) {
-    std::cerr << "das_repack: " << e.what() << "\n";
+    DASSA_SLOG(kError, "repack.fail") << e.what();
     return 1;
   }
 }

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "arg_parse.hpp"
+#include "dassa/common/log.hpp"
 #include "dassa/common/timer.hpp"
 #include "dassa/das/search.hpp"
 #include "dassa/io/vca.hpp"
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
                  "[--names-only]\n";
     return 2;
   }
+  set_log_level(LogLevel::kInfo);
   try {
     WallTimer timer;
     const das::Catalog catalog =
@@ -39,8 +41,10 @@ int main(int argc, char** argv) {
     const double search_seconds = timer.seconds();
 
     for (const auto& h : hits) std::cout << h.path << "\n";
-    std::cerr << "found " << hits.size() << " of " << catalog.size()
-              << " files in " << search_seconds << " s\n";
+    DASSA_SLOG(kInfo, "search.done")
+            .field("hits", static_cast<std::uint64_t>(hits.size()))
+            .field("catalog", static_cast<std::uint64_t>(catalog.size()))
+            .field("seconds", search_seconds);
     if (hits.empty()) return (args.has("--save-vca") || args.has("--save-rca"))
                                  ? 1
                                  : 0;
@@ -49,20 +53,22 @@ int main(int argc, char** argv) {
     if (args.has("--save-vca")) {
       timer.reset();
       io::Vca::build(paths).save(args.get("--save-vca"));
-      std::cerr << "created VCA " << args.get("--save-vca") << " in "
-                << timer.seconds() << " s\n";
+      DASSA_SLOG(kInfo, "search.vca")
+          .field("path", args.get("--save-vca"))
+          .field("seconds", timer.seconds());
     }
     if (args.has("--save-rca")) {
       timer.reset();
       const io::RcaBuildStats stats =
           io::rca_create(paths, args.get("--save-rca"));
-      std::cerr << "created RCA " << args.get("--save-rca") << " in "
-                << stats.seconds << " s (" << stats.bytes_read
-                << " bytes read)\n";
+      DASSA_SLOG(kInfo, "search.rca")
+          .field("path", args.get("--save-rca"))
+          .field("seconds", stats.seconds)
+          .field("bytes_read", stats.bytes_read);
     }
     return 0;
   } catch (const std::exception& e) {
-    std::cerr << "das_search: " << e.what() << "\n";
+    DASSA_SLOG(kError, "search.fail") << e.what();
     return 1;
   }
 }

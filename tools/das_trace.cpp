@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "arg_parse.hpp"
+#include "dassa/common/log.hpp"
 #include "dassa/common/error.hpp"
 #include "dassa/common/trace.hpp"
 
@@ -113,7 +114,7 @@ int main(int argc, char** argv) {
     print_report(events, args.get("--cat", ""));
     return 0;
   } catch (const std::exception& e) {
-    std::cerr << "das_trace: " << e.what() << "\n";
+    DASSA_SLOG(kError, "trace.fail").field("file", path) << e.what();
     return 1;
   }
 }
