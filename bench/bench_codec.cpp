@@ -1,12 +1,16 @@
 // Storage-engine benchmark: codec compression ratio and throughput on
 // a realistic das_generate acquisition, plus the chunk-cache read
 // speedup. Writes BENCH_codec.json at the current directory and, with
-// --check, gates the two acceptance criteria of the v3 engine:
+// --check, gates the acceptance criteria of the v3 engine:
 //
 //   * best-chain compression ratio >= 2.0 on quantized synthetic DAS
 //     data (the interrogator-ADC case; docs/STORAGE.md explains why
 //     full-entropy float mantissas are out of scope for any codec),
-//   * cached re-read speedup >= 1.5x over decode-every-time.
+//   * cached re-read speedup >= 1.5x over decode-every-time,
+//   * per-chain encode/decode throughput floors (kGates below) that
+//     catch codec-kernel regressions. The floors are set well under
+//     the best numbers this class of host produces, because shared
+//     runners are noisy; the JSON records the actual measurements.
 //
 // Usage: bench_codec [--check] [--out BENCH_codec.json]
 #include <algorithm>
@@ -14,6 +18,7 @@
 #include <fstream>
 
 #include "bench_util.hpp"
+#include "dassa/common/simd.hpp"
 #include "dassa/io/chunk_cache.hpp"
 #include "dassa/io/codec.hpp"
 #include "dassa/io/dash5.hpp"
@@ -29,6 +34,25 @@ struct ChainResult {
   double ratio = 0.0;        // v2 file bytes / v3 file bytes
   double encode_gbps = 0.0;  // raw GiB/s through encode_chain
   double decode_gbps = 0.0;
+};
+
+/// Per-chain throughput floors (GiB/s) for --check. Roughly half the
+/// worst single run observed on the 2.1 GHz reference host, so noise
+/// does not flake the gate but a real kernel regression (for example
+/// reintroducing the per-element varint helper, docs/STORAGE.md) still
+/// trips it. delta+lz encode is bounded by the LZ match-storm on delta
+/// streams, not by the varint kernels — see the stage breakdown in
+/// docs/STORAGE.md before "fixing" it here.
+struct ChainGate {
+  const char* chain;
+  double min_encode_gbps;
+  double min_decode_gbps;
+};
+constexpr ChainGate kGates[] = {
+    {"shuffle", 4.0, 4.0},
+    {"lz", 0.15, 0.30},
+    {"delta+lz", 0.05, 0.08},
+    {"shuffle+lz", 0.25, 0.50},
 };
 
 /// Best-of-`reps` GiB/s for one direction of a chain over `raw`.
@@ -157,7 +181,8 @@ int main(int argc, char** argv) {
   cache_table.row("cached", warm_s, speedup);
 
   std::ofstream json(out_path, std::ios::trunc);
-  json << "{\n  \"bench\": \"codec\",\n  \"chains\": [\n";
+  json << "{\n  \"bench\": \"codec\",\n  \"simd_level\": \""
+       << simd::level_name(simd::active_level()) << "\",\n  \"chains\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ChainResult& r = results[i];
     json << "    {\"chain\": \"" << r.chain << "\", \"ratio\": " << r.ratio
@@ -167,7 +192,14 @@ int main(int argc, char** argv) {
   }
   json << "  ],\n  \"best_ratio\": " << best_ratio
        << ",\n  \"cached_read_speedup\": " << speedup
-       << ",\n  \"thresholds\": {\"ratio\": 2.0, \"speedup\": 1.5}\n}\n";
+       << ",\n  \"thresholds\": {\"ratio\": 2.0, \"speedup\": 1.5,"
+       << " \"chain_gbps\": {";
+  for (std::size_t i = 0; i < std::size(kGates); ++i) {
+    json << "\"" << kGates[i].chain << "\": ["
+         << kGates[i].min_encode_gbps << ", " << kGates[i].min_decode_gbps
+         << "]" << (i + 1 < std::size(kGates) ? ", " : "");
+  }
+  json << "}}\n}\n";
   json.close();
   std::cout << "\nwrote " << out_path << "\n";
 
@@ -183,9 +215,33 @@ int main(int argc, char** argv) {
                 << speedup << " < 1.5\n";
       ok = false;
     }
+    for (const ChainGate& g : kGates) {
+      const auto it = std::find_if(
+          results.begin(), results.end(),
+          [&](const ChainResult& r) { return r.chain == g.chain; });
+      if (it == results.end()) {
+        std::cerr << "bench_codec CHECK FAILED: gated chain " << g.chain
+                  << " was not measured\n";
+        ok = false;
+        continue;
+      }
+      if (it->encode_gbps < g.min_encode_gbps) {
+        std::cerr << "bench_codec CHECK FAILED: " << g.chain << " encode "
+                  << it->encode_gbps << " GiB/s < " << g.min_encode_gbps
+                  << "\n";
+        ok = false;
+      }
+      if (it->decode_gbps < g.min_decode_gbps) {
+        std::cerr << "bench_codec CHECK FAILED: " << g.chain << " decode "
+                  << it->decode_gbps << " GiB/s < " << g.min_decode_gbps
+                  << "\n";
+        ok = false;
+      }
+    }
     if (!ok) return 1;
     std::cout << "bench_codec check passed: ratio " << best_ratio
-              << " >= 2.0, cached-read speedup " << speedup << " >= 1.5\n";
+              << " >= 2.0, cached-read speedup " << speedup
+              << " >= 1.5, all chain throughput floors met\n";
   }
   return 0;
 }

@@ -119,6 +119,15 @@ inline constexpr const char* kIoCacheEvictions = "io.cache.evictions";
 inline constexpr const char* kIoCachePeakBytes = "io.cache.peak_bytes";
 inline constexpr const char* kIoCachePrefetchIssued =
     "io.cache.prefetch_issued";
+// Parallel repack engine (src/io/repack.cpp): physical concatenation
+// cost accounting. source_bytes is the raw element bytes a rank pulled
+// out of member files and stored_bytes the compressed payload it
+// contributed, so source_bytes / ranks ~ total source size is the
+// O(n/p) scaling evidence the repack tests assert.
+inline constexpr const char* kIoRepackRuns = "io.repack.runs";
+inline constexpr const char* kIoRepackChunks = "io.repack.chunks_encoded";
+inline constexpr const char* kIoRepackSourceBytes = "io.repack.source_bytes";
+inline constexpr const char* kIoRepackStoredBytes = "io.repack.stored_bytes";
 // HAEE engine statistics: distributed runs, rank-threads launched, and
 // halo traffic, updated concurrently from MiniMPI rank threads (they
 // double as TSan coverage of this registry).

@@ -1,0 +1,139 @@
+// SIMD kernel layer for the codec hot loops.
+//
+// One dispatch point for every vectorized inner loop in DASSA: the
+// codec stages (shuffle / delta / lz) call these kernels instead of
+// writing intrinsics inline, so exactly one translation unit
+// (src/common/simd.cpp) contains architecture-specific code — das_lint
+// enforces that boundary. Each kernel has an always-correct scalar
+// implementation plus SSE2/AVX2 (x86-64) and NEON (aarch64) variants
+// where they pay; dispatch is per-kernel, so a level without a native
+// variant of some kernel falls through to the widest one it has.
+//
+// Every variant of a kernel computes the *identical* function (bit
+// exact, including encoder-side helpers such as match_length), so
+// encoded streams do not depend on the host CPU and the parity tests
+// in tests/common/test_simd.cpp can compare levels byte for byte.
+//
+// The active level is resolved once on first use: the `DASSA_SIMD`
+// environment variable ("scalar", "sse2", "avx2", "neon") when set and
+// supported, otherwise the best level the CPU reports. Tests may
+// switch levels in-process with set_level().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dassa::simd {
+
+/// Instruction-set levels in dispatch order. Levels above the detected
+/// capability are clamped down by set_level()/active_level().
+enum class Level : std::uint8_t {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+/// Short lowercase name ("scalar", "sse2", ...), as accepted by the
+/// DASSA_SIMD environment variable.
+[[nodiscard]] const char* level_name(Level level);
+
+/// Best level the running CPU supports (ignores DASSA_SIMD).
+[[nodiscard]] Level detect_level();
+
+/// Level used by the kernels: DASSA_SIMD override when valid, else
+/// detect_level(). Resolved once and cached; set_level() replaces it.
+[[nodiscard]] Level active_level();
+
+/// Force a dispatch level in-process (test hook). Requests beyond the
+/// CPU's capability are clamped to detect_level().
+void set_level(Level level);
+
+// ---- byte-plane transpose (shuffle stage) ----------------------------
+
+/// Scatter `n_elem` little-endian elements of `elem_size` bytes into
+/// per-byte planes: out[p * n_elem + e] = in[e * elem_size + p].
+/// Vectorized for elem_size 4 and 8; other widths run a scalar loop.
+/// `in` and `out` must not alias.
+void shuffle_bytes(const std::byte* in, std::byte* out, std::size_t n_elem,
+                   std::size_t elem_size);
+
+/// Inverse of shuffle_bytes: out[e * elem_size + p] = in[p * n_elem + e].
+void unshuffle_bytes(const std::byte* in, std::byte* out, std::size_t n_elem,
+                     std::size_t elem_size);
+
+// ---- delta + zigzag (delta stage) ------------------------------------
+
+/// Lane-wise wrap-around difference + zigzag map for u32 lanes:
+/// out[i] = zigzag(in[i] - in[i-1]) with in[-1] = 0, all mod 2^32.
+/// Reads/writes unaligned little-endian lanes; in/out must not alias.
+void delta_zigzag_w4(const std::byte* in, std::byte* out, std::size_t n);
+
+/// Same for u64 lanes (mod 2^64).
+void delta_zigzag_w8(const std::byte* in, std::byte* out, std::size_t n);
+
+/// In-place inverse: buf holds zigzagged deltas; after the call it
+/// holds the running prefix sum (the reconstructed u32 lanes).
+void unzigzag_prefix_w4(std::byte* buf, std::size_t n);
+
+/// Same for u64 lanes.
+void unzigzag_prefix_w8(std::byte* buf, std::size_t n);
+
+// ---- LEB128 varint batch codecs (delta stage) ------------------------
+
+enum class VarintStatus : std::uint8_t {
+  kOk = 0,
+  kTruncated,  ///< input ended inside a varint
+  kOverlong,   ///< varint does not fit the lane width
+};
+
+struct VarintResult {
+  VarintStatus status = VarintStatus::kOk;
+  std::size_t consumed = 0;  ///< input bytes consumed (valid on kOk)
+};
+
+/// Varint packers emit whole 8-byte words and advance by the true
+/// encoded length, so `out` needs this much slack past the worst-case
+/// payload size.
+inline constexpr std::size_t kVarintPad = 8;
+
+/// Pack `n` u32 lanes as LEB128 varints into `out`; returns the bytes
+/// written. `out` must hold at least 5 * n + kVarintPad bytes.
+std::size_t varint_encode_w4(const std::byte* lanes, std::size_t n,
+                             std::byte* out);
+
+/// u64 flavour; `out` must hold at least 10 * n + kVarintPad bytes.
+std::size_t varint_encode_w8(const std::byte* lanes, std::size_t n,
+                             std::byte* out);
+
+/// Decode exactly `n` varints from `in` into u32 lanes. Single-byte
+/// runs take a word-at-a-time fast path. Varints that do not fit 32
+/// bits report kOverlong; exhausted input reports kTruncated. Kernels
+/// never throw — the caller owns the error surface.
+[[nodiscard]] VarintResult varint_decode_w4(const std::byte* in,
+                                            std::size_t in_size,
+                                            std::byte* lanes, std::size_t n);
+
+/// u64 flavour (rejects > 64-bit encodings as kOverlong).
+[[nodiscard]] VarintResult varint_decode_w8(const std::byte* in,
+                                            std::size_t in_size,
+                                            std::byte* lanes, std::size_t n);
+
+// ---- LZ helpers ------------------------------------------------------
+
+/// Number of leading equal bytes of a and b, at most `max`. Exact on
+/// every level (the LZ encoder's output must not depend on dispatch).
+[[nodiscard]] std::size_t match_length(const std::byte* a, const std::byte* b,
+                                       std::size_t max);
+
+/// Wide copy kernels may write up to this many bytes past `dst + n`;
+/// callers must reserve the slack.
+inline constexpr std::size_t kCopySlack = 16;
+
+/// LZ match copy: reproduce n bytes at dst from dst - dist, byte-
+/// serially in effect (dist < n repeats the pattern, the RLE case).
+/// Requires dist >= 1 and at least `dist` valid bytes before dst; may
+/// write up to kCopySlack bytes past dst + n.
+void copy_match(std::byte* dst, std::size_t dist, std::size_t n);
+
+}  // namespace dassa::simd

@@ -52,6 +52,13 @@ cmake --preset strict
 cmake --build --preset strict -j "${JOBS}"
 ctest --preset strict -j "${JOBS}"
 
+# The codec suite runs again with the SIMD dispatcher pinned to the
+# scalar kernels: every machine exercises the portable fallback path,
+# not just hosts without SSE2/AVX2/NEON.
+step "strict: codec + SIMD suite with DASSA_SIMD=scalar"
+DASSA_SIMD=scalar ctest --preset strict -j "${JOBS}" \
+  -R 'Codec|Simd|Dash5V3|Repack'
+
 # ---------------------------------------------------------------- asan
 step "asan: AddressSanitizer + UBSan, full suite"
 cmake --preset asan
@@ -66,14 +73,15 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$PWD/scripts/ubsa
 # ---------------------------------------------------------------- tsan
 # Concurrency-relevant subset: the pool, the FFT engine's shared plan
 # cache, MiniMPI collectives, the HAEE row-apply stress tests, the
-# storage engine (parallel chunk codecs, sharded chunk cache, prefetch),
-# the span tracer (concurrent emission vs collection), and the telemetry
+# storage engine (parallel chunk codecs, sharded chunk cache, prefetch,
+# the multi-rank repack concatenator), the SIMD dispatch layer, the
+# span tracer (concurrent emission vs collection), and the telemetry
 # sampler (background thread vs counter/histogram/gauge writers).
 step "tsan: ThreadSanitizer, concurrency suite"
 cmake --preset tsan
 cmake --build --preset tsan -j "${JOBS}"
 ctest --preset tsan -j "${JOBS}" \
-  -R 'ThreadPool|Fft|MiniMpi|HaeeStress|HaeeMode|Apply|Codec|ChunkCache|Dash5V3|Trace|Telemetry'
+  -R 'ThreadPool|Fft|MiniMpi|HaeeStress|HaeeMode|Apply|Codec|ChunkCache|Dash5V3|Trace|Telemetry|Repack|Simd'
 
 # ---------------------------------------------------------- telemetry
 # End-to-end observability smoke: generate a tiny acquisition, run the

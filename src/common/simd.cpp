@@ -1,0 +1,979 @@
+// SIMD kernel implementations + runtime dispatch. The only translation
+// unit in DASSA allowed to contain vector intrinsics (das_lint bans
+// them elsewhere).
+//
+// Layout: a `scalar` namespace with the reference implementation of
+// every kernel, a portable `wide` namespace with word-at-a-time
+// variants (plain C++, no intrinsics — shared by every non-scalar
+// level), and per-ISA namespaces (`sse2`, `avx2`, `neon`) for the
+// kernels where real vector registers pay: the byte-plane transposes
+// and the delta/zigzag lane loops. AVX2 code uses function target
+// attributes instead of per-file flags so the rest of the file cannot
+// silently auto-vectorize beyond the baseline ISA.
+#include "dassa/common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define DASSA_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define DASSA_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace dassa::simd {
+
+namespace {
+
+std::uint32_t load_u32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+std::uint64_t load_u64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+void store_u32(std::byte* p, std::uint32_t v) { std::memcpy(p, &v, sizeof v); }
+void store_u64(std::byte* p, std::uint64_t v) { std::memcpy(p, &v, sizeof v); }
+
+// ---- scalar reference implementations --------------------------------
+
+namespace scalar {
+
+void shuffle(const std::byte* in, std::byte* out, std::size_t n,
+             std::size_t es, std::size_t e0) {
+  for (std::size_t p = 0; p < es; ++p) {
+    std::byte* dst = out + p * n;
+    const std::byte* src = in + p;
+    for (std::size_t e = e0; e < n; ++e) dst[e] = src[e * es];
+  }
+}
+
+void unshuffle(const std::byte* in, std::byte* out, std::size_t n,
+               std::size_t es, std::size_t e0) {
+  for (std::size_t p = 0; p < es; ++p) {
+    const std::byte* src = in + p * n;
+    std::byte* dst = out + p;
+    for (std::size_t e = e0; e < n; ++e) dst[e * es] = src[e];
+  }
+}
+
+void delta_zigzag_w4(const std::byte* in, std::byte* out, std::size_t n) {
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t v = load_u32(in + i * 4);
+    const std::uint32_t d = v - prev;
+    store_u32(out + i * 4, (d << 1) ^ (std::uint32_t{0} - (d >> 31)));
+    prev = v;
+  }
+}
+
+void delta_zigzag_w8(const std::byte* in, std::byte* out, std::size_t n) {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t v = load_u64(in + i * 8);
+    const std::uint64_t d = v - prev;
+    store_u64(out + i * 8, (d << 1) ^ (std::uint64_t{0} - (d >> 63)));
+    prev = v;
+  }
+}
+
+void unzigzag_prefix_w4(std::byte* buf, std::size_t n) {
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t zz = load_u32(buf + i * 4);
+    prev += (zz >> 1) ^ (std::uint32_t{0} - (zz & 1));
+    store_u32(buf + i * 4, prev);
+  }
+}
+
+void unzigzag_prefix_w8(std::byte* buf, std::size_t n) {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t zz = load_u64(buf + i * 8);
+    prev += (zz >> 1) ^ (std::uint64_t{0} - (zz & 1));
+    store_u64(buf + i * 8, prev);
+  }
+}
+
+std::size_t varint_encode_w4(const std::byte* lanes, std::size_t n,
+                             std::byte* out) {
+  std::byte* o = out;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t v = load_u32(lanes + i * 4);
+    while (v >= 0x80) {
+      *o++ = static_cast<std::byte>((v & 0x7F) | 0x80);
+      v >>= 7;
+    }
+    *o++ = static_cast<std::byte>(v);
+  }
+  return static_cast<std::size_t>(o - out);
+}
+
+std::size_t varint_encode_w8(const std::byte* lanes, std::size_t n,
+                             std::byte* out) {
+  std::byte* o = out;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t v = load_u64(lanes + i * 8);
+    while (v >= 0x80) {
+      *o++ = static_cast<std::byte>((v & 0x7F) | 0x80);
+      v >>= 7;
+    }
+    *o++ = static_cast<std::byte>(v);
+  }
+  return static_cast<std::size_t>(o - out);
+}
+
+/// One bounds-checked 32-bit LEB128 varint; shared slow lane of every
+/// w4 decode variant so the error surface is identical across levels.
+VarintStatus decode_one_w4(const std::byte* in, std::size_t in_size,
+                           std::size_t& pos, std::uint32_t& out) {
+  std::uint32_t v = 0;
+  for (std::size_t shift = 0;; shift += 7) {
+    if (pos >= in_size) return VarintStatus::kTruncated;
+    const auto b = static_cast<std::uint32_t>(in[pos++]);
+    if (shift == 28 && (b & 0xF0) != 0) return VarintStatus::kOverlong;
+    v |= (b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    if (shift == 28) return VarintStatus::kOverlong;
+  }
+  out = v;
+  return VarintStatus::kOk;
+}
+
+/// 64-bit flavour; the shift == 63 checks mirror the historical delta
+/// stage reader exactly (reject a 10th byte carrying anything above
+/// bit 63, and runs that never terminate).
+VarintStatus decode_one_w8(const std::byte* in, std::size_t in_size,
+                           std::size_t& pos, std::uint64_t& out) {
+  std::uint64_t v = 0;
+  for (std::size_t shift = 0; shift < 64; shift += 7) {
+    if (pos >= in_size) return VarintStatus::kTruncated;
+    const auto b = static_cast<std::uint64_t>(in[pos++]);
+    if (shift == 63 && (b & 0xFE) != 0) return VarintStatus::kOverlong;
+    v |= (b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      out = v;
+      return VarintStatus::kOk;
+    }
+  }
+  return VarintStatus::kOverlong;
+}
+
+VarintResult varint_decode_w4(const std::byte* in, std::size_t in_size,
+                              std::byte* lanes, std::size_t n) {
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t v = 0;
+    const VarintStatus st = decode_one_w4(in, in_size, pos, v);
+    if (st != VarintStatus::kOk) return {st, pos};
+    store_u32(lanes + i * 4, v);
+  }
+  return {VarintStatus::kOk, pos};
+}
+
+VarintResult varint_decode_w8(const std::byte* in, std::size_t in_size,
+                              std::byte* lanes, std::size_t n) {
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t v = 0;
+    const VarintStatus st = decode_one_w8(in, in_size, pos, v);
+    if (st != VarintStatus::kOk) return {st, pos};
+    store_u64(lanes + i * 8, v);
+  }
+  return {VarintStatus::kOk, pos};
+}
+
+std::size_t match_length(const std::byte* a, const std::byte* b,
+                         std::size_t max) {
+  std::size_t k = 0;
+  while (k < max && a[k] == b[k]) ++k;
+  return k;
+}
+
+void copy_match(std::byte* dst, std::size_t dist, std::size_t n) {
+  const std::byte* src = dst - dist;
+  for (std::size_t k = 0; k < n; ++k) dst[k] = src[k];
+}
+
+}  // namespace scalar
+
+// ---- portable word-at-a-time variants (no intrinsics) ----------------
+
+namespace wide {
+
+constexpr std::uint64_t kHighBits = 0x8080808080808080ULL;
+
+// Per-length masks/continuation bits for word-at-a-time LEB128.
+// kLenMask[len] keeps the low `len` bytes; kContBits[len] sets the
+// continuation bit on bytes 0..len-2.
+constexpr std::uint64_t kLenMask[9] = {
+    0,
+    0xFFULL,
+    0xFFFFULL,
+    0xFFFFFFULL,
+    0xFFFFFFFFULL,
+    0xFFFFFFFFFFULL,
+    0xFFFFFFFFFFFFULL,
+    0xFFFFFFFFFFFFFFULL,
+    ~std::uint64_t{0},
+};
+constexpr std::uint64_t kContBits[9] = {
+    0,       0,         0x80,         0x8080,         0x808080,
+    0x80808080, 0x8080808080, 0x808080808080, 0x80808080808080,
+};
+
+/// Fast paths: a whole word of terminator bytes (< 0x80) is 8 complete
+/// varints, spread straight into the lanes; otherwise one varint is
+/// decoded branchlessly from a single u64 load (terminator located via
+/// ctz on the inverted continuation bits). Streams whose tail is
+/// within 8 bytes of the end fall back to the shared scalar lane
+/// decoder, so truncation/overlong validation is identical.
+///
+/// Overlong detection is *deferred*: the hot loop only accumulates a
+/// flag (a data-dependent branch here mispredicts constantly on real
+/// delta streams, where 4- and 5-byte varints interleave ~50/50) and a
+/// set flag re-runs the whole stream through the scalar decoder for
+/// the exact status and position. Valid input pays nothing; hostile
+/// input pays one extra linear pass.
+VarintResult varint_decode_w4(const std::byte* in, std::size_t in_size,
+                              std::byte* lanes, std::size_t n) {
+  std::size_t pos = 0;
+  std::size_t i = 0;
+  std::uint64_t bad = 0;
+  while (i < n && pos + 8 <= in_size) {
+    const std::uint64_t word = load_u64(in + pos);
+    if ((word & kHighBits) == 0 && i + 8 <= n) {
+      for (std::size_t k = 0; k < 8; ++k) {
+        store_u32(lanes + (i + k) * 4,
+                  static_cast<std::uint32_t>((word >> (8 * k)) & 0x7F));
+      }
+      pos += 8;
+      i += 8;
+      continue;
+    }
+    const std::uint64_t stops = ~word & kHighBits;
+    // The OR-ed sentinel keeps ctz defined when stops == 0 (an 8+ byte
+    // varint); it yields len == 8, which the len > 5 flag catches.
+    const std::size_t len = static_cast<std::size_t>(__builtin_ctzll(
+                                stops | 0x8000000000000000ULL)) /
+                                8 +
+                            1;
+    const std::uint64_t w = word & kLenMask[len];
+    // Bits 34..38 of the masked word are byte 4's payload bits 2..6;
+    // any of them set means the value needs > 32 bits. Only a 5+ byte
+    // varint can have byte 4 nonzero after masking, so this one test
+    // also covers the "5-byte varint with spare high bits" case.
+    bad |= static_cast<std::uint64_t>(len > 5) | (w & 0x7000000000ULL);
+    const std::uint64_t v = (w & 0x7F) | ((w >> 8) & 0x7F) << 7 |
+                            ((w >> 16) & 0x7F) << 14 |
+                            ((w >> 24) & 0x7F) << 21 |
+                            ((w >> 32) & 0x7F) << 28;
+    store_u32(lanes + i * 4, static_cast<std::uint32_t>(v));
+    pos += len;
+    ++i;
+  }
+  if (bad != 0) {
+    // Some varint was overlong; everything after it (lanes, pos) is
+    // garbage. Re-decode serially for the precise error report.
+    return scalar::varint_decode_w4(in, in_size, lanes, n);
+  }
+  for (; i < n; ++i) {
+    std::uint32_t v = 0;
+    const VarintStatus st = scalar::decode_one_w4(in, in_size, pos, v);
+    if (st != VarintStatus::kOk) return {st, pos};
+    store_u32(lanes + i * 4, v);
+  }
+  return {VarintStatus::kOk, pos};
+}
+
+VarintResult varint_decode_w8(const std::byte* in, std::size_t in_size,
+                              std::byte* lanes, std::size_t n) {
+  std::size_t pos = 0;
+  std::size_t i = 0;
+  while (i < n && pos + 8 <= in_size) {
+    const std::uint64_t word = load_u64(in + pos);
+    if ((word & kHighBits) == 0 && i + 8 <= n) {
+      for (std::size_t k = 0; k < 8; ++k) {
+        store_u64(lanes + (i + k) * 8, (word >> (8 * k)) & 0x7F);
+      }
+      pos += 8;
+      i += 8;
+      continue;
+    }
+    const std::uint64_t stops = ~word & kHighBits;
+    if (stops == 0) {
+      // 9- or 10-byte varint: rare, take the validating scalar path.
+      std::uint64_t v = 0;
+      const VarintStatus st = scalar::decode_one_w8(in, in_size, pos, v);
+      if (st != VarintStatus::kOk) return {st, pos};
+      store_u64(lanes + i * 8, v);
+      ++i;
+      continue;
+    }
+    const std::size_t len =
+        static_cast<std::size_t>(__builtin_ctzll(stops)) / 8 + 1;
+    const std::uint64_t w = word & kLenMask[len];
+    // <= 8 bytes carry <= 56 payload bits: never overlong for u64.
+    const std::uint64_t v = (w & 0x7F) | ((w >> 8) & 0x7F) << 7 |
+                            ((w >> 16) & 0x7F) << 14 |
+                            ((w >> 24) & 0x7F) << 21 |
+                            ((w >> 32) & 0x7F) << 28 |
+                            ((w >> 40) & 0x7F) << 35 |
+                            ((w >> 48) & 0x7F) << 42 |
+                            ((w >> 56) & 0x7F) << 49;
+    store_u64(lanes + i * 8, v);
+    pos += len;
+    ++i;
+  }
+  for (; i < n; ++i) {
+    std::uint64_t v = 0;
+    const VarintStatus st = scalar::decode_one_w8(in, in_size, pos, v);
+    if (st != VarintStatus::kOk) return {st, pos};
+    store_u64(lanes + i * 8, v);
+  }
+  return {VarintStatus::kOk, pos};
+}
+
+std::size_t varint_encode_w4(const std::byte* lanes, std::size_t n,
+                             std::byte* out) {
+  std::byte* o = out;
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    // 8 lanes all < 0x80 emit exactly their low bytes.
+    std::uint64_t ored = 0;
+    std::uint64_t packed = 0;
+    for (std::size_t k = 0; k < 8; ++k) {
+      const std::uint64_t v = load_u32(lanes + (i + k) * 4);
+      ored |= v;
+      packed |= (v & 0xFF) << (8 * k);
+    }
+    if (ored < 0x80) {
+      store_u64(o, packed);
+      o += 8;
+      i += 8;
+      continue;
+    }
+    // Branchless per lane: spread the value into 7-bit byte groups,
+    // OR in the continuation bits for its encoded length, store the
+    // whole word (kVarintPad slack absorbs the overshoot) and advance
+    // by the true length.
+    for (std::size_t k = 0; k < 8; ++k) {
+      const std::uint32_t v = load_u32(lanes + (i + k) * 4);
+      const std::uint64_t x =
+          (v & 0x7F) | static_cast<std::uint64_t>(v & 0x3F80) << 1 |
+          static_cast<std::uint64_t>(v & 0x1FC000) << 2 |
+          static_cast<std::uint64_t>(v & 0xFE00000) << 3 |
+          static_cast<std::uint64_t>(v >> 28) << 32;
+      const int nbits = 32 - __builtin_clz(v | 1);
+      const std::size_t len = static_cast<std::size_t>(nbits + 6) / 7;
+      store_u64(o, x | kContBits[len]);
+      o += len;
+    }
+    i += 8;
+  }
+  o += scalar::varint_encode_w4(lanes + i * 4, n - i, o);
+  return static_cast<std::size_t>(o - out);
+}
+
+std::size_t varint_encode_w8(const std::byte* lanes, std::size_t n,
+                             std::byte* out) {
+  std::byte* o = out;
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    std::uint64_t ored = 0;
+    std::uint64_t packed = 0;
+    for (std::size_t k = 0; k < 8; ++k) {
+      const std::uint64_t v = load_u64(lanes + (i + k) * 8);
+      ored |= v;
+      packed |= (v & 0xFF) << (8 * k);
+    }
+    if (ored < 0x80) {
+      store_u64(o, packed);
+      o += 8;
+      i += 8;
+      continue;
+    }
+    for (std::size_t k = 0; k < 8; ++k) {
+      const std::uint64_t v = load_u64(lanes + (i + k) * 8);
+      if (v < (std::uint64_t{1} << 56)) {
+        // <= 8 encoded bytes: branchless spread + one word store.
+        const std::uint64_t x =
+            (v & 0x7F) | (v & (0x7FULL << 7)) << 1 |
+            (v & (0x7FULL << 14)) << 2 | (v & (0x7FULL << 21)) << 3 |
+            (v & (0x7FULL << 28)) << 4 | (v & (0x7FULL << 35)) << 5 |
+            (v & (0x7FULL << 42)) << 6 | (v & (0x7FULL << 49)) << 7;
+        const int nbits = 64 - __builtin_clzll(v | 1);
+        const std::size_t len = static_cast<std::size_t>(nbits + 6) / 7;
+        store_u64(o, x | kContBits[len]);
+        o += len;
+        continue;
+      }
+      std::uint64_t rest = v;
+      while (rest >= 0x80) {
+        *o++ = static_cast<std::byte>((rest & 0x7F) | 0x80);
+        rest >>= 7;
+      }
+      *o++ = static_cast<std::byte>(rest);
+    }
+    i += 8;
+  }
+  o += scalar::varint_encode_w8(lanes + i * 8, n - i, o);
+  return static_cast<std::size_t>(o - out);
+}
+
+std::size_t match_length(const std::byte* a, const std::byte* b,
+                         std::size_t max) {
+  // DAS chunk streams are dominated by minimum-length matches: ~98% of
+  // hash hits diverge on the very first extension byte (quantized
+  // samples repeat in 4-byte units, not longer). A one-byte early exit
+  // keeps those calls as cheap as the byte loop; the word loop below
+  // then only runs for matches that actually extend.
+  if (max == 0 || a[0] != b[0]) return 0;
+  std::size_t k = 0;
+  while (k + 8 <= max) {
+    const std::uint64_t x = load_u64(a + k) ^ load_u64(b + k);
+    if (x != 0) {
+      return k + static_cast<std::size_t>(__builtin_ctzll(x)) / 8;
+    }
+    k += 8;
+  }
+  while (k < max && a[k] == b[k]) ++k;
+  return k;
+}
+
+void copy_match(std::byte* dst, std::size_t dist, std::size_t n) {
+  if (n == 0) return;
+  if (dist >= 8) {
+    // Chunked copy: sources trail the write head by >= 8 bytes, so
+    // every 8-byte chunk reads fully written data.
+    for (std::size_t k = 0; k < n; k += 8) {
+      std::memcpy(dst + k, dst + k - dist, 8);
+    }
+    return;
+  }
+  // Overlapping (RLE-style) match: bootstrap the first 8 bytes
+  // byte-serially, after which the pattern repeats with period `dist`
+  // and can be copied in 8-byte chunks from `wd` bytes back (the
+  // smallest multiple of dist >= 8 — still inside produced output).
+  const std::byte* src = dst - dist;
+  const std::size_t boot = n < 8 ? n : 8;
+  for (std::size_t k = 0; k < boot; ++k) dst[k] = src[k];
+  if (n <= 8) return;
+  const std::size_t wd = dist * ((8 + dist - 1) / dist);
+  for (std::size_t k = 8; k < n; k += 8) {
+    std::memcpy(dst + k, dst + k - wd, 8);
+  }
+}
+
+}  // namespace wide
+
+// ---- x86 vector kernels ----------------------------------------------
+
+#if DASSA_SIMD_X86
+
+namespace sse2 {
+
+/// Extract byte plane `p` of 16 u32 lanes held in r0..r3 (shift, mask,
+/// then saturating packs — all values are <= 0xFF so saturation is the
+/// identity and element order is preserved).
+__m128i plane_of_16(__m128i r0, __m128i r1, __m128i r2, __m128i r3, int p) {
+  const __m128i ff = _mm_set1_epi32(0xFF);
+  const __m128i t0 = _mm_and_si128(_mm_srli_epi32(r0, 8 * p), ff);
+  const __m128i t1 = _mm_and_si128(_mm_srli_epi32(r1, 8 * p), ff);
+  const __m128i t2 = _mm_and_si128(_mm_srli_epi32(r2, 8 * p), ff);
+  const __m128i t3 = _mm_and_si128(_mm_srli_epi32(r3, 8 * p), ff);
+  return _mm_packus_epi16(_mm_packs_epi32(t0, t1), _mm_packs_epi32(t2, t3));
+}
+
+void shuffle4(const std::byte* in, std::byte* out, std::size_t n) {
+  const std::size_t nv = n & ~std::size_t{15};
+  for (std::size_t e = 0; e < nv; e += 16) {
+    const std::byte* p = in + e * 4;
+    const __m128i r0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    const __m128i r1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16));
+    const __m128i r2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32));
+    const __m128i r3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48));
+    for (int pl = 0; pl < 4; ++pl) {
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(out + static_cast<std::size_t>(pl) * n +
+                                     e),
+          plane_of_16(r0, r1, r2, r3, pl));
+    }
+  }
+  scalar::shuffle(in, out, n, 4, nv);
+}
+
+/// Rebuild 16 4-byte elements from four 16-byte plane registers.
+void elems_from_planes(__m128i p0, __m128i p1, __m128i p2, __m128i p3,
+                       std::byte* dst) {
+  const __m128i a = _mm_unpacklo_epi8(p0, p1);
+  const __m128i b = _mm_unpackhi_epi8(p0, p1);
+  const __m128i c = _mm_unpacklo_epi8(p2, p3);
+  const __m128i d = _mm_unpackhi_epi8(p2, p3);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dst),
+                   _mm_unpacklo_epi16(a, c));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 16),
+                   _mm_unpackhi_epi16(a, c));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 32),
+                   _mm_unpacklo_epi16(b, d));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 48),
+                   _mm_unpackhi_epi16(b, d));
+}
+
+void unshuffle4(const std::byte* in, std::byte* out, std::size_t n) {
+  const std::size_t nv = n & ~std::size_t{15};
+  for (std::size_t e = 0; e < nv; e += 16) {
+    const __m128i p0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + e));
+    const __m128i p1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + n + e));
+    const __m128i p2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 2 * n + e));
+    const __m128i p3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 3 * n + e));
+    elems_from_planes(p0, p1, p2, p3, out + e * 4);
+  }
+  scalar::unshuffle(in, out, n, 4, nv);
+}
+
+void shuffle8(const std::byte* in, std::byte* out, std::size_t n) {
+  const std::size_t nv = n & ~std::size_t{15};
+  for (std::size_t e = 0; e < nv; e += 16) {
+    const std::byte* p = in + e * 8;
+    __m128i lo[4];
+    __m128i hi[4];
+    for (int k = 0; k < 4; ++k) {
+      // Two registers = four u64 elements; split into their low and
+      // high dwords (0x88 keeps lanes 0,2 of each source, 0xDD 1,3).
+      const __m128 a = _mm_castsi128_ps(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(p + 32 * k)));
+      const __m128 b = _mm_castsi128_ps(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(p + 32 * k + 16)));
+      lo[k] = _mm_castps_si128(_mm_shuffle_ps(a, b, 0x88));
+      hi[k] = _mm_castps_si128(_mm_shuffle_ps(a, b, 0xDD));
+    }
+    for (int pl = 0; pl < 4; ++pl) {
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(out + static_cast<std::size_t>(pl) * n +
+                                     e),
+          plane_of_16(lo[0], lo[1], lo[2], lo[3], pl));
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(
+              out + static_cast<std::size_t>(pl + 4) * n + e),
+          plane_of_16(hi[0], hi[1], hi[2], hi[3], pl));
+    }
+  }
+  scalar::shuffle(in, out, n, 8, nv);
+}
+
+void unshuffle8(const std::byte* in, std::byte* out, std::size_t n) {
+  const std::size_t nv = n & ~std::size_t{15};
+  alignas(16) std::byte lo[64];
+  alignas(16) std::byte hi[64];
+  for (std::size_t e = 0; e < nv; e += 16) {
+    __m128i pl[8];
+    for (int p = 0; p < 8; ++p) {
+      pl[p] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+          in + static_cast<std::size_t>(p) * n + e));
+    }
+    // Planes 0-3 rebuild the low dwords of 16 elements, planes 4-7 the
+    // high dwords; interleave dword pairs back into u64 elements.
+    elems_from_planes(pl[0], pl[1], pl[2], pl[3], lo);
+    elems_from_planes(pl[4], pl[5], pl[6], pl[7], hi);
+    for (int k = 0; k < 4; ++k) {
+      const __m128i l =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(lo + 16 * k));
+      const __m128i h =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(hi + 16 * k));
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(out + e * 8 + 32 * k),
+          _mm_unpacklo_epi32(l, h));
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(out + e * 8 + 32 * k + 16),
+          _mm_unpackhi_epi32(l, h));
+    }
+  }
+  scalar::unshuffle(in, out, n, 8, nv);
+}
+
+void delta_zigzag_w4(const std::byte* in, std::byte* out, std::size_t n) {
+  if (n < 8) {
+    scalar::delta_zigzag_w4(in, out, n);
+    return;
+  }
+  scalar::delta_zigzag_w4(in, out, 4);
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i cur =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i * 4));
+    const __m128i prev =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i * 4 - 4));
+    const __m128i d = _mm_sub_epi32(cur, prev);
+    const __m128i zz =
+        _mm_xor_si128(_mm_slli_epi32(d, 1), _mm_srai_epi32(d, 31));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i * 4), zz);
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t v = load_u32(in + i * 4);
+    const std::uint32_t d = v - load_u32(in + i * 4 - 4);
+    store_u32(out + i * 4, (d << 1) ^ (std::uint32_t{0} - (d >> 31)));
+  }
+}
+
+void unzigzag_prefix_w4(std::byte* buf, std::size_t n) {
+  const std::size_t nv = n & ~std::size_t{3};
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i one = _mm_set1_epi32(1);
+  __m128i carry = zero;
+  std::size_t i = 0;
+  for (; i < nv; i += 4) {
+    const __m128i zz =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + i * 4));
+    __m128i sd = _mm_xor_si128(_mm_srli_epi32(zz, 1),
+                               _mm_sub_epi32(zero, _mm_and_si128(zz, one)));
+    // In-register inclusive prefix sum (two shift-add rounds), then
+    // add the running total of all previous lanes.
+    sd = _mm_add_epi32(sd, _mm_slli_si128(sd, 4));
+    sd = _mm_add_epi32(sd, _mm_slli_si128(sd, 8));
+    const __m128i v = _mm_add_epi32(sd, carry);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(buf + i * 4), v);
+    carry = _mm_shuffle_epi32(v, 0xFF);
+  }
+  std::uint32_t prev =
+      i == 0 ? 0 : static_cast<std::uint32_t>(_mm_cvtsi128_si32(carry));
+  for (; i < n; ++i) {
+    const std::uint32_t zz = load_u32(buf + i * 4);
+    prev += (zz >> 1) ^ (std::uint32_t{0} - (zz & 1));
+    store_u32(buf + i * 4, prev);
+  }
+}
+
+}  // namespace sse2
+
+namespace avx2 {
+
+__attribute__((target("avx2"))) __m128i transpose_mask() {
+  return _mm_setr_epi8(0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15);
+}
+
+__attribute__((target("avx2"))) void shuffle4(const std::byte* in,
+                                              std::byte* out, std::size_t n) {
+  const std::size_t nv = n & ~std::size_t{15};
+  const __m128i m = transpose_mask();
+  for (std::size_t e = 0; e < nv; e += 16) {
+    const std::byte* p = in + e * 4;
+    // Each pshufb groups one register's plane bytes into dword lanes;
+    // a 4x4 dword transpose then gathers each plane across registers.
+    const __m128i q0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)), m);
+    const __m128i q1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16)), m);
+    const __m128i q2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32)), m);
+    const __m128i q3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48)), m);
+    const __m128i t0 = _mm_unpacklo_epi32(q0, q1);
+    const __m128i t1 = _mm_unpackhi_epi32(q0, q1);
+    const __m128i t2 = _mm_unpacklo_epi32(q2, q3);
+    const __m128i t3 = _mm_unpackhi_epi32(q2, q3);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + e),
+                     _mm_unpacklo_epi64(t0, t2));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + n + e),
+                     _mm_unpackhi_epi64(t0, t2));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 2 * n + e),
+                     _mm_unpacklo_epi64(t1, t3));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 3 * n + e),
+                     _mm_unpackhi_epi64(t1, t3));
+  }
+  scalar::shuffle(in, out, n, 4, nv);
+}
+
+__attribute__((target("avx2"))) void unshuffle4(const std::byte* in,
+                                                std::byte* out,
+                                                std::size_t n) {
+  const std::size_t nv = n & ~std::size_t{15};
+  const __m128i m = transpose_mask();
+  for (std::size_t e = 0; e < nv; e += 16) {
+    const __m128i p0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + e));
+    const __m128i p1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + n + e));
+    const __m128i p2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 2 * n + e));
+    const __m128i p3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 3 * n + e));
+    const __m128i t0 = _mm_unpacklo_epi32(p0, p1);
+    const __m128i t1 = _mm_unpackhi_epi32(p0, p1);
+    const __m128i t2 = _mm_unpacklo_epi32(p2, p3);
+    const __m128i t3 = _mm_unpackhi_epi32(p2, p3);
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(out + e * 4),
+        _mm_shuffle_epi8(_mm_unpacklo_epi64(t0, t2), m));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(out + e * 4 + 16),
+        _mm_shuffle_epi8(_mm_unpackhi_epi64(t0, t2), m));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(out + e * 4 + 32),
+        _mm_shuffle_epi8(_mm_unpacklo_epi64(t1, t3), m));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(out + e * 4 + 48),
+        _mm_shuffle_epi8(_mm_unpackhi_epi64(t1, t3), m));
+  }
+  scalar::unshuffle(in, out, n, 4, nv);
+}
+
+}  // namespace avx2
+
+#endif  // DASSA_SIMD_X86
+
+#if DASSA_SIMD_NEON
+
+namespace neon {
+
+void shuffle4(const std::byte* in, std::byte* out, std::size_t n) {
+  const std::size_t nv = n & ~std::size_t{15};
+  for (std::size_t e = 0; e < nv; e += 16) {
+    const uint8x16x4_t v =
+        vld4q_u8(reinterpret_cast<const std::uint8_t*>(in + e * 4));
+    for (int p = 0; p < 4; ++p) {
+      vst1q_u8(reinterpret_cast<std::uint8_t*>(
+                   out + static_cast<std::size_t>(p) * n + e),
+               v.val[p]);
+    }
+  }
+  scalar::shuffle(in, out, n, 4, nv);
+}
+
+void unshuffle4(const std::byte* in, std::byte* out, std::size_t n) {
+  const std::size_t nv = n & ~std::size_t{15};
+  for (std::size_t e = 0; e < nv; e += 16) {
+    uint8x16x4_t v;
+    for (int p = 0; p < 4; ++p) {
+      v.val[p] = vld1q_u8(reinterpret_cast<const std::uint8_t*>(
+          in + static_cast<std::size_t>(p) * n + e));
+    }
+    vst4q_u8(reinterpret_cast<std::uint8_t*>(out + e * 4), v);
+  }
+  scalar::unshuffle(in, out, n, 4, nv);
+}
+
+}  // namespace neon
+
+#endif  // DASSA_SIMD_NEON
+
+// ---- dispatch --------------------------------------------------------
+
+bool level_available(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kSse2:
+    case Level::kAvx2:
+#if DASSA_SIMD_X86
+      return level != Level::kAvx2 || __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Level::kNeon:
+#if DASSA_SIMD_NEON
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// Cached dispatch level; -1 = not yet resolved.
+std::atomic<int> g_level{-1};
+
+Level resolve_level() {
+  if (const char* env = std::getenv("DASSA_SIMD")) {
+    const std::string want(env);
+    for (const Level l : {Level::kScalar, Level::kSse2, Level::kAvx2,
+                          Level::kNeon}) {
+      if (want == level_name(l) && level_available(l)) return l;
+    }
+  }
+  return detect_level();
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+Level detect_level() {
+#if DASSA_SIMD_X86
+  return __builtin_cpu_supports("avx2") != 0 ? Level::kAvx2 : Level::kSse2;
+#elif DASSA_SIMD_NEON
+  return Level::kNeon;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level active_level() {
+  const int v = g_level.load(std::memory_order_relaxed);
+  if (v >= 0) return static_cast<Level>(v);
+  const Level resolved = resolve_level();
+  g_level.store(static_cast<int>(resolved), std::memory_order_relaxed);
+  return resolved;
+}
+
+void set_level(Level level) {
+  const Level clamped = level_available(level) ? level : detect_level();
+  g_level.store(static_cast<int>(clamped), std::memory_order_relaxed);
+}
+
+void shuffle_bytes(const std::byte* in, std::byte* out, std::size_t n_elem,
+                   std::size_t elem_size) {
+  const Level level = active_level();
+#if DASSA_SIMD_X86
+  if (level == Level::kAvx2 && elem_size == 4) {
+    avx2::shuffle4(in, out, n_elem);
+    return;
+  }
+  if (level != Level::kScalar && elem_size == 4) {
+    sse2::shuffle4(in, out, n_elem);
+    return;
+  }
+  if (level != Level::kScalar && elem_size == 8) {
+    sse2::shuffle8(in, out, n_elem);
+    return;
+  }
+#endif
+#if DASSA_SIMD_NEON
+  if (level != Level::kScalar && elem_size == 4) {
+    neon::shuffle4(in, out, n_elem);
+    return;
+  }
+#endif
+  (void)level;
+  scalar::shuffle(in, out, n_elem, elem_size, 0);
+}
+
+void unshuffle_bytes(const std::byte* in, std::byte* out, std::size_t n_elem,
+                     std::size_t elem_size) {
+  const Level level = active_level();
+#if DASSA_SIMD_X86
+  if (level == Level::kAvx2 && elem_size == 4) {
+    avx2::unshuffle4(in, out, n_elem);
+    return;
+  }
+  if (level != Level::kScalar && elem_size == 4) {
+    sse2::unshuffle4(in, out, n_elem);
+    return;
+  }
+  if (level != Level::kScalar && elem_size == 8) {
+    sse2::unshuffle8(in, out, n_elem);
+    return;
+  }
+#endif
+#if DASSA_SIMD_NEON
+  if (level != Level::kScalar && elem_size == 4) {
+    neon::unshuffle4(in, out, n_elem);
+    return;
+  }
+#endif
+  (void)level;
+  scalar::unshuffle(in, out, n_elem, elem_size, 0);
+}
+
+void delta_zigzag_w4(const std::byte* in, std::byte* out, std::size_t n) {
+#if DASSA_SIMD_X86
+  if (active_level() != Level::kScalar) {
+    sse2::delta_zigzag_w4(in, out, n);
+    return;
+  }
+#endif
+  scalar::delta_zigzag_w4(in, out, n);
+}
+
+void delta_zigzag_w8(const std::byte* in, std::byte* out, std::size_t n) {
+  // 64-bit lanes stay scalar on every level: SSE2 lacks a 64-bit
+  // arithmetic shift and the varint pack dominates this stage anyway.
+  scalar::delta_zigzag_w8(in, out, n);
+}
+
+void unzigzag_prefix_w4(std::byte* buf, std::size_t n) {
+#if DASSA_SIMD_X86
+  if (active_level() != Level::kScalar) {
+    sse2::unzigzag_prefix_w4(buf, n);
+    return;
+  }
+#endif
+  scalar::unzigzag_prefix_w4(buf, n);
+}
+
+void unzigzag_prefix_w8(std::byte* buf, std::size_t n) {
+  scalar::unzigzag_prefix_w8(buf, n);
+}
+
+std::size_t varint_encode_w4(const std::byte* lanes, std::size_t n,
+                             std::byte* out) {
+  return active_level() == Level::kScalar
+             ? scalar::varint_encode_w4(lanes, n, out)
+             : wide::varint_encode_w4(lanes, n, out);
+}
+
+std::size_t varint_encode_w8(const std::byte* lanes, std::size_t n,
+                             std::byte* out) {
+  return active_level() == Level::kScalar
+             ? scalar::varint_encode_w8(lanes, n, out)
+             : wide::varint_encode_w8(lanes, n, out);
+}
+
+VarintResult varint_decode_w4(const std::byte* in, std::size_t in_size,
+                              std::byte* lanes, std::size_t n) {
+  return active_level() == Level::kScalar
+             ? scalar::varint_decode_w4(in, in_size, lanes, n)
+             : wide::varint_decode_w4(in, in_size, lanes, n);
+}
+
+VarintResult varint_decode_w8(const std::byte* in, std::size_t in_size,
+                              std::byte* lanes, std::size_t n) {
+  return active_level() == Level::kScalar
+             ? scalar::varint_decode_w8(in, in_size, lanes, n)
+             : wide::varint_decode_w8(in, in_size, lanes, n);
+}
+
+std::size_t match_length(const std::byte* a, const std::byte* b,
+                         std::size_t max) {
+  return active_level() == Level::kScalar ? scalar::match_length(a, b, max)
+                                          : wide::match_length(a, b, max);
+}
+
+void copy_match(std::byte* dst, std::size_t dist, std::size_t n) {
+  if (active_level() == Level::kScalar) {
+    scalar::copy_match(dst, dist, n);
+  } else {
+    wide::copy_match(dst, dist, n);
+  }
+}
+
+}  // namespace dassa::simd

@@ -18,6 +18,7 @@
 // FormatError.
 #include <cstring>
 
+#include "dassa/common/simd.hpp"
 #include "stages.hpp"
 
 namespace dassa::io::detail {
@@ -27,6 +28,7 @@ namespace {
 constexpr std::size_t kMinMatch = 4;
 constexpr std::size_t kMaxOffset = 65535;
 constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kSkipTrigger = 6;
 constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
 
 std::uint32_t load32(const std::byte* p) {
@@ -39,12 +41,13 @@ std::size_t hash4(std::uint32_t v) {
   return static_cast<std::size_t>((v * 2654435761u) >> (32 - kHashBits));
 }
 
-void put_len(std::vector<std::byte>& out, std::size_t extra) {
+std::byte* put_len(std::byte* op, std::size_t extra) {
   while (extra >= 255) {
-    out.push_back(std::byte{255});
+    *op++ = std::byte{255};
     extra -= 255;
   }
-  out.push_back(static_cast<std::byte>(extra));
+  *op++ = static_cast<std::byte>(extra);
+  return op;
 }
 
 /// Read an extended length: `nibble` plus 255-run continuation bytes.
@@ -76,17 +79,28 @@ class LzCodec final : public Codec {
   [[nodiscard]] std::vector<std::byte> encode(
       std::span<const std::byte> raw,
       std::size_t /*elem_size*/) const override {
-    std::vector<std::byte> out;
-    out.reserve(16 + raw.size() / 2);
+    // Worst-case output: every literal byte (+1/255 length-run bytes),
+    // plus token + offset + length-run sentinels per match (a match
+    // consumes >= kMinMatch input bytes, so <= raw/4 of them).
     const std::uint64_t n = raw.size();
-    out.resize(sizeof n);
+    std::vector<std::byte> out(sizeof n + raw.size() + raw.size() / 4 +
+                               raw.size() / 64 + 64);
     std::memcpy(out.data(), &n, sizeof n);
-    if (raw.empty()) return out;
+    if (raw.empty()) {
+      out.resize(sizeof n);
+      return out;
+    }
+    std::byte* op = out.data() + sizeof n;
 
     std::vector<std::uint32_t> table(std::size_t{1} << kHashBits, kNoPos);
     const std::byte* src = raw.data();
     std::size_t anchor = 0;
     std::size_t i = 0;
+    // Probe step grows while the finder keeps missing (LZ4-style skip
+    // acceleration): after 2^kSkipTrigger consecutive misses the
+    // stream is locally incompressible and sampling it more coarsely
+    // trades a sliver of ratio for a large encode speedup.
+    std::size_t search = std::size_t{1} << kSkipTrigger;
     // Leave kMinMatch + headroom at the end: the tail is emitted as
     // plain literals, which also gives the decoder its final,
     // offset-less sequence.
@@ -97,13 +111,18 @@ class LzCodec final : public Codec {
       table[h] = static_cast<std::uint32_t>(i);
       if (cand == kNoPos || i - cand > kMaxOffset ||
           load32(src + cand) != v) {
-        ++i;
+        i += search++ >> kSkipTrigger;
         continue;
       }
-      std::size_t len = kMinMatch;
+      search = std::size_t{1} << kSkipTrigger;
+      // The hash hit verified bytes 0..3; extend from there with the
+      // word-at-a-time kernel (exact, so streams are CPU-independent).
       const std::size_t max_len = raw.size() - i;
-      while (len < max_len && src[cand + len] == src[i + len]) ++len;
-      emit(out, src, anchor, i, i - cand, len);
+      const std::size_t len =
+          kMinMatch + simd::match_length(src + cand + kMinMatch,
+                                         src + i + kMinMatch,
+                                         max_len - kMinMatch);
+      op = emit(op, src, anchor, i, i - cand, len);
       i += len;
       anchor = i;
     }
@@ -113,11 +132,12 @@ class LzCodec final : public Codec {
     const std::size_t lit = raw.size() - anchor;
     if (lit > 0) {
       const std::size_t lit_nibble = lit < 15 ? lit : 15;
-      out.push_back(static_cast<std::byte>(lit_nibble << 4));
-      if (lit_nibble == 15) put_len(out, lit - 15);
-      out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(anchor),
-                 raw.end());
+      *op++ = static_cast<std::byte>(lit_nibble << 4);
+      if (lit_nibble == 15) op = put_len(op, lit - 15);
+      std::memcpy(op, src + anchor, lit);
+      op += lit;
     }
+    out.resize(static_cast<std::size_t>(op - out.data()));
     return out;
   }
 
@@ -132,28 +152,36 @@ class LzCodec final : public Codec {
     if (n > max_decoded_size) {
       throw FormatError("lz stream claims an implausible decoded size");
     }
-    std::vector<std::byte> out;
-    out.reserve(static_cast<std::size_t>(n));
+    // kCopySlack trailing bytes let copy_match run whole-word copies
+    // without a tail branch; the buffer is trimmed before returning.
+    // Every bound below is validated against `n` first, so the wide
+    // copies never reach past cur + match + kCopySlack.
+    std::vector<std::byte> out(static_cast<std::size_t>(n) + simd::kCopySlack);
+    std::size_t cur = 0;
     std::size_t pos = sizeof n;
 
-    while (out.size() < n) {
+    while (cur < n) {
       if (pos >= stored.size()) {
         throw FormatError("truncated sequence in lz stream");
       }
       const auto token = static_cast<std::size_t>(stored[pos++]);
-      const std::size_t lit =
-          get_len(stored, pos, token >> 4, static_cast<std::size_t>(n));
-      // Subtraction forms: pos <= stored.size(), out.size() <= n.
+      std::size_t lit = token >> 4;
+      if (lit == 15) {
+        lit = get_len(stored, pos, 15, static_cast<std::size_t>(n));
+      }
+      // Subtraction forms: pos <= stored.size(), cur <= n.
       if (lit > stored.size() - pos) {
         throw FormatError("literal run past end of lz stream");
       }
-      if (lit > n - out.size()) {
+      if (lit > n - cur) {
         throw FormatError("literal run past decoded size in lz stream");
       }
-      out.insert(out.end(), stored.begin() + static_cast<std::ptrdiff_t>(pos),
-                 stored.begin() + static_cast<std::ptrdiff_t>(pos + lit));
-      pos += lit;
-      if (out.size() == n) break;  // final sequence carries no match
+      if (lit > 0) {
+        std::memcpy(out.data() + cur, stored.data() + pos, lit);
+        pos += lit;
+        cur += lit;
+        if (cur == n) break;  // final sequence carries no match
+      }
 
       if (stored.size() - pos < 2) {
         throw FormatError("truncated match offset in lz stream");
@@ -161,42 +189,55 @@ class LzCodec final : public Codec {
       std::uint16_t offset = 0;
       std::memcpy(&offset, stored.data() + pos, sizeof offset);
       pos += sizeof offset;
-      if (offset == 0 || offset > out.size()) {
+      if (offset == 0 || offset > cur) {
         throw FormatError("match offset outside window in lz stream");
       }
-      const std::size_t match =
-          kMinMatch +
-          get_len(stored, pos, token & 15, static_cast<std::size_t>(n));
-      if (match > n - out.size()) {
+      std::size_t match = kMinMatch + (token & 15);
+      if ((token & 15) == 15) {
+        match = kMinMatch +
+                get_len(stored, pos, 15, static_cast<std::size_t>(n));
+      }
+      if (match > n - cur) {
         throw FormatError("match run past decoded size in lz stream");
       }
-      // Byte-wise: matches may overlap their own output (RLE case).
-      std::size_t from = out.size() - offset;
-      for (std::size_t k = 0; k < match; ++k) {
-        out.push_back(out[from + k]);
+      if (offset >= 8 && match <= 16) {
+        // Hot case: short non-overlapping match. Two unconditional
+        // 8-byte copies into the kCopySlack region beat a call.
+        std::memcpy(out.data() + cur, out.data() + cur - offset, 8);
+        std::memcpy(out.data() + cur + 8, out.data() + cur - offset + 8, 8);
+      } else {
+        // Overlap-safe wide copy: handles the self-referential RLE
+        // case (offset < 8) by bootstrapping then widening the period.
+        simd::copy_match(out.data() + cur, offset, match);
       }
+      cur += match;
     }
     if (pos != stored.size()) {
       throw FormatError("trailing garbage after lz stream");
     }
+    out.resize(static_cast<std::size_t>(n));
     return out;
   }
 
  private:
-  static void emit(std::vector<std::byte>& out, const std::byte* src,
-                   std::size_t anchor, std::size_t end, std::size_t offset,
-                   std::size_t match_len) {
+  static std::byte* emit(std::byte* op, const std::byte* src,
+                         std::size_t anchor, std::size_t end,
+                         std::size_t offset, std::size_t match_len) {
     const std::size_t lit = end - anchor;
     const std::size_t ml = match_len - kMinMatch;
     const std::size_t lit_nibble = lit < 15 ? lit : 15;
     const std::size_t ml_nibble = ml < 15 ? ml : 15;
-    out.push_back(static_cast<std::byte>((lit_nibble << 4) | ml_nibble));
-    if (lit_nibble == 15) put_len(out, lit - 15);
-    out.insert(out.end(), src + anchor, src + end);
+    *op++ = static_cast<std::byte>((lit_nibble << 4) | ml_nibble);
+    if (lit_nibble == 15) op = put_len(op, lit - 15);
+    if (lit > 0) {
+      std::memcpy(op, src + anchor, lit);
+      op += lit;
+    }
     const auto off16 = static_cast<std::uint16_t>(offset);
-    const std::byte* ob = reinterpret_cast<const std::byte*>(&off16);
-    out.insert(out.end(), ob, ob + sizeof off16);
-    if (ml_nibble == 15) put_len(out, ml - 15);
+    std::memcpy(op, &off16, sizeof off16);
+    op += sizeof off16;
+    if (ml_nibble == 15) op = put_len(op, ml - 15);
+    return op;
   }
 };
 

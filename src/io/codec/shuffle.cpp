@@ -7,6 +7,7 @@
 // size.
 #include <cstring>
 
+#include "dassa/common/simd.hpp"
 #include "stages.hpp"
 
 namespace dassa::io::detail {
@@ -44,16 +45,10 @@ class ShuffleCodec final : public Codec {
                                           bool forward) {
     std::vector<std::byte> out(in.size());
     const std::size_t nelem = in.size() / elem_size;
-    for (std::size_t e = 0; e < nelem; ++e) {
-      for (std::size_t p = 0; p < elem_size; ++p) {
-        const std::size_t planar = p * nelem + e;
-        const std::size_t linear = e * elem_size + p;
-        if (forward) {
-          out[planar] = in[linear];
-        } else {
-          out[linear] = in[planar];
-        }
-      }
+    if (forward) {
+      simd::shuffle_bytes(in.data(), out.data(), nelem, elem_size);
+    } else {
+      simd::unshuffle_bytes(in.data(), out.data(), nelem, elem_size);
     }
     const std::size_t body = nelem * elem_size;
     if (body < in.size()) {

@@ -12,6 +12,7 @@
 #include "dassa/common/thread_pool.hpp"
 #include "dassa/common/trace.hpp"
 #include "dassa/io/chunk_cache.hpp"
+#include "dash5_detail.hpp"
 #include "serialize.hpp"
 
 namespace dassa::io {
@@ -22,14 +23,14 @@ namespace {
 /// flip it off to make io.cache.* counts exactly reproducible.
 std::atomic<bool> g_readahead{true};
 
-constexpr char kMagic[8] = {'D', 'A', 'S', 'H', '5', '\0', '\0', '\2'};
-constexpr char kMagicV3[8] = {'D', 'A', 'S', 'H', '5', '\0', '\0', '\3'};
-constexpr std::uint64_t kPreludeSize = 16;  // magic + header size
-
-// v3 chunk index footer: [index block][crc u32][block size u64][magic].
-constexpr char kIndexMagic[8] = {'D', 'A', 'S', 'I', 'D', 'X', '\0', '\3'};
-constexpr std::uint64_t kFooterTail = 20;  // crc + size + magic
-constexpr std::uint64_t kIndexEntrySize = 29;  // u64 x3 + u32 + u8
+// Framing constants live in dash5_detail.hpp (shared with the parallel
+// repack engine); local aliases keep the historical names readable.
+constexpr auto& kMagic = detail::kMagicV2;
+using detail::kFooterTail;
+using detail::kIndexEntrySize;
+using detail::kIndexMagic;
+using detail::kMagicV3;
+using detail::kPreludeSize;
 
 /// True iff a * b overflows uint64. Extent fields come straight from
 /// the (attacker-controllable) file, so every size computation derived
@@ -259,7 +260,27 @@ void append_chunk(OutputFile& out, std::vector<ChunkIndexEntry>& index,
 /// trailing magic that lets the reader find it from the file end.
 void write_chunk_index(OutputFile& out,
                        const std::vector<ChunkIndexEntry>& index) {
-  detail::Encoder enc;
+  const std::vector<std::byte> footer =
+      detail::encode_chunk_index_footer(index);
+  out.write(footer.data(), footer.size());
+}
+
+}  // namespace
+
+namespace detail {
+
+std::vector<std::byte> encode_dash5_header(const Dash5Header& h) {
+  return encode_header(h);
+}
+
+std::pair<std::vector<std::byte>, std::uint8_t> encode_dash5_tile(
+    const Dash5Header& h, std::span<const double> tile) {
+  return encode_tile(h, tile);
+}
+
+std::vector<std::byte> encode_chunk_index_footer(
+    const std::vector<ChunkIndexEntry>& index) {
+  Encoder enc;
   for (const ChunkIndexEntry& e : index) {
     enc.u64(e.offset);
     enc.u64(e.csize);
@@ -267,16 +288,19 @@ void write_chunk_index(OutputFile& out,
     enc.u32(e.crc);
     enc.u8(e.codec);
   }
-  const std::vector<std::byte>& block = enc.bytes();
-  const std::uint32_t crc = detail::crc32(block.data(), block.size());
-  const std::uint64_t size = block.size();
-  out.write(block.data(), block.size());
-  out.write(&crc, sizeof crc);
-  out.write(&size, sizeof size);
-  out.write(kIndexMagic, sizeof kIndexMagic);
+  std::vector<std::byte> out = enc.bytes();
+  const std::uint32_t crc = crc32(out.data(), out.size());
+  const std::uint64_t size = out.size();
+  Encoder tail;
+  tail.u32(crc);
+  tail.u64(size);
+  out.insert(out.end(), tail.bytes().begin(), tail.bytes().end());
+  const auto* magic = reinterpret_cast<const std::byte*>(kIndexMagic);
+  out.insert(out.end(), magic, magic + sizeof kIndexMagic);
+  return out;
 }
 
-}  // namespace
+}  // namespace detail
 
 void dash5_write(const std::string& path, const Dash5Header& header,
                  std::span<const double> data) {

@@ -1,0 +1,53 @@
+// Internal building blocks of the DASH5 container, shared between the
+// serial writers in dash5.cpp and the parallel repack engine
+// (src/io/repack.cpp). Everything here produces *bytes*, not file
+// writes, so a caller that knows its extents in advance (repack ranks
+// writing disjoint regions) can assemble a file with positioned writes
+// and still be byte-identical to the serial writer.
+//
+// This header is src/-private on purpose: the on-disk byte layout is
+// an implementation detail of the io layer, and nothing outside it may
+// depend on magic values or entry sizes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dassa/io/dash5.hpp"
+
+namespace dassa::io::detail {
+
+// On-disk framing shared by every DASH5 version:
+//   [magic 8][header size u64][header block][payload...]
+// and, for v3 chunked files, the trailing chunk-index footer
+//   [index block][crc u32][block size u64][index magic 8].
+inline constexpr char kMagicV2[8] = {'D', 'A', 'S', 'H', '5', '\0', '\0', '\2'};
+inline constexpr char kMagicV3[8] = {'D', 'A', 'S', 'H', '5', '\0', '\0', '\3'};
+inline constexpr char kIndexMagic[8] = {'D', 'A', 'S', 'I', 'D', 'X',
+                                        '\0', '\3'};
+inline constexpr std::uint64_t kPreludeSize = 16;  // magic + header size
+inline constexpr std::uint64_t kFooterTail = 20;   // crc + size + magic
+inline constexpr std::uint64_t kIndexEntrySize = 29;  // u64 x3 + u32 + u8
+
+/// Encoded header block (KV sections, dtype/shape/layout/chunk, the v3
+/// codec chain when present) with its trailing CRC. The bytes that
+/// follow the u64 size field in the prelude.
+[[nodiscard]] std::vector<std::byte> encode_dash5_header(
+    const Dash5Header& h);
+
+/// Compressed payload of one dense chunk tile: the codec chain's
+/// output, or the raw element bytes with codec flag 0 when compression
+/// does not pay (the raw fallback that bounds worst-case growth).
+[[nodiscard]] std::pair<std::vector<std::byte>, std::uint8_t>
+encode_dash5_tile(const Dash5Header& h, std::span<const double> tile);
+
+/// Complete v3 footer: encoded index entries, block CRC, block size,
+/// and the trailing index magic. Appending this after the last chunk
+/// payload finishes a valid v3 file.
+[[nodiscard]] std::vector<std::byte> encode_chunk_index_footer(
+    const std::vector<ChunkIndexEntry>& index);
+
+}  // namespace dassa::io::detail

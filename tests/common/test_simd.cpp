@@ -1,0 +1,282 @@
+// SIMD kernel parity tests: every vectorized kernel must compute
+// exactly the scalar reference on every dispatch level the host can
+// run, across random inputs, adversarial streams, and tails that are
+// not a multiple of the vector width.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "dassa/common/simd.hpp"
+
+namespace dassa::simd {
+namespace {
+
+/// Levels testable on this host: scalar, plus every hardware level the
+/// CPU supports (on AVX2 x86 that includes the SSE2 tier).
+std::vector<Level> testable_levels() {
+  std::vector<Level> out{Level::kScalar};
+  const Level best = detect_level();
+  if (best == Level::kAvx2) out.push_back(Level::kSse2);
+  if (best != Level::kScalar) out.push_back(best);
+  return out;
+}
+
+class SimdParityTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_level(detect_level()); }
+
+  std::mt19937 rng_{20260809};
+
+  std::vector<std::byte> random_bytes(std::size_t n) {
+    std::vector<std::byte> v(n);
+    std::uniform_int_distribution<int> d(0, 255);
+    for (auto& b : v) b = static_cast<std::byte>(d(rng_));
+    return v;
+  }
+};
+
+const std::size_t kSizes[] = {0, 1, 2, 3, 7, 8, 15, 16, 17, 31, 63, 64, 100,
+                              1000, 4101};
+
+TEST_F(SimdParityTest, ShuffleMatchesScalarAndRoundtrips) {
+  for (const std::size_t es : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                               std::size_t{4}, std::size_t{8}}) {
+    for (const std::size_t n : kSizes) {
+      const std::vector<std::byte> in = random_bytes(n * es);
+      set_level(Level::kScalar);
+      std::vector<std::byte> ref(n * es);
+      shuffle_bytes(in.data(), ref.data(), n, es);
+      for (const Level level : testable_levels()) {
+        set_level(level);
+        std::vector<std::byte> got(n * es, std::byte{0xAA});
+        shuffle_bytes(in.data(), got.data(), n, es);
+        ASSERT_EQ(ref, got) << "shuffle es=" << es << " n=" << n
+                            << " level=" << level_name(level);
+        std::vector<std::byte> back(n * es, std::byte{0x55});
+        unshuffle_bytes(got.data(), back.data(), n, es);
+        ASSERT_EQ(in, back) << "unshuffle es=" << es << " n=" << n
+                            << " level=" << level_name(level);
+      }
+    }
+  }
+}
+
+TEST_F(SimdParityTest, UnshuffleMatchesScalar) {
+  for (const std::size_t es : {std::size_t{4}, std::size_t{8}}) {
+    for (const std::size_t n : kSizes) {
+      const std::vector<std::byte> in = random_bytes(n * es);
+      set_level(Level::kScalar);
+      std::vector<std::byte> ref(n * es);
+      unshuffle_bytes(in.data(), ref.data(), n, es);
+      for (const Level level : testable_levels()) {
+        set_level(level);
+        std::vector<std::byte> got(n * es, std::byte{0xAA});
+        unshuffle_bytes(in.data(), got.data(), n, es);
+        ASSERT_EQ(ref, got) << "es=" << es << " n=" << n
+                            << " level=" << level_name(level);
+      }
+    }
+  }
+}
+
+TEST_F(SimdParityTest, DeltaZigzagMatchesScalarAndRoundtrips) {
+  for (const std::size_t w : {std::size_t{4}, std::size_t{8}}) {
+    for (const std::size_t n : kSizes) {
+      const std::vector<std::byte> in = random_bytes(n * w);
+      set_level(Level::kScalar);
+      std::vector<std::byte> ref(n * w);
+      if (w == 4) {
+        delta_zigzag_w4(in.data(), ref.data(), n);
+      } else {
+        delta_zigzag_w8(in.data(), ref.data(), n);
+      }
+      for (const Level level : testable_levels()) {
+        set_level(level);
+        std::vector<std::byte> got(n * w, std::byte{0xAA});
+        std::vector<std::byte> back = got;
+        if (w == 4) {
+          delta_zigzag_w4(in.data(), got.data(), n);
+          back = got;
+          unzigzag_prefix_w4(back.data(), n);
+        } else {
+          delta_zigzag_w8(in.data(), got.data(), n);
+          back = got;
+          unzigzag_prefix_w8(back.data(), n);
+        }
+        ASSERT_EQ(ref, got) << "w=" << w << " n=" << n
+                            << " level=" << level_name(level);
+        ASSERT_EQ(in, back) << "roundtrip w=" << w << " n=" << n
+                            << " level=" << level_name(level);
+      }
+    }
+  }
+}
+
+/// Lane buffers exercising every varint length class, including the
+/// exact lane-width maxima.
+std::vector<std::byte> varint_lane_fixture(std::size_t w, std::size_t n,
+                                           std::mt19937& rng) {
+  std::vector<std::byte> lanes(n * w);
+  std::uniform_int_distribution<int> kind(0, 5);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t v = 0;
+    switch (kind(rng)) {
+      case 0:
+        v = rng() & 0x7F;  // single byte
+        break;
+      case 1:
+        v = 0x80 + (rng() & 0x3FFF);  // two bytes
+        break;
+      case 2:
+        v = rng();  // up to 32 bits
+        break;
+      case 3:
+        v = w == 4 ? 0xFFFFFFFFULL : ~std::uint64_t{0};  // lane max
+        break;
+      case 4:
+        v = (static_cast<std::uint64_t>(rng()) << 32) | rng();
+        if (w == 4) v &= 0xFFFFFFFFULL;
+        break;
+      default:
+        v = 0;
+        break;
+    }
+    std::memcpy(lanes.data() + i * w, &v, w);
+  }
+  return lanes;
+}
+
+TEST_F(SimdParityTest, VarintEncodeDecodeParityAndRoundtrip) {
+  for (const std::size_t w : {std::size_t{4}, std::size_t{8}}) {
+    for (const std::size_t n : kSizes) {
+      const std::vector<std::byte> lanes = varint_lane_fixture(w, n, rng_);
+      set_level(Level::kScalar);
+      std::vector<std::byte> ref(n * (w == 4 ? 5 : 10) + 8);
+      const std::size_t ref_len =
+          w == 4 ? varint_encode_w4(lanes.data(), n, ref.data())
+                 : varint_encode_w8(lanes.data(), n, ref.data());
+      ref.resize(ref_len);
+      for (const Level level : testable_levels()) {
+        set_level(level);
+        std::vector<std::byte> enc(n * (w == 4 ? 5 : 10) + 8);
+        const std::size_t len =
+            w == 4 ? varint_encode_w4(lanes.data(), n, enc.data())
+                   : varint_encode_w8(lanes.data(), n, enc.data());
+        enc.resize(len);
+        ASSERT_EQ(ref, enc) << "encode w=" << w << " n=" << n
+                            << " level=" << level_name(level);
+        std::vector<std::byte> dec(n * w, std::byte{0xAA});
+        const VarintResult r =
+            w == 4 ? varint_decode_w4(enc.data(), enc.size(), dec.data(), n)
+                   : varint_decode_w8(enc.data(), enc.size(), dec.data(), n);
+        ASSERT_EQ(r.status, VarintStatus::kOk);
+        ASSERT_EQ(r.consumed, enc.size());
+        ASSERT_EQ(dec, lanes) << "decode w=" << w << " n=" << n
+                              << " level=" << level_name(level);
+      }
+    }
+  }
+}
+
+TEST_F(SimdParityTest, VarintDecodeRejectsHostileStreams) {
+  for (const Level level : testable_levels()) {
+    set_level(level);
+    std::vector<std::byte> out(64);
+    // Truncated: continuation bit set on the final byte.
+    const std::byte trunc[] = {std::byte{0x80}};
+    EXPECT_EQ(varint_decode_w4(trunc, 1, out.data(), 1).status,
+              VarintStatus::kTruncated);
+    EXPECT_EQ(varint_decode_w8(trunc, 1, out.data(), 1).status,
+              VarintStatus::kTruncated);
+    // Empty input but lanes requested.
+    EXPECT_EQ(varint_decode_w4(trunc, 0, out.data(), 1).status,
+              VarintStatus::kTruncated);
+    // Overlong for u32: 5th byte carries bits above bit 31.
+    const std::byte over32[] = {std::byte{0x80}, std::byte{0x80},
+                                std::byte{0x80}, std::byte{0x80},
+                                std::byte{0x10}};
+    EXPECT_EQ(varint_decode_w4(over32, 5, out.data(), 1).status,
+              VarintStatus::kOverlong);
+    // Exactly 2^32 - 1 is fine for u32.
+    const std::byte max32[] = {std::byte{0xFF}, std::byte{0xFF},
+                               std::byte{0xFF}, std::byte{0xFF},
+                               std::byte{0x0F}};
+    const VarintResult ok = varint_decode_w4(max32, 5, out.data(), 1);
+    EXPECT_EQ(ok.status, VarintStatus::kOk);
+    std::uint32_t v = 0;
+    std::memcpy(&v, out.data(), 4);
+    EXPECT_EQ(v, 0xFFFFFFFFu);
+    // Overlong for u64: 10th byte with anything above bit 63.
+    std::vector<std::byte> over64(10, std::byte{0x80});
+    over64[9] = std::byte{0x02};
+    EXPECT_EQ(varint_decode_w8(over64.data(), 10, out.data(), 1).status,
+              VarintStatus::kOverlong);
+    // Unterminated 10-byte run.
+    std::vector<std::byte> unterm(10, std::byte{0x80});
+    EXPECT_EQ(varint_decode_w8(unterm.data(), 10, out.data(), 1).status,
+              VarintStatus::kOverlong);
+    // An all-small word straddling the fast path boundary decodes.
+    std::vector<std::byte> small(16, std::byte{0x05});
+    const VarintResult r = varint_decode_w4(small.data(), 16, out.data(), 9);
+    EXPECT_EQ(r.status, VarintStatus::kOk);
+    EXPECT_EQ(r.consumed, 9u);
+  }
+}
+
+TEST_F(SimdParityTest, MatchLengthExactAtEveryDivergence) {
+  const std::size_t n = 200;
+  for (const Level level : testable_levels()) {
+    set_level(level);
+    for (const std::size_t diverge :
+         {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+          std::size_t{9}, std::size_t{15}, std::size_t{16}, std::size_t{63},
+          std::size_t{199}}) {
+      std::vector<std::byte> a = random_bytes(n);
+      std::vector<std::byte> b = a;
+      b[diverge] = static_cast<std::byte>(static_cast<int>(b[diverge]) ^ 1);
+      EXPECT_EQ(match_length(a.data(), b.data(), n), diverge)
+          << "level=" << level_name(level);
+      EXPECT_EQ(match_length(a.data(), b.data(), diverge), diverge);
+      EXPECT_EQ(match_length(a.data(), a.data(), n), n);
+    }
+  }
+}
+
+TEST_F(SimdParityTest, CopyMatchHandlesOverlappingDistances) {
+  for (const Level level : testable_levels()) {
+    set_level(level);
+    for (std::size_t dist = 1; dist <= 20; ++dist) {
+      for (const std::size_t n :
+           {std::size_t{0}, std::size_t{1}, std::size_t{5}, std::size_t{8},
+            std::size_t{13}, std::size_t{64}, std::size_t{200}}) {
+        // Buffer: `dist` seed bytes, then n produced bytes + slack.
+        std::vector<std::byte> buf(dist + n + kCopySlack, std::byte{0});
+        for (std::size_t i = 0; i < dist; ++i) {
+          buf[i] = static_cast<std::byte>(i + 1);
+        }
+        std::vector<std::byte> ref = buf;
+        // Reference: strict byte-serial semantics.
+        for (std::size_t k = 0; k < n; ++k) {
+          ref[dist + k] = ref[k];
+        }
+        copy_match(buf.data() + dist, dist, n);
+        ASSERT_TRUE(std::memcmp(buf.data(), ref.data(), dist + n) == 0)
+            << "dist=" << dist << " n=" << n
+            << " level=" << level_name(level);
+      }
+    }
+  }
+}
+
+TEST_F(SimdParityTest, LevelDispatchIsClampedToHardware) {
+  // Request a level the other architecture owns; it must clamp.
+  set_level(detect_level() == Level::kNeon ? Level::kAvx2 : Level::kNeon);
+  EXPECT_EQ(active_level(), detect_level());
+  set_level(Level::kScalar);
+  EXPECT_EQ(active_level(), Level::kScalar);
+}
+
+}  // namespace
+}  // namespace dassa::simd

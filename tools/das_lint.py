@@ -35,6 +35,13 @@ Rules (see docs/ANALYSIS.md for rationale and how to add one):
                    against tools/das_lint_baseline.txt: legacy
                    unguarded functions are listed there; new ones
                    fail the lint.
+  no-raw-intrinsics CPU intrinsics (_mm_* / _mm256_* / __m128 / __m256
+                   / NEON vld1/vst1 / <immintrin.h> / <arm_neon.h>)
+                   live only in the SIMD layer
+                   (include/dassa/common/simd.hpp, src/common/simd.cpp).
+                   Everywhere else targets the dassa::simd API so the
+                   runtime dispatcher (DASSA_SIMD) stays the single
+                   point of truth for what instruction set runs.
   no-direct-stderr Diagnostics go through the structured logger
                    (DASSA_LOG / DASSA_SLOG); the only sanctioned raw
                    stderr write is the console sink in
@@ -63,7 +70,7 @@ CANONICAL_COUNTER_PREFIX = re.compile(
 # counter name must appear here. Adding a subsystem (e.g. the DASH5 v3
 # storage engine's io.codec / io.cache) means adding its namespace.
 CANONICAL_COUNTER_NAMESPACES = frozenset({
-    "io", "io.codec", "io.cache", "io.pool",
+    "io", "io.codec", "io.cache", "io.pool", "io.repack",
     "mpi", "mem",
     "dsp.fft", "dsp.butter", "dsp.resample",
     "haee", "haee.stage",
@@ -298,6 +305,31 @@ def rule_trace_span_macro(path, scrubbed, raw):
                           "trace::detail::SpanGuard")
 
 
+SIMD_LAYER_FILES = frozenset({
+    "include/dassa/common/simd.hpp",
+    "src/common/simd.cpp",
+})
+RAW_INTRINSIC = re.compile(
+    r"\b_mm_\w+|\b_mm256_\w+|\b__m128i?d?\b|\b__m256i?d?\b"
+    r"|\bvld1q?_\w+|\bvst1q?_\w+|\b(?:u?int|float)(?:8|16|32|64)x\d+_t\b"
+    r"|#\s*include\s*<(?:immintrin|emmintrin|tmmintrin|smmintrin|"
+    r"arm_neon)\.h>")
+
+
+def rule_no_raw_intrinsics(path, scrubbed, raw):
+    """Vector intrinsics are confined to the SIMD layer; the rest of the
+    tree calls dassa::simd so the DASSA_SIMD runtime dispatcher remains
+    the single decision point for which instruction set runs."""
+    if path in SIMD_LAYER_FILES:
+        return
+    for lineno, line in iter_lines(scrubbed):
+        m = RAW_INTRINSIC.search(line)
+        if m:
+            yield Finding("no-raw-intrinsics", path, lineno,
+                          f"raw intrinsic '{m.group(0)}' outside the "
+                          "SIMD layer (use dassa::simd)")
+
+
 FUNC_DEF = re.compile(
     r"^[A-Za-z_][\w:<>,&*\s\[\]]*?"      # return type (line starts at col 0)
     r"\b((?:[A-Za-z_]\w*::)*[A-Za-z_~]\w*)"  # qualified function name
@@ -354,6 +386,7 @@ RULES = [
     rule_include_hygiene,
     rule_no_direct_stderr,
     rule_trace_span_macro,
+    rule_no_raw_intrinsics,
     rule_entry_guard,
 ]
 

@@ -1,23 +1,40 @@
-// das_repack: rewrite a DASH5 file into a chosen layout and codec —
+// das_repack: rewrite DASH5 files into a chosen layout and codec —
 // the v2 <-> v3 migration path. Metadata (global KV + channel objects)
 // and sample values are preserved exactly; only the storage
-// arrangement changes. Runs in bounded memory by streaming row blocks
-// through Dash5StreamWriter.
+// arrangement changes.
+//
+// With one input the file is rewritten in bounded memory by streaming
+// row blocks through Dash5StreamWriter. With several inputs (time
+// order) the tool is a concatenator: it builds one merged file, and
+// `--ranks N` distributes the job over N MiniMPI ranks via the
+// parallel repack engine — each rank encodes ~1/p of the chunks into
+// its own disjoint extent, byte-identical to a serial build. The
+// parallel path needs a codec chain (it writes v3); without one the
+// concatenation falls back to the serial streaming RCA builder.
 //
 // Usage:
-//   das_repack <in.dh5> <out.dh5>
+//   das_repack <in.dh5> [<in2.dh5> ...] <out.dh5>
 //              [--codec none|shuffle+lz|delta+lz|...]  (default none)
 //              [--chunk RxC]      (default: input chunking, else 32x1024)
 //              [--contiguous]     (plain v2 contiguous output)
 //              [--rows-per-block N]
-//              [--verify]         (re-read both files, compare bit-exact)
+//              [--ranks N]        (parallel concatenation world size)
+//              [--verify]         (re-read both sides, compare bit-exact)
+//              [--telemetry out.jsonl] [--telemetry-period-ms N]
+//                                 (concat mode: sample the run, write a
+//                                  validated dassa.telemetry.v1 file)
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "arg_parse.hpp"
 #include "dassa/common/log.hpp"
+#include "dassa/common/telemetry.hpp"
 #include "dassa/io/dash5.hpp"
+#include "dassa/io/repack.hpp"
+#include "dassa/io/vca.hpp"
 
 namespace {
 
@@ -34,10 +51,12 @@ io::ChunkShape parse_chunk(const std::string& text) {
   return chunk;
 }
 
-/// Block-by-block bit-exact comparison of two files' datasets. Both
-/// sides decode to double through the same element pipeline, so equal
-/// storage means equal bit patterns.
-bool datasets_match(const io::Dash5File& a, const io::Dash5File& b,
+/// Block-by-block bit-exact comparison of two datasets (Dash5File or
+/// Vca — anything with shape() and read_slab()). Both sides decode to
+/// double through the same element pipeline, so equal storage means
+/// equal bit patterns.
+template <typename SourceA, typename SourceB>
+bool datasets_match(const SourceA& a, const SourceB& b,
                     std::size_t rows_per_block) {
   if (!(a.shape() == b.shape())) return false;
   const Shape2D shape = a.shape();
@@ -54,20 +73,177 @@ bool datasets_match(const io::Dash5File& a, const io::Dash5File& b,
   return true;
 }
 
+/// Write the concat run as a "dassa.telemetry.v1" file: the sampler
+/// timeline plus, for the parallel engine, per-rank repack counters and
+/// their cluster aggregates. Re-parsed and schema-validated before the
+/// success log, exactly like `das_analyze --telemetry`.
+void export_telemetry(const std::string& path, std::size_t n_inputs,
+                      const io::RepackReport* report,
+                      const telemetry::TelemetrySampler& sampler) {
+  telemetry::TelemetryFile file;
+  file.meta["tool"] = "das_repack";
+  file.meta["inputs"] = std::to_string(n_inputs);
+  file.samples = sampler.timeline();
+  if (report != nullptr) {
+    const std::size_t p = report->rank_source_bytes.size();
+    file.meta["world_size"] = std::to_string(p);
+    std::uint64_t source_bytes = 0;
+    for (const std::uint64_t b : report->rank_source_bytes) {
+      source_bytes += b;
+    }
+    telemetry::StageRecord st;
+    st.name = "repack";
+    st.seconds = report->seconds;
+    st.bytes = source_bytes;
+    st.rows = report->shape.rows;
+    file.stages.push_back(std::move(st));
+
+    const std::pair<const char*, const std::vector<std::uint64_t>&>
+        per_rank[] = {{"io.repack.source_bytes", report->rank_source_bytes},
+                      {"io.repack.chunks_encoded", report->rank_chunks}};
+    for (std::size_t r = 0; r < p; ++r) {
+      telemetry::RankRecord rec;
+      rec.rank = static_cast<int>(r);
+      for (const auto& [name, values] : per_rank) {
+        rec.counters[name] = values[r];
+      }
+      file.ranks.push_back(std::move(rec));
+    }
+    for (const auto& [name, values] : per_rank) {
+      telemetry::AggRecord a;
+      a.counter = name;
+      a.min = values[0];
+      a.max = values[0];
+      for (std::size_t r = 0; r < p; ++r) {
+        a.sum += values[r];
+        if (values[r] < a.min) { a.min = values[r]; a.min_rank = static_cast<int>(r); }
+        if (values[r] > a.max) { a.max = values[r]; a.max_rank = static_cast<int>(r); }
+      }
+      const double mean = static_cast<double>(a.sum) / static_cast<double>(p);
+      a.imbalance = mean > 0.0 ? static_cast<double>(a.max) / mean : 1.0;
+      file.aggs.push_back(std::move(a));
+    }
+  }
+  {
+    std::ofstream out(path);
+    DASSA_CHECK(out.good(), "cannot open telemetry output file: " + path);
+    telemetry::write_telemetry_file(out, file);
+  }
+  std::ifstream back(path);
+  std::ostringstream text;
+  text << back.rdbuf();
+  telemetry::validate_telemetry_file(
+      telemetry::parse_telemetry_jsonl(text.str()));
+  DASSA_SLOG(kInfo, "repack.telemetry")
+          .field("path", path)
+          .field("samples", static_cast<std::uint64_t>(file.samples.size()))
+      << "validated";
+}
+
+/// Multi-input mode: concatenate `inputs` into one merged file —
+/// parallel v3 build when a codec chain is given, serial streaming RCA
+/// otherwise.
+int run_concat(const tools::Args& args,
+               const std::vector<std::string>& inputs,
+               const std::string& out_path) {
+  const auto rows_per_block =
+      static_cast<std::size_t>(args.get_long("--rows-per-block", 64));
+  DASSA_CHECK(rows_per_block >= 1, "--rows-per-block must be >= 1");
+  DASSA_CHECK(!args.has("--contiguous"),
+              "--contiguous applies to single-input rewrites only");
+  const auto ranks = static_cast<int>(args.get_long("--ranks", 1));
+  DASSA_CHECK(ranks >= 1, "--ranks must be >= 1");
+  const io::CodecSpec codec =
+      io::CodecSpec::parse(args.get("--codec", "none"));
+
+  telemetry::TelemetrySampler sampler{telemetry::SamplerConfig{
+      .period = std::chrono::milliseconds(
+          args.get_long("--telemetry-period-ms", 50))}};
+  const bool want_telemetry = args.has("--telemetry");
+  if (want_telemetry) sampler.start();
+  const io::RepackReport* report_ptr = nullptr;
+  io::RepackReport report;
+
+  if (codec.empty()) {
+    // No codec chain: the parallel engine has nothing to build (it
+    // writes v3), so concatenate through the serial streaming RCA.
+    DASSA_CHECK(ranks == 1,
+                "--ranks needs a codec chain (parallel output is v3); "
+                "drop --ranks or add --codec");
+    const io::RcaBuildStats stats =
+        io::rca_create_streaming(inputs, out_path, rows_per_block);
+    DASSA_SLOG(kInfo, "repack.concat_serial")
+            .field("inputs", static_cast<std::uint64_t>(inputs.size()))
+            .field("out", out_path)
+            .field("bytes_read", stats.bytes_read)
+            .field("bytes_written", stats.bytes_written)
+        << stats.seconds << "s";
+  } else {
+    io::RepackOptions opts;
+    opts.codec = codec;
+    if (args.has("--chunk")) {
+      opts.chunk = parse_chunk(args.get("--chunk"));
+    } else {
+      opts.chunk = {32, 1024};
+    }
+    report = io::parallel_repack(inputs, out_path, opts, ranks);
+    report_ptr = &report;
+    std::uint64_t max_src = 0;
+    std::uint64_t sum_src = 0;
+    for (const std::uint64_t b : report.rank_source_bytes) {
+      max_src = std::max(max_src, b);
+      sum_src += b;
+    }
+    DASSA_SLOG(kInfo, "repack.concat_parallel")
+            .field("inputs", static_cast<std::uint64_t>(inputs.size()))
+            .field("out", out_path)
+            .field("ranks", static_cast<std::uint64_t>(ranks))
+            .field("chunks", static_cast<std::uint64_t>(report.n_chunks))
+            .field("out_bytes", report.out_bytes)
+            .field("source_bytes", sum_src)
+            .field("max_rank_source_bytes", max_src)
+        << report.seconds << "s";
+  }
+
+  if (want_telemetry) {
+    sampler.tick();  // capture the end state deterministically
+    sampler.stop();
+    export_telemetry(args.get("--telemetry"), inputs.size(), report_ptr,
+                     sampler);
+  }
+
+  if (args.has("--verify")) {
+    const io::Vca vca = io::Vca::build(inputs);
+    const io::Dash5File check(out_path);
+    if (!datasets_match(vca, check, rows_per_block)) {
+      DASSA_SLOG(kError, "repack.verify_failed").field("out", out_path);
+      return 1;
+    }
+    DASSA_SLOG(kInfo, "repack.verify") << "bit-exact concatenation ok";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const tools::Args args(argc, argv);
-  if (args.positional().size() != 2) {
-    std::cerr << "usage: das_repack <in.dh5> <out.dh5> [--codec CHAIN] "
-                 "[--chunk RxC] [--contiguous] [--rows-per-block N] "
-                 "[--verify]\n";
+  if (args.positional().size() < 2) {
+    std::cerr << "usage: das_repack <in.dh5> [<in2.dh5> ...] <out.dh5> "
+                 "[--codec CHAIN] [--chunk RxC] [--contiguous] "
+                 "[--rows-per-block N] [--ranks N] [--verify] "
+                 "[--telemetry out.jsonl]\n";
     return 2;
   }
-  const std::string in_path = args.positional()[0];
-  const std::string out_path = args.positional()[1];
+  const std::string in_path = args.positional().front();
+  const std::string out_path = args.positional().back();
   dassa::set_log_level(dassa::LogLevel::kInfo);
   try {
+    if (args.positional().size() > 2 || args.has("--ranks")) {
+      const std::vector<std::string> inputs(args.positional().begin(),
+                                            args.positional().end() - 1);
+      return run_concat(args, inputs, out_path);
+    }
     const io::Dash5File in(in_path);
     const auto rows_per_block = static_cast<std::size_t>(
         args.get_long("--rows-per-block", 64));
