@@ -11,9 +11,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
+
+#include "dassa/common/sync.hpp"
 
 namespace dassa {
 
@@ -23,30 +24,30 @@ class CounterRegistry {
  public:
   /// Add `delta` to counter `name`.
   void add(const std::string& name, std::uint64_t delta = 1) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     counters_[name] += delta;
   }
 
   /// Track a high-water mark: sets counter `name` to max(current, value).
   void high_water(const std::string& name, std::uint64_t value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto& c = counters_[name];
     if (value > c) c = value;
   }
 
   [[nodiscard]] std::uint64_t get(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
 
   void reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     counters_.clear();
   }
 
   [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return counters_;
   }
 
@@ -59,8 +60,8 @@ class CounterRegistry {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::uint64_t> counters_;
+  mutable Mutex mu_;
+  std::map<std::string, std::uint64_t> counters_ DASSA_GUARDED_BY(mu_);
 };
 
 /// Process-global registry used by the I/O layer and MiniMPI.

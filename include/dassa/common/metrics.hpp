@@ -16,9 +16,10 @@
 #include <map>
 #include <memory>
 #include <ostream>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
+
+#include "dassa/common/sync.hpp"
 
 namespace dassa {
 
@@ -97,9 +98,9 @@ class MetricsRegistry {
   void write_report(std::ostream& os) const;
 
  private:
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
-      hists_;
+      hists_ DASSA_GUARDED_BY(mu_);
 };
 
 /// Process-global registry; trace spans feed it by span name.

@@ -21,15 +21,15 @@
 
 #include <array>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "dassa/common/sync.hpp"
 
 namespace dassa::telemetry {
 
@@ -109,14 +109,22 @@ class TelemetrySampler {
   void run_loop();
 
   SamplerConfig cfg_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Sample> samples_;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t dropped_ = 0;
+  // Serializes whole ticks (a manual tick() racing the background
+  // loop's): the counter snapshot and the timeline append must be
+  // atomic per sample or racing ticks can append in opposite order and
+  // break the stream's monotone-counter invariant. Always acquired
+  // before mu_; nothing else takes it, so no ordering hazard.
+  Mutex tick_mu_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<Sample> samples_ DASSA_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ DASSA_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ DASSA_GUARDED_BY(mu_) = 0;
+  // Joined outside mu_ in stop() (joining under the lock would deadlock
+  // against run_loop's own locking); start/stop are single-owner calls.
   std::thread thread_;
-  bool running_ = false;
-  bool stop_requested_ = false;
+  bool running_ DASSA_GUARDED_BY(mu_) = false;
+  bool stop_requested_ DASSA_GUARDED_BY(mu_) = false;
 };
 
 // ---- telemetry file model (JSONL, one typed record per line) ---------

@@ -10,15 +10,14 @@
 // schedule(static)`.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "dassa/common/error.hpp"
+#include "dassa/common/sync.hpp"
 
 namespace dassa {
 
@@ -42,7 +41,7 @@ class ThreadPool {
   /// Tasks queued plus tasks currently executing. The telemetry
   /// sampler exports this as the io.pool queue-depth gauge.
   [[nodiscard]] std::size_t queue_depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return tasks_.size() + in_flight_;
   }
 
@@ -66,12 +65,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  std::queue<std::function<void()>> tasks_ DASSA_GUARDED_BY(mu_);
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::size_t in_flight_ DASSA_GUARDED_BY(mu_) = 0;
+  bool stop_ DASSA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dassa

@@ -12,7 +12,7 @@
 //    bit-reversal permutation, and (for non-power-of-two sizes) the
 //    Bluestein chirp together with the precomputed spectrum of its
 //    padded filter. Plans are built once per size and shared through a
-//    read-mostly cache (std::shared_mutex); DAS pipelines transform
+//    read-mostly cache (dassa::SharedMutex); DAS pipelines transform
 //    ~10^4 identical-length channels, so after the first row every
 //    lookup is a shared-lock hit.
 //

@@ -20,9 +20,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "dassa/common/sync.hpp"
 
 namespace dassa {
 class ThreadPool;
@@ -105,14 +106,16 @@ class ChunkCache {
     }
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recent
-    std::unordered_map<ChunkKey, std::list<Entry>::iterator, KeyHash> index;
-    std::size_t bytes = 0;
+    mutable Mutex mu;
+    std::list<Entry> lru DASSA_GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<ChunkKey, std::list<Entry>::iterator, KeyHash> index
+        DASSA_GUARDED_BY(mu);
+    std::size_t bytes DASSA_GUARDED_BY(mu) = 0;
   };
 
   Shard& shard_for(const ChunkKey& key);
-  void evict_to_fit(Shard& shard, std::size_t slice);
+  void evict_to_fit(Shard& shard, std::size_t slice)
+      DASSA_REQUIRES(shard.mu);
 
   std::atomic<std::size_t> budget_;
   std::atomic<std::size_t> total_bytes_{0};

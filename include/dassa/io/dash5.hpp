@@ -14,12 +14,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "dassa/common/shape.hpp"
+#include "dassa/common/sync.hpp"
 #include "dassa/io/codec.hpp"
 #include "dassa/io/file_io.hpp"
 #include "dassa/io/kv.hpp"
@@ -192,11 +192,15 @@ class Dash5File {
 
   // v3 state: chunk index, cache identity, and the readahead
   // prefetcher. file_ is shared between caller reads and background
-  // prefetch tasks, hence the I/O mutex. Prefetch internals live in
-  // the .cpp (Prefetch is opaque here).
+  // prefetch tasks, hence the I/O mutex. file_ itself carries no
+  // DASSA_GUARDED_BY: the constructor populates it before any
+  // concurrency exists, and path() reads an immutable field -- only
+  // cursor-moving reads (read_at/read_vec) need io_mu_, which the
+  // annotated call sites enforce. Prefetch internals live in the .cpp
+  // (Prefetch is opaque here).
   std::vector<ChunkIndexEntry> index_;
   std::uint64_t file_id_ = 0;
-  mutable std::mutex io_mu_;
+  mutable Mutex io_mu_;
   struct Prefetch;
   std::unique_ptr<Prefetch> prefetch_;
 

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""clang_tidy_check: run clang-tidy over the library sources and ratchet
+the per-check warning counts against tools/clang_tidy_baseline.txt.
+
+The baseline maps "check-name count" pairs. A run fails if any check
+produces MORE warnings than its baselined count (new debt), and reports
+(but does not fail on) checks that now produce fewer -- run with
+--update-baseline to lower the bar and commit the diff. Checks absent
+from the baseline must be clean. The ratchet only ever tightens.
+
+Needs a compile_commands.json (use the clang-tidy CMake preset:
+`cmake --preset clang-tidy`). Exits 3 when clang-tidy itself is missing
+so callers (scripts/check.sh) can distinguish "toolchain absent" from
+"findings".
+
+Usage:
+    python3 scripts/clang_tidy_check.py [--build-dir build-clang-tidy]
+                                        [--update-baseline] [--jobs N]
+"""
+
+import argparse
+import collections
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+WARNING = re.compile(r"warning:.*\[([A-Za-z0-9.,-]+)\]\s*$")
+
+EXIT_TOOLCHAIN_MISSING = 3
+
+
+def gather_sources(repo):
+    out = []
+    for root in ("src", "include"):
+        for path in sorted((repo / root).rglob("*.cpp")):
+            out.append(path)
+    return out
+
+
+def run_tidy(repo, build_dir, jobs):
+    sources = gather_sources(repo)
+    if not sources:
+        print("clang_tidy_check: no sources found", file=sys.stderr)
+        return None
+    runner = shutil.which("run-clang-tidy")
+    counts = collections.Counter()
+    if runner:
+        cmd = [runner, "-quiet", "-p", str(build_dir), "-j", str(jobs)]
+        cmd += [str(s) for s in sources]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        text = proc.stdout + proc.stderr
+    else:
+        chunks = []
+        for s in sources:
+            proc = subprocess.run(
+                ["clang-tidy", "-quiet", "-p", str(build_dir), str(s)],
+                capture_output=True, text=True)
+            chunks.append(proc.stdout + proc.stderr)
+        text = "\n".join(chunks)
+    for line in text.splitlines():
+        m = WARNING.search(line)
+        if m:
+            for check in m.group(1).split(","):
+                counts[check] += 1
+    return counts
+
+
+def load_baseline(path):
+    counts = {}
+    if not path.exists():
+        return counts
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, count = line.rpartition(" ")
+        counts[name] = int(count)
+    return counts
+
+
+def write_baseline(path, counts):
+    lines = [
+        "# clang-tidy warning-count baseline (per check), ratcheted by",
+        "# scripts/clang_tidy_check.py: a run may not exceed any count",
+        "# here, and checks not listed must be clean. Regenerate with",
+        "#   python3 scripts/clang_tidy_check.py --update-baseline",
+        "# and commit the diff (counts may only go down in review).",
+    ]
+    for name in sorted(counts):
+        if counts[name] > 0:
+            lines.append(f"{name} {counts[name]}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=pathlib.Path(__file__).parent.parent,
+                        type=pathlib.Path)
+    parser.add_argument("--build-dir", default=None, type=pathlib.Path,
+                        help="build tree holding compile_commands.json "
+                             "(default: <repo>/build-clang-tidy)")
+    parser.add_argument("--jobs", default=2, type=int)
+    parser.add_argument("--update-baseline", action="store_true")
+    args = parser.parse_args()
+    repo = args.repo.resolve()
+    build_dir = args.build_dir or repo / "build-clang-tidy"
+    baseline_path = repo / "tools" / "clang_tidy_baseline.txt"
+
+    if shutil.which("clang-tidy") is None:
+        print("clang_tidy_check: clang-tidy not found on PATH "
+              "(install LLVM or skip the clang leg)", file=sys.stderr)
+        return EXIT_TOOLCHAIN_MISSING
+    if not (build_dir / "compile_commands.json").exists():
+        print(f"clang_tidy_check: {build_dir}/compile_commands.json missing "
+              "-- configure with `cmake --preset clang-tidy` first",
+              file=sys.stderr)
+        return EXIT_TOOLCHAIN_MISSING
+
+    counts = run_tidy(repo, build_dir, args.jobs)
+    if counts is None:
+        return 1
+
+    if args.update_baseline:
+        write_baseline(baseline_path, counts)
+        total = sum(counts.values())
+        print(f"clang_tidy_check: baseline updated "
+              f"({len(counts)} check(s), {total} warning(s))")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    regressions = []
+    improvements = []
+    for check, n in sorted(counts.items()):
+        allowed = baseline.get(check, 0)
+        if n > allowed:
+            regressions.append(f"{check}: {n} warning(s), baseline {allowed}")
+        elif n < allowed:
+            improvements.append(f"{check}: {n} < baseline {allowed}")
+    for check, allowed in sorted(baseline.items()):
+        if counts.get(check, 0) == 0 and allowed > 0:
+            improvements.append(f"{check}: clean, baseline {allowed}")
+
+    for r in regressions:
+        print(f"clang_tidy_check: REGRESSION {r}", file=sys.stderr)
+    for i in improvements:
+        print(f"clang_tidy_check: improved    {i} "
+              "(run --update-baseline to lock in)")
+    if regressions:
+        print(f"clang_tidy_check: {len(regressions)} check(s) above baseline",
+              file=sys.stderr)
+        return 1
+    total = sum(counts.values())
+    print(f"clang_tidy_check: ok ({total} warning(s), all within baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

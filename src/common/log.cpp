@@ -5,10 +5,10 @@
 #include <cstdio>
 #include <deque>
 #include <fstream>
-#include <mutex>
 #include <utility>
 
 #include "dassa/common/error.hpp"
+#include "dassa/common/sync.hpp"
 #include "dassa/common/trace.hpp"
 #include "json.hpp"
 
@@ -23,10 +23,10 @@ std::atomic<std::uint64_t> g_records{0};
 /// hot paths), so serialising console, file, and ring keeps lines from
 /// interleaving without a lock-free design.
 struct Sinks {
-  std::mutex mu;
-  std::ofstream file;        // JSONL sink; open() == active
-  std::deque<LogRecord> ring;  // warn+ ring, front = oldest
-  std::size_t ring_capacity = 128;
+  Mutex mu;
+  std::ofstream file DASSA_GUARDED_BY(mu);  // JSONL sink; open() == active
+  std::deque<LogRecord> ring DASSA_GUARDED_BY(mu);  // warn+ ring, front=oldest
+  std::size_t ring_capacity DASSA_GUARDED_BY(mu) = 128;
 };
 
 Sinks& sinks() {
@@ -123,7 +123,7 @@ const char* log_level_name(LogLevel level) {
 
 void set_log_file(const std::string& path) {
   Sinks& s = sinks();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   if (s.file.is_open()) s.file.close();
   if (path.empty()) return;
   s.file.open(path, std::ios::app);
@@ -135,14 +135,14 @@ void set_log_file(const std::string& path) {
 void set_error_ring_capacity(std::size_t records) {
   DASSA_CHECK(records > 0, "error ring capacity must be positive");
   Sinks& s = sinks();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   s.ring_capacity = records;
   while (s.ring.size() > s.ring_capacity) s.ring.pop_front();
 }
 
 std::vector<LogRecord> recent_errors() {
   Sinks& s = sinks();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   return {s.ring.begin(), s.ring.end()};
 }
 
@@ -178,7 +178,7 @@ void emit_record(LogLevel level, std::string event, std::string message,
 
   g_records.fetch_add(1, std::memory_order_relaxed);
   Sinks& s = sinks();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   write_console(rec);
   if (s.file.is_open()) write_jsonl(s.file, rec);
   if (rec.level >= LogLevel::kWarn) {

@@ -73,18 +73,18 @@ void LatencyHistogram::reset() {
 LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
   DASSA_CHECK(!name.empty(), "histogram name must be non-empty");
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     const auto it = hists_.find(name);
     if (it != hists_.end()) return *it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   auto& slot = hists_[std::string(name)];
   if (!slot) slot = std::make_unique<LatencyHistogram>();
   return *slot;
 }
 
 std::map<std::string, HistogramSnapshot> MetricsRegistry::snapshot() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   std::map<std::string, HistogramSnapshot> out;
   for (const auto& [name, hist] : hists_) {
     out.emplace(name, hist->snapshot());
@@ -101,7 +101,7 @@ void MetricsRegistry::merge(
 }
 
 void MetricsRegistry::reset() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   for (auto& [_, hist] : hists_) hist->reset();
 }
 

@@ -60,8 +60,8 @@ ResourceUsage sample_resources() {
 namespace {
 
 struct GaugeRegistry {
-  std::mutex mu;
-  std::map<std::string, GaugeFn> gauges;
+  Mutex mu;
+  std::map<std::string, GaugeFn> gauges DASSA_GUARDED_BY(mu);
 };
 
 GaugeRegistry& gauge_registry() {
@@ -69,6 +69,7 @@ GaugeRegistry& gauge_registry() {
   // Built-in gauges: the tracer's in-flight and dropped spans (the
   // stall detector keys off open spans) and the log record count.
   static const bool builtins_installed = [] {
+    MutexLock lock(reg.mu);
     reg.gauges["trace.open_spans"] = [] {
       return static_cast<double>(trace::open_spans());
     };
@@ -90,7 +91,7 @@ void register_gauge(const std::string& name, GaugeFn fn) {
   DASSA_CHECK(!name.empty(), "gauge name must be non-empty");
   DASSA_CHECK(static_cast<bool>(fn), "gauge function must be callable");
   GaugeRegistry& reg = gauge_registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   reg.gauges[name] = std::move(fn);
 }
 
@@ -98,7 +99,7 @@ std::map<std::string, double> read_gauges() {
   std::map<std::string, GaugeFn> fns;
   {
     GaugeRegistry& reg = gauge_registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     fns = reg.gauges;
   }
   // Call outside the lock: a gauge may itself take locks (queue depth,
@@ -120,7 +121,7 @@ TelemetrySampler::TelemetrySampler(SamplerConfig cfg) : cfg_(cfg) {
 TelemetrySampler::~TelemetrySampler() { stop(); }
 
 void TelemetrySampler::start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DASSA_CHECK(!running_, "sampler already started");
   stop_requested_ = false;
   running_ = true;
@@ -129,22 +130,29 @@ void TelemetrySampler::start() {
 
 void TelemetrySampler::stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     stop_requested_ = true;
   }
   cv_.notify_all();
   thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   running_ = false;
 }
 
 bool TelemetrySampler::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return running_;
 }
 
 void TelemetrySampler::tick() {
+  // One ticker at a time, snapshot through append: without this, a
+  // manual tick() racing the background loop could snapshot earlier
+  // counter values but win the race for the later seq, producing a
+  // timeline (and JSONL stream) that violates the monotone-counter
+  // invariant validate_stream enforces.
+  MutexLock tick_lock(tick_mu_);
+
   // Charge the sample counter first so the sample we are about to take
   // already reflects it -- keeps "telemetry.samples == seq + 1"
   // invariant the deterministic test pins.
@@ -166,7 +174,7 @@ void TelemetrySampler::tick() {
     }
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (samples_.size() >= cfg_.max_samples) {
     ++dropped_;
     return;
@@ -176,23 +184,24 @@ void TelemetrySampler::tick() {
 }
 
 std::vector<Sample> TelemetrySampler::timeline() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return samples_;
 }
 
 std::uint64_t TelemetrySampler::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 void TelemetrySampler::run_loop() {
   while (true) {
+    const auto deadline = std::chrono::steady_clock::now() + cfg_.period;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (cv_.wait_for(lock, cfg_.period,
-                       [this] { return stop_requested_; })) {
-        return;
+      MutexLock lock(mu_);
+      while (!stop_requested_) {
+        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
       }
+      if (stop_requested_) return;
     }
     tick();
   }

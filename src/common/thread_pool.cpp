@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t num_threads, bool inherit_trace_rank) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -31,7 +31,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     DASSA_CHECK(!stop_, "submit on stopped thread pool");
     tasks_.push(std::move(task));
   }
@@ -39,16 +39,16 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!tasks_.empty() || in_flight_ != 0) cv_idle_.wait(lock);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && tasks_.empty()) cv_task_.wait(lock);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -56,7 +56,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
     }
     cv_idle_.notify_all();
@@ -71,9 +71,9 @@ void ThreadPool::parallel_for(
   const std::size_t chunks = size();
   std::atomic<std::size_t> remaining{chunks};
   std::exception_ptr first_error;
-  std::mutex error_mu;
-  std::condition_variable done_cv;
-  std::mutex done_mu;
+  Mutex error_mu;
+  CondVar done_cv;
+  Mutex done_mu;
 
   for (std::size_t t = 0; t < chunks; ++t) {
     submit([&, t] {
@@ -81,17 +81,17 @@ void ThreadPool::parallel_for(
       try {
         if (r.size() > 0) body(t, r.begin, r.end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
       if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
+        MutexLock lock(done_mu);
         done_cv.notify_all();
       }
     });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  MutexLock lock(done_mu);
+  while (remaining.load() != 0) done_cv.wait(lock);
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -5,12 +5,12 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 
 #include "dassa/common/counters.hpp"
 #include "dassa/common/error.hpp"
 #include "dassa/common/metrics.hpp"
+#include "dassa/common/sync.hpp"
 #include "json.hpp"
 
 namespace dassa::trace {
@@ -41,21 +41,21 @@ struct SpanRecord {
 /// is race-free; the lock is uncontended on the emit path except while
 /// a collection is in flight.
 struct ThreadBuffer {
-  std::mutex mu;
-  std::vector<SpanRecord> spans;
-  std::size_t capacity = 0;
-  std::uint64_t dropped = 0;
-  std::uint32_t tid = 0;
-  int rank = -1;
-  bool detached = false;  ///< owning thread has exited
+  Mutex mu;
+  std::vector<SpanRecord> spans DASSA_GUARDED_BY(mu);
+  std::size_t capacity DASSA_GUARDED_BY(mu) = 0;
+  std::uint64_t dropped DASSA_GUARDED_BY(mu) = 0;
+  std::uint32_t tid DASSA_GUARDED_BY(mu) = 0;
+  int rank DASSA_GUARDED_BY(mu) = -1;
+  bool detached DASSA_GUARDED_BY(mu) = false;  ///< owning thread has exited
 };
 
 struct Registry {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::uint32_t next_tid = 1;
-  std::uint32_t threads_seen = 0;
-  std::size_t ring_capacity = kDefaultRingCapacity;
+  Mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers DASSA_GUARDED_BY(mu);
+  std::uint32_t next_tid DASSA_GUARDED_BY(mu) = 1;
+  std::uint32_t threads_seen DASSA_GUARDED_BY(mu) = 0;
+  std::size_t ring_capacity DASSA_GUARDED_BY(mu) = kDefaultRingCapacity;
 };
 
 Registry& registry() {
@@ -70,7 +70,7 @@ struct BufferHolder {
   std::shared_ptr<ThreadBuffer> buf;
   ~BufferHolder() {
     if (buf) {
-      std::lock_guard<std::mutex> lock(buf->mu);
+      MutexLock lock(buf->mu);
       buf->detached = true;
     }
   }
@@ -81,12 +81,18 @@ ThreadBuffer& local_buffer() {
   if (!t_holder.buf) {
     auto buf = std::make_shared<ThreadBuffer>();
     Registry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
-    buf->tid = reg.next_tid++;
-    ++reg.threads_seen;
-    buf->capacity = reg.ring_capacity;
-    buf->spans.reserve(buf->capacity);
-    buf->rank = t_rank;
+    MutexLock lock(reg.mu);
+    {
+      // The buffer is not yet published; the lock exists to satisfy the
+      // capability analysis and is uncontended. reg.mu -> buf->mu is
+      // the same acquisition order clear() uses.
+      MutexLock buf_lock(buf->mu);
+      buf->tid = reg.next_tid++;
+      ++reg.threads_seen;
+      buf->capacity = reg.ring_capacity;
+      buf->spans.reserve(buf->capacity);
+      buf->rank = t_rank;
+    }
     reg.buffers.push_back(buf);
     t_holder.buf = std::move(buf);
   }
@@ -119,7 +125,7 @@ void emit_span(const char* cat, const char* name, std::uint64_t start_ns,
   const std::uint64_t dur = end_ns >= start_ns ? end_ns - start_ns : 0;
   ThreadBuffer& buf = local_buffer();
   {
-    std::lock_guard<std::mutex> lock(buf.mu);
+    MutexLock lock(buf.mu);
     if (buf.spans.size() < buf.capacity) {
       buf.spans.push_back(SpanRecord{name, cat, start_ns, dur});
     } else {
@@ -141,7 +147,7 @@ void set_thread_rank(int rank) {
   DASSA_CHECK(rank >= -1, "trace thread rank must be >= -1");
   t_rank = rank;
   if (t_holder.buf) {
-    std::lock_guard<std::mutex> lock(t_holder.buf->mu);
+    MutexLock lock(t_holder.buf->mu);
     t_holder.buf->rank = rank;
   }
 }
@@ -151,7 +157,7 @@ int thread_rank() { return t_rank; }
 void set_ring_capacity(std::size_t spans) {
   DASSA_CHECK(spans > 0, "trace ring capacity must be positive");
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   reg.ring_capacity = spans;
 }
 
@@ -159,12 +165,12 @@ std::vector<TraceEvent> collect() {
   std::vector<std::shared_ptr<ThreadBuffer>> bufs;
   {
     Registry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     bufs = reg.buffers;
   }
   std::vector<TraceEvent> out;
   for (const auto& buf : bufs) {
-    std::lock_guard<std::mutex> lock(buf->mu);
+    MutexLock lock(buf->mu);
     out.reserve(out.size() + buf->spans.size());
     for (const SpanRecord& s : buf->spans) {
       out.push_back(
@@ -187,24 +193,24 @@ std::vector<TraceEvent> collect() {
 
 void clear() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (const auto& buf : reg.buffers) {
-    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    MutexLock buf_lock(buf->mu);
     buf->spans.clear();  // keeps capacity: still zero-alloc afterwards
     buf->dropped = 0;
   }
   std::erase_if(reg.buffers, [](const std::shared_ptr<ThreadBuffer>& b) {
-    std::lock_guard<std::mutex> buf_lock(b->mu);
+    MutexLock buf_lock(b->mu);
     return b->detached;
   });
 }
 
 std::uint64_t dropped_spans() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   std::uint64_t total = 0;
   for (const auto& buf : reg.buffers) {
-    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    MutexLock buf_lock(buf->mu);
     total += buf->dropped;
   }
   return total;
@@ -219,7 +225,7 @@ void publish_trace_counters() {
   std::uint32_t threads = 0;
   {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     threads = r.threads_seen;
   }
   reg.high_water(counters::kTraceThreads, threads);

@@ -2,11 +2,15 @@
 
 #include <cmath>
 
+#include "dassa/common/error.hpp"
 #include "dassa/dsp/median.hpp"
 
 namespace dassa::das {
 
 const char* channel_status_name(ChannelStatus s) {
+  DASSA_CHECK(s == ChannelStatus::kGood || s == ChannelStatus::kDead ||
+                  s == ChannelStatus::kNoisy,
+              "channel_status_name: value outside the ChannelStatus enum");
   switch (s) {
     case ChannelStatus::kGood:
       return "good";
@@ -19,6 +23,8 @@ const char* channel_status_name(ChannelStatus s) {
 }
 
 ChannelStats channel_stats(std::span<const double> x) {
+  DASSA_CHECK(x.empty() || x.data() != nullptr,
+              "channel_stats: null span with non-zero size");
   ChannelStats stats;
   if (x.empty()) return stats;
   const double n = static_cast<double>(x.size());

@@ -12,6 +12,9 @@
 namespace dassa::das {
 
 const char* event_class_name(EventClass c) {
+  DASSA_CHECK(c == EventClass::kEarthquake || c == EventClass::kVehicle ||
+                  c == EventClass::kPersistent || c == EventClass::kUnknown,
+              "event_class_name: value outside the EventClass enum");
   switch (c) {
     case EventClass::kEarthquake:
       return "earthquake";

@@ -4,12 +4,11 @@
 #include <complex>
 #include <map>
 #include <numbers>
-#include <mutex>
-#include <shared_mutex>
 #include <tuple>
 #include <vector>
 
 #include "dassa/common/error.hpp"
+#include "dassa/common/sync.hpp"
 #include "dassa/dsp/stats.hpp"
 
 namespace dassa::dsp {
@@ -159,24 +158,36 @@ double warp(double wn) {
 /// pipeline pass bit-identical parameters.
 enum class ButterKind { kLowpass, kHighpass, kBandpass };
 
+using DesignKey = std::tuple<int, int, double, double>;
+
+/// Named struct (not function-local statics) so the map carries its
+/// DASSA_GUARDED_BY annotation.
+struct DesignCache {
+  SharedMutex mu;
+  std::map<DesignKey, FilterCoeffs> designs DASSA_GUARDED_BY(mu);
+};
+
+DesignCache& design_cache() {
+  static DesignCache cache;
+  return cache;
+}
+
 FilterCoeffs cached_design(ButterKind kind, int order, double w1, double w2,
                            FilterCoeffs (*design)(int, double, double)) {
-  using Key = std::tuple<int, int, double, double>;
-  static std::shared_mutex mu;
-  static std::map<Key, FilterCoeffs> cache;
-  const Key key{static_cast<int>(kind), order, w1, w2};
+  DesignCache& cache = design_cache();
+  const DesignKey key{static_cast<int>(kind), order, w1, w2};
   auto& cells = detail::dsp_stat_cells();
   {
-    std::shared_lock<std::shared_mutex> lock(mu);
-    auto it = cache.find(key);
-    if (it != cache.end()) {
+    ReaderLock lock(cache.mu);
+    auto it = cache.designs.find(key);
+    if (it != cache.designs.end()) {
       cells.butter_design_hits.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
   FilterCoeffs designed = design(order, w1, w2);
-  std::unique_lock<std::shared_mutex> lock(mu);
-  auto [it, inserted] = cache.emplace(key, std::move(designed));
+  WriterLock lock(cache.mu);
+  auto [it, inserted] = cache.designs.emplace(key, std::move(designed));
   if (inserted) {
     cells.butter_design_misses.fetch_add(1, std::memory_order_relaxed);
   } else {

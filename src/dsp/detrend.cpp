@@ -1,8 +1,12 @@
 #include "dassa/dsp/detrend.hpp"
 
+#include "dassa/common/error.hpp"
+
 namespace dassa::dsp {
 
 void detrend_linear_inplace(std::span<double> x) {
+  DASSA_CHECK(x.empty() || x.data() != nullptr,
+              "detrend_linear_inplace: null span with non-zero size");
   const std::size_t n = x.size();
   if (n < 2) {
     detrend_constant_inplace(x);
@@ -30,6 +34,8 @@ void detrend_linear_inplace(std::span<double> x) {
 }
 
 void detrend_constant_inplace(std::span<double> x) {
+  DASSA_CHECK(x.empty() || x.data() != nullptr,
+              "detrend_constant_inplace: null span with non-zero size");
   if (x.empty()) return;
   double mean = 0.0;
   for (double v : x) mean += v;
@@ -38,12 +44,16 @@ void detrend_constant_inplace(std::span<double> x) {
 }
 
 std::vector<double> detrend_linear(std::span<const double> x) {
+  DASSA_CHECK(x.empty() || x.data() != nullptr,
+              "detrend_linear: null span with non-zero size");
   std::vector<double> y(x.begin(), x.end());
   detrend_linear_inplace(y);
   return y;
 }
 
 std::vector<double> detrend_constant(std::span<const double> x) {
+  DASSA_CHECK(x.empty() || x.data() != nullptr,
+              "detrend_constant: null span with non-zero size");
   std::vector<double> y(x.begin(), x.end());
   detrend_constant_inplace(y);
   return y;

@@ -3,10 +3,9 @@
 #include <cmath>
 #include <map>
 #include <numbers>
-#include <mutex>
-#include <shared_mutex>
 
 #include "dassa/common/error.hpp"
+#include "dassa/common/sync.hpp"
 #include "dassa/common/trace.hpp"
 #include "dassa/dsp/stats.hpp"
 
@@ -118,15 +117,31 @@ FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
               rtw_.capacity() * sizeof(cplx));
 }
 
+namespace {
+
+/// Process-wide plan cache. A named struct (not two function-local
+/// statics) so the map can carry its DASSA_GUARDED_BY annotation.
+struct PlanCache {
+  SharedMutex mu;
+  std::map<std::size_t, std::shared_ptr<const FftPlan>> plans
+      DASSA_GUARDED_BY(mu);
+};
+
+PlanCache& plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace
+
 std::shared_ptr<const FftPlan> FftPlan::get(std::size_t n) {
   DASSA_CHECK(n >= 1, "FFT plan requires length >= 1");
-  static std::shared_mutex mu;
-  static std::map<std::size_t, std::shared_ptr<const FftPlan>> cache;
+  PlanCache& cache = plan_cache();
   auto& cells = detail::dsp_stat_cells();
   {
-    std::shared_lock<std::shared_mutex> lock(mu);
-    auto it = cache.find(n);
-    if (it != cache.end()) {
+    ReaderLock lock(cache.mu);
+    auto it = cache.plans.find(n);
+    if (it != cache.plans.end()) {
       cells.fft_plan_hits.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
@@ -134,8 +149,8 @@ std::shared_ptr<const FftPlan> FftPlan::get(std::size_t n) {
   // Build outside the lock: construction recurses into get() for the
   // half-size and Bluestein sub-plans, and may be slow for large n.
   std::shared_ptr<const FftPlan> built(new FftPlan(n));
-  std::unique_lock<std::shared_mutex> lock(mu);
-  auto [it, inserted] = cache.emplace(n, std::move(built));
+  WriterLock lock(cache.mu);
+  auto [it, inserted] = cache.plans.emplace(n, std::move(built));
   if (inserted) {
     cells.fft_plan_misses.fetch_add(1, std::memory_order_relaxed);
   } else {

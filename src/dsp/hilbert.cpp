@@ -3,11 +3,14 @@
 #include <cmath>
 #include <numbers>
 
+#include "dassa/common/error.hpp"
 #include "dassa/common/trace.hpp"
 
 namespace dassa::dsp {
 
 std::vector<cplx> analytic_signal(std::span<const double> x) {
+  DASSA_CHECK(x.empty() || x.data() != nullptr,
+              "analytic_signal: null span with non-zero size");
   DASSA_TRACE_SPAN("dsp", "dsp.analytic_signal");
   const std::size_t n = x.size();
   if (n == 0) return {};
@@ -26,6 +29,8 @@ std::vector<cplx> analytic_signal(std::span<const double> x) {
 }
 
 std::vector<double> envelope(std::span<const double> x) {
+  DASSA_CHECK(x.empty() || x.data() != nullptr,
+              "envelope: null span with non-zero size");
   const std::vector<cplx> z = analytic_signal(x);
   std::vector<double> env(z.size());
   for (std::size_t i = 0; i < z.size(); ++i) env[i] = std::abs(z[i]);
@@ -33,6 +38,8 @@ std::vector<double> envelope(std::span<const double> x) {
 }
 
 std::vector<double> instantaneous_phase(std::span<const double> x) {
+  DASSA_CHECK(x.empty() || x.data() != nullptr,
+              "instantaneous_phase: null span with non-zero size");
   const std::vector<cplx> z = analytic_signal(x);
   std::vector<double> phase(z.size());
   double offset = 0.0;

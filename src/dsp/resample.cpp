@@ -4,11 +4,10 @@
 #include <map>
 #include <memory>
 #include <numbers>
-#include <mutex>
-#include <shared_mutex>
 #include <utility>
 
 #include "dassa/common/error.hpp"
+#include "dassa/common/sync.hpp"
 #include "dassa/common/trace.hpp"
 #include "dassa/dsp/stats.hpp"
 #include "dassa/dsp/window.hpp"
@@ -20,25 +19,38 @@ namespace {
 /// Kaiser-windowed sinc designs depend only on (up, down); per-channel
 /// resampling in the pipelines reuses one design ~10^4 times, so
 /// finished filters are shared through a read-mostly cache.
+using FilterKey = std::pair<std::size_t, std::size_t>;
+
+/// Named struct (not function-local statics) so the map carries its
+/// DASSA_GUARDED_BY annotation.
+struct FilterCache {
+  SharedMutex mu;
+  std::map<FilterKey, std::shared_ptr<const std::vector<double>>> filters
+      DASSA_GUARDED_BY(mu);
+};
+
+FilterCache& filter_cache() {
+  static FilterCache cache;
+  return cache;
+}
+
 std::shared_ptr<const std::vector<double>> cached_resample_filter(
     std::size_t up, std::size_t down) {
-  using Key = std::pair<std::size_t, std::size_t>;
-  static std::shared_mutex mu;
-  static std::map<Key, std::shared_ptr<const std::vector<double>>> cache;
-  const Key key{up, down};
+  FilterCache& cache = filter_cache();
+  const FilterKey key{up, down};
   auto& cells = detail::dsp_stat_cells();
   {
-    std::shared_lock<std::shared_mutex> lock(mu);
-    auto it = cache.find(key);
-    if (it != cache.end()) {
+    ReaderLock lock(cache.mu);
+    auto it = cache.filters.find(key);
+    if (it != cache.filters.end()) {
       cells.resample_design_hits.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
   auto built = std::make_shared<const std::vector<double>>(
       resample_filter(up, down));
-  std::unique_lock<std::shared_mutex> lock(mu);
-  auto [it, inserted] = cache.emplace(key, std::move(built));
+  WriterLock lock(cache.mu);
+  auto [it, inserted] = cache.filters.emplace(key, std::move(built));
   if (inserted) {
     cells.resample_design_misses.fetch_add(1, std::memory_order_relaxed);
   } else {

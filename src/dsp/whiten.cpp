@@ -52,6 +52,8 @@ std::vector<double> spectral_whiten(std::span<const double> x,
 }
 
 std::vector<double> one_bit(std::span<const double> x) {
+  DASSA_CHECK(x.empty() || x.data() != nullptr,
+              "one_bit: null span with non-zero size");
   std::vector<double> y(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) {
     y[i] = (x[i] > 0.0) ? 1.0 : ((x[i] < 0.0) ? -1.0 : 0.0);
@@ -61,6 +63,8 @@ std::vector<double> one_bit(std::span<const double> x) {
 
 std::vector<double> ram_normalize(std::span<const double> x,
                                   std::size_t half) {
+  DASSA_CHECK(x.empty() || x.data() != nullptr,
+              "ram_normalize: null span with non-zero size");
   const std::size_t n = x.size();
   std::vector<double> y(n);
   if (n == 0) return y;

@@ -22,7 +22,7 @@ ChunkCache::Shard& ChunkCache::shard_for(const ChunkKey& key) {
 
 ChunkData ChunkCache::get(const ChunkKey& key) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     global_counters().add(counters::kIoCacheMisses, 1);
@@ -41,7 +41,7 @@ void ChunkCache::put(const ChunkKey& key, ChunkData data) {
 
   Shard& shard = shard_for(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       // Refresh: same key decoded twice by racing readers. Keep the
@@ -78,7 +78,7 @@ void ChunkCache::evict_to_fit(Shard& shard, std::size_t slice) {
 
 void ChunkCache::erase_file(std::uint64_t file_id) {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       if (it->key.file_id == file_id) {
         shard.bytes -= it->bytes;
@@ -94,7 +94,7 @@ void ChunkCache::erase_file(std::uint64_t file_id) {
 
 void ChunkCache::clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const Entry& entry : shard.lru) {
       total_bytes_.fetch_sub(entry.bytes, std::memory_order_relaxed);
     }
@@ -108,7 +108,7 @@ void ChunkCache::set_budget(std::size_t budget_bytes) {
   budget_.store(budget_bytes, std::memory_order_relaxed);
   const std::size_t slice = budget_bytes / kShards;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     evict_to_fit(shard, slice);
   }
 }
@@ -116,7 +116,7 @@ void ChunkCache::set_budget(std::size_t budget_bytes) {
 std::size_t ChunkCache::entries() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.index.size();
   }
   return total;

@@ -108,7 +108,9 @@ class DeltaCodec final : public Codec {
                                           out.data() + sizeof n)
                  : simd::varint_encode_w8(zz.data(), nlanes,
                                           out.data() + sizeof n);
-      std::memcpy(out.data() + sizeof n + len, raw.data() + body, tail);
+      if (tail > 0) {
+        std::memcpy(out.data() + sizeof n + len, raw.data() + body, tail);
+      }
       out.resize(sizeof n + len + tail);
       return out;
     }

@@ -1,6 +1,5 @@
 #include "dassa/io/dash5.hpp"
 
-#include <condition_variable>
 #include <cstring>
 #include <limits>
 #include <set>
@@ -546,34 +545,34 @@ Dash5File::Dash5File(const std::string& path) : file_(path) {
 /// (a prefetch task never fans out again); the destructor closes the
 /// gate and drains in-flight tasks before the file handle dies.
 struct Dash5File::Prefetch {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t inflight = 0;
-  bool closed = false;
-  std::set<std::pair<std::size_t, std::size_t>> pending;
+  Mutex mu;
+  CondVar cv;
+  std::size_t inflight DASSA_GUARDED_BY(mu) = 0;
+  bool closed DASSA_GUARDED_BY(mu) = false;
+  std::set<std::pair<std::size_t, std::size_t>> pending DASSA_GUARDED_BY(mu);
   // Stride detector: two consecutive equal window steps arm the
   // prefetcher (sequential scans and strided sweeps both qualify).
-  bool have_prev = false;
-  bool have_delta = false;
-  std::ptrdiff_t prev_gi = 0;
-  std::ptrdiff_t prev_gj = 0;
-  std::ptrdiff_t dgi = 0;
-  std::ptrdiff_t dgj = 0;
+  bool have_prev DASSA_GUARDED_BY(mu) = false;
+  bool have_delta DASSA_GUARDED_BY(mu) = false;
+  std::ptrdiff_t prev_gi DASSA_GUARDED_BY(mu) = 0;
+  std::ptrdiff_t prev_gj DASSA_GUARDED_BY(mu) = 0;
+  std::ptrdiff_t dgi DASSA_GUARDED_BY(mu) = 0;
+  std::ptrdiff_t dgj DASSA_GUARDED_BY(mu) = 0;
 };
 
 Dash5File::~Dash5File() {
   if (prefetch_) {
-    std::unique_lock<std::mutex> lock(prefetch_->mu);
+    MutexLock lock(prefetch_->mu);
     prefetch_->closed = true;
-    prefetch_->cv.wait(lock, [this] { return prefetch_->inflight == 0; });
+    while (prefetch_->inflight != 0) prefetch_->cv.wait(lock);
   }
   if (file_id_ != 0) ChunkCache::global().erase_file(file_id_);
 }
 
 void Dash5File::drain_prefetch() const {
   if (!prefetch_) return;
-  std::unique_lock<std::mutex> lock(prefetch_->mu);
-  prefetch_->cv.wait(lock, [this] { return prefetch_->inflight == 0; });
+  MutexLock lock(prefetch_->mu);
+  while (prefetch_->inflight != 0) prefetch_->cv.wait(lock);
 }
 
 void Dash5File::parse_chunk_index() {
@@ -676,7 +675,7 @@ std::shared_ptr<const std::vector<double>> Dash5File::load_tile(
   const ChunkIndexEntry& e = index_[gi * grid_cols + gj];
   std::vector<std::byte> stored;
   {
-    std::lock_guard<std::mutex> lock(io_mu_);
+    MutexLock lock(io_mu_);
     stored = file_.read_vec(e.offset, static_cast<std::size_t>(e.csize));
   }
   auto tile = std::make_shared<const std::vector<double>>(
@@ -735,8 +734,11 @@ std::vector<double> Dash5File::read_slab(const Slab2D& slab) const {
             data_offset_ +
             static_cast<std::uint64_t>(gi * grid_cols + gj) * chunk_elems *
                 esize;
-        const std::vector<std::byte> raw =
-            file_.read_vec(off, chunk_elems * esize);
+        std::vector<std::byte> raw;
+        {
+          MutexLock lock(io_mu_);
+          raw = file_.read_vec(off, chunk_elems * esize);
+        }
         decode_elems(raw, chunk_elems, tile.data());
 
         // Intersection of this tile with the selection, in global
@@ -765,7 +767,11 @@ std::vector<double> Dash5File::read_slab(const Slab2D& slab) const {
     const std::uint64_t off =
         data_offset_ + static_cast<std::uint64_t>(
                            header_.shape.at(slab.row_off, 0)) * esize;
-    const std::vector<std::byte> raw = file_.read_vec(off, slab.size() * esize);
+    std::vector<std::byte> raw;
+    {
+      MutexLock lock(io_mu_);
+      raw = file_.read_vec(off, slab.size() * esize);
+    }
     decode_elems(raw, slab.size(), out.data());
   } else {
     // Partial width: one read per selected row. This is the small-I/O
@@ -776,8 +782,11 @@ std::vector<double> Dash5File::read_slab(const Slab2D& slab) const {
           data_offset_ +
           static_cast<std::uint64_t>(
               header_.shape.at(slab.row_off + r, slab.col_off)) * esize;
-      const std::vector<std::byte> raw =
-          file_.read_vec(off, slab.col_cnt * esize);
+      std::vector<std::byte> raw;
+      {
+        MutexLock lock(io_mu_);
+        raw = file_.read_vec(off, slab.col_cnt * esize);
+      }
       decode_elems(raw, slab.col_cnt, out.data() + r * slab.col_cnt);
     }
   }
@@ -817,7 +826,7 @@ std::vector<double> Dash5File::read_slab_v3(const Slab2D& slab) const {
     const auto [grid_rows, grid_cols] = chunk_grid(header_);
     std::vector<std::vector<std::byte>> stored(misses.size());
     {
-      std::lock_guard<std::mutex> lock(io_mu_);
+      MutexLock lock(io_mu_);
       for (std::size_t k = 0; k < misses.size(); ++k) {
         const Want& w = wants[misses[k]];
         const ChunkIndexEntry& e = index_[w.gi * grid_cols + w.gj];
@@ -871,7 +880,7 @@ void Dash5File::maybe_prefetch(std::size_t gi_lo, std::size_t gi_hi,
   const auto [grid_rows, grid_cols] = chunk_grid(header_);
   std::vector<std::pair<std::size_t, std::size_t>> targets;
   {
-    std::lock_guard<std::mutex> lock(pf.mu);
+    MutexLock lock(pf.mu);
     if (pf.closed) return;
     const auto gi = static_cast<std::ptrdiff_t>(gi_lo);
     const auto gj = static_cast<std::ptrdiff_t>(gj_lo);
@@ -913,7 +922,7 @@ void Dash5File::maybe_prefetch(std::size_t gi_lo, std::size_t gi_hi,
     io_pool().submit([this, t] {
       bool run = false;
       {
-        std::lock_guard<std::mutex> lock(prefetch_->mu);
+        MutexLock lock(prefetch_->mu);
         run = !prefetch_->closed;
       }
       if (run) {
@@ -925,7 +934,7 @@ void Dash5File::maybe_prefetch(std::size_t gi_lo, std::size_t gi_hi,
         } catch (const std::exception&) {
         }
       }
-      std::lock_guard<std::mutex> lock(prefetch_->mu);
+      MutexLock lock(prefetch_->mu);
       prefetch_->pending.erase(t);
       --prefetch_->inflight;
       prefetch_->cv.notify_all();

@@ -5,6 +5,7 @@
 namespace dassa::io {
 
 void KvList::set(std::string key, std::string value) {
+  DASSA_CHECK(!key.empty(), "metadata key must be non-empty");
   for (auto& [k, v] : items_) {
     if (k == key) {
       v = std::move(value);
@@ -15,14 +16,17 @@ void KvList::set(std::string key, std::string value) {
 }
 
 void KvList::set_i64(const std::string& key, std::int64_t value) {
+  DASSA_CHECK(!key.empty(), "metadata key must be non-empty");
   set(key, std::to_string(value));
 }
 
 void KvList::set_f64(const std::string& key, double value) {
+  DASSA_CHECK(!key.empty(), "metadata key must be non-empty");
   set(key, std::to_string(value));
 }
 
 std::optional<std::string> KvList::get(std::string_view key) const {
+  DASSA_CHECK(!key.empty(), "metadata key must be non-empty");
   for (const auto& [k, v] : items_) {
     if (k == key) return v;
   }
@@ -60,6 +64,7 @@ double KvList::get_f64(std::string_view key) const {
 }
 
 bool KvList::contains(std::string_view key) const {
+  DASSA_CHECK(!key.empty(), "metadata key must be non-empty");
   return get(key).has_value();
 }
 

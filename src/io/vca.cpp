@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
-#include <mutex>
 
 #include "dassa/common/counters.hpp"
+#include "dassa/common/sync.hpp"
 #include "dassa/common/timer.hpp"
 #include "serialize.hpp"
 
@@ -19,14 +19,15 @@ constexpr char kVcaMagic[8] = {'D', 'A', 'S', 'V', 'C', 'A', '\0', '\1'};
 /// mutex; Dash5File handles are immobile (they pin a chunk-cache
 /// identity), hence unique_ptr slots.
 struct Vca::MemberFiles {
-  std::mutex mu;
-  std::vector<std::unique_ptr<Dash5File>> files;
+  Mutex mu;
+  std::vector<std::unique_ptr<Dash5File>> files DASSA_GUARDED_BY(mu);
 };
 
 Dash5File& Vca::member_file(std::size_t i) const {
-  DASSA_CHECK(handles_ != nullptr && i < handles_->files.size(),
-              "member_file on an unbuilt VCA");
-  std::lock_guard<std::mutex> lock(handles_->mu);
+  DASSA_CHECK(handles_ != nullptr, "member_file on an unbuilt VCA");
+  MutexLock lock(handles_->mu);
+  DASSA_CHECK(i < handles_->files.size(),
+              "member_file index out of range");
   if (!handles_->files[i]) {
     handles_->files[i] = std::make_unique<Dash5File>(members_[i].path);
   }
@@ -54,6 +55,9 @@ void Vca::finalize() {
   col_starts_.push_back(col);
   shape_ = {rows, col};
   handles_ = std::make_shared<MemberFiles>();
+  // Freshly built and not yet shared; the lock satisfies the
+  // capability analysis and is uncontended.
+  MutexLock lock(handles_->mu);
   handles_->files.resize(members_.size());
 }
 

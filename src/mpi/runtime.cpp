@@ -1,10 +1,10 @@
 #include "dassa/mpi/runtime.hpp"
 
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "dassa/common/error.hpp"
+#include "dassa/common/sync.hpp"
 #include "dassa/common/trace.hpp"
 #include "world.hpp"
 
@@ -23,7 +23,7 @@ RunReport Runtime::run(int world_size, const CostParams& params,
   report.per_rank.resize(static_cast<std::size_t>(world_size));
 
   std::exception_ptr first_error;
-  std::mutex error_mu;
+  Mutex error_mu;
 
   std::vector<std::thread> ranks;
   ranks.reserve(static_cast<std::size_t>(world_size));
@@ -38,7 +38,7 @@ RunReport Runtime::run(int world_size, const CostParams& params,
         fn(comm);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(error_mu);
+          MutexLock lock(error_mu);
           // Keep the first *root-cause* error; ranks that die with the
           // secondary "world aborted" error are collateral.
           if (!first_error) first_error = std::current_exception();

@@ -6,7 +6,7 @@ namespace dassa::mpi::detail {
 
 void Mailbox::put(Message msg) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(msg));
   }
   cv_.notify_all();
@@ -14,7 +14,7 @@ void Mailbox::put(Message msg) {
 
 Message Mailbox::take(int src, int tag, std::int64_t context,
                       const std::atomic<bool>& aborted) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (it->src == src && it->tag == tag && it->context == context) {

@@ -3,14 +3,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <cstdint>
 #include <vector>
 
+#include "dassa/common/sync.hpp"
 #include "dassa/mpi/cost_model.hpp"
 
 namespace dassa::mpi::detail {
@@ -40,9 +39,9 @@ class Mailbox {
   void interrupt();
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<Message> queue_ DASSA_GUARDED_BY(mu_);
 };
 
 /// Shared state of one MiniMPI execution: p mailboxes + cost model.

@@ -1,0 +1,23 @@
+// compile-fail fixture: acquiring a mutex that is already held
+// (self-deadlock with std::mutex). Under clang-strict this is rejected
+// with
+//   warning: acquiring mutex 'mu' that is already held
+//   [-Wthread-safety-analysis]
+// The corrected twin is double_lock_good.cpp.
+#include "dassa/common/sync.hpp"
+
+namespace {
+
+struct State {
+  dassa::Mutex mu;
+  int value DASSA_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int cf_double_lock_bad() {
+  State s;
+  dassa::MutexLock outer(s.mu);
+  dassa::MutexLock inner(s.mu);  // BAD: mu is already held
+  return s.value;
+}

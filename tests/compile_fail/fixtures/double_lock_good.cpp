@@ -1,0 +1,27 @@
+// Corrected twin of double_lock_bad.cpp: the two critical sections are
+// sequential scopes, so the mutex is released before it is re-acquired
+// and the analysis (and std::mutex at runtime) is satisfied.
+#include "dassa/common/sync.hpp"
+
+namespace {
+
+struct State {
+  dassa::Mutex mu;
+  int value DASSA_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int cf_double_lock_good() {
+  State s;
+  {
+    dassa::MutexLock lock(s.mu);
+    s.value = 1;
+  }
+  int out = 0;
+  {
+    dassa::MutexLock lock(s.mu);
+    out = s.value;
+  }
+  return out;
+}

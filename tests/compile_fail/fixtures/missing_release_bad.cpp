@@ -1,0 +1,22 @@
+// compile-fail fixture: a manually-acquired mutex that is still held
+// when the function returns. Under clang-strict this is rejected with
+//   warning: mutex 'mu' is still held at the end of function
+//   [-Wthread-safety-analysis]
+// The corrected twin is missing_release_good.cpp.
+#include "dassa/common/sync.hpp"
+
+namespace {
+
+struct State {
+  dassa::Mutex mu;
+  int value DASSA_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int cf_missing_release_bad() {
+  State s;
+  s.mu.lock();
+  int out = s.value;
+  return out;  // BAD: mu never unlocked on this path
+}

@@ -1,0 +1,21 @@
+// Corrected twin of missing_release_bad.cpp: the manual lock()/unlock()
+// pair balances on every path out of the function, which is exactly the
+// invariant the analysis proves.
+#include "dassa/common/sync.hpp"
+
+namespace {
+
+struct State {
+  dassa::Mutex mu;
+  int value DASSA_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int cf_missing_release_good() {
+  State s;
+  s.mu.lock();
+  int out = s.value;
+  s.mu.unlock();
+  return out;
+}

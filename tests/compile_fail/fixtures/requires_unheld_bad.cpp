@@ -1,0 +1,22 @@
+// compile-fail fixture: calling a DASSA_REQUIRES(mu) function without
+// holding mu. Under clang-strict this is rejected with
+//   warning: calling function 'bump_locked' requires holding mutex
+//   'mu' exclusively [-Wthread-safety-analysis]
+// The corrected twin is requires_unheld_good.cpp.
+#include "dassa/common/sync.hpp"
+
+namespace {
+
+struct State {
+  dassa::Mutex mu;
+  int value DASSA_GUARDED_BY(mu) = 0;
+
+  void bump_locked() DASSA_REQUIRES(mu) { ++value; }
+};
+
+}  // namespace
+
+void cf_requires_unheld_bad() {
+  State s;
+  s.bump_locked();  // BAD: caller does not hold s.mu
+}

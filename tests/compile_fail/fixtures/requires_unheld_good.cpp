@@ -1,0 +1,21 @@
+// Corrected twin of requires_unheld_bad.cpp: the caller takes a scoped
+// MutexLock before entering the DASSA_REQUIRES(mu) function, so the
+// precondition is provably met at the call site.
+#include "dassa/common/sync.hpp"
+
+namespace {
+
+struct State {
+  dassa::Mutex mu;
+  int value DASSA_GUARDED_BY(mu) = 0;
+
+  void bump_locked() DASSA_REQUIRES(mu) { ++value; }
+};
+
+}  // namespace
+
+void cf_requires_unheld_good() {
+  State s;
+  dassa::MutexLock lock(s.mu);
+  s.bump_locked();
+}

@@ -1,0 +1,21 @@
+// compile-fail fixture: writing a DASSA_GUARDED_BY member without the
+// lock. Under clang-strict this is rejected with
+//   warning: writing variable 'hits' requires holding mutex 'mu'
+//   exclusively [-Wthread-safety-analysis]
+// The corrected twin is unlocked_access_good.cpp.
+#include "dassa/common/sync.hpp"
+
+namespace {
+
+struct Counter {
+  dassa::Mutex mu;
+  long hits DASSA_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+long cf_unlocked_access_bad() {
+  Counter c;
+  c.hits += 1;  // BAD: no lock held
+  return c.hits;
+}

@@ -1,0 +1,25 @@
+// Corrected twin of unlocked_access_bad.cpp: every access to the
+// guarded member happens under a scoped MutexLock, so the fixture
+// compiles cleanly under clang-strict (and under GCC, where the
+// annotations expand to nothing).
+#include "dassa/common/sync.hpp"
+
+namespace {
+
+struct Counter {
+  dassa::Mutex mu;
+  long hits DASSA_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+long cf_unlocked_access_good() {
+  Counter c;
+  long out = 0;
+  {
+    dassa::MutexLock lock(c.mu);
+    c.hits += 1;
+    out = c.hits;
+  }
+  return out;
+}

@@ -58,7 +58,9 @@ void log_counters(const char* event, const char* prefix1,
       line += std::to_string(value);
     }
   }
-  if (!line.empty()) DASSA_SLOG(kInfo, event) << line;
+  if (!line.empty()) {
+    DASSA_SLOG(kInfo, event) << line;
+  }
 }
 
 /// Export the recorded spans as chrome://tracing JSON plus a per-span

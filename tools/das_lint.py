@@ -49,14 +49,27 @@ Rules (see docs/ANALYSIS.md for rationale and how to add one):
                    rule that does). Per-file findings are ratcheted
                    against the baseline, keyed by write count, so the
                    count can only go down.
+  sync-primitive   Naked std synchronisation types (std::mutex,
+                   std::shared_mutex, std::condition_variable, the lock
+                   adapters, and their headers) are banned outside
+                   include/dassa/common/sync.hpp. Everything else uses
+                   dassa::Mutex / SharedMutex / CondVar and the
+                   MutexLock / ReaderLock / WriterLock scopes, which
+                   carry the Clang thread-safety capability annotations
+                   -- a naked std type is invisible to -Wthread-safety.
 
 Zero findings is enforced by ctest (`tools_das_lint`). To accept a new
 entry-guard / no-direct-stderr finding deliberately, run with
 --update-baseline and commit the diff; every other rule has no baseline
 and must stay clean.
 
+Every rule ships a positive and a negative fixture; `--self-test` runs
+all of them (ctest `tools_das_lint_selftest`) so a regressed regex
+fails fast instead of silently passing everything.
+
 Usage:
     python3 tools/das_lint.py [--repo DIR] [--update-baseline]
+    python3 tools/das_lint.py --self-test
 """
 
 import argparse
@@ -378,6 +391,33 @@ def rule_entry_guard(path, scrubbed, raw):
                 key=f"entry-guard:{path}:{name}")
 
 
+SYNC_EXEMPT_FILES = frozenset({
+    "include/dassa/common/sync.hpp",
+})
+NAKED_SYNC = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|condition_variable(?:_any)?|lock_guard|"
+    r"unique_lock|shared_lock|scoped_lock)\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+
+
+def rule_sync_primitive(path, scrubbed, raw):
+    """Synchronisation flows through the annotated wrappers in
+    include/dassa/common/sync.hpp (dassa::Mutex / SharedMutex / CondVar
+    plus the MutexLock / ReaderLock / WriterLock scopes). A naked std
+    sync type carries no capability annotation, so Clang's
+    -Wthread-safety analysis cannot see what it guards."""
+    if path in SYNC_EXEMPT_FILES:
+        return
+    for lineno, line in iter_lines(scrubbed):
+        m = NAKED_SYNC.search(line)
+        if m:
+            yield Finding(
+                "sync-primitive", path, lineno,
+                f"naked '{m.group(0)}' outside sync.hpp (use dassa::Mutex"
+                " / MutexLock / CondVar so -Wthread-safety can check it)")
+
+
 RULES = [
     rule_no_const_cast,
     rule_no_naked_new,
@@ -388,12 +428,101 @@ RULES = [
     rule_trace_span_macro,
     rule_no_raw_intrinsics,
     rule_entry_guard,
+    rule_sync_primitive,
 ]
 
 # tools/ is CLI glue, not library code: argument-parsing idioms
 # (<iostream> in arg_parse.hpp, unguarded helpers) are fine there, but
 # diagnostics must still go through the structured logger.
 TOOLS_RULES = [rule_no_direct_stderr]
+
+# ---------------------------------------------------------------------------
+# Self-test fixtures: one positive (must flag) and one negative (must
+# stay clean) snippet per rule, run by --self-test / ctest
+# tools_das_lint_selftest. Paths are synthetic but shaped like the real
+# tree so path-scoped rules fire.
+# ---------------------------------------------------------------------------
+
+SELF_TEST_FIXTURES = [
+    # (rule, synthetic path, code, expect_finding)
+    (rule_no_const_cast, "src/fix/pos.cpp",
+     "void f(const int* q) {\n  int* p = const_cast<int*>(q);\n"
+     "  (void)p;\n}\n", True),
+    (rule_no_const_cast, "src/fix/neg.cpp",
+     "void f(const int* q) {\n  const int* p = q;\n  (void)p;\n}\n", False),
+    (rule_no_naked_new, "src/fix/pos.cpp",
+     "void f() {\n  int* p = new int[3];\n  (void)p;\n}\n", True),
+    (rule_no_naked_new, "src/fix/neg.cpp",
+     "#include <memory>\nvoid f() {\n"
+     "  auto p = std::make_unique<int>(1);\n  (void)p;\n}\n", False),
+    (rule_dassa_throw, "src/fix/pos.cpp",
+     "void f() {\n  throw std::runtime_error(\"boom\");\n}\n", True),
+    (rule_dassa_throw, "src/fix/neg.cpp",
+     "void f() {\n  throw InvalidArgument(\"boom\");\n}\n", False),
+    (rule_counter_prefix, "src/fix/pos.cpp",
+     "void f() {\n  global_counters().add(\"bogus.subsystem.calls\", 1);\n"
+     "}\n", True),
+    (rule_counter_prefix, "src/fix/neg.cpp",
+     "void f() {\n  global_counters().add(\"io.codec.bytes\", 1);\n}\n",
+     False),
+    (rule_include_hygiene, "include/dassa/fix/pos.hpp",
+     "#include <iostream>\nusing namespace std;\n", True),
+    (rule_include_hygiene, "include/dassa/fix/neg.hpp",
+     "#pragma once\n#include <vector>\n", False),
+    (rule_no_direct_stderr, "src/fix/pos.cpp",
+     "#include <iostream>\nvoid f() {\n  std::cerr << \"oops\\n\";\n}\n",
+     True),
+    (rule_no_direct_stderr, "src/fix/neg.cpp",
+     "void f() {\n  DASSA_LOG(kWarn, \"oops\");\n}\n", False),
+    (rule_trace_span_macro, "src/fix/pos.cpp",
+     "void f() {\n  trace::detail::SpanGuard g(\"cat\", \"name\");\n}\n",
+     True),
+    (rule_trace_span_macro, "src/fix/neg.cpp",
+     "void f() {\n  DASSA_TRACE_SPAN(\"cat\", \"name\");\n}\n", False),
+    (rule_no_raw_intrinsics, "src/fix/pos.cpp",
+     "#include <immintrin.h>\nvoid f(__m256d* v) {\n  (void)v;\n}\n", True),
+    (rule_no_raw_intrinsics, "src/fix/neg.cpp",
+     "void f(double* v, std::size_t n) {\n"
+     "  dassa::simd::scale(v, n, 2.0);\n}\n", False),
+    (rule_no_raw_intrinsics, "src/common/simd.cpp",
+     "#include <immintrin.h>\n", False),  # the SIMD layer itself
+    (rule_entry_guard, "src/fix/pos.cpp",
+     "int scale(int v) {\n  return v * 2;\n}\n", True),
+    (rule_entry_guard, "src/fix/neg.cpp",
+     "int scale(int v) {\n"
+     "  DASSA_CHECK(v >= 0, \"v must be non-negative\");\n"
+     "  return v * 2;\n}\n", False),
+    (rule_sync_primitive, "src/fix/pos.cpp",
+     "#include <mutex>\nstruct S {\n  std::mutex mu;\n};\n", True),
+    (rule_sync_primitive, "src/fix/neg.cpp",
+     "#include \"dassa/common/sync.hpp\"\nstruct S {\n"
+     "  dassa::Mutex mu;\n};\n", False),
+    (rule_sync_primitive, "include/dassa/common/sync.hpp",
+     "#include <mutex>\nclass Mutex {\n  std::mutex mu_;\n};\n",
+     False),  # the wrapper layer itself
+]
+
+
+def self_test():
+    """Run every fixture through its rule; return the exit code."""
+    failures = []
+    for rule, path, code, expect in SELF_TEST_FIXTURES:
+        scrubbed = strip_comments_and_strings(code)
+        found = list(rule(path, scrubbed, code))
+        if bool(found) != expect:
+            want = "a finding" if expect else "no findings"
+            got = (", ".join(str(f) for f in found)
+                   if found else "none")
+            failures.append(
+                f"{rule.__name__} on {path}: expected {want}, got {got}")
+    for f in failures:
+        print(f"self-test FAIL  {f}", file=sys.stderr)
+    if failures:
+        print(f"das_lint --self-test: {len(failures)} fixture(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"das_lint --self-test: {len(SELF_TEST_FIXTURES)} fixture(s) ok")
+    return 0
 
 # Rules whose findings are ratcheted against tools/das_lint_baseline.txt
 # instead of being hard failures. Everything else must stay at zero.
@@ -433,7 +562,12 @@ def main():
     parser.add_argument("--update-baseline", action="store_true",
                         help="accept current entry-guard findings into "
                              "the baseline file")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run every rule against its positive and "
+                             "negative fixtures and exit")
     args = parser.parse_args()
+    if args.self_test:
+        return self_test()
     repo = args.repo.resolve()
     baseline_path = repo / "tools" / "das_lint_baseline.txt"
 
