@@ -152,6 +152,25 @@ inline constexpr const char* kTelemetryCellsProcessed =
     "telemetry.cells_processed";
 inline constexpr const char* kTelemetryPipelineRows =
     "telemetry.pipeline_rows";
+// Streaming ingest subsystem (src/ingest/): spool admission, live-VCA
+// growth, and sliding-window progress. Queue occupancy counters live
+// under ingest.queue.* (pushed == popped after a clean drain is the
+// no-drop invariant bench_ingest asserts); the instantaneous depth is
+// the "ingest.queue.depth" gauge das_ingest registers.
+inline constexpr const char* kIngestPolls = "ingest.polls";
+inline constexpr const char* kIngestFilesAdmitted = "ingest.files_admitted";
+inline constexpr const char* kIngestFilesQuarantined =
+    "ingest.files_quarantined";
+inline constexpr const char* kIngestVcaAppends = "ingest.vca_appends";
+inline constexpr const char* kIngestWindows = "ingest.windows_processed";
+inline constexpr const char* kIngestColsEmitted = "ingest.cols_emitted";
+inline constexpr const char* kIngestEvents = "ingest.events_detected";
+inline constexpr const char* kIngestQueuePushed = "ingest.queue.pushed";
+inline constexpr const char* kIngestQueuePopped = "ingest.queue.popped";
+inline constexpr const char* kIngestQueuePushBlocked =
+    "ingest.queue.push_blocked";
+inline constexpr const char* kIngestQueuePeakDepth =
+    "ingest.queue.peak_depth";
 }  // namespace counters
 
 }  // namespace dassa

@@ -35,7 +35,9 @@ class Catalog {
   /// timestamp and shape come from each file's DASH5 metadata; when
   /// false, the timestamp is parsed from the trailing
   /// "_yymmddhhmmss.dh5" of the filename and shapes are left empty
-  /// (pure filename scan, no file opens at all).
+  /// (pure filename scan: no file opens, no reads, not even a stat
+  /// per entry -- pinned by the counter regression test in
+  /// tests/das/test_time_search.cpp).
   [[nodiscard]] static Catalog scan(const std::string& dir,
                                     bool read_headers = true);
 

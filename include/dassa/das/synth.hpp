@@ -127,4 +127,12 @@ struct AcquisitionSpec {
 std::vector<std::string> write_acquisition(const SynthDas& synth,
                                            const AcquisitionSpec& spec);
 
+/// Render and write just file `index` of the acquisition (0-based,
+/// may exceed spec.file_count); returns its path. write_acquisition is
+/// a loop over this -- das_generate --stream uses it to drop files
+/// into a spool one at a time, interrogator-style.
+std::string write_acquisition_file(const SynthDas& synth,
+                                   const AcquisitionSpec& spec,
+                                   std::size_t index);
+
 }  // namespace dassa::das

@@ -1,0 +1,47 @@
+// Streaming ingest: the live, growing VCA (docs/INGEST.md).
+//
+// The daemon's view of "everything ingested so far" is a VCA that
+// gains one member per admitted file. Readers (the window driver, or
+// any thread sampling progress) must never observe a half-appended
+// index, so LiveVca publishes immutable snapshots: append() copies the
+// current VCA, extends the copy, and swaps it in under a writer lock;
+// snapshot() hands out a shared_ptr<const Vca> that stays valid --
+// including its lazily opened member handles, which the copy shares --
+// for as long as the caller holds it.
+//
+// If an index path is configured, every append also republishes the
+// on-disk .vca via Vca::save_atomic(), so an offline das_analyze can
+// load a consistent index of the live acquisition at any moment.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dassa/common/sync.hpp"
+#include "dassa/io/vca.hpp"
+
+namespace dassa::ingest {
+
+class LiveVca {
+ public:
+  /// `index_path` (optional) is the .vca file to republish atomically
+  /// after every append; empty disables persistence.
+  explicit LiveVca(std::string index_path = {});
+
+  /// Append one member file (header read only) and publish the new
+  /// snapshot. Throws on shape mismatch or unreadable header; the
+  /// previous snapshot stays published in that case.
+  void append(const std::string& path);
+
+  /// The current immutable view; never null (initially an empty VCA).
+  [[nodiscard]] std::shared_ptr<const io::Vca> snapshot() const;
+
+  [[nodiscard]] std::size_t member_count() const;
+
+ private:
+  std::string index_path_;
+  mutable SharedMutex mu_;
+  std::shared_ptr<const io::Vca> current_ DASSA_GUARDED_BY(mu_);
+};
+
+}  // namespace dassa::ingest

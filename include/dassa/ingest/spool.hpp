@@ -1,0 +1,74 @@
+// Streaming ingest: spool directory watching and admission control
+// (docs/INGEST.md).
+//
+// An interrogator (or das_generate --stream) drops 1-minute DASH5
+// files into a spool directory. The watcher polls it and admits a file
+// only once it is both *stable* -- same size and mtime across two
+// consecutive polls, so a file still being written is never picked up
+// half-way -- and *valid* -- its DASH5 header parses and CRC-checks.
+// Malformed files are moved into a quarantine subdirectory (and
+// counted) rather than crashing the daemon or being retried forever;
+// an operator can inspect or delete them later.
+//
+// The watcher is pull-based and stateful but not thread-safe: the
+// daemon's producer thread owns it and calls poll() at its cadence.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dassa::ingest {
+
+struct SpoolConfig {
+  std::string dir;
+  /// Subdirectory (under dir) malformed files are moved into.
+  std::string quarantine_subdir = "quarantine";
+};
+
+/// One admitted acquisition file, stamped with its admission time on
+/// the trace clock (the start of its ingest-to-detection latency).
+struct SpoolFile {
+  std::string path;
+  std::uint64_t admit_ns = 0;
+};
+
+class SpoolWatcher {
+ public:
+  explicit SpoolWatcher(SpoolConfig cfg);
+
+  /// One poll pass: scan the spool for *.dh5 files; start the
+  /// stability clock for new ones; validate files whose (size, mtime)
+  /// held since the previous poll, returning the admitted ones sorted
+  /// by filename (timestamped acquisition names sort chronologically)
+  /// and quarantining the malformed ones. Files already admitted or
+  /// quarantined are skipped forever.
+  [[nodiscard]] std::vector<SpoolFile> poll();
+
+  /// Files seen but not yet admitted (still proving stability).
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  [[nodiscard]] std::size_t admitted() const { return admitted_count_; }
+  [[nodiscard]] std::size_t quarantined() const {
+    return quarantined_count_;
+  }
+
+ private:
+  struct Observation {
+    std::uintmax_t size = 0;
+    std::filesystem::file_time_type mtime;
+  };
+
+  void quarantine(const std::filesystem::path& path,
+                  const std::string& why);
+
+  SpoolConfig cfg_;
+  std::map<std::string, Observation> pending_;
+  std::set<std::string> done_;  // admitted or quarantined, by path
+  std::size_t admitted_count_ = 0;
+  std::size_t quarantined_count_ = 0;
+};
+
+}  // namespace dassa::ingest

@@ -53,6 +53,20 @@ class Vca final : public ArraySource {
   void save(const std::string& path) const;
   [[nodiscard]] static Vca load(const std::string& path);
 
+  /// Atomic index rewrite: save to `path + ".tmp"` and rename over
+  /// `path`, so a concurrent load(path) sees either the previous or the
+  /// new index, never a torn write. This is how the streaming ingest
+  /// daemon republishes its live VCA after every admitted file.
+  void save_atomic(const std::string& path) const;
+
+  /// Append one member file to the back of the concatenation (reads
+  /// its header only). Already-open member handles are preserved, so a
+  /// long-lived live VCA keeps its decoded-chunk cache identity across
+  /// appends. On an empty VCA this behaves like build({path}).
+  /// Throws InvalidArgument if the channel count differs from the
+  /// existing members'.
+  void append_member(const std::string& path);
+
   [[nodiscard]] Shape2D shape() const override { return shape_; }
   [[nodiscard]] const std::vector<VcaMember>& members() const {
     return members_;

@@ -163,14 +163,15 @@ leg_tsan() {
   # cache, MiniMPI collectives, the HAEE row-apply stress tests, the
   # storage engine (parallel chunk codecs, sharded chunk cache,
   # prefetch, the multi-rank repack concatenator), the SIMD dispatch
-  # layer, the span tracer (concurrent emission vs collection), and the
+  # layer, the span tracer (concurrent emission vs collection), the
   # telemetry sampler (background thread vs counter/histogram/gauge
-  # writers).
+  # writers), and the ingest admission queue (blocking producers vs
+  # the draining consumer).
   step "tsan: ThreadSanitizer, concurrency suite"
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}"
   ctest --preset tsan -j "${JOBS}" \
-    -R 'ThreadPool|Fft|MiniMpi|HaeeStress|HaeeMode|Apply|Codec|ChunkCache|Dash5V3|Trace|Telemetry|Repack|Simd'
+    -R 'ThreadPool|Fft|MiniMpi|HaeeStress|HaeeMode|Apply|Codec|ChunkCache|Dash5V3|Trace|Telemetry|Repack|Simd|Ingest'
 }
 
 leg_telemetry() {
@@ -220,6 +221,10 @@ leg_bench() {
   step "bench: storage codec + chunk-cache gate (BENCH_codec.json)"
   cmake --build --preset default -j "${JOBS}" --target bench_codec
   ./build/bench/bench_codec --check
+
+  step "bench: streaming ingest latency gate (BENCH_ingest.json)"
+  cmake --build --preset default -j "${JOBS}" --target bench_ingest
+  python3 bench/bench_compare.py --ingest-bin build/bench/bench_ingest
 }
 
 # --------------------------------------------------------------- drive

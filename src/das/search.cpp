@@ -28,12 +28,17 @@ std::string timestamp_from_name(const std::filesystem::path& p) {
 Catalog Catalog::scan(const std::string& dir, bool read_headers) {
   std::vector<DasFileInfo> entries;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    if (!entry.is_regular_file() || entry.path().extension() != ".dh5") {
-      continue;
-    }
+    // Extension first: a pure string test, so non-acquisition clutter
+    // costs nothing. The metadata-light path below also skips the
+    // is_regular_file() stat -- a names-only scan of a large spool
+    // touches the directory entries and nothing else (the timestamp
+    // suffix requirement already rejects any pathological directory
+    // named like an acquisition file).
+    if (entry.path().extension() != ".dh5") continue;
     DasFileInfo info;
     info.path = entry.path().string();
     if (read_headers) {
+      if (!entry.is_regular_file()) continue;
       const io::Dash5Header h = io::Dash5File::read_header(info.path);
       info.timestamp =
           Timestamp::parse(h.global.get_or_throw(io::meta::kTimeStamp));

@@ -146,68 +146,74 @@ SynthDas SynthDas::fig1b_scene(std::size_t channels, double sampling_hz,
   return synth;
 }
 
-std::vector<std::string> write_acquisition(const SynthDas& synth,
-                                           const AcquisitionSpec& spec) {
-  DASSA_CHECK(spec.file_count >= 1, "acquisition needs at least one file");
+std::string write_acquisition_file(const SynthDas& synth,
+                                   const AcquisitionSpec& spec,
+                                   std::size_t index) {
   DASSA_CHECK(spec.seconds_per_file > 0.0,
               "seconds_per_file must be positive");
+  if (!spec.codec.empty()) {
+    DASSA_CHECK(spec.chunk.rows > 0 && spec.chunk.cols > 0,
+                "a codec chain requires chunk extents");
+  }
+  DASSA_CHECK(spec.quantize_lsb >= 0.0, "quantize_lsb must be >= 0");
   std::filesystem::create_directories(spec.dir);
 
   const SynthConfig& cfg = synth.config();
   const auto samples_per_file = static_cast<std::size_t>(
       spec.seconds_per_file * cfg.sampling_hz + 0.5);
   DASSA_CHECK(samples_per_file >= 1, "file would contain zero samples");
-  if (!spec.codec.empty()) {
-    DASSA_CHECK(spec.chunk.rows > 0 && spec.chunk.cols > 0,
-                "a codec chain requires chunk extents");
-  }
-  DASSA_CHECK(spec.quantize_lsb >= 0.0, "quantize_lsb must be >= 0");
 
+  const Timestamp ts = spec.start.plus_seconds(
+      static_cast<std::int64_t>(static_cast<double>(index) *
+                                spec.seconds_per_file));
+  core::Array2D data =
+      synth.render(static_cast<std::uint64_t>(index) * samples_per_file,
+                   samples_per_file);
+  if (spec.quantize_lsb > 0.0) {
+    for (double& v : data.data) {
+      v = std::nearbyint(v / spec.quantize_lsb) * spec.quantize_lsb;
+    }
+  }
+
+  io::Dash5Header header;
+  header.shape = data.shape;
+  header.dtype = spec.dtype;
+  if (spec.chunk.rows > 0 && spec.chunk.cols > 0) {
+    header.layout = io::Layout::kChunked;
+    header.chunk = spec.chunk;
+  }
+  header.codec = spec.codec;
+  header.global.set_f64(io::meta::kSamplingFrequencyHz, cfg.sampling_hz);
+  header.global.set_f64(io::meta::kSpatialResolutionM,
+                        cfg.spatial_resolution_m);
+  header.global.set(io::meta::kTimeStamp, ts.str());
+  header.global.set_i64(io::meta::kNumObjects,
+                        static_cast<std::int64_t>(cfg.channels));
+  if (spec.per_channel_metadata) {
+    header.objects.reserve(cfg.channels);
+    for (std::size_t ch = 0; ch < cfg.channels; ++ch) {
+      io::ObjectMeta obj;
+      obj.path = "/Measurement/" + std::to_string(ch + 1);
+      obj.kv.set_i64("Array dimension", 1);
+      obj.kv.set_i64("Number of raw data values",
+                     static_cast<std::int64_t>(samples_per_file));
+      header.objects.push_back(std::move(obj));
+    }
+  }
+
+  const std::string path = spec.dir + "/" + spec.prefix + "_" + ts.str() +
+                           ".dh5";
+  io::dash5_write(path, header, data.data);
+  return path;
+}
+
+std::vector<std::string> write_acquisition(const SynthDas& synth,
+                                           const AcquisitionSpec& spec) {
+  DASSA_CHECK(spec.file_count >= 1, "acquisition needs at least one file");
   std::vector<std::string> paths;
   paths.reserve(spec.file_count);
   for (std::size_t f = 0; f < spec.file_count; ++f) {
-    const Timestamp ts = spec.start.plus_seconds(
-        static_cast<std::int64_t>(static_cast<double>(f) *
-                                  spec.seconds_per_file));
-    core::Array2D data =
-        synth.render(static_cast<std::uint64_t>(f) * samples_per_file,
-                     samples_per_file);
-    if (spec.quantize_lsb > 0.0) {
-      for (double& v : data.data) {
-        v = std::nearbyint(v / spec.quantize_lsb) * spec.quantize_lsb;
-      }
-    }
-
-    io::Dash5Header header;
-    header.shape = data.shape;
-    header.dtype = spec.dtype;
-    if (spec.chunk.rows > 0 && spec.chunk.cols > 0) {
-      header.layout = io::Layout::kChunked;
-      header.chunk = spec.chunk;
-    }
-    header.codec = spec.codec;
-    header.global.set_f64(io::meta::kSamplingFrequencyHz, cfg.sampling_hz);
-    header.global.set_f64(io::meta::kSpatialResolutionM,
-                          cfg.spatial_resolution_m);
-    header.global.set(io::meta::kTimeStamp, ts.str());
-    header.global.set_i64(io::meta::kNumObjects,
-                          static_cast<std::int64_t>(cfg.channels));
-    if (spec.per_channel_metadata) {
-      header.objects.reserve(cfg.channels);
-      for (std::size_t ch = 0; ch < cfg.channels; ++ch) {
-        io::ObjectMeta obj;
-        obj.path = "/Measurement/" + std::to_string(ch + 1);
-        obj.kv.set_i64("Array dimension", 1);
-        obj.kv.set_i64("Number of raw data values",
-                       static_cast<std::int64_t>(samples_per_file));
-        header.objects.push_back(std::move(obj));
-      }
-    }
-
-    const std::string path = spec.dir + "/" + spec.prefix + "_" + ts.str() +
-                             ".dh5";
-    io::dash5_write(path, header, data.data);
-    paths.push_back(path);
+    paths.push_back(write_acquisition_file(synth, spec, f));
   }
   return paths;
 }

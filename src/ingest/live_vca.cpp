@@ -1,0 +1,43 @@
+#include "dassa/ingest/live_vca.hpp"
+
+#include <utility>
+
+#include "dassa/common/counters.hpp"
+#include "dassa/common/error.hpp"
+
+namespace dassa::ingest {
+
+LiveVca::LiveVca(std::string index_path)
+    : index_path_(std::move(index_path)),
+      current_(std::make_shared<const io::Vca>()) {}
+
+void LiveVca::append(const std::string& path) {
+  DASSA_CHECK(!path.empty(), "LiveVca::append needs a member path");
+  // Copy-extend-swap: mutate a private copy so concurrent snapshot()
+  // holders keep a consistent index. The copy shares the original's
+  // member handles, so open files and chunk caches survive the swap.
+  auto next = std::make_shared<io::Vca>();
+  {
+    ReaderLock lock(mu_);
+    *next = *current_;
+  }
+  next->append_member(path);
+  if (!index_path_.empty()) next->save_atomic(index_path_);
+  {
+    WriterLock lock(mu_);
+    current_ = std::move(next);
+  }
+  global_counters().add(counters::kIngestVcaAppends);
+}
+
+std::shared_ptr<const io::Vca> LiveVca::snapshot() const {
+  ReaderLock lock(mu_);
+  return current_;
+}
+
+std::size_t LiveVca::member_count() const {
+  ReaderLock lock(mu_);
+  return current_->members().size();
+}
+
+}  // namespace dassa::ingest

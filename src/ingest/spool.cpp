@@ -1,0 +1,108 @@
+#include "dassa/ingest/spool.hpp"
+
+#include <algorithm>
+#include <system_error>
+#include <utility>
+
+#include "dassa/common/counters.hpp"
+#include "dassa/common/error.hpp"
+#include "dassa/common/log.hpp"
+#include "dassa/common/trace.hpp"
+#include "dassa/io/dash5.hpp"
+
+namespace dassa::ingest {
+
+namespace fs = std::filesystem;
+
+SpoolWatcher::SpoolWatcher(SpoolConfig cfg) : cfg_(std::move(cfg)) {
+  DASSA_CHECK(!cfg_.dir.empty(), "spool watcher needs a directory");
+  DASSA_CHECK(!cfg_.quarantine_subdir.empty(),
+              "quarantine subdirectory name must not be empty");
+  std::error_code ec;
+  if (!fs::is_directory(cfg_.dir, ec)) {
+    throw IoError("spool directory does not exist: " + cfg_.dir);
+  }
+}
+
+std::vector<SpoolFile> SpoolWatcher::poll() {
+  global_counters().add(counters::kIngestPolls);
+  const fs::path quarantine_dir = fs::path(cfg_.dir) / cfg_.quarantine_subdir;
+
+  std::vector<SpoolFile> admitted;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(cfg_.dir, ec)) {
+    const fs::path& p = entry.path();
+    if (p.extension() != ".dh5") continue;
+    std::string key = p.string();
+    if (done_.count(key) != 0) continue;
+    std::error_code stat_ec;
+    if (!entry.is_regular_file(stat_ec) || stat_ec) continue;
+
+    Observation now;
+    now.size = entry.file_size(stat_ec);
+    if (stat_ec) continue;
+    now.mtime = entry.last_write_time(stat_ec);
+    if (stat_ec) continue;
+
+    auto it = pending_.find(key);
+    if (it == pending_.end()) {
+      // First sighting: start the stability clock, admit next poll at
+      // the earliest.
+      pending_.emplace(std::move(key), now);
+      continue;
+    }
+    if (it->second.size != now.size || it->second.mtime != now.mtime) {
+      it->second = now;  // still growing; restart the clock
+      continue;
+    }
+
+    // Stable across two polls: validate the header before admission.
+    pending_.erase(it);
+    done_.insert(key);
+    try {
+      (void)io::Dash5File::read_header(key);
+    } catch (const Error& e) {
+      quarantine(p, e.what());
+      continue;
+    }
+    global_counters().add(counters::kIngestFilesAdmitted);
+    ++admitted_count_;
+    admitted.push_back(SpoolFile{std::move(key), trace::detail::now_ns()});
+  }
+  if (ec) {
+    throw IoError("cannot scan spool directory " + cfg_.dir + ": " +
+                  ec.message());
+  }
+
+  std::sort(admitted.begin(), admitted.end(),
+            [](const SpoolFile& a, const SpoolFile& b) {
+              return a.path < b.path;
+            });
+  return admitted;
+}
+
+void SpoolWatcher::quarantine(const fs::path& path, const std::string& why) {
+  DASSA_CHECK(!path.empty() && !why.empty(),
+              "quarantine needs a file path and a reason");
+  global_counters().add(counters::kIngestFilesQuarantined);
+  ++quarantined_count_;
+  const fs::path dir = fs::path(cfg_.dir) / cfg_.quarantine_subdir;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const fs::path dest = dir / path.filename();
+  if (!ec) fs::rename(path, dest, ec);
+  if (ec) {
+    // Leaving a malformed file in place would re-quarantine it every
+    // poll; done_ already remembers it, so just log the failed move.
+    DASSA_SLOG(kWarn, "ingest.quarantine_move_failed")
+        .field("path", path.string())
+        .field("error", ec.message());
+    return;
+  }
+  DASSA_SLOG(kWarn, "ingest.file_quarantined")
+      .field("path", path.string())
+      .field("moved_to", dest.string())
+      .field("reason", why);
+}
+
+}  // namespace dassa::ingest

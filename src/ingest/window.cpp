@@ -1,0 +1,101 @@
+#include "dassa/ingest/window.hpp"
+
+#include <limits>
+#include <string>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::ingest {
+
+WindowPlanner::WindowPlanner(std::size_t window_files,
+                             std::size_t overlap_files,
+                             std::size_t margin_cols)
+    : window_files_(window_files),
+      overlap_files_(overlap_files),
+      step_(window_files - overlap_files),
+      margin_(margin_cols),
+      col_starts_{0} {
+  DASSA_CHECK(window_files >= 1, "window must span at least one file");
+  DASSA_CHECK(overlap_files < window_files,
+              "overlap must be smaller than the window (the window must "
+              "advance)");
+}
+
+void WindowPlanner::add_file(std::size_t cols) {
+  DASSA_CHECK(!finished_, "add_file after finish()");
+  DASSA_CHECK(cols >= 1, "a member file must contribute columns");
+  DASSA_CHECK(cols <=
+                  std::numeric_limits<std::size_t>::max() - total_cols(),
+              "stream width overflows");
+  col_starts_.push_back(total_cols() + cols);
+}
+
+std::optional<WindowSpec> WindowPlanner::next_ready() {
+  DASSA_CHECK(!finished_, "next_ready after finish()");
+  const std::size_t first = next_window_ * step_;
+  if (files_added() < first + window_files_) return std::nullopt;
+
+  WindowSpec w;
+  w.index = windows_planned_;
+  w.first_file = first;
+  w.file_count = window_files_;
+  w.start_col = col_starts_[first];
+  w.end_col = col_starts_[first + window_files_];
+  w.emit_lo = emit_lo_;
+  w.final = false;
+  // The emit region must end margin_ before the window edge (cells
+  // nearer the edge see a clipped neighbourhood the full stream does
+  // not) and, unless the window starts at the stream head, must begin
+  // at least margin_ inside the window (same reason, left side). Both
+  // hold iff overlap_cols >= 2 * margin_cols.
+  if (w.end_col < margin_ + 1 || w.end_col - margin_ <= w.emit_lo ||
+      (w.start_col > 0 && w.emit_lo < w.start_col + margin_)) {
+    throw InvalidArgument(
+        "ingest window geometry cannot honour the UDF margin of " +
+        std::to_string(margin_) + " columns (window [" +
+        std::to_string(w.start_col) + "," + std::to_string(w.end_col) +
+        "), emit carry " + std::to_string(w.emit_lo) +
+        "): increase --overlap (overlap columns must be >= 2x margin) or "
+        "use longer files");
+  }
+  w.emit_hi = w.end_col - margin_;
+
+  emit_lo_ = w.emit_hi;
+  ++next_window_;
+  ++windows_planned_;
+  return w;
+}
+
+std::optional<WindowSpec> WindowPlanner::finish() {
+  DASSA_CHECK(!finished_, "finish() called twice");
+  finished_ = true;
+  const std::size_t n = files_added();
+  const std::size_t total = total_cols();
+  if (n == 0 || emit_lo_ >= total) return std::nullopt;
+
+  // Deepest file that still leaves margin_ columns of context before
+  // the carry; falls back to file 0, whose left edge is the stream
+  // edge (where offline clipping is identical by construction).
+  std::size_t first = 0;
+  for (std::size_t i = n; i-- > 0;) {
+    if (col_starts_[i] + margin_ <= emit_lo_) {
+      first = i;
+      break;
+    }
+  }
+
+  WindowSpec w;
+  w.index = windows_planned_;
+  w.first_file = first;
+  w.file_count = n - first;
+  w.start_col = col_starts_[first];
+  w.end_col = total;
+  w.emit_lo = emit_lo_;
+  w.emit_hi = total;
+  w.final = true;
+  ++windows_planned_;
+  emit_lo_ = total;
+  return w;
+}
+
+}  // namespace dassa::ingest

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <limits>
 
 #include "dassa/common/counters.hpp"
@@ -59,6 +60,42 @@ void Vca::finalize() {
   // capability analysis and is uncontended.
   MutexLock lock(handles_->mu);
   handles_->files.resize(members_.size());
+}
+
+void Vca::append_member(const std::string& path) {
+  DASSA_CHECK(!path.empty(), "append_member needs a member path");
+  const Dash5Header h = Dash5File::read_header(path);
+  if (members_.empty()) {
+    members_.push_back({path, h.shape});
+    global_ = h.global;
+    finalize();
+    return;
+  }
+  DASSA_CHECK(h.shape.rows == shape_.rows,
+              "VCA members must have the same channel count (" + path +
+                  " differs)");
+  const std::size_t total = col_starts_.back();
+  DASSA_CHECK(h.shape.cols <=
+                  std::numeric_limits<std::size_t>::max() - total,
+              "VCA total width overflows (" + path + ")");
+  members_.push_back({path, h.shape});
+  // col_starts_ is [s_0 .. s_{n-1}, total]: the old total becomes the
+  // new member's start, and the new total goes on the end -- the
+  // invariant finalize() establishes, maintained incrementally so the
+  // append costs one header read, not n.
+  col_starts_.push_back(total + h.shape.cols);
+  shape_ = {shape_.rows, col_starts_.back()};
+  MutexLock lock(handles_->mu);
+  handles_->files.resize(members_.size());
+}
+
+void Vca::save_atomic(const std::string& path) const {
+  DASSA_CHECK(!path.empty(), "save_atomic needs a destination path");
+  const std::string tmp = path + ".tmp";
+  save(tmp);
+  // rename(2) is atomic within a filesystem: readers racing this see
+  // the old or the new complete index, never a partial file.
+  std::filesystem::rename(tmp, path);
 }
 
 Vca Vca::build(const std::vector<std::string>& files) {

@@ -3,6 +3,7 @@
 
 #include <fstream>
 
+#include "dassa/common/counters.hpp"
 #include "dassa/common/error.hpp"
 #include "dassa/das/search.hpp"
 #include "dassa/das/synth.hpp"
@@ -110,6 +111,26 @@ TEST(CatalogTest, FilenameScanMatchesHeaderScan) {
               names_only.entries()[i].timestamp);
     EXPECT_EQ(with_headers.entries()[i].path, names_only.entries()[i].path);
   }
+}
+
+// The names-only scan is the das_search fast path for huge spools: it
+// must stay a pure directory-entry walk. Pinned here via the io.*
+// counters -- any Dash5File open or read in the names-only branch
+// would bump them.
+TEST(CatalogTest, NamesOnlyScanOpensNoFiles) {
+  CatalogFixture fx;
+  auto& ctr = global_counters();
+  const std::uint64_t opens_before = ctr.get(counters::kIoOpens);
+  const std::uint64_t reads_before = ctr.get(counters::kIoReadCalls);
+  const Catalog names_only = Catalog::scan(fx.dir.str(), false);
+  EXPECT_EQ(names_only.size(), 10u);
+  EXPECT_EQ(ctr.get(counters::kIoOpens), opens_before);
+  EXPECT_EQ(ctr.get(counters::kIoReadCalls), reads_before);
+  // Sanity check that the pin is meaningful: the header scan of the
+  // same directory does open and read every file.
+  const Catalog with_headers = Catalog::scan(fx.dir.str(), true);
+  EXPECT_GE(ctr.get(counters::kIoOpens), opens_before + 10);
+  EXPECT_GE(ctr.get(counters::kIoReadCalls), reads_before + 10);
 }
 
 TEST(CatalogTest, RangeQueryPaperExample) {

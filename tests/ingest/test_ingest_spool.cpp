@@ -1,0 +1,144 @@
+// SpoolWatcher: two-poll stability admission, quarantine of malformed
+// files, and indifference to non-acquisition clutter.
+#include "dassa/ingest/spool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dassa/common/error.hpp"
+#include "dassa/core/array.hpp"
+#include "dassa/io/dash5.hpp"
+#include "testing/tmpdir.hpp"
+
+namespace dassa::ingest {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Write a small valid DASH5 file into the spool.
+std::string write_valid(const testing::TmpDir& dir,
+                        const std::string& name) {
+  const std::string path = dir.file(name);
+  io::Dash5Header header;
+  header.shape = {4, 32};
+  std::vector<double> data(4 * 32, 1.5);
+  io::dash5_write(path, header, data);
+  return path;
+}
+
+TEST(IngestSpoolTest, RequiresTwoStablePolls) {
+  testing::TmpDir dir("spool_stable");
+  SpoolWatcher watcher(SpoolConfig{dir.str()});
+  write_valid(dir, "a_170728224510.dh5");
+
+  EXPECT_TRUE(watcher.poll().empty()) << "admitted on first sighting";
+  EXPECT_EQ(watcher.pending(), 1u);
+  const auto admitted = watcher.poll();
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_GT(admitted[0].admit_ns, 0u);
+  EXPECT_EQ(watcher.pending(), 0u);
+  EXPECT_TRUE(watcher.poll().empty()) << "admitted the same file twice";
+}
+
+TEST(IngestSpoolTest, GrowingFileWaitsUntilStable) {
+  testing::TmpDir dir("spool_grow");
+  SpoolWatcher watcher(SpoolConfig{dir.str()});
+  const std::string path = write_valid(dir, "b_170728224510.dh5");
+  EXPECT_TRUE(watcher.poll().empty());
+
+  // The file grows between polls: the stability clock must restart,
+  // so the changed file is not admitted on the poll that sees the new
+  // size, only on the next quiet one.
+  {
+    std::ofstream app(path, std::ios::app | std::ios::binary);
+    app << "tail-in-flight";
+  }
+  EXPECT_TRUE(watcher.poll().empty()) << "admitted a still-growing file";
+  const auto admitted = watcher.poll();
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(admitted[0].path, path);
+  EXPECT_EQ(watcher.quarantined(), 0u);
+}
+
+TEST(IngestSpoolTest, QuarantinesTruncatedAndCorruptFiles) {
+  testing::TmpDir dir("spool_quar");
+  SpoolWatcher watcher(SpoolConfig{dir.str()});
+  write_valid(dir, "good_170728224510.dh5");
+
+  // Truncated: a valid file cut mid-payload.
+  {
+    const std::string full = write_valid(dir, "trunc_170728224511.dh5");
+    fs::resize_file(full, 16);
+  }
+  // Corrupt: not a DASH5 file at all.
+  {
+    std::ofstream bad(dir.file("corrupt_170728224512.dh5"),
+                      std::ios::binary);
+    bad << "this is not a DASH5 container";
+  }
+
+  EXPECT_TRUE(watcher.poll().empty());
+  const auto admitted = watcher.poll();
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_NE(admitted[0].path.find("good_"), std::string::npos);
+  EXPECT_EQ(watcher.quarantined(), 2u);
+  EXPECT_EQ(watcher.admitted(), 1u);
+
+  // The malformed files moved into the quarantine subdirectory and no
+  // longer sit in the spool proper.
+  const fs::path qdir = fs::path(dir.str()) / "quarantine";
+  ASSERT_TRUE(fs::is_directory(qdir));
+  std::size_t quarantined_files = 0;
+  for (const auto& e : fs::directory_iterator(qdir)) {
+    (void)e;
+    ++quarantined_files;
+  }
+  EXPECT_EQ(quarantined_files, 2u);
+  EXPECT_FALSE(fs::exists(dir.file("trunc_170728224511.dh5")));
+  EXPECT_FALSE(fs::exists(dir.file("corrupt_170728224512.dh5")));
+
+  // ...and nothing gets re-admitted or re-quarantined on later polls.
+  EXPECT_TRUE(watcher.poll().empty());
+  EXPECT_EQ(watcher.quarantined(), 2u);
+}
+
+TEST(IngestSpoolTest, IgnoresNonAcquisitionFiles) {
+  testing::TmpDir dir("spool_clutter");
+  SpoolWatcher watcher(SpoolConfig{dir.str()});
+  { std::ofstream f(dir.file("notes.txt")); f << "hi"; }
+  { std::ofstream f(dir.file("data.dh5.part")); f << "partial"; }
+  fs::create_directories(dir.file("subdir.dh5"));  // directory decoy
+
+  EXPECT_TRUE(watcher.poll().empty());
+  EXPECT_TRUE(watcher.poll().empty());
+  EXPECT_EQ(watcher.pending(), 0u);
+  EXPECT_EQ(watcher.quarantined(), 0u);
+}
+
+TEST(IngestSpoolTest, AdmitsInFilenameOrder) {
+  testing::TmpDir dir("spool_order");
+  SpoolWatcher watcher(SpoolConfig{dir.str()});
+  // Created out of order; admission must sort by name (timestamps in
+  // acquisition names make that chronological order).
+  write_valid(dir, "das_170728224530.dh5");
+  write_valid(dir, "das_170728224510.dh5");
+  write_valid(dir, "das_170728224520.dh5");
+
+  EXPECT_TRUE(watcher.poll().empty());
+  const auto admitted = watcher.poll();
+  ASSERT_EQ(admitted.size(), 3u);
+  EXPECT_LT(admitted[0].path, admitted[1].path);
+  EXPECT_LT(admitted[1].path, admitted[2].path);
+}
+
+TEST(IngestSpoolTest, RejectsMissingDirectory) {
+  EXPECT_THROW(SpoolWatcher(SpoolConfig{"/nonexistent/spool/dir"}),
+               IoError);
+}
+
+}  // namespace
+}  // namespace dassa::ingest

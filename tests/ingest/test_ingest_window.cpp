@@ -1,0 +1,152 @@
+// WindowPlanner: the sliding-window tiling invariants behind streamed
+// vs offline byte-identity (docs/INGEST.md).
+#include "dassa/ingest/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::ingest {
+namespace {
+
+/// Drive a planner over `file_cols` and collect every planned window
+/// (regular ones as files arrive, plus the final one).
+std::vector<WindowSpec> plan_all(WindowPlanner& planner,
+                                 const std::vector<std::size_t>& file_cols) {
+  std::vector<WindowSpec> windows;
+  for (std::size_t cols : file_cols) {
+    planner.add_file(cols);
+    while (auto w = planner.next_ready()) windows.push_back(*w);
+  }
+  if (auto w = planner.finish()) windows.push_back(*w);
+  return windows;
+}
+
+TEST(IngestWindowTest, EmitRegionsTileTheStreamExactly) {
+  WindowPlanner planner(/*window_files=*/3, /*overlap_files=*/1,
+                        /*margin_cols=*/15);
+  const std::vector<std::size_t> cols{100, 100, 100, 100, 100};
+  const std::vector<WindowSpec> windows = plan_all(planner, cols);
+
+  ASSERT_FALSE(windows.empty());
+  std::size_t expect = 0;
+  for (const WindowSpec& w : windows) {
+    EXPECT_EQ(w.emit_lo, expect) << "gap or overlap at window " << w.index;
+    EXPECT_GT(w.emit_hi, w.emit_lo);
+    expect = w.emit_hi;
+  }
+  EXPECT_EQ(expect, 500u) << "stream not fully covered";
+  EXPECT_TRUE(windows.back().final);
+  EXPECT_EQ(windows.back().emit_hi, 500u);
+}
+
+TEST(IngestWindowTest, InteriorEmitEdgesKeepTheMargin) {
+  WindowPlanner planner(3, 1, 15);
+  const std::vector<WindowSpec> windows =
+      plan_all(planner, {100, 100, 100, 100, 100});
+  for (const WindowSpec& w : windows) {
+    // Right edge: a non-final window never emits the last margin
+    // columns of its span.
+    if (!w.final) {
+      EXPECT_EQ(w.emit_hi + 15, w.end_col);
+    }
+    // Left edge: unless the window starts at the stream head, the emit
+    // region begins at least margin columns inside the window.
+    if (w.start_col > 0) {
+      EXPECT_GE(w.emit_lo, w.start_col + 15);
+    }
+    EXPECT_GE(w.emit_lo, w.start_col);
+    EXPECT_LE(w.emit_hi, w.end_col);
+  }
+}
+
+TEST(IngestWindowTest, PropertyAnyGeometryTilesWithoutGaps) {
+  std::mt19937 rng(20260809);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t window_files = 1 + rng() % 5;
+    const std::size_t overlap_files = rng() % window_files;
+    const std::size_t margin = rng() % 25;
+    const std::size_t n_files = 1 + rng() % 12;
+    std::vector<std::size_t> cols;
+    // Long enough files that every geometry with overlap >= 1 file is
+    // valid; overlap 0 needs margin 0 to be exact.
+    const std::size_t min_cols = 2 * margin + 1;
+    cols.reserve(n_files);
+    for (std::size_t f = 0; f < n_files; ++f) {
+      cols.push_back(min_cols + rng() % 50);
+    }
+    if (overlap_files == 0 && margin > 0 &&
+        n_files > window_files) {
+      continue;  // invalid geometry by design; covered below
+    }
+
+    WindowPlanner planner(window_files, overlap_files, margin);
+    std::vector<WindowSpec> windows;
+    try {
+      windows = plan_all(planner, cols);
+    } catch (const InvalidArgument&) {
+      // Acceptable only when the overlap genuinely cannot cover two
+      // margins; re-check the precondition the docs state.
+      std::size_t overlap_cols = 0;
+      for (std::size_t f = 0; f < overlap_files; ++f) {
+        overlap_cols += cols[f];  // minimum overlap width in this trial
+      }
+      EXPECT_LT(overlap_cols, 2 * margin)
+          << "planner rejected a geometry the contract allows";
+      continue;
+    }
+
+    std::size_t total = 0;
+    for (std::size_t c : cols) total += c;
+    std::size_t expect = 0;
+    for (const WindowSpec& w : windows) {
+      ASSERT_EQ(w.emit_lo, expect)
+          << "trial " << trial << ": gap/double-processing at window "
+          << w.index;
+      ASSERT_LE(w.emit_hi, total);
+      expect = w.emit_hi;
+    }
+    ASSERT_EQ(expect, total) << "trial " << trial << ": stream not covered";
+  }
+}
+
+TEST(IngestWindowTest, RejectsOverlapTooSmallForMargin) {
+  // 3-file windows of 20 cols, 1-file overlap (20 cols) but margin 15:
+  // 2 * 15 > 20, so the second window cannot reach back far enough.
+  WindowPlanner planner(3, 1, 15);
+  for (int f = 0; f < 5; ++f) planner.add_file(20);
+  EXPECT_NO_THROW({ auto w = planner.next_ready(); (void)w; });
+  EXPECT_THROW({ auto w = planner.next_ready(); (void)w; },
+               InvalidArgument);
+}
+
+TEST(IngestWindowTest, FinishCoversRemainderWithContext) {
+  WindowPlanner planner(4, 2, 10);
+  planner.add_file(60);
+  planner.add_file(60);  // no complete window yet
+  EXPECT_EQ(planner.next_ready(), std::nullopt);
+  const auto w = planner.finish();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(w->final);
+  EXPECT_EQ(w->first_file, 0u);
+  EXPECT_EQ(w->emit_lo, 0u);
+  EXPECT_EQ(w->emit_hi, 120u);
+}
+
+TEST(IngestWindowTest, FinishOnEmptyStreamIsEmpty) {
+  WindowPlanner planner(2, 1, 5);
+  EXPECT_EQ(planner.finish(), std::nullopt);
+}
+
+TEST(IngestWindowTest, ValidatesConstruction) {
+  EXPECT_THROW(WindowPlanner(0, 0, 1), InvalidArgument);
+  EXPECT_THROW(WindowPlanner(2, 2, 1), InvalidArgument);
+  WindowPlanner ok(2, 1, 0);
+  EXPECT_THROW(ok.add_file(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dassa::ingest

@@ -278,5 +278,77 @@ TEST_F(ToolsSmokeTest, AnalyzeRejectsUnknownPipeline) {
             2);
 }
 
+TEST_F(ToolsSmokeTest, AnalyzeRequiresExplicitOut) {
+  // No silent CWD artifact: an analysis pipeline without --out/-o is a
+  // usage error, and nothing is written anywhere.
+  EXPECT_EQ(run(tools_dir() + "/das_analyze --dir " + dir_->str() +
+                " --pipeline similarity --window-half 4 --lag-half 2"),
+            2);
+  EXPECT_FALSE(std::filesystem::exists("das_analyze_out.dh5"));
+  // qc prints to stdout and legitimately needs no output path.
+  EXPECT_EQ(run(tools_dir() + "/das_analyze --dir " + dir_->str() +
+                " --pipeline qc"),
+            0);
+}
+
+TEST_F(ToolsSmokeTest, GenerateStreamDeliversWholeFiles) {
+  // --stream stages each file and renames it into the spool, so a
+  // watcher never sees a half-written acquisition; the staging area
+  // must be gone afterwards.
+  TmpDir spool("tools_stream");
+  ASSERT_EQ(run(tools_dir() + "/das_generate --dir " + spool.str() +
+                " --channels 8 --rate 20 --files 3 --seconds-per-file 2 "
+                "--start 170728224510 --stream"),
+            0);
+  EXPECT_FALSE(std::filesystem::exists(spool.str() + "/.staging"));
+  std::size_t count = 0;
+  for (const auto& e : std::filesystem::directory_iterator(spool.str())) {
+    if (e.path().extension() != ".dh5") continue;
+    ++count;
+    io::Dash5File f(e.path().string());
+    EXPECT_EQ(f.shape(), (Shape2D{8, 40}));
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST_F(ToolsSmokeTest, IngestOnceMatchesAnalyzeByteForByte) {
+  // The streaming acceptance criterion, end to end through the CLIs:
+  // das_ingest --once over a spool must write the same container, byte
+  // for byte, as the offline das_analyze run over the same directory.
+  TmpDir spool("tools_ingest");
+  ASSERT_EQ(run(tools_dir() + "/das_generate --dir " + spool.str() +
+                " --channels 12 --rate 20 --files 5 --seconds-per-file 2 "
+                "--start 170728224510"),
+            0);
+  // Outputs go to a separate directory so the offline catalog scan
+  // sees only the original acquisition files.
+  TmpDir outdir("tools_ingest_out");
+  const std::string streamed = outdir.file("streamed.dh5");
+  const std::string offline = outdir.file("offline.dh5");
+  ASSERT_EQ(run(tools_dir() + "/das_ingest --spool " + spool.str() +
+                " --out " + streamed +
+                " --once --window 3 --overlap 1 --window-half 4 "
+                "--lag-half 2 --nodes 2 --cores 2"),
+            0);
+  ASSERT_EQ(run(tools_dir() + "/das_analyze --dir " + spool.str() +
+                " --pipeline similarity --window-half 4 --lag-half 2 "
+                "--nodes 2 --cores 2 --out " + offline),
+            0);
+  std::ifstream a(streamed, std::ios::binary);
+  std::ifstream b(offline, std::ios::binary);
+  ASSERT_TRUE(a.good());
+  ASSERT_TRUE(b.good());
+  std::ostringstream abuf, bbuf;
+  abuf << a.rdbuf();
+  bbuf << b.rdbuf();
+  EXPECT_EQ(abuf.str(), bbuf.str());
+  EXPECT_GT(abuf.str().size(), 0u);
+}
+
+TEST_F(ToolsSmokeTest, IngestRequiresSpoolAndOut) {
+  EXPECT_EQ(run(tools_dir() + "/das_ingest --out x.dh5 --once"), 2);
+  EXPECT_EQ(run(tools_dir() + "/das_ingest --spool /tmp --once"), 2);
+}
+
 }  // namespace
 }  // namespace dassa

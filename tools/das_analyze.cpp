@@ -3,10 +3,13 @@
 // geophysicist runs (search -> VCA -> HAEE -> output file).
 //
 // Usage:
-//   das_analyze --dir data --pipeline similarity
+//   das_analyze --dir data --pipeline similarity --out result.dh5
 //               [-s yymmddhhmmss -c N | -e regex]   (default: all files)
 //               [--nodes 4] [--cores 2] [--mpi-per-core]
-//               [--out result.dh5]
+//
+// --out (or -o) is required for the pipelines that produce an output
+// array (similarity, interferometry): the tool never silently drops
+// artifacts into the current working directory.
 //   pipeline "similarity":  paper Algorithm 2 (local similarity)
 //     [--window-half M] [--lag-half L] [--channel-offset K]
 //   pipeline "interferometry": paper Algorithm 3
@@ -195,7 +198,9 @@ int main(int argc, char** argv) {
   const tools::Args args(argc, argv);
   if (!args.has("--dir") || !args.has("--pipeline")) {
     std::cerr << "usage: das_analyze --dir <dir> --pipeline "
-                 "<similarity|interferometry|qc> [options]\n"
+                 "<similarity|interferometry|qc> [--out result.dh5] "
+                 "[options]\n"
+                 "--out/-o is required unless the pipeline is qc\n"
                  "see the header comment of tools/das_analyze.cpp "
                  "for the full option list\n";
     return 2;
@@ -234,6 +239,15 @@ int main(int argc, char** argv) {
 
     core::EngineReport report;
     const std::string pipeline = args.get("--pipeline");
+    // Array-producing pipelines must name their destination: writing a
+    // default file into whatever directory the tool happens to run
+    // from litters CWDs (and CI checkouts) with artifacts.
+    if (pipeline != "qc" && !args.has("--out") && !args.has("-o")) {
+      DASSA_SLOG(kError, "analyze.no_out")
+          << "--out/-o is required for pipeline '" << pipeline
+          << "' (it writes a result array); pass --out result.dh5";
+      return 2;
+    }
     if (pipeline == "similarity") {
       das::LocalSimilarityParams p;
       p.window_half =
@@ -299,7 +313,8 @@ int main(int argc, char** argv) {
     dsp::publish_dsp_counters();
     log_counters("analyze.dsp_counters", "dsp.", nullptr);
     log_counters("analyze.storage_counters", "io.codec.", "io.cache.");
-    const std::string out_path = args.get("--out", "das_analyze_out.dh5");
+    const std::string out_path =
+        args.has("--out") ? args.get("--out") : args.get("-o");
     io::Dash5Header header;
     header.shape = report.output.shape;
     header.global = vca.global_meta();

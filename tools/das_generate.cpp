@@ -8,7 +8,17 @@
 //                [--files 6] [--seconds-per-file 60] [--seed 42]
 //                [--start 170728224510] [--prefix das] [--f64]
 //                [--chunk RxC] [--codec CHAIN] [--quantize LSB]
+//                [--stream [--interval-ms N]]
+//
+// --stream drops the files one at a time, interrogator-style: each is
+// rendered into <dir>/.staging/ and renamed into <dir> only when
+// complete (an atomic appearance a das_ingest spool watcher can trust),
+// optionally sleeping --interval-ms between files to simulate the
+// acquisition cadence.
+#include <chrono>
+#include <filesystem>
 #include <iostream>
+#include <thread>
 
 #include "arg_parse.hpp"
 #include "dassa/common/log.hpp"
@@ -40,7 +50,9 @@ int main(int argc, char** argv) {
                  "[--seed N] [--start yymmddhhmmss] [--prefix P] [--f64]\n"
                  "[--chunk RxC | --chunk-rows N --chunk-cols N]  (chunked)\n"
                  "[--codec none|shuffle+lz|delta+lz|...]  (DASH5 v3)\n"
-                 "[--quantize LSB]  (simulated ADC amplitude step)\n";
+                 "[--quantize LSB]  (simulated ADC amplitude step)\n"
+                 "[--stream [--interval-ms N]]  (drop files one at a "
+                 "time, spool-style)\n";
     return 2;
   }
   set_log_level(LogLevel::kInfo);
@@ -76,8 +88,31 @@ int main(int argc, char** argv) {
     }
     spec.quantize_lsb = args.get_double("--quantize", 0.0);
 
-    const std::vector<std::string> paths = das::write_acquisition(synth, spec);
-    for (const auto& p : paths) std::cout << p << "\n";
+    std::vector<std::string> paths;
+    if (args.has("--stream")) {
+      const long interval_ms = args.get_long("--interval-ms", 0);
+      das::AcquisitionSpec staged = spec;
+      staged.dir = spec.dir + "/.staging";
+      std::filesystem::create_directories(spec.dir);
+      for (std::size_t f = 0; f < spec.file_count; ++f) {
+        const std::string tmp = das::write_acquisition_file(synth, staged, f);
+        const std::string dest =
+            spec.dir + "/" +
+            std::filesystem::path(tmp).filename().string();
+        std::filesystem::rename(tmp, dest);
+        paths.push_back(dest);
+        std::cout << dest << "\n" << std::flush;
+        if (interval_ms > 0 && f + 1 < spec.file_count) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(interval_ms));
+        }
+      }
+      std::error_code ec;
+      std::filesystem::remove(staged.dir, ec);  // best-effort tidy-up
+    } else {
+      paths = das::write_acquisition(synth, spec);
+      for (const auto& p : paths) std::cout << p << "\n";
+    }
     DASSA_SLOG(kInfo, "generate.done")
             .field("files", static_cast<std::uint64_t>(paths.size()))
             .field("channels", static_cast<std::uint64_t>(channels))

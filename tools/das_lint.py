@@ -78,7 +78,7 @@ import re
 import sys
 
 CANONICAL_COUNTER_PREFIX = re.compile(
-    r"^(io|mpi|mem|dsp|haee|trace|telemetry)\.")
+    r"^(io|mpi|mem|dsp|haee|trace|telemetry|ingest)\.")
 # Registered counter namespaces: everything before the final dot of a
 # counter name must appear here. Adding a subsystem (e.g. the DASH5 v3
 # storage engine's io.codec / io.cache) means adding its namespace.
@@ -90,6 +90,7 @@ CANONICAL_COUNTER_NAMESPACES = frozenset({
     "trace",
     "telemetry",
     "log",
+    "ingest", "ingest.queue",
 })
 STD_EXCEPTIONS = (
     "std::", "runtime_error", "logic_error", "invalid_argument",
@@ -227,7 +228,7 @@ def counter_name_problem(name):
     CANONICAL_COUNTER_NAMESPACES."""
     if not CANONICAL_COUNTER_PREFIX.match(name):
         return ("outside canonical namespaces "
-                "io|mpi|mem|dsp|haee|trace|telemetry")
+                "io|mpi|mem|dsp|haee|trace|telemetry|ingest")
     namespace = name.rsplit(".", 1)[0]
     if namespace not in CANONICAL_COUNTER_NAMESPACES:
         return (f"namespace '{namespace}' not registered in "
