@@ -16,12 +16,19 @@ Usage:
                                    [--history BENCH_history.jsonl]
                                    [--min-time 0.2]
     python3 bench/bench_compare.py --ingest-bin build/bench/bench_ingest
+    python3 bench/bench_compare.py --serve-bin build/bench/bench_serve
 
 With --ingest-bin the script instead runs the self-gating streaming
 ingest benchmark (bench_ingest --check), which writes BENCH_ingest.json
 (ingest-to-detection p50/p99 from validated telemetry, queue
 backpressure counters, streamed-vs-offline byte identity), and appends
 a {"bench": "ingest", ...} line to the same history log.
+
+With --serve-bin it runs the self-gating query-serving benchmark
+(bench_serve --check), which writes BENCH_serve.json (shared-decode
+ratio vs the unbatched baseline, request latency p50/p99, interval
+index touch counts) and appends a {"bench": "serve", ...} history
+line.
 
 Exit status is non-zero if the binary is missing or any acceptance
 threshold (see THRESHOLDS, or bench_ingest's built-in gates) is not
@@ -123,6 +130,39 @@ def run_ingest(ingest_bin, out_path, history_path):
     return proc.returncode
 
 
+def run_serve(serve_bin, out_path, history_path):
+    """Run the self-gating query-serving bench and log its result."""
+    serve_bin = pathlib.Path(serve_bin)
+    if not serve_bin.exists():
+        print(f"bench_compare: binary not found: {serve_bin}\n"
+              "build it first: cmake --build build -j --target "
+              "bench_serve", file=sys.stderr)
+        return 2
+    proc = subprocess.run(
+        [str(serve_bin), "--check", "--out", str(out_path)])
+    report = {}
+    out = pathlib.Path(out_path)
+    if out.exists():
+        report = json.loads(out.read_text())
+        print(f"wrote {out}")
+    append_history(history_path, {
+        "bench": "serve",
+        "passed": proc.returncode == 0,
+        "results": {
+            "decode_ratio": report.get("decode_ratio"),
+            "latency_p50_ns": report.get("latency_p50_ns"),
+            "latency_p99_ns": report.get("latency_p99_ns"),
+            "coalesced": report.get("batch", {}).get("coalesced"),
+            "index_touches": report.get("index", {}).get("touches"),
+            "byte_identical": report.get("byte_identical"),
+        },
+    })
+    if proc.returncode != 0:
+        print("bench_serve gates FAILED (see messages above)",
+              file=sys.stderr)
+    return proc.returncode
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench-bin",
@@ -130,6 +170,9 @@ def main():
                         / "bench_micro_dsp")
     parser.add_argument("--ingest-bin", default=None,
                         help="run bench_ingest --check instead of the "
+                        "FFT micro-bench comparison")
+    parser.add_argument("--serve-bin", default=None,
+                        help="run bench_serve --check instead of the "
                         "FFT micro-bench comparison")
     parser.add_argument("--out", default=None)
     parser.add_argument("--history",
@@ -140,6 +183,9 @@ def main():
     if args.ingest_bin is not None:
         out = args.out or REPO_ROOT / "BENCH_ingest.json"
         return run_ingest(args.ingest_bin, out, args.history)
+    if args.serve_bin is not None:
+        out = args.out or REPO_ROOT / "BENCH_serve.json"
+        return run_serve(args.serve_bin, out, args.history)
     if args.out is None:
         args.out = REPO_ROOT / "BENCH_fft.json"
 

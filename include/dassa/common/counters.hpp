@@ -171,6 +171,40 @@ inline constexpr const char* kIngestQueuePushBlocked =
     "ingest.queue.push_blocked";
 inline constexpr const char* kIngestQueuePeakDepth =
     "ingest.queue.peak_depth";
+// Time-interval index (src/io/interval_index.cpp): the sorted
+// fence-pointer sidecar that makes VCA time-range lookups sub-linear.
+// entry_touches counts comparator probes plus emitted entries, so the
+// O(log n + k) shape of an indexed query is assertable against the
+// linear fallback's n touches (tests/io/test_interval_index.cpp and
+// the bench_serve index gate pin both).
+inline constexpr const char* kIoIndexLoads = "io.index.loads";
+inline constexpr const char* kIoIndexPublishes = "io.index.publishes";
+inline constexpr const char* kIoIndexQueries = "io.index.queries";
+inline constexpr const char* kIoIndexEntryTouches = "io.index.entry_touches";
+inline constexpr const char* kIoIndexFallbacks = "io.index.fallbacks";
+// Query-serving layer (src/serve/): connection admission, request /
+// response accounting, and the shared-decode batcher. Queue occupancy
+// lives under serve.queue.* (same no-drop invariant as ingest.queue.*,
+// via the shared dassa::BoundedQueue); batch.coalesced counts requests
+// that shared another request's union read -- the cache-share evidence
+// bench_serve gates on.
+inline constexpr const char* kServeConnections = "serve.connections";
+inline constexpr const char* kServeRequests = "serve.requests";
+inline constexpr const char* kServeResponses = "serve.responses";
+inline constexpr const char* kServeErrors = "serve.errors";
+inline constexpr const char* kServeBytesReceived = "serve.bytes_received";
+inline constexpr const char* kServeBytesSent = "serve.bytes_sent";
+inline constexpr const char* kServeQueuePushed = "serve.queue.pushed";
+inline constexpr const char* kServeQueuePopped = "serve.queue.popped";
+inline constexpr const char* kServeQueuePushBlocked =
+    "serve.queue.push_blocked";
+inline constexpr const char* kServeQueuePeakDepth =
+    "serve.queue.peak_depth";
+inline constexpr const char* kServeBatchGroups = "serve.batch.groups";
+inline constexpr const char* kServeBatchCoalesced =
+    "serve.batch.coalesced";
+inline constexpr const char* kServeBatchUnionReads =
+    "serve.batch.union_reads";
 }  // namespace counters
 
 }  // namespace dassa

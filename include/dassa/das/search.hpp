@@ -12,11 +12,14 @@
 // VCA creation ~70,000x cheaper than physical merging (paper Fig. 6).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "dassa/common/shape.hpp"
 #include "dassa/das/time.hpp"
+#include "dassa/io/interval_index.hpp"
+#include "dassa/io/vca.hpp"
 
 namespace dassa::das {
 
@@ -54,9 +57,22 @@ class Catalog {
   [[nodiscard]] std::vector<DasFileInfo> query_range(const Timestamp& start,
                                                      std::size_t count) const;
 
-  /// Files whose timestamps fall in [begin, end).
+  /// Files whose timestamps fall in [begin, end). Binary search over
+  /// the sorted catalog: O(log n + k), never a full scan.
   [[nodiscard]] std::vector<DasFileInfo> query_interval(
       const Timestamp& begin, const Timestamp& end) const;
+
+  /// Time-range query against a *persisted* VCA: the members of
+  /// `vca_path` whose time extent overlaps [begin, end). When the .tix
+  /// sidecar (io::IntervalIndex) is present the lookup is O(log n + k)
+  /// entry touches; when it is absent the query still answers -- it
+  /// logs a warning, charges io.index.fallbacks, and derives each
+  /// member's extent linearly (one io.index.entry_touches per member).
+  /// A sidecar that exists but fails to parse is corruption, not
+  /// absence: the FormatError propagates.
+  [[nodiscard]] static std::vector<DasFileInfo> query_vca_interval(
+      const std::string& vca_path, const Timestamp& begin,
+      const Timestamp& end);
 
   /// Type 2 query: files whose 12-digit timestamp string matches the
   /// regular expression `pattern` (full match).
@@ -70,5 +86,21 @@ class Catalog {
  private:
   std::vector<DasFileInfo> entries_;
 };
+
+/// Timestamp embedded in an acquisition filename (the trailing
+/// "_yymmddhhmmss.dh5"); nullopt when the name does not carry one.
+[[nodiscard]] std::optional<Timestamp> timestamp_from_filename(
+    const std::string& path);
+
+/// Fence-pointer entries for every member of `vca`: begin from the
+/// filename timestamp (falling back to a header read), duration from
+/// the member width and the VCA's sampling rate. The result is what
+/// the .tix writers persist next to the .vca.
+[[nodiscard]] io::IntervalIndex build_interval_index(const io::Vca& vca);
+
+/// Publish `vca` and its .tix sidecar, both atomically -- the
+/// "republish" step shared by das_search --save-vca, the das_ingest
+/// live VCA, and das_repack --save-vca.
+void save_vca_with_index(const io::Vca& vca, const std::string& path);
 
 }  // namespace dassa::das

@@ -2,12 +2,12 @@
 //
 // The spool watcher (producer) and the window driver (consumer) run at
 // different, bursty rates: a backlog of stable files can appear in one
-// poll, while a window takes a full engine run to retire. The queue
-// bounds that mismatch with *backpressure*, never drops: push() blocks
-// while the queue is at capacity, so a slow consumer throttles the
-// producer instead of silently losing acquisitions. A real deployment
-// leaves the files in the spool while blocked -- which is exactly what
-// blocking the admitting thread achieves here.
+// poll, while a window takes a full engine run to retire. The shared
+// dassa::BoundedQueue bounds that mismatch with backpressure (push()
+// blocks at capacity, never drops); this alias binds it to the
+// ingest.queue.* counter namespace. A real deployment leaves the files
+// in the spool while blocked -- which is exactly what blocking the
+// admitting thread achieves here.
 //
 // Occupancy is observable three ways: the ingest.queue.* counters
 // (pushed / popped / push_blocked / peak_depth), the depth() accessor
@@ -16,88 +16,24 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
-#include <optional>
-#include <utility>
 
+#include "dassa/common/bounded_queue.hpp"
 #include "dassa/common/counters.hpp"
-#include "dassa/common/error.hpp"
-#include "dassa/common/sync.hpp"
 
 namespace dassa::ingest {
 
-/// Blocking bounded MPSC/SPSC queue used between the spool poller and
-/// the window driver. close() wakes every waiter: blocked pushes give
-/// up (return false) and pops drain the remaining items before
-/// reporting end-of-stream (nullopt) -- the graceful-shutdown order.
+/// The ingest admission queue: dassa::BoundedQueue charging
+/// ingest.queue.* (pushed == popped after a clean drain is the no-drop
+/// invariant bench_ingest asserts).
 template <typename T>
-class BoundedQueue {
+class BoundedQueue : public dassa::BoundedQueue<T> {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
-    DASSA_CHECK(capacity >= 1, "queue capacity must be at least 1");
-  }
-
-  BoundedQueue(const BoundedQueue&) = delete;
-  BoundedQueue& operator=(const BoundedQueue&) = delete;
-
-  /// Block until there is room (backpressure), then enqueue. Returns
-  /// false without enqueuing if the queue was closed first.
-  bool push(T item) {
-    MutexLock lock(mu_);
-    if (items_.size() >= capacity_ && !closed_) {
-      global_counters().add(counters::kIngestQueuePushBlocked);
-      while (items_.size() >= capacity_ && !closed_) not_full_.wait(lock);
-    }
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    global_counters().add(counters::kIngestQueuePushed);
-    global_counters().high_water(counters::kIngestQueuePeakDepth,
-                                 items_.size());
-    not_empty_.notify_one();
-    return true;
-  }
-
-  /// Block until an item is available or the queue is closed and
-  /// drained; nullopt means no more items will ever arrive.
-  std::optional<T> pop() {
-    MutexLock lock(mu_);
-    while (items_.empty() && !closed_) not_empty_.wait(lock);
-    if (items_.empty()) return std::nullopt;  // closed and drained
-    T item = std::move(items_.front());
-    items_.pop_front();
-    global_counters().add(counters::kIngestQueuePopped);
-    not_full_.notify_one();
-    return item;
-  }
-
-  /// End the stream: blocked producers return false, consumers drain
-  /// what is queued and then see nullopt. Idempotent.
-  void close() {
-    MutexLock lock(mu_);
-    closed_ = true;
-    not_full_.notify_all();
-    not_empty_.notify_all();
-  }
-
-  [[nodiscard]] std::size_t depth() const {
-    MutexLock lock(mu_);
-    return items_.size();
-  }
-
-  [[nodiscard]] bool closed() const {
-    MutexLock lock(mu_);
-    return closed_;
-  }
-
-  [[nodiscard]] std::size_t capacity() const { return capacity_; }
-
- private:
-  const std::size_t capacity_;
-  mutable Mutex mu_;
-  CondVar not_full_;
-  CondVar not_empty_;
-  std::deque<T> items_ DASSA_GUARDED_BY(mu_);
-  bool closed_ DASSA_GUARDED_BY(mu_) = false;
+  explicit BoundedQueue(std::size_t capacity)
+      : dassa::BoundedQueue<T>(
+            capacity, QueueCounterNames{counters::kIngestQueuePushed,
+                                        counters::kIngestQueuePopped,
+                                        counters::kIngestQueuePushBlocked,
+                                        counters::kIngestQueuePeakDepth}) {}
 };
 
 }  // namespace dassa::ingest

@@ -1,0 +1,45 @@
+// Query serving: shared-decode batching of overlapping hyperslabs.
+//
+// The server's economic argument (ROADMAP, docs/SERVING.md): N clients
+// asking for nearby time windows should cost one chunk decode, not N.
+// The dispatcher holds admitted requests for a short coalesce window,
+// then groups slabs whose column ranges overlap (or sit within a
+// configurable gap); each group is served by ONE union read through
+// the shared archive handle -- every chunk the group touches is
+// decoded once, hot in the global ChunkCache, and each member's
+// payload is sliced out of the union buffer.
+//
+// coalesce() is a pure, deterministic function of its inputs so the
+// batching policy is unit-testable without sockets or threads
+// (tests/serve/test_serve_batcher.cpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dassa/common/shape.hpp"
+
+namespace dassa::serve {
+
+/// One batch: the union bounding slab plus the member slabs it serves,
+/// as indices into coalesce()'s input order.
+struct BatchGroup {
+  Slab2D span;
+  std::vector<std::size_t> jobs;
+};
+
+/// Group `slabs` so members of a group overlap in columns (allowing a
+/// gap of up to `gap_cols` unrequested columns between them). Row
+/// extents are unioned per group. Deterministic: slabs are swept in
+/// ascending (col_off, input index) order, so the same inputs always
+/// produce the same groups. Empty slabs get a group of their own.
+[[nodiscard]] std::vector<BatchGroup> coalesce(
+    const std::vector<Slab2D>& slabs, std::size_t gap_cols);
+
+/// Slice `slab`'s payload out of the union read of `span` (row-major
+/// `span_data`, span.size() elements). `slab` must lie within `span`.
+[[nodiscard]] std::vector<double> slice_from_union(
+    const std::vector<double>& span_data, const Slab2D& span,
+    const Slab2D& slab);
+
+}  // namespace dassa::serve

@@ -1,0 +1,51 @@
+// Query serving: the das_query client side.
+//
+// One Client is one connection speaking the length-prefixed protocol
+// (protocol.hpp). call() is a synchronous request/response round trip;
+// read_slab() / read_window() are the conveniences the tools and the
+// equivalence tests use. Not thread-safe: give each client thread its
+// own Client (which is exactly what the bench's load driver does).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dassa/common/shape.hpp"
+#include "dassa/serve/protocol.hpp"
+#include "dassa/serve/socket.hpp"
+
+namespace dassa::serve {
+
+class Client {
+ public:
+  /// Connect to a das_serve socket (IoError if no server listens).
+  explicit Client(const std::string& socket_path);
+
+  /// One round trip. A zero req.id is replaced by a fresh one. Throws
+  /// IoError if the server vanishes, FormatError on a reply whose id
+  /// does not match the request.
+  [[nodiscard]] ReadResponse call(ReadRequest req);
+
+  /// Column-addressed read; throws StateError carrying the server's
+  /// message if the request was refused.
+  [[nodiscard]] std::vector<double> read_slab(const Slab2D& slab);
+
+  /// Time-addressed read of [begin_s, end_s) epoch seconds over rows
+  /// [row_off, row_off + row_cnt) (row_cnt 0 = all rows). The reply's
+  /// resolved coordinates land in *out_slab when non-null.
+  [[nodiscard]] std::vector<double> read_window(std::int64_t begin_s,
+                                                std::int64_t end_s,
+                                                std::size_t row_off = 0,
+                                                std::size_t row_cnt = 0,
+                                                Slab2D* out_slab = nullptr);
+
+ private:
+  [[nodiscard]] std::vector<double> checked(ReadRequest req,
+                                            Slab2D* out_slab);
+
+  Connection conn_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace dassa::serve

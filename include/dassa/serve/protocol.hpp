@@ -1,0 +1,89 @@
+// Query serving: the wire protocol (docs/SERVING.md).
+//
+// das_serve speaks length-prefixed frames over a local stream socket:
+// a 32-bit little-endian payload length followed by the payload, whose
+// first byte is the message type. Requests address a hyperslab of the
+// served archive either directly by columns or by a wall-clock time
+// window [begin, end) that the server resolves through its interval
+// index. Responses carry the resolved slab coordinates plus the
+// row-major f64 payload, so a client never needs the archive's
+// metadata to interpret what it got.
+//
+// Decoding treats every byte as untrusted (frames arrive from
+// arbitrary local clients): truncation, trailing bytes, unknown types,
+// and payload sizes that disagree with the declared shape all surface
+// as dassa::FormatError, never out-of-bounds access or unbounded
+// allocation -- the same contract as the DASH5 parsers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dassa/common/shape.hpp"
+
+namespace dassa::serve {
+
+/// Hard ceiling on one frame's payload; a length prefix beyond it is
+/// rejected before any allocation (64 MiB holds an 8M-sample slab).
+inline constexpr std::size_t kMaxFrameBytes = 64ull << 20;
+
+enum class MsgType : std::uint8_t {
+  kReadRequest = 1,
+  kReadOk = 2,
+  kError = 3,
+};
+
+/// How a request names its column range.
+enum class Addressing : std::uint8_t {
+  kColumns = 0,  ///< archive column offsets
+  kTime = 1,     ///< epoch-second window resolved via the interval index
+};
+
+enum class ErrorCode : std::uint32_t {
+  kBadRequest = 1,    ///< malformed or unresolvable request
+  kOutOfRange = 2,    ///< slab exceeds the archive extents
+  kEmptyRange = 3,    ///< time window overlaps no member
+  kShuttingDown = 4,  ///< server draining; request was not admitted
+  kInternal = 5,      ///< read failed server-side
+};
+
+/// One hyperslab read. row_cnt = 0 selects every channel; col_cnt = 0
+/// (columns mode) selects through the last column.
+struct ReadRequest {
+  std::uint64_t id = 0;  ///< echoed in the response
+  Addressing addressing = Addressing::kColumns;
+  std::uint64_t row_off = 0;
+  std::uint64_t row_cnt = 0;
+  std::uint64_t col_off = 0;  ///< columns mode
+  std::uint64_t col_cnt = 0;  ///< columns mode
+  std::int64_t begin_s = 0;   ///< time mode, inclusive
+  std::int64_t end_s = 0;     ///< time mode, exclusive
+  friend bool operator==(const ReadRequest&, const ReadRequest&) = default;
+};
+
+/// The server's answer: either the resolved slab plus its payload, or
+/// a typed error. `id` matches the request.
+struct ReadResponse {
+  std::uint64_t id = 0;
+  bool ok = false;
+  ErrorCode code = ErrorCode::kInternal;  ///< meaningful when !ok
+  std::string error;                      ///< human-readable when !ok
+  std::uint64_t row_off = 0;              ///< resolved archive coordinates
+  std::uint64_t col_off = 0;
+  Shape2D shape;              ///< payload extents
+  std::vector<double> data;   ///< row-major, shape.size() elements
+};
+
+[[nodiscard]] std::vector<std::byte> encode_request(const ReadRequest& req);
+[[nodiscard]] std::vector<std::byte> encode_response(const ReadResponse& resp);
+
+/// Decode a frame payload; throws FormatError on anything malformed
+/// (wrong type byte, truncation, trailing bytes, shape/payload
+/// disagreement).
+[[nodiscard]] ReadRequest decode_request(const std::vector<std::byte>& frame);
+[[nodiscard]] ReadResponse decode_response(
+    const std::vector<std::byte>& frame);
+
+}  // namespace dassa::serve

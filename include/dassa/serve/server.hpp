@@ -1,0 +1,144 @@
+// Query serving: the das_serve front end (docs/SERVING.md).
+//
+// Thread topology:
+//
+//   accept loop ──► one reader thread per connection
+//                        │  decode + validate, admit
+//                        ▼
+//                 admission queue (BoundedQueue, serve.queue.*)
+//                        │
+//                 dispatcher: hold up to coalesce_window_us for more
+//                 requests, coalesce() overlapping slabs into groups
+//                        │
+//                        ▼
+//                 group queue ──► worker pool: ONE union read per
+//                 group through the shared archive handle (all chunk
+//                 decodes land in the global ChunkCache once), then
+//                 slice + reply per member request.
+//
+// Admission control is backpressure, not load shedding: when the
+// admission queue is full, readers block on push() and the kernel's
+// socket buffer throttles the client. serve.queue.push_blocked counts
+// how often that happened.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dassa/common/bounded_queue.hpp"
+#include "dassa/common/sync.hpp"
+#include "dassa/io/interval_index.hpp"
+#include "dassa/io/vca.hpp"
+#include "dassa/serve/protocol.hpp"
+#include "dassa/serve/socket.hpp"
+
+namespace dassa::serve {
+
+struct ServeConfig {
+  std::string socket_path;
+  /// Archive to serve: a .vca logical file, or a single DASH5 file.
+  std::string archive;
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 64;
+  /// Max requests the dispatcher folds into one coalesce round.
+  std::size_t max_batch = 16;
+  /// How long the dispatcher holds the first admitted request hoping
+  /// for overlapping company. 0 = dispatch immediately.
+  std::uint64_t coalesce_window_us = 500;
+  /// Column gap two slabs may leave and still share a union read.
+  std::size_t gap_cols = 0;
+  /// Off = every request is its own group (the bench baseline's
+  /// "unbatched server" lever).
+  bool batching = true;
+};
+
+/// A das_serve instance. start() spawns the thread topology above;
+/// stop() drains: in-flight requests are answered, late ones are
+/// refused with kShuttingDown. Construction loads the archive and its
+/// time-interval sidecar (or falls back to building the index from
+/// member headers -- io.index.fallbacks).
+class Server {
+ public:
+  explicit Server(ServeConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  void start();
+  /// Graceful drain; idempotent. Safe to call while clients are
+  /// mid-request: admitted work is finished, not abandoned.
+  void stop();
+
+  [[nodiscard]] const ServeConfig& config() const { return cfg_; }
+  [[nodiscard]] Shape2D shape() const { return vca_.shape(); }
+  /// Admission-queue depth right now (the das_serve telemetry gauge).
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+
+ private:
+  /// One connected client, shared between its reader thread and any
+  /// worker holding a reply for it. write_mu serialises frames from
+  /// concurrent workers onto the single stream.
+  struct ClientConn {
+    Connection conn;
+    Mutex write_mu;
+    std::uint64_t client_id = 0;
+  };
+
+  /// One admitted read, resolved to archive coordinates.
+  struct Job {
+    ReadRequest req;
+    Slab2D slab;
+    std::shared_ptr<ClientConn> conn;
+    std::uint64_t admit_ns = 0;
+  };
+
+  /// One coalesced batch handed to a worker.
+  struct GroupWork {
+    Slab2D span;
+    std::vector<Job> jobs;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<ClientConn> client);
+  void dispatch_loop();
+  void worker_loop();
+  void dispatch_round(std::vector<Job> batch);
+
+  /// Map a validated request onto archive coordinates; throws
+  /// InvalidArgument (kBadRequest / kOutOfRange semantics handled by
+  /// the caller).
+  [[nodiscard]] Slab2D resolve(const ReadRequest& req) const;
+
+  static void send_response(ClientConn& client, const ReadResponse& resp);
+  static void send_error(ClientConn& client, std::uint64_t id, ErrorCode code,
+                         const std::string& message);
+
+  ServeConfig cfg_;
+  io::Vca vca_;
+  io::IntervalIndex index_;
+  bool has_time_index_ = false;
+
+  BoundedQueue<Job> queue_;
+  BoundedQueue<GroupWork> groups_;
+
+  std::unique_ptr<Listener> listener_;
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::vector<std::thread> worker_threads_;
+
+  Mutex readers_mu_;
+  std::vector<std::thread> reader_threads_ DASSA_GUARDED_BY(readers_mu_);
+  std::vector<std::shared_ptr<ClientConn>> clients_
+      DASSA_GUARDED_BY(readers_mu_);
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> next_client_id_{1};
+};
+
+}  // namespace dassa::serve

@@ -165,13 +165,14 @@ leg_tsan() {
   # prefetch, the multi-rank repack concatenator), the SIMD dispatch
   # layer, the span tracer (concurrent emission vs collection), the
   # telemetry sampler (background thread vs counter/histogram/gauge
-  # writers), and the ingest admission queue (blocking producers vs
-  # the draining consumer).
+  # writers), the ingest admission queue (blocking producers vs the
+  # draining consumer), and the query server (concurrent clients vs the
+  # coalescing dispatcher, worker pool, mid-request shutdown drain).
   step "tsan: ThreadSanitizer, concurrency suite"
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}"
   ctest --preset tsan -j "${JOBS}" \
-    -R 'ThreadPool|Fft|MiniMpi|HaeeStress|HaeeMode|Apply|Codec|ChunkCache|Dash5V3|Trace|Telemetry|Repack|Simd|Ingest'
+    -R 'ThreadPool|Fft|MiniMpi|HaeeStress|HaeeMode|Apply|Codec|ChunkCache|Dash5V3|Trace|Telemetry|Repack|Simd|Ingest|Serve'
 }
 
 leg_telemetry() {
@@ -225,6 +226,10 @@ leg_bench() {
   step "bench: streaming ingest latency gate (BENCH_ingest.json)"
   cmake --build --preset default -j "${JOBS}" --target bench_ingest
   python3 bench/bench_compare.py --ingest-bin build/bench/bench_ingest
+
+  step "bench: query-serving shared-decode gate (BENCH_serve.json)"
+  cmake --build --preset default -j "${JOBS}" --target bench_serve
+  python3 bench/bench_compare.py --serve-bin build/bench/bench_serve
 }
 
 # --------------------------------------------------------------- drive

@@ -4,6 +4,8 @@
 
 #include "dassa/common/counters.hpp"
 #include "dassa/common/error.hpp"
+#include "dassa/das/search.hpp"
+#include "dassa/io/interval_index.hpp"
 
 namespace dassa::ingest {
 
@@ -22,7 +24,14 @@ void LiveVca::append(const std::string& path) {
     *next = *current_;
   }
   next->append_member(path);
-  if (!index_path_.empty()) next->save_atomic(index_path_);
+  if (!index_path_.empty()) {
+    // Republish the .vca and its .tix sidecar together, both via
+    // atomic rename, so a concurrent server always sees a matching
+    // pair (the sidecar may trail the .vca by one append, never tear).
+    next->save_atomic(index_path_);
+    das::build_interval_index(*next).save_atomic(
+        io::IntervalIndex::sidecar_path(index_path_));
+  }
   {
     WriterLock lock(mu_);
     current_ = std::move(next);

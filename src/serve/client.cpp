@@ -1,0 +1,70 @@
+#include "dassa/serve/client.hpp"
+
+#include <utility>
+
+#include "dassa/common/error.hpp"
+
+namespace dassa::serve {
+
+Client::Client(const std::string& socket_path) {
+  DASSA_CHECK(!socket_path.empty(), "serve client needs a socket path");
+  conn_ = connect_local(socket_path);
+}
+
+ReadResponse Client::call(ReadRequest req) {
+  if (req.id == 0) req.id = next_id_++;
+  conn_.send_frame(encode_request(req));
+  std::optional<std::vector<std::byte>> frame = conn_.recv_frame();
+  if (!frame) throw IoError("server closed the connection mid-request");
+  ReadResponse resp = decode_response(*frame);
+  if (resp.id != req.id) {
+    throw FormatError("serve reply id does not match the request");
+  }
+  return resp;
+}
+
+std::vector<double> Client::checked(ReadRequest req, Slab2D* out_slab) {
+  ReadResponse resp = call(std::move(req));
+  if (!resp.ok) {
+    throw StateError("serve request refused: " + resp.error);
+  }
+  if (out_slab != nullptr) {
+    *out_slab = Slab2D{resp.row_off, resp.col_off, resp.shape.rows,
+                       resp.shape.cols};
+  }
+  return std::move(resp.data);
+}
+
+std::vector<double> Client::read_slab(const Slab2D& slab) {
+  // Client-side precheck: a fully-specified slab whose payload cannot
+  // fit in one response frame would only bounce off the server.
+  if (slab.row_cnt != 0 && slab.col_cnt != 0) {
+    DASSA_CHECK(
+        slab.col_cnt <= kMaxFrameBytes / sizeof(double) / slab.row_cnt,
+        "requested slab cannot fit in one serve frame");
+  }
+  ReadRequest req;
+  req.addressing = Addressing::kColumns;
+  req.row_off = slab.row_off;
+  req.row_cnt = slab.row_cnt;
+  req.col_off = slab.col_off;
+  req.col_cnt = slab.col_cnt;
+  return checked(std::move(req), nullptr);
+}
+
+std::vector<double> Client::read_window(std::int64_t begin_s,
+                                        std::int64_t end_s,
+                                        std::size_t row_off,
+                                        std::size_t row_cnt,
+                                        Slab2D* out_slab) {
+  DASSA_CHECK(begin_s < end_s, "read_window needs begin < end");
+  ReadRequest req;
+  req.addressing = Addressing::kTime;
+  req.row_off = row_off;
+  req.row_cnt = row_cnt;
+  req.begin_s = begin_s;
+  req.end_s = end_s;
+  return checked(std::move(req), out_slab);
+}
+
+}  // namespace dassa::serve

@@ -1,6 +1,7 @@
 // Timestamp + das_search catalog tests (paper Section IV-A).
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 
 #include "dassa/common/counters.hpp"
@@ -8,6 +9,8 @@
 #include "dassa/das/search.hpp"
 #include "dassa/das/synth.hpp"
 #include "dassa/das/time.hpp"
+#include "dassa/io/interval_index.hpp"
+#include "dassa/io/vca.hpp"
 #include "testing/tmpdir.hpp"
 
 namespace dassa::das {
@@ -206,6 +209,93 @@ TEST(CatalogTest, IgnoresForeignFiles) {
     std::ofstream((fx.dir.file("noise.dh5.bak"))) << "also not";
   }
   EXPECT_EQ(Catalog::scan(fx.dir.str(), false).size(), 10u);
+}
+
+// ---- query_vca_interval: indexed path vs. linear fallback ---------
+
+/// The CatalogFixture acquisition published as a VCA + .tix sidecar,
+/// the way das_search --save-vca / das_ingest republish archives.
+struct VcaIntervalFixture : CatalogFixture {
+  std::string vca_path;
+  std::string tix_path;
+
+  VcaIntervalFixture() {
+    vca_path = dir.file("arch.vca");
+    save_vca_with_index(io::Vca::build(paths), vca_path);
+    tix_path = io::IntervalIndex::sidecar_path(vca_path);
+  }
+};
+
+/// [170728224610, 170728224910) overlaps exactly the three members
+/// starting at 224610, 224710, 224810 (each file spans 60 s).
+void expect_paper_interval_hits(const std::vector<DasFileInfo>& hits) {
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].timestamp.str(), "170728224610");
+  EXPECT_EQ(hits[1].timestamp.str(), "170728224710");
+  EXPECT_EQ(hits[2].timestamp.str(), "170728224810");
+}
+
+TEST(VcaIntervalTest, SidecarQueryIsSubLinearAndNeverFallsBack) {
+  VcaIntervalFixture fx;
+  ASSERT_TRUE(std::filesystem::exists(fx.tix_path));
+  auto& ctr = global_counters();
+  const std::uint64_t fallbacks = ctr.get(counters::kIoIndexFallbacks);
+  const std::uint64_t touches = ctr.get(counters::kIoIndexEntryTouches);
+  const std::uint64_t loads = ctr.get(counters::kIoIndexLoads);
+
+  expect_paper_interval_hits(Catalog::query_vca_interval(
+      fx.vca_path, Timestamp::parse("170728224610"),
+      Timestamp::parse("170728224910")));
+
+  EXPECT_EQ(ctr.get(counters::kIoIndexFallbacks), fallbacks);
+  EXPECT_EQ(ctr.get(counters::kIoIndexLoads), loads + 1);
+  // Binary search over 10 entries plus the 3 hits -- well under the
+  // member count the linear fallback would charge.
+  const std::uint64_t spent = ctr.get(counters::kIoIndexEntryTouches) - touches;
+  EXPECT_GT(spent, 0u);
+  EXPECT_LT(spent, 10u);
+}
+
+TEST(VcaIntervalTest, MissingSidecarFallsBackToSameAnswer) {
+  VcaIntervalFixture fx;
+  const Timestamp begin = Timestamp::parse("170728224610");
+  const Timestamp end = Timestamp::parse("170728224910");
+  const auto indexed = Catalog::query_vca_interval(fx.vca_path, begin, end);
+
+  ASSERT_TRUE(std::filesystem::remove(fx.tix_path));
+  auto& ctr = global_counters();
+  const std::uint64_t fallbacks = ctr.get(counters::kIoIndexFallbacks);
+  const std::uint64_t touches = ctr.get(counters::kIoIndexEntryTouches);
+
+  const auto scanned = Catalog::query_vca_interval(fx.vca_path, begin, end);
+  expect_paper_interval_hits(scanned);
+  ASSERT_EQ(scanned.size(), indexed.size());
+  for (std::size_t i = 0; i < scanned.size(); ++i) {
+    EXPECT_EQ(scanned[i].path, indexed[i].path);
+    EXPECT_EQ(scanned[i].timestamp, indexed[i].timestamp);
+  }
+  EXPECT_EQ(ctr.get(counters::kIoIndexFallbacks), fallbacks + 1);
+  // The fallback derives every member's extent: one touch per member.
+  EXPECT_EQ(ctr.get(counters::kIoIndexEntryTouches), touches + 10);
+}
+
+TEST(VcaIntervalTest, CorruptSidecarIsCorruptionNotAbsence) {
+  VcaIntervalFixture fx;
+  {
+    // Flip a payload byte past the magic: the CRC must catch it.
+    std::fstream f(fx.tix_path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(20);
+    char b = 0;
+    f.seekg(20);
+    f.get(b);
+    f.seekp(20);
+    f.put(static_cast<char>(b ^ 0x5a));
+  }
+  EXPECT_THROW((void)Catalog::query_vca_interval(
+                   fx.vca_path, Timestamp::parse("170728224610"),
+                   Timestamp::parse("170728224910")),
+               FormatError);
 }
 
 }  // namespace

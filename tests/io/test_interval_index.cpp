@@ -1,0 +1,227 @@
+// Persistent time-interval index (.tix sidecar): property test against
+// a linear-scan oracle, save/load round trips, the O(log n + k)
+// entry-touch pin, and rejection of every malformed-sidecar class.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <random>
+
+#include "dassa/common/counters.hpp"
+#include "dassa/common/error.hpp"
+#include "dassa/io/interval_index.hpp"
+#include "testing/tmpdir.hpp"
+
+using namespace dassa;
+using dassa::testing::TmpDir;
+
+namespace {
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A contiguous-acquisition-shaped member set: touching intervals of
+/// random widths, the layout every real .vca publisher produces.
+std::vector<io::IntervalEntry> random_members(std::mt19937& rng,
+                                              std::size_t n) {
+  std::uniform_int_distribution<std::int64_t> width(1, 90);
+  std::vector<io::IntervalEntry> entries(n);
+  std::int64_t t = 1000;
+  std::size_t col = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t w = width(rng);
+    entries[i] = io::IntervalEntry{t, t + w, i, col,
+                                   static_cast<std::size_t>(w) * 10};
+    t += w;
+    col += static_cast<std::size_t>(w) * 10;
+  }
+  return entries;
+}
+
+/// The oracle: scan every entry.
+std::vector<io::IntervalEntry> linear_query(
+    const std::vector<io::IntervalEntry>& entries, std::int64_t begin_s,
+    std::int64_t end_s) {
+  std::vector<io::IntervalEntry> hits;
+  for (const io::IntervalEntry& e : entries) {
+    if (e.begin_s < end_s && e.end_s > begin_s) hits.push_back(e);
+  }
+  return hits;
+}
+
+std::uint64_t touches() {
+  return global_counters().get(counters::kIoIndexEntryTouches);
+}
+
+}  // namespace
+
+TEST(IntervalIndex, QueryMatchesLinearScanOracle) {
+  std::mt19937 rng(20260809);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng() % 200;
+    const std::vector<io::IntervalEntry> entries = random_members(rng, n);
+    const io::IntervalIndex idx = io::IntervalIndex::build(entries);
+    const std::int64_t lo = entries.front().begin_s;
+    const std::int64_t hi = entries.back().end_s;
+    std::uniform_int_distribution<std::int64_t> point(lo - 50, hi + 50);
+    for (int q = 0; q < 50; ++q) {
+      std::int64_t a = point(rng);
+      std::int64_t b = point(rng);
+      if (a > b) std::swap(a, b);
+      if (a == b) ++b;
+      EXPECT_EQ(idx.query(a, b), linear_query(entries, a, b))
+          << "round " << round << " window [" << a << ", " << b << ")";
+    }
+  }
+}
+
+TEST(IntervalIndex, BuildSortsArbitraryInputOrder) {
+  std::mt19937 rng(7);
+  std::vector<io::IntervalEntry> entries = random_members(rng, 64);
+  const std::vector<io::IntervalEntry> sorted = entries;
+  std::shuffle(entries.begin(), entries.end(), rng);
+  const io::IntervalIndex idx = io::IntervalIndex::build(entries);
+  EXPECT_EQ(idx.entries(), sorted);
+}
+
+TEST(IntervalIndex, SaveLoadRoundTrip) {
+  TmpDir dir("tix_roundtrip");
+  std::mt19937 rng(42);
+  const std::vector<io::IntervalEntry> entries = random_members(rng, 37);
+  const io::IntervalIndex idx = io::IntervalIndex::build(entries);
+  const std::string path = dir.file("arch.vca.tix");
+  idx.save(path);
+  EXPECT_EQ(io::IntervalIndex::load(path).entries(), idx.entries());
+
+  idx.save_atomic(path);  // rewrite over the existing file
+  EXPECT_EQ(io::IntervalIndex::load(path).entries(), idx.entries());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(IntervalIndex, EmptyIndexRoundTripsAndAnswersEmpty) {
+  TmpDir dir("tix_empty");
+  const io::IntervalIndex idx = io::IntervalIndex::build({});
+  const std::string path = dir.file("empty.tix");
+  idx.save(path);
+  const io::IntervalIndex back = io::IntervalIndex::load(path);
+  EXPECT_TRUE(back.empty());
+  EXPECT_TRUE(back.query(0, 1000).empty());
+}
+
+TEST(IntervalIndex, QueryTouchesLogNPlusKEntries) {
+  std::mt19937 rng(99);
+  const std::size_t n = 1024;
+  const io::IntervalIndex idx =
+      io::IntervalIndex::build(random_members(rng, n));
+  // A window overlapping exactly 3 members, somewhere mid-index.
+  const io::IntervalEntry& mid = idx.entries()[n / 2];
+  const std::int64_t begin = mid.begin_s;
+  const std::int64_t end = idx.entries()[n / 2 + 2].end_s;
+  const std::uint64_t before = touches();
+  const std::vector<io::IntervalEntry> hits = idx.query(begin, end);
+  const std::uint64_t spent = touches() - before;
+  EXPECT_EQ(hits.size(), 3u);
+  // log2(1024) = 10 probes, k = 3 scanned hits, one overscan to detect
+  // the end of the run. Anything near n means the binary search died.
+  EXPECT_LE(spent, 2 * 10 + hits.size() + 2);
+  EXPECT_LT(spent, n / 4);
+}
+
+TEST(IntervalIndex, BuildRejectsInvalidIntervals) {
+  // Empty interval.
+  EXPECT_THROW(io::IntervalIndex::build({{10, 10, 0, 0, 5}}),
+               InvalidArgument);
+  // Inverted interval.
+  EXPECT_THROW(io::IntervalIndex::build({{10, 5, 0, 0, 5}}),
+               InvalidArgument);
+  // Nested interval: sorted by begin, end goes backwards, so a query
+  // for late times could miss the container. Must be refused.
+  EXPECT_THROW(
+      io::IntervalIndex::build({{0, 100, 0, 0, 5}, {10, 20, 1, 5, 5}}),
+      InvalidArgument);
+}
+
+TEST(IntervalIndex, LoadRejectsMalformedSidecars) {
+  TmpDir dir("tix_malformed");
+  std::mt19937 rng(5);
+  const io::IntervalIndex idx =
+      io::IntervalIndex::build(random_members(rng, 16));
+  const std::string good_path = dir.file("good.tix");
+  idx.save(good_path);
+  const std::vector<char> good = slurp(good_path);
+
+  const std::string bad_path = dir.file("bad.tix");
+
+  // Bad magic.
+  {
+    std::vector<char> bytes = good;
+    bytes[0] = 'X';
+    spit(bad_path, bytes);
+    EXPECT_THROW((void)io::IntervalIndex::load(bad_path), FormatError);
+  }
+  // Truncated: drop the tail (CRC and part of the body).
+  {
+    std::vector<char> bytes = good;
+    bytes.resize(bytes.size() - 17);
+    spit(bad_path, bytes);
+    EXPECT_THROW((void)io::IntervalIndex::load(bad_path), FormatError);
+  }
+  // Truncated to less than a header.
+  {
+    spit(bad_path, {'D', 'A', 'S', 'T'});
+    EXPECT_THROW((void)io::IntervalIndex::load(bad_path), FormatError);
+  }
+  // One flipped payload byte: CRC must catch it.
+  {
+    std::vector<char> bytes = good;
+    bytes[bytes.size() / 2] ^= 0x40;
+    spit(bad_path, bytes);
+    EXPECT_THROW((void)io::IntervalIndex::load(bad_path), FormatError);
+  }
+  // Implausible entry count (a reserve bomb): claim 2^56 entries.
+  {
+    std::vector<char> bytes = good;
+    for (int i = 0; i < 8; ++i) bytes[16 + i] = static_cast<char>(0xff);
+    spit(bad_path, bytes);
+    EXPECT_THROW((void)io::IntervalIndex::load(bad_path), FormatError);
+  }
+  // Missing file.
+  EXPECT_THROW((void)io::IntervalIndex::load(dir.file("absent.tix")),
+               IoError);
+  // The pristine file still loads after all that.
+  EXPECT_EQ(io::IntervalIndex::load(good_path).entries(), idx.entries());
+}
+
+TEST(IntervalIndex, SidecarPathAppendsTix) {
+  EXPECT_EQ(io::IntervalIndex::sidecar_path("live.vca"), "live.vca.tix");
+  EXPECT_EQ(io::IntervalIndex::sidecar_path("/a/b/arch.vca"),
+            "/a/b/arch.vca.tix");
+}
+
+TEST(IntervalIndex, CountersChargeLoadsAndQueries) {
+  TmpDir dir("tix_counters");
+  std::mt19937 rng(3);
+  const io::IntervalIndex idx =
+      io::IntervalIndex::build(random_members(rng, 8));
+  const std::string path = dir.file("c.tix");
+  idx.save(path);
+  const std::uint64_t loads_before =
+      global_counters().get(counters::kIoIndexLoads);
+  const std::uint64_t queries_before =
+      global_counters().get(counters::kIoIndexQueries);
+  const io::IntervalIndex back = io::IntervalIndex::load(path);
+  (void)back.query(0, 10);
+  EXPECT_EQ(global_counters().get(counters::kIoIndexLoads),
+            loads_before + 1);
+  EXPECT_EQ(global_counters().get(counters::kIoIndexQueries),
+            queries_before + 1);
+}

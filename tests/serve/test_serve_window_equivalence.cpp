@@ -1,0 +1,143 @@
+// Served reads as a drop-in for offline analysis: every window the
+// ingest WindowPlanner would process reads byte-identically through
+// das_serve, time-addressed windows resolve to the same bytes as
+// direct column reads, and the full similarity pipeline run over
+// served bytes equals the offline das_analyze path over the same VCA.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dassa/das/local_similarity.hpp"
+#include "dassa/das/search.hpp"
+#include "dassa/das/synth.hpp"
+#include "dassa/ingest/window.hpp"
+#include "dassa/io/kv.hpp"
+#include "dassa/io/vca.hpp"
+#include "dassa/serve/client.hpp"
+#include "dassa/serve/server.hpp"
+#include "testing/tmpdir.hpp"
+
+using namespace dassa;
+using dassa::testing::TmpDir;
+
+namespace {
+
+struct Fixture {
+  explicit Fixture(const TmpDir& dir) {
+    const das::SynthDas synth =
+        das::SynthDas::fig1b_scene(/*channels=*/12, /*sampling_hz=*/50.0,
+                                   /*seed=*/20260809);
+    das::AcquisitionSpec spec;
+    spec.dir = dir.file("data");
+    spec.start = das::Timestamp::parse("170728224510");
+    spec.file_count = 5;
+    spec.seconds_per_file = 2.0;  // 5 x 100 cols, the PR-8 geometry
+    spec.chunk = io::ChunkShape{8, 32};
+    spec.codec = io::CodecSpec::parse("shuffle+lz");
+    spec.per_channel_metadata = false;
+    files = das::write_acquisition(synth, spec);
+    vca_path = dir.file("arch.vca");
+    das::save_vca_with_index(io::Vca::build(files), vca_path);
+    vca = io::Vca::load(vca_path);
+  }
+
+  std::vector<std::string> files;
+  std::string vca_path;
+  io::Vca vca;
+};
+
+serve::ServeConfig config(const TmpDir& dir, const Fixture& fx) {
+  serve::ServeConfig cfg;
+  cfg.socket_path = dir.file("s.sock");
+  cfg.archive = fx.vca_path;
+  cfg.workers = 2;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ServeWindowEquivalence, PlannedWindowsReadByteIdentical) {
+  TmpDir dir("serve_windows");
+  Fixture fx(dir);
+  serve::Server server(config(dir, fx));
+  server.start();
+  serve::Client client(server.config().socket_path);
+
+  // The same plan the streaming ingest driver would execute: 3-file
+  // windows, 1-file overlap, a 10-column margin.
+  ingest::WindowPlanner planner(/*window_files=*/3, /*overlap_files=*/1,
+                                /*margin_cols=*/10);
+  std::vector<ingest::WindowSpec> windows;
+  for (const io::VcaMember& m : fx.vca.members()) {
+    planner.add_file(m.shape.cols);
+    while (auto w = planner.next_ready()) windows.push_back(*w);
+  }
+  if (auto w = planner.finish()) windows.push_back(*w);
+  ASSERT_GE(windows.size(), 2u);
+
+  const Shape2D shape = fx.vca.shape();
+  for (const ingest::WindowSpec& w : windows) {
+    const Slab2D slab{0, w.start_col, shape.rows, w.end_col - w.start_col};
+    EXPECT_EQ(client.read_slab(slab), fx.vca.read_slab(slab))
+        << "window " << w.index;
+  }
+  server.stop();
+}
+
+TEST(ServeWindowEquivalence, TimeWindowsMatchColumnReads) {
+  TmpDir dir("serve_timewin");
+  Fixture fx(dir);
+  serve::Server server(config(dir, fx));
+  server.start();
+  serve::Client client(server.config().socket_path);
+
+  const Shape2D shape = fx.vca.shape();
+  const double rate =
+      fx.vca.global_meta().get_f64(io::meta::kSamplingFrequencyHz);
+  const std::int64_t t0 =
+      das::Timestamp::parse("170728224510").epoch_seconds();
+
+  // Windows that cross member boundaries: [t0+1, t0+3), [t0+3, t0+7).
+  for (const auto& [begin, end] : std::vector<std::pair<int, int>>{
+           {1, 3}, {3, 7}, {0, 2}}) {
+    Slab2D served_slab;
+    const std::vector<double> served = client.read_window(
+        t0 + begin, t0 + end, 0, 0, &served_slab);
+    const Slab2D direct{
+        0, static_cast<std::size_t>(begin * rate), shape.rows,
+        static_cast<std::size_t>((end - begin) * rate)};
+    EXPECT_EQ(served_slab, direct) << "[" << begin << ", " << end << ")";
+    EXPECT_EQ(served, fx.vca.read_slab(direct));
+  }
+  server.stop();
+}
+
+TEST(ServeWindowEquivalence, SimilarityOverServedBytesMatchesOffline) {
+  TmpDir dir("serve_offline");
+  Fixture fx(dir);
+  serve::Server server(config(dir, fx));
+  server.start();
+
+  das::LocalSimilarityParams params;
+  params.window_half = 10;
+  params.lag_half = 5;
+  core::EngineConfig engine;
+  engine.nodes = 2;
+  engine.cores_per_node = 2;
+
+  // The offline das_analyze path over the local VCA...
+  const core::Array2D offline =
+      das::local_similarity_distributed(engine, fx.vca, params).output;
+
+  // ...and the identical pipeline fed entirely through the query
+  // server. Serial == distributed is already pinned bitwise by
+  // PipelinesTest, so any divergence here is a serving defect.
+  serve::Client client(server.config().socket_path);
+  const Shape2D shape = fx.vca.shape();
+  const core::Array2D fetched(
+      shape, client.read_slab(Slab2D{0, 0, shape.rows, shape.cols}));
+  const core::Array2D served = das::local_similarity(fetched, params, 1);
+  EXPECT_EQ(served, offline);  // bitwise: Array2D compares data exactly
+  server.stop();
+}

@@ -57,6 +57,14 @@ Rules (see docs/ANALYSIS.md for rationale and how to add one):
                    MutexLock / ReaderLock / WriterLock scopes, which
                    carry the Clang thread-safety capability annotations
                    -- a naked std type is invisible to -Wthread-safety.
+  no-naked-socket  Raw socket syscalls (socket/bind/listen/accept/
+                   connect/...) and <sys/socket.h>/<sys/un.h> live only
+                   in the serve socket layer (dassa/serve/socket.hpp,
+                   src/serve/socket.cpp), which owns framing, EINTR
+                   retries, MSG_NOSIGNAL, and the byte counters.
+                   Everywhere else talks serve::Connection /
+                   serve::Listener so no frame can bypass the audited
+                   I/O path.
 
 Zero findings is enforced by ctest (`tools_das_lint`). To accept a new
 entry-guard / no-direct-stderr finding deliberately, run with
@@ -78,12 +86,12 @@ import re
 import sys
 
 CANONICAL_COUNTER_PREFIX = re.compile(
-    r"^(io|mpi|mem|dsp|haee|trace|telemetry|ingest)\.")
+    r"^(io|mpi|mem|dsp|haee|trace|telemetry|ingest|serve)\.")
 # Registered counter namespaces: everything before the final dot of a
 # counter name must appear here. Adding a subsystem (e.g. the DASH5 v3
 # storage engine's io.codec / io.cache) means adding its namespace.
 CANONICAL_COUNTER_NAMESPACES = frozenset({
-    "io", "io.codec", "io.cache", "io.pool", "io.repack",
+    "io", "io.codec", "io.cache", "io.pool", "io.repack", "io.index",
     "mpi", "mem",
     "dsp.fft", "dsp.butter", "dsp.resample",
     "haee", "haee.stage",
@@ -91,6 +99,7 @@ CANONICAL_COUNTER_NAMESPACES = frozenset({
     "telemetry",
     "log",
     "ingest", "ingest.queue",
+    "serve", "serve.queue", "serve.batch",
 })
 STD_EXCEPTIONS = (
     "std::", "runtime_error", "logic_error", "invalid_argument",
@@ -228,7 +237,7 @@ def counter_name_problem(name):
     CANONICAL_COUNTER_NAMESPACES."""
     if not CANONICAL_COUNTER_PREFIX.match(name):
         return ("outside canonical namespaces "
-                "io|mpi|mem|dsp|haee|trace|telemetry|ingest")
+                "io|mpi|mem|dsp|haee|trace|telemetry|ingest|serve")
     namespace = name.rsplit(".", 1)[0]
     if namespace not in CANONICAL_COUNTER_NAMESPACES:
         return (f"namespace '{namespace}' not registered in "
@@ -419,6 +428,37 @@ def rule_sync_primitive(path, scrubbed, raw):
                 " / MutexLock / CondVar so -Wthread-safety can check it)")
 
 
+SOCKET_LAYER_FILES = frozenset({
+    "include/dassa/serve/socket.hpp",
+    "src/serve/socket.cpp",
+})
+# Free-function syscall names only: method spellings (`conn.shutdown()`,
+# `listener_->accept()`) are excluded by the lookbehind, and plain
+# send/recv stay off the list because mpi::Comm declares methods with
+# those names. The socket layer neither sends nor receives outside
+# write_full/read_full anyway.
+NAKED_SOCKET = re.compile(
+    r"(?<![\w.>:])(?:::)?(?:socket|bind|listen|accept4?|connect|sendto|"
+    r"recvfrom|sendmsg|recvmsg|setsockopt|getsockname)\s*\("
+    r"|#\s*include\s*<sys/(?:socket|un)\.h>")
+
+
+def rule_no_naked_socket(path, scrubbed, raw):
+    """Raw socket syscalls live only in the serve socket layer, which
+    owns length-prefixed framing, EINTR retries, MSG_NOSIGNAL, and the
+    serve.bytes_* counters. Anywhere else must go through
+    serve::Connection / serve::Listener, so no request or response can
+    bypass the audited I/O path (or its accounting)."""
+    if path in SOCKET_LAYER_FILES:
+        return
+    for lineno, line in iter_lines(scrubbed):
+        m = NAKED_SOCKET.search(line)
+        if m:
+            yield Finding("no-naked-socket", path, lineno,
+                          f"raw socket call '{m.group(0).strip()}' outside "
+                          "the serve socket layer (use serve::Connection)")
+
+
 RULES = [
     rule_no_const_cast,
     rule_no_naked_new,
@@ -430,6 +470,7 @@ RULES = [
     rule_no_raw_intrinsics,
     rule_entry_guard,
     rule_sync_primitive,
+    rule_no_naked_socket,
 ]
 
 # tools/ is CLI glue, not library code: argument-parsing idioms
@@ -501,6 +542,18 @@ SELF_TEST_FIXTURES = [
     (rule_sync_primitive, "include/dassa/common/sync.hpp",
      "#include <mutex>\nclass Mutex {\n  std::mutex mu_;\n};\n",
      False),  # the wrapper layer itself
+    (rule_no_naked_socket, "src/fix/pos.cpp",
+     "#include <sys/socket.h>\nvoid f() {\n"
+     "  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);\n  (void)fd;\n}\n",
+     True),
+    (rule_no_naked_socket, "src/fix/neg.cpp",
+     "#include \"dassa/serve/socket.hpp\"\nvoid f() {\n"
+     "  auto conn = dassa::serve::connect_local(\"/tmp/s.sock\");\n"
+     "  conn.shutdown();\n}\n", False),
+    (rule_no_naked_socket, "src/serve/socket.cpp",
+     "#include <sys/socket.h>\nvoid f() {\n"
+     "  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);\n  (void)fd;\n}\n",
+     False),  # the audited socket layer itself
 ]
 
 

@@ -32,6 +32,7 @@
 #include "arg_parse.hpp"
 #include "dassa/common/log.hpp"
 #include "dassa/common/telemetry.hpp"
+#include "dassa/das/search.hpp"
 #include "dassa/io/dash5.hpp"
 #include "dassa/io/repack.hpp"
 #include "dassa/io/vca.hpp"
@@ -232,7 +233,7 @@ int main(int argc, char** argv) {
     std::cerr << "usage: das_repack <in.dh5> [<in2.dh5> ...] <out.dh5> "
                  "[--codec CHAIN] [--chunk RxC] [--contiguous] "
                  "[--rows-per-block N] [--ranks N] [--verify] "
-                 "[--telemetry out.jsonl]\n";
+                 "[--save-vca out.vca] [--telemetry out.jsonl]\n";
     return 2;
   }
   const std::string in_path = args.positional().front();
@@ -242,7 +243,18 @@ int main(int argc, char** argv) {
     if (args.positional().size() > 2 || args.has("--ranks")) {
       const std::vector<std::string> inputs(args.positional().begin(),
                                             args.positional().end() - 1);
-      return run_concat(args, inputs, out_path);
+      const int rc = run_concat(args, inputs, out_path);
+      if (rc == 0 && args.has("--save-vca")) {
+        // Publish the source set as an indexed VCA (.vca + .tix
+        // sidecar): the serving layer reads the same members this
+        // repack just concatenated, with sub-linear time lookups.
+        das::save_vca_with_index(io::Vca::build(inputs),
+                                 args.get("--save-vca"));
+        DASSA_SLOG(kInfo, "repack.save_vca")
+            .field("path", args.get("--save-vca"))
+            .field("members", static_cast<std::uint64_t>(inputs.size()));
+      }
+      return rc;
     }
     const io::Dash5File in(in_path);
     const auto rows_per_block = static_cast<std::size_t>(

@@ -5,8 +5,12 @@
 //   Type 1:  das_search --dir data -s 170728224510 -c 2
 //   Type 2:  das_search --dir data -e '170728224[567]10'
 // Merging the hits:
-//   --save-vca merged.vca    virtual concatenation (metadata only)
+//   --save-vca merged.vca    virtual concatenation (metadata only) plus
+//                            the .tix time-interval sidecar
 //   --save-rca merged.dh5    physical concatenation (reads all data)
+// Indexed time-range query against a persisted VCA (sub-linear via the
+// .tix sidecar, linear fallback with a warning when it is absent):
+//   das_search --vca merged.vca --from 170728224510 --to 170728224530
 #include <iostream>
 
 #include "arg_parse.hpp"
@@ -18,15 +22,31 @@
 int main(int argc, char** argv) {
   using namespace dassa;
   const tools::Args args(argc, argv);
-  if (!args.has("--dir") || (!args.has("-s") && !args.has("-e"))) {
+  const bool vca_query =
+      args.has("--vca") && args.has("--from") && args.has("--to");
+  if (!vca_query &&
+      (!args.has("--dir") || (!args.has("-s") && !args.has("-e")))) {
     std::cerr << "usage: das_search --dir <dir> (-s <yymmddhhmmss> -c <n> | "
                  "-e <regex>) [--save-vca out.vca] [--save-rca out.dh5] "
-                 "[--names-only]\n";
+                 "[--names-only]\n"
+                 "       das_search --vca <merged.vca> --from <yymmddhhmmss> "
+                 "--to <yymmddhhmmss>\n";
     return 2;
   }
   set_log_level(LogLevel::kInfo);
   try {
     WallTimer timer;
+    if (vca_query) {
+      const std::vector<das::DasFileInfo> hits =
+          das::Catalog::query_vca_interval(
+              args.get("--vca"), das::Timestamp::parse(args.get("--from")),
+              das::Timestamp::parse(args.get("--to")));
+      for (const auto& h : hits) std::cout << h.path << "\n";
+      DASSA_SLOG(kInfo, "search.vca_query")
+          .field("hits", static_cast<std::uint64_t>(hits.size()))
+          .field("seconds", timer.seconds());
+      return 0;
+    }
     const das::Catalog catalog =
         das::Catalog::scan(args.get("--dir"), !args.has("--names-only"));
 
@@ -52,7 +72,10 @@ int main(int argc, char** argv) {
     const std::vector<std::string> paths = das::Catalog::paths(hits);
     if (args.has("--save-vca")) {
       timer.reset();
-      io::Vca::build(paths).save(args.get("--save-vca"));
+      // Publishes the .vca plus its .tix time-interval sidecar, so the
+      // later --vca query (and das_serve) gets the sub-linear path.
+      das::save_vca_with_index(io::Vca::build(paths),
+                               args.get("--save-vca"));
       DASSA_SLOG(kInfo, "search.vca")
           .field("path", args.get("--save-vca"))
           .field("seconds", timer.seconds());

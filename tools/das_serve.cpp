@@ -1,0 +1,172 @@
+// das_serve: the query-serving daemon (docs/SERVING.md) -- expose one
+// archive (a .vca logical file or a single DASH5 file) over a local
+// Unix-domain socket. Concurrent clients' overlapping time-window
+// reads are coalesced so N nearby requests cost ONE chunk decode
+// through the shared archive handle (serve.batch.* counters tell the
+// story; bench_serve gates on them).
+//
+// Usage:
+//   das_serve --socket <path> --archive <file.vca|file.dh5>
+//             [--workers N]        union-read worker pool (default 4)
+//             [--max-queue N]      admission queue capacity (default 64)
+//             [--max-batch N]      requests per coalesce round (default 16)
+//             [--coalesce-us US]   dispatcher hold time (default 500)
+//             [--gap-cols N]       column gap still shared (default 0)
+//             [--no-batching]      one union read per request
+//             [--telemetry out.jsonl] counter/gauge timeline + latency
+//                                  histograms (serve.request above all)
+//             [--telemetry-period-ms MS] [--log-json path] [--log-level L]
+//
+// Runs until SIGINT/SIGTERM, then drains gracefully: admitted requests
+// are answered, late ones get an explicit kShuttingDown refusal.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "arg_parse.hpp"
+#include "dassa/common/counters.hpp"
+#include "dassa/common/log.hpp"
+#include "dassa/common/metrics.hpp"
+#include "dassa/common/telemetry.hpp"
+#include "dassa/common/trace.hpp"
+#include "dassa/serve/server.hpp"
+
+namespace {
+
+using namespace dassa;
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  throw InvalidArgument("unknown log level: " + name);
+}
+
+/// One structured record for the serve.* counters after the drain.
+void log_serve_counters() {
+  std::string line;
+  for (const auto& [name, value] : global_counters().snapshot()) {
+    if (name.rfind("serve.", 0) == 0 || name.rfind("io.index.", 0) == 0) {
+      line += ' ';
+      line += name;
+      line += '=';
+      line += std::to_string(value);
+    }
+  }
+  if (!line.empty()) {
+    DASSA_SLOG(kInfo, "serve.counters") << line;
+  }
+}
+
+void export_telemetry(const std::string& path,
+                      const telemetry::TelemetrySampler& sampler) {
+  telemetry::TelemetryFile file;
+  file.meta["tool"] = "das_serve";
+  file.meta["pipeline"] = "serve";
+  file.samples = sampler.timeline();
+  for (const auto& [name, h] : global_metrics().snapshot()) {
+    telemetry::HistRecord rec;
+    rec.name = name;
+    rec.count = h.count;
+    rec.total_ns = h.total_ns;
+    rec.p50_ns = h.quantile_ns(0.50);
+    rec.p95_ns = h.quantile_ns(0.95);
+    rec.p99_ns = h.quantile_ns(0.99);
+    rec.buckets = h.buckets;
+    file.hists.push_back(std::move(rec));
+  }
+  {
+    std::ofstream out(path);
+    DASSA_CHECK(out.good(), "cannot open telemetry output file: " + path);
+    telemetry::write_telemetry_file(out, file);
+  }
+  std::ifstream back(path);
+  std::ostringstream text;
+  text << back.rdbuf();
+  const telemetry::TelemetryFile parsed =
+      telemetry::parse_telemetry_jsonl(text.str());
+  telemetry::validate_telemetry_file(parsed);
+  DASSA_SLOG(kInfo, "serve.telemetry")
+      .field("path", path)
+      .field("samples", static_cast<std::uint64_t>(parsed.samples.size()))
+      .field("hists", static_cast<std::uint64_t>(parsed.hists.size()));
+  telemetry::write_health_report(std::cout, parsed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::Args args(argc, argv);
+  if (!args.has("--socket") || !args.has("--archive")) {
+    std::cerr << "usage: das_serve --socket <path> "
+                 "--archive <file.vca|file.dh5>\n"
+                 "[--workers N] [--max-queue N] [--max-batch N] "
+                 "[--coalesce-us US] [--gap-cols N] [--no-batching]\n"
+                 "[--telemetry out.jsonl] [--telemetry-period-ms MS] "
+                 "[--log-json path] [--log-level L]\n"
+                 "see the header comment of tools/das_serve.cpp for "
+                 "semantics\n";
+    return 2;
+  }
+  try {
+    set_log_level(parse_log_level(args.get("--log-level", "info")));
+    if (args.has("--log-json")) set_log_file(args.get("--log-json"));
+
+    telemetry::SamplerConfig sampler_config;
+    sampler_config.period = std::chrono::milliseconds(
+        args.get_long("--telemetry-period-ms", 25));
+    telemetry::TelemetrySampler sampler(sampler_config);
+    if (args.has("--telemetry")) {
+      trace::set_enabled(true);
+      sampler.start();
+    }
+
+    serve::ServeConfig cfg;
+    cfg.socket_path = args.get("--socket");
+    cfg.archive = args.get("--archive");
+    cfg.workers = static_cast<std::size_t>(args.get_long("--workers", 4));
+    cfg.queue_capacity =
+        static_cast<std::size_t>(args.get_long("--max-queue", 64));
+    cfg.max_batch =
+        static_cast<std::size_t>(args.get_long("--max-batch", 16));
+    cfg.coalesce_window_us =
+        static_cast<std::uint64_t>(args.get_long("--coalesce-us", 500));
+    cfg.gap_cols = static_cast<std::size_t>(args.get_long("--gap-cols", 0));
+    cfg.batching = !args.has("--no-batching");
+
+    serve::Server server(cfg);
+    telemetry::register_gauge("serve.queue.depth", [&server] {
+      return static_cast<double>(server.queue_depth());
+    });
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    server.start();
+    std::cout << "das_serve: listening on " << cfg.socket_path << " ("
+              << server.shape().str() << " from " << cfg.archive << ")\n";
+    while (!g_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.stop();
+    log_serve_counters();
+
+    if (args.has("--telemetry")) {
+      sampler.stop();
+      sampler.tick();
+      export_telemetry(args.get("--telemetry"), sampler);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    DASSA_SLOG(kError, "serve.fail") << e.what();
+    return 1;
+  }
+}
