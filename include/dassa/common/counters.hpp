@@ -205,6 +205,17 @@ inline constexpr const char* kServeBatchCoalesced =
     "serve.batch.coalesced";
 inline constexpr const char* kServeBatchUnionReads =
     "serve.batch.union_reads";
+// Live introspection: requests whose end-to-end latency crossed the
+// --slow-ms threshold (each also gets a structured serve.slow_request
+// log record with its per-stage breakdown).
+inline constexpr const char* kServeSlowRequests = "serve.slow_requests";
+// kStats protocol (src/serve/stats.cpp): live snapshot requests
+// answered over the audited socket layer, by both the das_serve main
+// socket and the das_ingest stats listener. das_top excludes stats.*
+// from its progress scan so its own polling never masks a stall.
+inline constexpr const char* kStatsConnections = "stats.connections";
+inline constexpr const char* kStatsRequests = "stats.requests";
+inline constexpr const char* kStatsBadFrames = "stats.bad_frames";
 }  // namespace counters
 
 }  // namespace dassa

@@ -38,6 +38,20 @@ struct HistogramSnapshot {
   /// bins by construction, so snapshots from different ranks merge
   /// exactly -- this is what the cross-rank telemetry reduction uses.
   void merge(const HistogramSnapshot& other);
+
+  /// Bucket-exact difference against an `older` snapshot of the same
+  /// histogram: what was recorded between the two samples. Exact by
+  /// construction -- `older.diff-result` merged back onto `older`
+  /// reproduces *this bucket for bucket (das_top's interval view is
+  /// built on this). Guarded against counter resets: if `older` is not
+  /// bucket-wise contained in *this (the process restarted or the
+  /// registry was reset between samples), the whole newer snapshot is
+  /// returned -- everything in it was recorded since the reset -- so a
+  /// delta can never go negative.
+  [[nodiscard]] HistogramSnapshot diff(const HistogramSnapshot& older) const;
+
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
 };
 
 /// Thread-safe power-of-two latency histogram. All methods may be

@@ -33,6 +33,12 @@ enum class MsgType : std::uint8_t {
   kReadRequest = 1,
   kReadOk = 2,
   kError = 3,
+  // Live introspection (stats.hpp): a one-byte stats request and the
+  // versioned counter/gauge/histogram snapshot it returns. Answered
+  // inline by das_serve's main socket and by the das_ingest
+  // StatsListener.
+  kStatsRequest = 4,
+  kStatsOk = 5,
 };
 
 /// How a request names its column range.

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "dassa/common/bounded_queue.hpp"
+#include "dassa/common/metrics.hpp"
 #include "dassa/common/sync.hpp"
 #include "dassa/io/interval_index.hpp"
 #include "dassa/io/vca.hpp"
@@ -37,6 +38,19 @@
 #include "dassa/serve/socket.hpp"
 
 namespace dassa::serve {
+
+/// Stage-latency histogram names fed by request-scoped tracing: one
+/// record per answered request per stage, so every serve.lat.* count
+/// equals the serve.request end-to-end count (pinned by
+/// tests/serve/test_serve_stats.cpp). Kept next to ServeConfig so the
+/// server, the tests, the bench, and das_top cannot drift apart.
+namespace lat {
+inline constexpr const char* kRequest = "serve.request";
+inline constexpr const char* kQueueWait = "serve.lat.queue_wait";
+inline constexpr const char* kCoalesce = "serve.lat.coalesce";
+inline constexpr const char* kDecode = "serve.lat.decode";
+inline constexpr const char* kWrite = "serve.lat.write";
+}  // namespace lat
 
 struct ServeConfig {
   std::string socket_path;
@@ -54,6 +68,16 @@ struct ServeConfig {
   /// Off = every request is its own group (the bench baseline's
   /// "unbatched server" lever).
   bool batching = true;
+  /// Request-scoped tracing: per-stage timestamps (received ->
+  /// admitted -> dequeued -> grouped -> decode begin/end -> reply
+  /// written) feeding the serve.lat.* histograms and the slow-request
+  /// log. Off: no stage clock reads -- only the end-to-end
+  /// serve.request histogram survives.
+  bool request_tracing = true;
+  /// End-to-end latency above which a request earns a structured
+  /// serve.slow_request log record with its stage breakdown
+  /// (das_serve --slow-ms). 0 = never. Needs request_tracing.
+  std::uint64_t slow_ns = 0;
 };
 
 /// A das_serve instance. start() spawns the thread topology above;
@@ -89,12 +113,20 @@ class Server {
     std::uint64_t client_id = 0;
   };
 
-  /// One admitted read, resolved to archive coordinates.
+  /// One admitted read, resolved to archive coordinates. The *_ns
+  /// stamps are the request-scoped trace record (0 when tracing is
+  /// off, except admit_ns which the end-to-end histogram always
+  /// needs); request_seq is the server-assigned request ID the
+  /// slow-request log keys on.
   struct Job {
     ReadRequest req;
     Slab2D slab;
     std::shared_ptr<ClientConn> conn;
+    std::uint64_t request_seq = 0;
+    std::uint64_t received_ns = 0;
     std::uint64_t admit_ns = 0;
+    std::uint64_t dequeued_ns = 0;
+    std::uint64_t grouped_ns = 0;
   };
 
   /// One coalesced batch handed to a worker.
@@ -108,6 +140,11 @@ class Server {
   void dispatch_loop();
   void worker_loop();
   void dispatch_round(std::vector<Job> batch);
+  /// Record a finished request's stage latencies and, past the
+  /// slow_ns threshold, emit the structured slow-request record.
+  void record_request_trace(const Job& job, std::uint64_t decode_begin_ns,
+                            std::uint64_t decode_end_ns,
+                            std::uint64_t reply_ns);
 
   /// Map a validated request onto archive coordinates; throws
   /// InvalidArgument (kBadRequest / kOutOfRange semantics handled by
@@ -139,6 +176,16 @@ class Server {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> next_client_id_{1};
+  std::atomic<std::uint64_t> next_request_seq_{1};
+
+  // Stage histograms resolved once at construction (registry entries
+  // live for the process), so the per-request hot path never takes the
+  // registry's name-lookup lock.
+  LatencyHistogram& h_request_;
+  LatencyHistogram& h_queue_wait_;
+  LatencyHistogram& h_coalesce_;
+  LatencyHistogram& h_decode_;
+  LatencyHistogram& h_write_;
 };
 
 }  // namespace dassa::serve

@@ -172,7 +172,7 @@ leg_tsan() {
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}"
   ctest --preset tsan -j "${JOBS}" \
-    -R 'ThreadPool|Fft|MiniMpi|HaeeStress|HaeeMode|Apply|Codec|ChunkCache|Dash5V3|Trace|Telemetry|Repack|Simd|Ingest|Serve'
+    -R 'ThreadPool|Fft|MiniMpi|HaeeStress|HaeeMode|Apply|Codec|ChunkCache|Dash5V3|Trace|Telemetry|Repack|Simd|Ingest|Serve|Stats|MetricsDiff'
 }
 
 leg_telemetry() {
@@ -192,6 +192,40 @@ leg_telemetry() {
     --out "${TELEDIR}/out.dh5" > /dev/null
   ./build/tools/das_health "${TELEDIR}/run.telemetry.jsonl" --validate-only
   ./build/tools/das_health "${TELEDIR}/run.telemetry.jsonl" > /dev/null
+
+  # Live introspection smoke: a das_serve daemon, das_top polling its
+  # kStats over the socket (human view and Prometheus exposition), and
+  # a SIGUSR1 mid-run telemetry flush validated by das_health.
+  step "telemetry: live kStats -> das_top + SIGUSR1 flush"
+  cmake --build --preset default -j "${JOBS}" --target das_serve das_top
+  local serve_sock="${TELEDIR}/serve.sock"
+  ./build/tools/das_serve --socket "${serve_sock}" \
+    --archive "${TELEDIR}/out.dh5" \
+    --telemetry "${TELEDIR}/serve.telemetry.jsonl" > /dev/null &
+  local serve_pid=$!
+  local i
+  for i in $(seq 1 100); do
+    [[ -S "${serve_sock}" ]] && break
+    sleep 0.1
+  done
+  [[ -S "${serve_sock}" ]]
+  ./build/tools/das_top --socket "${serve_sock}" --once \
+    | grep -q '^das_top'
+  ./build/tools/das_top --socket "${serve_sock}" --once --prom \
+    | grep -q '^dassa_stats_requests_total'
+  kill -USR1 "${serve_pid}"
+  local flushed=0
+  for i in $(seq 1 100); do
+    if ./build/tools/das_health "${TELEDIR}/serve.telemetry.jsonl" \
+        --validate-only > /dev/null 2>&1; then
+      flushed=1
+      break
+    fi
+    sleep 0.1
+  done
+  [[ "${flushed}" -eq 1 ]]
+  kill "${serve_pid}"
+  wait "${serve_pid}"
   rm -rf "${TELEDIR}"
   TELEDIR=""
 }

@@ -41,6 +41,38 @@ void HistogramSnapshot::merge(const HistogramSnapshot& other) {
   }
 }
 
+namespace {
+
+/// Reset-guard containment test: a live histogram only ever grows, so
+/// an "older" snapshot with more in any field than the newer one means
+/// the process (or registry) was reset between the two samples.
+bool check_reset_between(const HistogramSnapshot& newer,
+                         const HistogramSnapshot& older) {
+  if (older.count > newer.count || older.total_ns > newer.total_ns) {
+    return true;
+  }
+  for (std::size_t i = 0; i < newer.buckets.size(); ++i) {
+    if (older.buckets[i] > newer.buckets[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+HistogramSnapshot HistogramSnapshot::diff(
+    const HistogramSnapshot& older) const {
+  // After a reset the newer snapshot IS the delta: everything in it
+  // was recorded since, and a delta must never go negative.
+  if (check_reset_between(*this, older)) return *this;
+  HistogramSnapshot d;
+  d.count = count - older.count;
+  d.total_ns = total_ns - older.total_ns;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    d.buckets[i] = buckets[i] - older.buckets[i];
+  }
+  return d;
+}
+
 HistogramSnapshot LatencyHistogram::snapshot() const {
   HistogramSnapshot s;
   s.count = count_.load(std::memory_order_relaxed);

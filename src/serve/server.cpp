@@ -10,10 +10,12 @@
 #include "dassa/common/error.hpp"
 #include "dassa/common/log.hpp"
 #include "dassa/common/metrics.hpp"
+#include "dassa/common/telemetry.hpp"
 #include "dassa/common/trace.hpp"
 #include "dassa/das/search.hpp"
 #include "dassa/io/kv.hpp"
 #include "dassa/serve/batcher.hpp"
+#include "dassa/serve/stats.hpp"
 
 namespace dassa::serve {
 
@@ -40,7 +42,12 @@ Server::Server(ServeConfig cfg)
                                counters::kServeQueuePopped,
                                counters::kServeQueuePushBlocked,
                                counters::kServeQueuePeakDepth}),
-      groups_(std::max<std::size_t>(2 * cfg_.workers, 4)) {
+      groups_(std::max<std::size_t>(2 * cfg_.workers, 4)),
+      h_request_(global_metrics().histogram(lat::kRequest)),
+      h_queue_wait_(global_metrics().histogram(lat::kQueueWait)),
+      h_coalesce_(global_metrics().histogram(lat::kCoalesce)),
+      h_decode_(global_metrics().histogram(lat::kDecode)),
+      h_write_(global_metrics().histogram(lat::kWrite)) {
   DASSA_CHECK(!cfg_.socket_path.empty(), "serve needs a socket path");
   DASSA_CHECK(cfg_.workers >= 1, "serve needs at least one worker");
   DASSA_CHECK(cfg_.max_batch >= 1, "max_batch must be at least 1");
@@ -75,6 +82,12 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   DASSA_CHECK(!started_.exchange(true), "server started twice");
+  // The admission-queue depth gauge rides in every telemetry sample
+  // and every kStats snapshot; stop() re-points it at a constant so a
+  // late stats poll can never call into a dead server.
+  telemetry::register_gauge("serve.queue.depth", [this] {
+    return static_cast<double>(queue_.depth());
+  });
   listener_ = std::make_unique<Listener>(cfg_.socket_path);
   accept_thread_ = std::thread([this] { accept_loop(); });
   dispatch_thread_ = std::thread([this] { dispatch_loop(); });
@@ -109,6 +122,7 @@ void Server::stop() {
     MutexLock lock(readers_mu_);
     clients_.clear();
   }
+  telemetry::register_gauge("serve.queue.depth", [] { return 0.0; });
   DASSA_SLOG(kInfo, "serve.stop").field("socket",
                                                        cfg_.socket_path)
       << "drained";
@@ -145,6 +159,31 @@ void Server::reader_loop(std::shared_ptr<ClientConn> client) {
       return;  // torn frame / vanished peer: nothing to reply to
     }
     if (!frame) return;  // clean end-of-stream
+    const std::uint64_t received_ns =
+        cfg_.request_tracing ? now_ns() : 0;
+
+    // Stats polls are answered inline, never queued: a monitor must be
+    // able to sample a server whose admission queue is the problem.
+    if (!frame->empty() &&
+        static_cast<MsgType>((*frame)[0]) == MsgType::kStatsRequest) {
+      try {
+        decode_stats_request(*frame);
+      } catch (const Error& e) {
+        global_counters().add(counters::kStatsBadFrames);
+        send_error(*client, 0, ErrorCode::kBadRequest, e.what());
+        continue;
+      }
+      global_counters().add(counters::kStatsRequests);
+      const std::vector<std::byte> reply =
+          encode_stats(collect_process_stats());
+      try {
+        MutexLock lock(client->write_mu);
+        client->conn.send_frame(reply);
+      } catch (const Error&) {
+        return;  // peer gone
+      }
+      continue;
+    }
     global_counters().add(counters::kServeRequests);
 
     ReadRequest req;
@@ -169,7 +208,13 @@ void Server::reader_loop(std::shared_ptr<ClientConn> client) {
                  "requested window selects no samples");
       continue;
     }
-    Job job{req, slab, client, now_ns()};
+    Job job;
+    job.req = req;
+    job.slab = slab;
+    job.conn = client;
+    job.request_seq = next_request_seq_.fetch_add(1);
+    job.received_ns = received_ns;
+    job.admit_ns = now_ns();
     if (!queue_.push(std::move(job))) {
       // Shutting down: refuse, but keep reading until the peer hangs
       // up so its remaining requests each get an explicit answer.
@@ -228,6 +273,7 @@ void Server::dispatch_loop() {
   while (true) {
     std::optional<Job> first = queue_.pop();
     if (!first) return;  // closed and drained
+    if (cfg_.request_tracing) first->dequeued_ns = now_ns();
     std::vector<Job> batch;
     batch.push_back(std::move(*first));
     if (cfg_.batching && cfg_.max_batch > 1) {
@@ -236,6 +282,7 @@ void Server::dispatch_loop() {
       while (batch.size() < cfg_.max_batch) {
         std::optional<Job> next = queue_.try_pop_until(deadline);
         if (!next) break;  // window elapsed, or closed and drained
+        if (cfg_.request_tracing) next->dequeued_ns = now_ns();
         batch.push_back(std::move(*next));
       }
     }
@@ -244,6 +291,12 @@ void Server::dispatch_loop() {
 }
 
 void Server::dispatch_round(std::vector<Job> batch) {
+  if (cfg_.request_tracing) {
+    // One clock read covers the round: every member leaves the
+    // coalesce hold at the same instant, by construction.
+    const std::uint64_t grouped = now_ns();
+    for (Job& j : batch) j.grouped_ns = grouped;
+  }
   std::vector<Slab2D> slabs;
   slabs.reserve(batch.size());
   for (const Job& j : batch) slabs.push_back(j.slab);
@@ -275,6 +328,8 @@ void Server::worker_loop() {
     if (!work) return;
     DASSA_TRACE_SPAN("serve", "serve.group");
     std::vector<double> span_data;
+    const std::uint64_t decode_begin_ns =
+        cfg_.request_tracing ? now_ns() : 0;
     try {
       span_data = vca_.read_slab(work->span);
       global_counters().add(counters::kServeBatchUnionReads);
@@ -284,6 +339,8 @@ void Server::worker_loop() {
       }
       continue;
     }
+    const std::uint64_t decode_end_ns =
+        cfg_.request_tracing ? now_ns() : 0;
     for (const Job& j : work->jobs) {
       ReadResponse resp;
       resp.id = j.req.id;
@@ -293,10 +350,46 @@ void Server::worker_loop() {
       resp.shape = Shape2D{j.slab.row_cnt, j.slab.col_cnt};
       resp.data = slice_from_union(span_data, work->span, j.slab);
       send_response(*j.conn, resp);
-      global_metrics()
-          .histogram("serve.request")
-          .record_ns(now_ns() - j.admit_ns);
+      const std::uint64_t reply_ns = now_ns();
+      h_request_.record_ns(reply_ns - j.admit_ns);
+      if (cfg_.request_tracing) {
+        record_request_trace(j, decode_begin_ns, decode_end_ns, reply_ns);
+      }
     }
+  }
+}
+
+void Server::record_request_trace(const Job& job,
+                                  std::uint64_t decode_begin_ns,
+                                  std::uint64_t decode_end_ns,
+                                  std::uint64_t reply_ns) {
+  // Stage boundaries are stamps of one monotonic clock taken in stage
+  // order, so each difference is the time the request spent inside
+  // that stage. Exactly one record per stage per answered request --
+  // the counts-equal invariant the stats tests pin.
+  const std::uint64_t queue_wait = job.dequeued_ns - job.admit_ns;
+  const std::uint64_t coalesce = job.grouped_ns - job.dequeued_ns;
+  const std::uint64_t decode = decode_end_ns - decode_begin_ns;
+  const std::uint64_t write = reply_ns - decode_end_ns;
+  h_queue_wait_.record_ns(queue_wait);
+  h_coalesce_.record_ns(coalesce);
+  h_decode_.record_ns(decode);
+  h_write_.record_ns(write);
+  const std::uint64_t total = reply_ns - job.admit_ns;
+  if (cfg_.slow_ns != 0 && total > cfg_.slow_ns) {
+    global_counters().add(counters::kServeSlowRequests);
+    DASSA_SLOG(kWarn, "serve.slow_request")
+        .field("request", job.request_seq)
+        .field("client", job.conn->client_id)
+        .field("client_req_id", job.req.id)
+        .field("total_us", static_cast<double>(total) / 1e3)
+        .field("admit_us",
+               static_cast<double>(job.admit_ns - job.received_ns) / 1e3)
+        .field("queue_wait_us", static_cast<double>(queue_wait) / 1e3)
+        .field("coalesce_us", static_cast<double>(coalesce) / 1e3)
+        .field("decode_us", static_cast<double>(decode) / 1e3)
+        .field("write_us", static_cast<double>(write) / 1e3)
+        << "end-to-end latency over the slow-request threshold";
   }
 }
 

@@ -1,0 +1,270 @@
+#include "dassa/serve/stats.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "dassa/common/counters.hpp"
+#include "dassa/common/error.hpp"
+#include "dassa/common/log.hpp"
+#include "dassa/common/telemetry.hpp"
+#include "dassa/common/trace.hpp"
+#include "../io/serialize.hpp"
+
+namespace dassa::serve {
+
+namespace io_detail = dassa::io::detail;
+
+namespace {
+
+void check_fully_consumed(const io_detail::Decoder& dec,
+                          const std::vector<std::byte>& frame) {
+  if (dec.position() != frame.size()) {
+    throw FormatError("trailing bytes after stats message");
+  }
+}
+
+/// Section-entry count read with its ceiling enforced before any
+/// allocation sized from it.
+std::size_t checked_entry_count(io_detail::Decoder& dec) {
+  const std::uint32_t n = dec.u32();
+  if (n > kMaxStatsEntries) {
+    throw FormatError("stats section entry count exceeds ceiling");
+  }
+  return n;
+}
+
+/// Metric names arrive sorted (the encoder walks std::map); enforcing
+/// strict ascent rejects duplicates and forged orderings in one check.
+void checked_name(std::string& name, const std::string& prev) {
+  if (name.empty() || name.size() > kMaxStatsNameBytes) {
+    throw FormatError("stats metric name length out of bounds");
+  }
+  if (!prev.empty() && name <= prev) {
+    throw FormatError("stats metric names not strictly increasing");
+  }
+}
+
+}  // namespace
+
+StatsSnapshot collect_process_stats() {
+  StatsSnapshot s;
+  s.wall_ns = trace::detail::now_ns();
+  s.counters = global_counters().snapshot();
+  s.gauges = telemetry::read_gauges();
+  s.hists = global_metrics().snapshot();
+  return s;
+}
+
+std::vector<std::byte> encode_stats_request() {
+  io_detail::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kStatsRequest));
+  return enc.bytes();
+}
+
+void decode_stats_request(const std::vector<std::byte>& frame) {
+  if (frame.empty()) throw FormatError("empty serve frame");
+  io_detail::Decoder dec(frame);
+  if (static_cast<MsgType>(dec.u8()) != MsgType::kStatsRequest) {
+    throw FormatError("unexpected serve message type (want stats request)");
+  }
+  check_fully_consumed(dec, frame);
+}
+
+std::vector<std::byte> encode_stats(const StatsSnapshot& s) {
+  DASSA_CHECK(s.counters.size() <= kMaxStatsEntries &&
+                  s.gauges.size() <= kMaxStatsEntries &&
+                  s.hists.size() <= kMaxStatsEntries,
+              "stats snapshot exceeds the wire-format entry ceiling");
+  io_detail::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kStatsOk));
+  enc.u32(s.version);
+  enc.u64(s.wall_ns);
+  enc.u32(static_cast<std::uint32_t>(s.counters.size()));
+  for (const auto& [name, value] : s.counters) {
+    enc.str(name);
+    enc.u64(value);
+  }
+  enc.u32(static_cast<std::uint32_t>(s.gauges.size()));
+  for (const auto& [name, value] : s.gauges) {
+    enc.str(name);
+    enc.u64(std::bit_cast<std::uint64_t>(value));
+  }
+  enc.u32(static_cast<std::uint32_t>(s.hists.size()));
+  for (const auto& [name, h] : s.hists) {
+    enc.str(name);
+    enc.u64(h.count);
+    enc.u64(h.total_ns);
+    std::uint8_t nonzero = 0;
+    for (const std::uint64_t b : h.buckets) {
+      if (b != 0) ++nonzero;
+    }
+    enc.u8(nonzero);
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      enc.u8(static_cast<std::uint8_t>(i));
+      enc.u64(h.buckets[i]);
+    }
+  }
+  return enc.bytes();
+}
+
+StatsSnapshot decode_stats(const std::vector<std::byte>& frame) {
+  if (frame.empty()) throw FormatError("empty serve frame");
+  io_detail::Decoder dec(frame);
+  if (static_cast<MsgType>(dec.u8()) != MsgType::kStatsOk) {
+    throw FormatError("unexpected serve message type (want stats snapshot)");
+  }
+  StatsSnapshot s;
+  s.version = dec.u32();
+  if (s.version != kStatsVersion) {
+    throw FormatError("unsupported stats snapshot version");
+  }
+  s.wall_ns = dec.u64();
+
+  std::string prev;
+  for (std::size_t n = checked_entry_count(dec); n > 0; --n) {
+    std::string name = dec.str();
+    checked_name(name, prev);
+    prev = name;
+    s.counters.emplace(std::move(name), dec.u64());
+  }
+  prev.clear();
+  for (std::size_t n = checked_entry_count(dec); n > 0; --n) {
+    std::string name = dec.str();
+    checked_name(name, prev);
+    prev = name;
+    s.gauges.emplace(std::move(name), std::bit_cast<double>(dec.u64()));
+  }
+  prev.clear();
+  for (std::size_t n = checked_entry_count(dec); n > 0; --n) {
+    std::string name = dec.str();
+    checked_name(name, prev);
+    prev = name;
+    HistogramSnapshot h;
+    h.count = dec.u64();
+    h.total_ns = dec.u64();
+    const std::uint8_t nonzero = dec.u8();
+    if (nonzero > h.buckets.size()) {
+      throw FormatError("stats histogram bucket entry count out of range");
+    }
+    std::uint64_t sum = 0;
+    int prev_index = -1;
+    for (std::uint8_t i = 0; i < nonzero; ++i) {
+      const std::uint8_t index = dec.u8();
+      if (index >= h.buckets.size() ||
+          static_cast<int>(index) <= prev_index) {
+        throw FormatError("stats histogram bucket index out of order");
+      }
+      prev_index = static_cast<int>(index);
+      const std::uint64_t bucket = dec.u64();
+      if (bucket == 0 || bucket > h.count - sum) {
+        // A zero entry contradicts the sparse encoding; an oversized
+        // one would push the bucket sum past the declared count
+        // (subtraction form so the running sum cannot wrap).
+        throw FormatError("stats histogram buckets disagree with count");
+      }
+      sum += bucket;
+      h.buckets[index] = bucket;
+    }
+    if (sum != h.count) {
+      throw FormatError("stats histogram buckets disagree with count");
+    }
+    s.hists.emplace(std::move(name), h);
+  }
+  check_fully_consumed(dec, frame);
+  return s;
+}
+
+StatsSnapshot fetch_stats(Connection& conn) {
+  conn.send_frame(encode_stats_request());
+  const auto reply = conn.recv_frame();
+  if (!reply) {
+    throw IoError("daemon closed the connection mid stats poll");
+  }
+  if (!reply->empty() &&
+      static_cast<MsgType>((*reply)[0]) == MsgType::kError) {
+    const ReadResponse resp = decode_response(*reply);
+    throw StateError("stats request refused: " + resp.error);
+  }
+  return decode_stats(*reply);
+}
+
+StatsListener::StatsListener(std::string socket_path)
+    : path_(std::move(socket_path)) {
+  DASSA_CHECK(!path_.empty(), "stats listener needs a socket path");
+}
+
+StatsListener::~StatsListener() { stop(); }
+
+void StatsListener::start() {
+  DASSA_CHECK(!started_.exchange(true), "stats listener started twice");
+  listener_ = std::make_unique<Listener>(path_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  DASSA_SLOG(kInfo, "stats.listen").field("socket", path_)
+      << "answering kStats";
+}
+
+void StatsListener::stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  listener_->shutdown();
+  accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    MutexLock lock(conns_mu_);
+    for (auto& c : conns_) c->shutdown();
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) t.join();
+  {
+    MutexLock lock(conns_mu_);
+    conns_.clear();
+  }
+}
+
+void StatsListener::accept_loop() {
+  while (true) {
+    std::optional<Connection> conn;
+    try {
+      conn = listener_->accept();
+    } catch (const Error& e) {
+      DASSA_SLOG(kError, "stats.accept_error") << e.what();
+      continue;
+    }
+    if (!conn) return;  // listener shut down
+    global_counters().add(counters::kStatsConnections);
+    auto client = std::make_shared<Connection>(std::move(*conn));
+    MutexLock lock(conns_mu_);
+    conns_.push_back(client);
+    conn_threads_.emplace_back([client = std::move(client)] {
+      while (true) {
+        std::optional<std::vector<std::byte>> frame;
+        try {
+          frame = client->recv_frame();
+        } catch (const Error&) {
+          return;  // torn frame / vanished peer
+        }
+        if (!frame) return;  // clean end-of-stream
+        std::vector<std::byte> reply;
+        try {
+          decode_stats_request(*frame);
+          global_counters().add(counters::kStatsRequests);
+          reply = encode_stats(collect_process_stats());
+        } catch (const Error& e) {
+          global_counters().add(counters::kStatsBadFrames);
+          ReadResponse refusal;
+          refusal.ok = false;
+          refusal.code = ErrorCode::kBadRequest;
+          refusal.error = e.what();
+          reply = encode_response(refusal);
+        }
+        try {
+          client->send_frame(reply);
+        } catch (const Error&) {
+          return;  // peer gone before the reply landed
+        }
+      }
+    });
+  }
+}
+
+}  // namespace dassa::serve

@@ -19,6 +19,9 @@
 //              [--window-half M] [--lag-half L] [--channel-offset K]
 //              [--no-detect]   skip per-window + final event detection
 //   any mode:
+//     [--stats-socket <path>] answer das_top's kStats polls on a
+//                             dedicated socket (live counters, gauges,
+//                             and exact histogram buckets)
 //     [--telemetry out.jsonl] sample counters/gauges (incl. the
 //                             ingest.queue.depth gauge) during the run,
 //                             write the validated "dassa.telemetry.v1"
@@ -30,6 +33,8 @@
 // gracefully: the producer stops polling, the queue is closed, every
 // already-admitted file is drained through the driver, the final
 // window is processed, and the (partial) result is still written.
+// SIGUSR1 flushes the validated telemetry JSONL mid-run (needs
+// --telemetry); ingestion keeps running.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -49,14 +54,18 @@
 #include "dassa/ingest/driver.hpp"
 #include "dassa/ingest/queue.hpp"
 #include "dassa/ingest/spool.hpp"
+#include "dassa/serve/stats.hpp"
 
 namespace {
 
 using namespace dassa;
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_flush{false};
 
 void handle_signal(int) { g_stop.store(true); }
+
+void handle_flush(int) { g_flush.store(true); }
 
 LogLevel parse_log_level(const std::string& name) {
   if (name == "debug") return LogLevel::kDebug;
@@ -86,9 +95,12 @@ void log_ingest_counters() {
 /// validate, then print the health report. The ingest run's latency
 /// distributions (ingest.file_to_detection above all) ride along as
 /// hist records -- that is what bench_ingest gates p50/p99 on.
+/// `final_report` additionally prints the health report to stdout --
+/// the end-of-run path; SIGUSR1 flushes skip it.
 void export_telemetry(const std::string& path,
                       const core::EngineConfig& engine,
-                      const telemetry::TelemetrySampler& sampler) {
+                      const telemetry::TelemetrySampler& sampler,
+                      bool final_report) {
   telemetry::TelemetryFile file;
   file.meta["tool"] = "das_ingest";
   file.meta["pipeline"] = "similarity";
@@ -122,7 +134,7 @@ void export_telemetry(const std::string& path,
       .field("samples", static_cast<std::uint64_t>(parsed.samples.size()))
       .field("hists", static_cast<std::uint64_t>(parsed.hists.size()))
       .field("dropped", sampler.dropped());
-  telemetry::write_health_report(std::cout, parsed);
+  if (final_report) telemetry::write_health_report(std::cout, parsed);
 }
 
 /// Producer loop: poll the spool, push admitted files into the queue.
@@ -164,8 +176,11 @@ int main(int argc, char** argv) {
                  "[--nodes N] [--cores N] [--mpi-per-core] "
                  "[--window-half M] [--lag-half L] [--channel-offset K] "
                  "[--no-detect]\n"
+                 "[--stats-socket <path>] "
                  "[--telemetry out.jsonl] [--telemetry-period-ms MS] "
                  "[--log-json path] [--log-level L]\n"
+                 "SIGUSR1 flushes the telemetry JSONL mid-run; das_top "
+                 "polls live stats via --stats-socket\n"
                  "see the header comment of tools/das_ingest.cpp for "
                  "semantics\n";
     return 2;
@@ -226,6 +241,36 @@ int main(int argc, char** argv) {
 
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
+    std::signal(SIGUSR1, handle_flush);
+
+    // The main thread blocks in queue->pop() below, so mid-run
+    // telemetry flushes need their own watcher thread: it polls the
+    // g_flush latch the SIGUSR1 handler sets (handler-safe: the
+    // handler only stores an atomic) and exports off the hot path.
+    std::atomic<bool> flusher_stop{false};
+    std::thread flusher;
+    if (args.has("--telemetry")) {
+      flusher = std::thread([&args, &cfg, &sampler, &flusher_stop] {
+        while (!flusher_stop.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          if (g_flush.exchange(false)) {
+            sampler.tick();
+            export_telemetry(args.get("--telemetry"), cfg.engine, sampler,
+                             /*final_report=*/false);
+          }
+        }
+      });
+    }
+
+    // Live introspection: das_ingest's primary "socket" is the spool
+    // directory, so kStats gets a dedicated listener.
+    std::unique_ptr<serve::StatsListener> stats;
+    if (args.has("--stats-socket")) {
+      stats = std::make_unique<serve::StatsListener>(
+          args.get("--stats-socket"));
+      stats->start();
+    }
+
     const bool once = args.has("--once");
     const long poll_ms = args.get_long("--poll-ms", 250);
     DASSA_SLOG(kInfo, "ingest.start")
@@ -272,10 +317,14 @@ int main(int argc, char** argv) {
           << "no files were ingested; nothing written to " << out_path;
     }
 
+    if (stats) stats->stop();
     if (args.has("--telemetry")) {
+      flusher_stop.store(true);
+      flusher.join();
       sampler.stop();
       sampler.tick();  // final sample: the completed drain's totals
-      export_telemetry(args.get("--telemetry"), cfg.engine, sampler);
+      export_telemetry(args.get("--telemetry"), cfg.engine, sampler,
+                       /*final_report=*/true);
     }
     return 0;
   } catch (const std::exception& e) {

@@ -86,10 +86,12 @@ import re
 import sys
 
 CANONICAL_COUNTER_PREFIX = re.compile(
-    r"^(io|mpi|mem|dsp|haee|trace|telemetry|ingest|serve)\.")
+    r"^(io|mpi|mem|dsp|haee|trace|telemetry|ingest|serve|stats)\.")
 # Registered counter namespaces: everything before the final dot of a
 # counter name must appear here. Adding a subsystem (e.g. the DASH5 v3
 # storage engine's io.codec / io.cache) means adding its namespace.
+# Histogram names fed to global_metrics().histogram("...") are held to
+# the same register (serve.lat is the request-tracing stage family).
 CANONICAL_COUNTER_NAMESPACES = frozenset({
     "io", "io.codec", "io.cache", "io.pool", "io.repack", "io.index",
     "mpi", "mem",
@@ -99,7 +101,8 @@ CANONICAL_COUNTER_NAMESPACES = frozenset({
     "telemetry",
     "log",
     "ingest", "ingest.queue",
-    "serve", "serve.queue", "serve.batch",
+    "serve", "serve.queue", "serve.batch", "serve.lat",
+    "stats",
 })
 STD_EXCEPTIONS = (
     "std::", "runtime_error", "logic_error", "invalid_argument",
@@ -237,7 +240,7 @@ def counter_name_problem(name):
     CANONICAL_COUNTER_NAMESPACES."""
     if not CANONICAL_COUNTER_PREFIX.match(name):
         return ("outside canonical namespaces "
-                "io|mpi|mem|dsp|haee|trace|telemetry|ingest|serve")
+                "io|mpi|mem|dsp|haee|trace|telemetry|ingest|serve|stats")
     namespace = name.rsplit(".", 1)[0]
     if namespace not in CANONICAL_COUNTER_NAMESPACES:
         return (f"namespace '{namespace}' not registered in "
@@ -270,6 +273,15 @@ def rule_counter_prefix(path, scrubbed, raw):
             if problem:
                 yield Finding("counter-prefix", path, lineno,
                               f"counter literal '{m.group(1)}' {problem}")
+        # Histogram names share the metric namespace register: a
+        # das_top or Prometheus consumer sees them next to the
+        # counters, so they obey the same naming discipline.
+        m = re.search(r'\.\s*histogram\(\s*"([^"]+)"', line)
+        if m:
+            problem = counter_name_problem(m.group(1))
+            if problem:
+                yield Finding("counter-prefix", path, lineno,
+                              f"histogram literal '{m.group(1)}' {problem}")
 
 
 def rule_include_hygiene(path, scrubbed, raw):
@@ -507,6 +519,14 @@ SELF_TEST_FIXTURES = [
     (rule_counter_prefix, "src/fix/neg.cpp",
      "void f() {\n  global_counters().add(\"io.codec.bytes\", 1);\n}\n",
      False),
+    (rule_counter_prefix, "src/fix/pos.cpp",
+     "void f() {\n"
+     "  global_metrics().histogram(\"rogue.lat.decode\").record_ns(1);\n"
+     "}\n", True),
+    (rule_counter_prefix, "src/fix/neg.cpp",
+     "void f() {\n"
+     "  global_metrics().histogram(\"serve.lat.decode\").record_ns(1);\n"
+     "}\n", False),
     (rule_include_hygiene, "include/dassa/fix/pos.hpp",
      "#include <iostream>\nusing namespace std;\n", True),
     (rule_include_hygiene, "include/dassa/fix/neg.hpp",
@@ -554,6 +574,11 @@ SELF_TEST_FIXTURES = [
      "#include <sys/socket.h>\nvoid f() {\n"
      "  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);\n  (void)fd;\n}\n",
      False),  # the audited socket layer itself
+    (rule_no_naked_socket, "src/serve/stats.cpp",
+     "#include \"dassa/serve/socket.hpp\"\nvoid f() {\n"
+     "  dassa::serve::Listener listener(\"/tmp/stats.sock\");\n"
+     "  auto conn = listener.accept();\n  conn->shutdown();\n}\n",
+     False),  # the stats layer is NOT exempt; it must stay on the API
 ]
 
 

@@ -13,12 +13,19 @@
 //             [--coalesce-us US]   dispatcher hold time (default 500)
 //             [--gap-cols N]       column gap still shared (default 0)
 //             [--no-batching]      one union read per request
+//             [--slow-ms MS]       structured serve.slow_request log for
+//                                  requests over MS end-to-end (default 0: off)
+//             [--no-request-tracing] disable per-stage timestamps (the
+//                                  serve.lat.* histograms stay empty)
 //             [--telemetry out.jsonl] counter/gauge timeline + latency
 //                                  histograms (serve.request above all)
 //             [--telemetry-period-ms MS] [--log-json path] [--log-level L]
 //
 // Runs until SIGINT/SIGTERM, then drains gracefully: admitted requests
 // are answered, late ones get an explicit kShuttingDown refusal.
+// SIGUSR1 flushes the validated telemetry JSONL mid-run (needs
+// --telemetry); the daemon keeps serving. Live introspection without
+// signals: das_top polls the kStats message on the main socket.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -40,8 +47,11 @@ namespace {
 using namespace dassa;
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_flush{false};
 
 void handle_signal(int) { g_stop.store(true); }
+
+void handle_flush(int) { g_flush.store(true); }
 
 LogLevel parse_log_level(const std::string& name) {
   if (name == "debug") return LogLevel::kDebug;
@@ -67,8 +77,12 @@ void log_serve_counters() {
   }
 }
 
+/// Write + re-parse + validate the telemetry JSONL. `final_report`
+/// additionally prints the health report to stdout -- the end-of-run
+/// path; SIGUSR1 flushes skip it so a live daemon's stdout stays quiet.
 void export_telemetry(const std::string& path,
-                      const telemetry::TelemetrySampler& sampler) {
+                      const telemetry::TelemetrySampler& sampler,
+                      bool final_report) {
   telemetry::TelemetryFile file;
   file.meta["tool"] = "das_serve";
   file.meta["pipeline"] = "serve";
@@ -99,7 +113,7 @@ void export_telemetry(const std::string& path,
       .field("path", path)
       .field("samples", static_cast<std::uint64_t>(parsed.samples.size()))
       .field("hists", static_cast<std::uint64_t>(parsed.hists.size()));
-  telemetry::write_health_report(std::cout, parsed);
+  if (final_report) telemetry::write_health_report(std::cout, parsed);
 }
 
 }  // namespace
@@ -111,8 +125,11 @@ int main(int argc, char** argv) {
                  "--archive <file.vca|file.dh5>\n"
                  "[--workers N] [--max-queue N] [--max-batch N] "
                  "[--coalesce-us US] [--gap-cols N] [--no-batching]\n"
+                 "[--slow-ms MS] [--no-request-tracing]\n"
                  "[--telemetry out.jsonl] [--telemetry-period-ms MS] "
                  "[--log-json path] [--log-level L]\n"
+                 "SIGUSR1 flushes the telemetry JSONL mid-run; das_top "
+                 "polls live stats over the socket\n"
                  "see the header comment of tools/das_serve.cpp for "
                  "semantics\n";
     return 2;
@@ -142,19 +159,25 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(args.get_long("--coalesce-us", 500));
     cfg.gap_cols = static_cast<std::size_t>(args.get_long("--gap-cols", 0));
     cfg.batching = !args.has("--no-batching");
+    cfg.request_tracing = !args.has("--no-request-tracing");
+    cfg.slow_ns =
+        static_cast<std::uint64_t>(args.get_long("--slow-ms", 0)) * 1000000;
 
     serve::Server server(cfg);
-    telemetry::register_gauge("serve.queue.depth", [&server] {
-      return static_cast<double>(server.queue_depth());
-    });
 
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
+    std::signal(SIGUSR1, handle_flush);
     server.start();
     std::cout << "das_serve: listening on " << cfg.socket_path << " ("
               << server.shape().str() << " from " << cfg.archive << ")\n";
     while (!g_stop.load()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (g_flush.exchange(false) && args.has("--telemetry")) {
+        sampler.tick();
+        export_telemetry(args.get("--telemetry"), sampler,
+                         /*final_report=*/false);
+      }
     }
     server.stop();
     log_serve_counters();
@@ -162,7 +185,8 @@ int main(int argc, char** argv) {
     if (args.has("--telemetry")) {
       sampler.stop();
       sampler.tick();
-      export_telemetry(args.get("--telemetry"), sampler);
+      export_telemetry(args.get("--telemetry"), sampler,
+                       /*final_report=*/true);
     }
     return 0;
   } catch (const std::exception& e) {
