@@ -142,8 +142,12 @@ class Server {
   void dispatch_round(std::vector<Job> batch);
   /// Record a finished request's stage latencies and, past the
   /// slow_ns threshold, emit the structured slow-request record.
+  /// write_begin_ns is per job -- the previous batch member's reply
+  /// stamp (decode_end_ns for the first) -- so the write stage charges
+  /// only this job's slice + socket write, not its predecessors'.
   void record_request_trace(const Job& job, std::uint64_t decode_begin_ns,
                             std::uint64_t decode_end_ns,
+                            std::uint64_t write_begin_ns,
                             std::uint64_t reply_ns);
 
   /// Map a validated request onto archive coordinates; throws

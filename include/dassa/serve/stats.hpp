@@ -60,7 +60,19 @@ struct StatsSnapshot {
 
 /// Snapshot this process now: global counters, registered gauges
 /// (telemetry::read_gauges), and every histogram in global_metrics().
+/// The snapshot is reconciled (below) before it is returned, so
+/// encoding it always yields a decodable frame.
 [[nodiscard]] StatsSnapshot collect_process_stats();
+
+/// Derive every histogram's count from its bucket sum. A live
+/// LatencyHistogram updates buckets and count as independent relaxed
+/// atomics, so a registry snapshot taken against concurrent
+/// record_ns() can be torn -- count ahead of or behind the bucket sum
+/// -- while the wire format pins count == sum(buckets). Reconciling on
+/// the encoding side keeps every frame a daemon emits self-consistent
+/// (the strict decoder check stays, guarding against forgeries);
+/// records in flight at snapshot time surface in the next poll.
+void reconcile_torn_histograms(StatsSnapshot& s);
 
 [[nodiscard]] std::vector<std::byte> encode_stats_request();
 [[nodiscard]] std::vector<std::byte> encode_stats(const StatsSnapshot& s);
@@ -99,15 +111,34 @@ class StatsListener {
 
   [[nodiscard]] const std::string& path() const { return path_; }
 
+  /// Connection slots currently tracked (live plus finished-but-not-
+  /// yet-reaped). Reaping runs on every accept, so this stays bounded
+  /// by the live-client count no matter how many short-lived pollers
+  /// come and go -- the property the listener tests pin.
+  [[nodiscard]] std::size_t tracked_connections();
+
  private:
+  /// One accepted stats client: its service thread, the connection
+  /// (shutdown() from stop() unblocks the thread), and the flag the
+  /// thread raises on exit so accept_loop can reap the slot.
+  struct ConnSlot {
+    std::thread thread;
+    std::shared_ptr<Connection> conn;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void accept_loop();
+  /// Join and erase every slot whose thread has finished. Without
+  /// this, a long-lived daemon scraped by repeated short-lived clients
+  /// (das_top --once, Prometheus) accumulates joinable threads until
+  /// stop().
+  void reap_finished() DASSA_REQUIRES(conns_mu_);
 
   std::string path_;
   std::unique_ptr<Listener> listener_;
   std::thread accept_thread_;
   Mutex conns_mu_;
-  std::vector<std::thread> conn_threads_ DASSA_GUARDED_BY(conns_mu_);
-  std::vector<std::shared_ptr<Connection>> conns_ DASSA_GUARDED_BY(conns_mu_);
+  std::vector<ConnSlot> conns_ DASSA_GUARDED_BY(conns_mu_);
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
 };

@@ -52,7 +52,16 @@ StatsSnapshot collect_process_stats() {
   s.counters = global_counters().snapshot();
   s.gauges = telemetry::read_gauges();
   s.hists = global_metrics().snapshot();
+  reconcile_torn_histograms(s);
   return s;
+}
+
+void reconcile_torn_histograms(StatsSnapshot& s) {
+  for (auto& [_, h] : s.hists) {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t b : h.buckets) sum += b;
+    h.count = sum;
+  }
 }
 
 std::vector<std::byte> encode_stats_request() {
@@ -206,20 +215,71 @@ void StatsListener::start() {
 
 void StatsListener::stop() {
   if (!started_.load() || stopping_.exchange(true)) return;
-  listener_->shutdown();
-  accept_thread_.join();
-  std::vector<std::thread> threads;
+  // start() may have thrown between marking started_ and binding the
+  // socket (bad path), leaving no listener and no accept thread --
+  // stop() (via the destructor, during unwinding) must still be safe.
+  if (listener_) listener_->shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<ConnSlot> slots;
   {
     MutexLock lock(conns_mu_);
-    for (auto& c : conns_) c->shutdown();
-    threads.swap(conn_threads_);
+    for (auto& s : conns_) s.conn->shutdown();
+    slots.swap(conns_);
   }
-  for (auto& t : threads) t.join();
-  {
-    MutexLock lock(conns_mu_);
-    conns_.clear();
+  for (auto& s : slots) s.thread.join();
+}
+
+std::size_t StatsListener::tracked_connections() {
+  MutexLock lock(conns_mu_);
+  return conns_.size();
+}
+
+void StatsListener::reap_finished() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->done->load()) {
+      it->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
+
+namespace {
+
+/// Body of one stats client's service thread: answer kStatsRequest
+/// frames until the peer hangs up (or stop() shuts the socket down).
+void serve_stats_connection(Connection& client) {
+  while (true) {
+    std::optional<std::vector<std::byte>> frame;
+    try {
+      frame = client.recv_frame();
+    } catch (const Error&) {
+      return;  // torn frame / vanished peer
+    }
+    if (!frame) return;  // clean end-of-stream
+    std::vector<std::byte> reply;
+    try {
+      decode_stats_request(*frame);
+      global_counters().add(counters::kStatsRequests);
+      reply = encode_stats(collect_process_stats());
+    } catch (const Error& e) {
+      global_counters().add(counters::kStatsBadFrames);
+      ReadResponse refusal;
+      refusal.ok = false;
+      refusal.code = ErrorCode::kBadRequest;
+      refusal.error = e.what();
+      reply = encode_response(refusal);
+    }
+    try {
+      client.send_frame(reply);
+    } catch (const Error&) {
+      return;  // peer gone before the reply landed
+    }
+  }
+}
+
+}  // namespace
 
 void StatsListener::accept_loop() {
   while (true) {
@@ -232,38 +292,16 @@ void StatsListener::accept_loop() {
     }
     if (!conn) return;  // listener shut down
     global_counters().add(counters::kStatsConnections);
-    auto client = std::make_shared<Connection>(std::move(*conn));
-    MutexLock lock(conns_mu_);
-    conns_.push_back(client);
-    conn_threads_.emplace_back([client = std::move(client)] {
-      while (true) {
-        std::optional<std::vector<std::byte>> frame;
-        try {
-          frame = client->recv_frame();
-        } catch (const Error&) {
-          return;  // torn frame / vanished peer
-        }
-        if (!frame) return;  // clean end-of-stream
-        std::vector<std::byte> reply;
-        try {
-          decode_stats_request(*frame);
-          global_counters().add(counters::kStatsRequests);
-          reply = encode_stats(collect_process_stats());
-        } catch (const Error& e) {
-          global_counters().add(counters::kStatsBadFrames);
-          ReadResponse refusal;
-          refusal.ok = false;
-          refusal.code = ErrorCode::kBadRequest;
-          refusal.error = e.what();
-          reply = encode_response(refusal);
-        }
-        try {
-          client->send_frame(reply);
-        } catch (const Error&) {
-          return;  // peer gone before the reply landed
-        }
-      }
+    ConnSlot slot;
+    slot.conn = std::make_shared<Connection>(std::move(*conn));
+    slot.done = std::make_shared<std::atomic<bool>>(false);
+    slot.thread = std::thread([client = slot.conn, done = slot.done] {
+      serve_stats_connection(*client);
+      done->store(true);
     });
+    MutexLock lock(conns_mu_);
+    reap_finished();
+    conns_.push_back(std::move(slot));
   }
 }
 

@@ -190,7 +190,9 @@ TEST(IntervalIndex, LoadRejectsMalformedSidecars) {
   // Implausible entry count (a reserve bomb): claim 2^56 entries.
   {
     std::vector<char> bytes = good;
-    for (int i = 0; i < 8; ++i) bytes[16 + i] = static_cast<char>(0xff);
+    for (std::size_t i = 0; i < 8; ++i) {
+      bytes[16 + i] = static_cast<char>(0xff);
+    }
     spit(bad_path, bytes);
     EXPECT_THROW((void)io::IntervalIndex::load(bad_path), FormatError);
   }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -202,6 +203,66 @@ TEST(ServeStats, ForgedFramesAreRejected) {
   EXPECT_THROW(serve::decode_stats(frame), FormatError);
 }
 
+TEST(ServeStats, TornSnapshotIsReconciledBeforeEncoding) {
+  // A live LatencyHistogram updates count_ and buckets_ as separate
+  // relaxed atomics, so a registry snapshot taken against concurrent
+  // record_ns() can legitimately disagree with itself in either
+  // direction. The encoding side must reconcile (count := bucket sum)
+  // so a daemon under load never emits a frame its own strict decoder
+  // would refuse.
+  serve::StatsSnapshot torn;
+  HistogramSnapshot ahead;  // count incremented, bucket not yet seen
+  ahead.buckets[5] = 3;
+  ahead.count = 4;
+  ahead.total_ns = 100;
+  torn.hists["count.ahead"] = ahead;
+  HistogramSnapshot behind;  // bucket incremented, count not yet seen
+  behind.buckets[2] = 7;
+  behind.count = 6;
+  behind.total_ns = 200;
+  torn.hists["count.behind"] = behind;
+
+  EXPECT_THROW(serve::decode_stats(serve::encode_stats(torn)), FormatError);
+  serve::reconcile_torn_histograms(torn);
+  const serve::StatsSnapshot back =
+      serve::decode_stats(serve::encode_stats(torn));
+  EXPECT_EQ(back.hists.at("count.ahead").count, 3u);
+  EXPECT_EQ(back.hists.at("count.behind").count, 7u);
+  // collect_process_stats applies the same reconciliation, so the live
+  // path always produces a decodable frame.
+  EXPECT_NO_THROW(
+      (void)serve::decode_stats(serve::encode_stats(
+          serve::collect_process_stats())));
+}
+
+TEST(ServeStats, ListenerStartFailureLeavesDestructorSafe) {
+  // start() marks started_ before binding the socket, so a bad path
+  // throws with no listener and no accept thread; the destructor's
+  // stop() must survive that half-started state (das_ingest unwinds
+  // through exactly this on a bad --stats-socket).
+  serve::StatsListener listener("/nonexistent-dassa-dir/stats.sock");
+  EXPECT_THROW(listener.start(), Error);
+}
+
+TEST(ServeStats, ListenerReapsFinishedConnections) {
+  TmpDir dir("serve_stats_reap");
+  serve::StatsListener listener(dir.file("stats.sock"));
+  listener.start();
+
+  // Short-lived pollers (das_top --once, scrapes): each connects,
+  // polls once, and hangs up before the next arrives. Reaping on
+  // accept must keep the tracked-slot count bounded instead of
+  // accumulating one joinable thread per poller until stop().
+  constexpr std::size_t kPollers = 32;
+  for (std::size_t i = 0; i < kPollers; ++i) {
+    serve::Connection conn = serve::connect_local(listener.path());
+    EXPECT_EQ(serve::fetch_stats(conn).version, serve::kStatsVersion);
+  }
+  EXPECT_LT(listener.tracked_connections(), kPollers / 2);
+  listener.stop();
+  EXPECT_EQ(listener.tracked_connections(), 0u);
+}
+
 TEST(ServeStats, LiveServerAnswersStatsInline) {
   TmpDir dir("serve_stats_live");
   ServedArchive archive(dir);
@@ -223,7 +284,25 @@ TEST(ServeStats, LiveServerAnswersStatsInline) {
     EXPECT_EQ(client.read_slab(slab), archive.reference.read_slab(slab));
   }
 
-  const serve::StatsSnapshot after = serve::fetch_stats(poll);
+  // The worker charges serve.responses and the end-to-end histogram
+  // just AFTER the reply frame hits the socket, so a fast poller can
+  // legitimately sample before the 5th record lands. Poll until the
+  // accounting catches up (bounded), then pin the exact totals.
+  const auto request_delta = [&](const serve::StatsSnapshot& s) {
+    const auto& h_after = s.hists.at(serve::lat::kRequest);
+    const auto it = before.hists.find(serve::lat::kRequest);
+    return it == before.hists.end() ? h_after : h_after.diff(it->second);
+  };
+  serve::StatsSnapshot after = serve::fetch_stats(poll);
+  for (int i = 0; i < 200 &&
+                  (counter_of(after, counters::kServeResponses) -
+                           counter_of(before, counters::kServeResponses) <
+                       5u ||
+                   request_delta(after).count < 5u);
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    after = serve::fetch_stats(poll);
+  }
   EXPECT_GE(after.wall_ns, before.wall_ns);
   EXPECT_EQ(counter_of(after, counters::kServeResponses) -
                 counter_of(before, counters::kServeResponses),
@@ -235,11 +314,7 @@ TEST(ServeStats, LiveServerAnswersStatsInline) {
 
   // Interval view: the end-to-end histogram diff covers exactly the 5
   // requests between the polls.
-  const auto& h_after = after.hists.at(serve::lat::kRequest);
-  const auto it = before.hists.find(serve::lat::kRequest);
-  const HistogramSnapshot d =
-      it == before.hists.end() ? h_after : h_after.diff(it->second);
-  EXPECT_EQ(d.count, 5u);
+  EXPECT_EQ(request_delta(after).count, 5u);
   server.stop();
 }
 

@@ -249,6 +249,19 @@ int main(int argc, char** argv) {
     // handler only stores an atomic) and exports off the hot path.
     std::atomic<bool> flusher_stop{false};
     std::thread flusher;
+    // Unwind guard: if anything below throws (a bad --stats-socket
+    // path, spool or driver errors), stack unwinding would destroy a
+    // still-joinable flusher and terminate() before reaching the
+    // catch-and-log path -- so stopping and joining it is the
+    // destructor's job, not the happy path's.
+    struct FlusherJoiner {
+      std::atomic<bool>& stop;
+      std::thread& thread;
+      ~FlusherJoiner() {
+        stop.store(true);
+        if (thread.joinable()) thread.join();
+      }
+    } flusher_joiner{flusher_stop, flusher};
     if (args.has("--telemetry")) {
       flusher = std::thread([&args, &cfg, &sampler, &flusher_stop] {
         while (!flusher_stop.load()) {
@@ -284,6 +297,20 @@ int main(int argc, char** argv) {
         [&watcher, queue, once, poll_ms] {
           produce(watcher, *queue, once, poll_ms);
         });
+    // Same unwind hazard as the flusher: driver.add_file below can
+    // throw, and the producer may be blocked in queue->push(), so the
+    // guard closes the queue to unblock it before joining.
+    struct ProducerJoiner {
+      std::shared_ptr<ingest::BoundedQueue<ingest::SpoolFile>> queue;
+      std::thread& thread;
+      ~ProducerJoiner() {
+        if (thread.joinable()) {
+          g_stop.store(true);
+          queue->close();
+          thread.join();
+        }
+      }
+    } producer_joiner{queue, producer};
     while (auto file = queue->pop()) {
       driver.add_file(*file);
     }
